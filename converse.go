@@ -1,0 +1,96 @@
+// Package converse is a Go implementation of Converse, the
+// interoperable framework for parallel programming of Kale, Bhandarkar,
+// Jagathesan and Krishnan (IPPS 1996). Converse lets modules written in
+// different parallel paradigms — single-process (SPMD) modules,
+// message-driven concurrent objects, and threads — coexist and
+// interleave in a single parallel program, under one unified scheduler,
+// paying only for the features each module uses.
+//
+// The package re-exports the core runtime (internal/core); the paper's
+// other components live in sibling packages of internal/:
+//
+//   - internal/machine — the simulated multicomputer substrate
+//   - internal/netmodel — communication-cost models for the paper's five
+//     evaluation machines (Figures 4-8)
+//   - internal/queue — pluggable scheduler queueing strategies,
+//     including bit-vector priorities
+//   - internal/cth — thread objects (suspend/resume divorced from
+//     scheduling policy)
+//   - internal/csync — locks, condition variables, barriers
+//   - internal/msgmgr — tagged message managers
+//   - internal/emi — scatter/gather, global pointers, processor groups
+//   - internal/ldb — seed-based dynamic load balancing
+//   - internal/trace — event tracing
+//   - internal/lang/{sm,tsm,pvmc,charm,mdt} — language runtimes built on
+//     the framework
+//
+// # Quick start
+//
+//	cm := converse.NewMachine(converse.Config{PEs: 2})
+//	var hPing int
+//	hPing = cm.RegisterHandler(func(p *converse.Proc, msg []byte) {
+//		if p.MyPe() == 1 {
+//			p.SyncSend(0, converse.MakeMsg(hPing, converse.Payload(msg)))
+//			return
+//		}
+//		p.Printf("reply: %s\n", converse.Payload(msg))
+//		p.ExitScheduler()
+//	})
+//	cm.Run(func(p *converse.Proc) {
+//		if p.MyPe() == 0 {
+//			p.SyncSend(1, converse.MakeMsg(hPing, []byte("hello")))
+//		}
+//		p.Scheduler(-1)
+//	})
+//
+// See examples/ for multi-paradigm programs and cmd/figures for the
+// harness that regenerates the paper's evaluation figures.
+package converse
+
+import (
+	"converse/internal/core"
+)
+
+// Machine is a Converse machine: a simulated multicomputer with one
+// Converse runtime instance per processor.
+type Machine = core.Machine
+
+// Config parameterizes a Machine.
+type Config = core.Config
+
+// Proc is one processor's Converse runtime instance.
+type Proc = core.Proc
+
+// Handler is a message-handler function (registered per processor).
+type Handler = core.Handler
+
+// CommHandle tracks an asynchronous communication operation.
+type CommHandle = core.CommHandle
+
+// Tracer receives runtime trace events.
+type Tracer = core.Tracer
+
+// TraceEvent is one trace record.
+type TraceEvent = core.TraceEvent
+
+// HeaderSize is the generalized-message header size in bytes.
+const HeaderSize = core.HeaderSize
+
+// NewMachine creates a Converse machine.
+func NewMachine(cfg Config) *Machine { return core.NewMachine(cfg) }
+
+// NewMsg allocates a generalized message with the given handler index
+// and payload length.
+func NewMsg(handler, payloadLen int) []byte { return core.NewMsg(handler, payloadLen) }
+
+// MakeMsg builds a generalized message carrying a copy of payload.
+func MakeMsg(handler int, payload []byte) []byte { return core.MakeMsg(handler, payload) }
+
+// SetHandler stores the handler index in a message's header.
+func SetHandler(msg []byte, handler int) { core.SetHandler(msg, handler) }
+
+// HandlerOf extracts the handler index from a message's header.
+func HandlerOf(msg []byte) int { return core.HandlerOf(msg) }
+
+// Payload returns the message body after the header.
+func Payload(msg []byte) []byte { return core.Payload(msg) }

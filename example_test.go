@@ -1,0 +1,101 @@
+package converse_test
+
+import (
+	"fmt"
+	"time"
+
+	"converse"
+	"converse/internal/cth"
+	"converse/internal/lang/mdt"
+)
+
+// Example_pingPong is the canonical Converse program: generalized
+// messages dispatched by handler index under the unified scheduler.
+func Example_pingPong() {
+	cm := converse.NewMachine(converse.Config{PEs: 2, Watchdog: 10 * time.Second})
+	out := make(chan string, 1)
+	var h int
+	h = cm.RegisterHandler(func(p *converse.Proc, msg []byte) {
+		if p.MyPe() == 1 {
+			p.SyncSend(0, converse.MakeMsg(h, append(converse.Payload(msg), "+pong"...)))
+		} else {
+			out <- string(converse.Payload(msg))
+		}
+		p.ExitScheduler()
+	})
+	if err := cm.Run(func(p *converse.Proc) {
+		if p.MyPe() == 0 {
+			p.SyncSend(1, converse.MakeMsg(h, []byte("ping")))
+		}
+		p.Scheduler(-1)
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(<-out)
+	// Output: ping+pong
+}
+
+// Example_priorities shows the scheduler's prioritized queueing (§2.3):
+// lower priority values dispatch first, before the default FIFO lane.
+func Example_priorities() {
+	cm := converse.NewMachine(converse.Config{PEs: 1, Watchdog: 10 * time.Second})
+	h := cm.RegisterHandler(func(p *converse.Proc, msg []byte) {
+		fmt.Printf("%s ", converse.Payload(msg))
+	})
+	_ = cm.Run(func(p *converse.Proc) {
+		p.Enqueue(converse.MakeMsg(h, []byte("default")))
+		p.EnqueuePrio(converse.MakeMsg(h, []byte("urgent")), -1)
+		p.EnqueuePrio(converse.MakeMsg(h, []byte("lazy")), 99)
+		p.ScheduleUntilIdle()
+	})
+	fmt.Println()
+	// Output: urgent default lazy
+}
+
+// Example_threads shows thread objects: cooperative suspend/resume with
+// no hidden scheduler.
+func Example_threads() {
+	cm := converse.NewMachine(converse.Config{PEs: 1, Watchdog: 10 * time.Second})
+	_ = cm.Run(func(p *converse.Proc) {
+		rt := cth.Init(p)
+		th := rt.Create(func() {
+			fmt.Println("thread: first slice")
+			rt.Suspend()
+			fmt.Println("thread: second slice")
+		})
+		fmt.Println("main: resuming")
+		rt.Resume(th)
+		fmt.Println("main: back")
+		rt.Resume(th)
+	})
+	// Output:
+	// main: resuming
+	// thread: first slice
+	// main: back
+	// thread: second slice
+}
+
+// Example_coordinationLanguage runs the paper's §4 message-driven
+// thread language: two threads conversing by tag across processors.
+func Example_coordinationLanguage() {
+	cm := converse.NewMachine(converse.Config{PEs: 2, Watchdog: 10 * time.Second})
+	out := make(chan string, 1)
+	_ = cm.Run(func(p *converse.Proc) {
+		m := mdt.Attach(p)
+		if p.MyPe() == 0 {
+			m.CreateThread(func() {
+				m.Send(1, 7, []byte("work"))
+				out <- string(m.Recv(8))
+			})
+		} else {
+			m.CreateThread(func() {
+				d := m.Recv(7)
+				m.Send(0, 8, append(d, " done"...))
+			})
+		}
+		m.Run()
+	})
+	fmt.Println(<-out)
+	// Output: work done
+}

@@ -1,0 +1,3 @@
+module converse
+
+go 1.23

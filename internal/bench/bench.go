@@ -1,0 +1,217 @@
+// Package bench implements the measurement harness behind the paper's
+// evaluation (§5, Figures 4-8): the round-trip program "that sends a
+// large number of messages back and forth between two processors",
+// from which "the average time for one individual message send,
+// transmission, receipt and handling" is computed.
+//
+// Three layers are measured, matching the paper's series:
+//
+//   - Native: the lowest-level communication layer available on the
+//     machine (here, the raw simulated-machine send/receive) — the
+//     baseline each figure compares against.
+//   - Converse: the same round trip through Converse generalized
+//     messages and handler dispatch (CmiSyncSend + handler), the
+//     paper's main series.
+//   - Queued: the second experiment (Figure 6 only in the paper):
+//     "each handler upon receiving a message enqueues it in the
+//     scheduler's queue; the scheduler then picks a message from its
+//     queue and schedules it for execution" — the cost paid only by
+//     languages such as Charm that schedule objects through the queue.
+//
+// Times are virtual microseconds from the machine's cost model plus the
+// measured software path; the real wall-clock software cost of each
+// layer is measured separately by the root bench_test.go microbenches.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/machine"
+	"converse/internal/netmodel"
+)
+
+// Sizes is the message-size sweep used for every figure, in bytes
+// (total message size, header included).
+var Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Row is one point of a figure: modeled one-way times in microseconds
+// for each layer at one message size.
+type Row struct {
+	Size     int
+	Native   float64
+	Converse float64
+	Queued   float64
+}
+
+// watchdog bounds each measurement machine run.
+const watchdog = 60 * time.Second
+
+// Native measures the raw machine-layer round trip: the lowest-level
+// layer, bypassing Converse dispatch entirely. It returns the one-way
+// time in virtual microseconds.
+func Native(model *netmodel.Model, size, rounds int) float64 {
+	m := machine.New(machine.Config{PEs: 2, Model: model, Watchdog: watchdog})
+	var elapsed float64
+	err := m.Run(func(pe *machine.PE) {
+		buf := make([]byte, size)
+		if pe.ID() == 0 {
+			start := pe.Clock()
+			for i := 0; i < rounds; i++ {
+				pe.Send(1, buf)
+				if _, ok := pe.Recv(); !ok {
+					panic("bench: native recv failed")
+				}
+			}
+			elapsed = pe.Clock() - start
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			pkt, ok := pe.Recv()
+			if !ok {
+				panic("bench: native recv failed")
+			}
+			pe.SendOwned(0, pkt.Data)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return elapsed / float64(2*rounds)
+}
+
+// Converse measures the round trip through Converse handler dispatch:
+// "on the receiving processor, for every message, the message was
+// delivered to a handler which responded by sending a return message."
+// No scheduler queue is involved.
+func Converse(model *netmodel.Model, size, rounds int) float64 {
+	return converseRT(model, size, rounds, false)
+}
+
+// Queued is Converse plus the receive-side scheduler-queue pass on the
+// echo processor (the Figure 6 experiment).
+func Queued(model *netmodel.Model, size, rounds int) float64 {
+	return converseRT(model, size, rounds, true)
+}
+
+func converseRT(model *netmodel.Model, size, rounds int, queued bool) float64 {
+	if size < core.HeaderSize {
+		size = core.HeaderSize
+	}
+	cm := core.NewMachine(core.Config{PEs: 2, Model: model, Watchdog: watchdog})
+	echoed, ponged := 0, 0
+	// twoPhase implements the Figure 6 variant on a handler: a fresh
+	// message is enqueued in the scheduler's queue and replayed, using
+	// the flags word to mark the replay. It reports whether the caller
+	// should return (the work happens on the replay).
+	twoPhase := func(p *core.Proc, msg []byte) bool {
+		if !queued || core.FlagsOf(msg) != 0 {
+			return false
+		}
+		buf := p.GrabBuffer()
+		core.SetFlags(buf, 1)
+		p.Enqueue(buf)
+		return true
+	}
+	var hPing, hPong int
+	hPing = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if twoPhase(p, msg) {
+			return
+		}
+		reply := p.Alloc(len(msg) - core.HeaderSize)
+		core.SetHandler(reply, hPong)
+		p.SyncSendAndFree(0, reply)
+		echoed++
+	})
+	hPong = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if twoPhase(p, msg) {
+			return
+		}
+		ponged++
+	})
+
+	var elapsed float64
+	err := cm.Run(func(p *core.Proc) {
+		msg := core.NewMsg(hPing, size-core.HeaderSize)
+		if p.MyPe() == 0 {
+			start := p.TimerUs()
+			for i := 0; i < rounds; i++ {
+				p.SyncSend(1, msg)
+				want := ponged + 1
+				p.ServeUntil(func() bool { return ponged == want })
+			}
+			elapsed = p.TimerUs() - start
+			return
+		}
+		p.ServeUntil(func() bool { return echoed == rounds })
+	})
+	if err != nil {
+		panic(err)
+	}
+	return elapsed / float64(2*rounds)
+}
+
+// Sweep runs all three layers over the standard size sweep on the given
+// machine model.
+func Sweep(model *netmodel.Model, rounds int) []Row {
+	rows := make([]Row, 0, len(Sizes))
+	for _, size := range Sizes {
+		rows = append(rows, Row{
+			Size:     size,
+			Native:   Native(model, size, rounds),
+			Converse: Converse(model, size, rounds),
+			Queued:   Queued(model, size, rounds),
+		})
+	}
+	return rows
+}
+
+// Figure describes one of the paper's evaluation figures.
+type Figure struct {
+	Number int
+	Model  *netmodel.Model
+	// ShowQueued marks Figure 6, the only one the paper runs the
+	// queueing experiment on.
+	ShowQueued bool
+}
+
+// Figures returns the paper's five evaluation figures in order.
+func Figures() []Figure {
+	return []Figure{
+		{Number: 4, Model: netmodel.ATMHP()},
+		{Number: 5, Model: netmodel.T3D()},
+		{Number: 6, Model: netmodel.MyrinetFM(), ShowQueued: true},
+		{Number: 7, Model: netmodel.SP1()},
+		{Number: 8, Model: netmodel.Paragon()},
+	}
+}
+
+// Print writes a figure's table to w, one series per column, matching
+// the layout recorded in EXPERIMENTS.md.
+func Print(w io.Writer, fig Figure, rounds int) error {
+	rows := Sweep(fig.Model, rounds)
+	if _, err := fmt.Fprintf(w, "Figure %d: %s — one-way message time (virtual us)\n",
+		fig.Number, fig.Model.Name); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-10s %-12s %-12s", "bytes", "native", "converse")
+	if fig.ShowQueued {
+		header += fmt.Sprintf(" %-12s", "conv+queue")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("%-10d %-12.2f %-12.2f", r.Size, r.Native, r.Converse)
+		if fig.ShowQueued {
+			line += fmt.Sprintf(" %-12.2f", r.Queued)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"converse/internal/netmodel"
+)
+
+// rounds is kept small: virtual-time results are deterministic, so a
+// handful of round trips gives exact averages.
+const rounds = 20
+
+// TestFigure6PaperNumbers drives the real runtime on the Myrinet/FM
+// model and checks the numbers the paper states in §5: FM delivers
+// short messages in ~25 us, Converse needs ~31 us, and routing received
+// messages through the scheduler's queue adds ~9-15 us for short
+// messages, becoming negligible for large ones.
+func TestFigure6PaperNumbers(t *testing.T) {
+	mod := netmodel.MyrinetFM()
+	for _, size := range []int{8, 64, 128} {
+		if n := Native(mod, size, rounds); math.Abs(n-25) > 1 {
+			t.Errorf("native one-way at %dB = %.2f us, paper says ~25", size, n)
+		}
+		if c := Converse(mod, size, rounds); math.Abs(c-31) > 1 {
+			t.Errorf("converse one-way at %dB = %.2f us, paper says ~31", size, c)
+		}
+	}
+	over := Queued(mod, 64, rounds) - Converse(mod, 64, rounds)
+	if over < 9 || over > 15 {
+		t.Errorf("queueing overhead = %.2f us, paper says 9-15", over)
+	}
+	// "For large messages, the relative difference becomes negligible."
+	big := 65536
+	rel := (Queued(mod, big, rounds) - Converse(mod, big, rounds)) / Converse(mod, big, rounds)
+	if rel > 0.02 {
+		t.Errorf("relative queueing overhead at 64KB = %.3f, want < 2%%", rel)
+	}
+}
+
+// TestFigure5T3DShape checks the T3D behaviours the paper reports:
+// near-native short-message performance and the 16 KB packetization
+// jump.
+func TestFigure5T3DShape(t *testing.T) {
+	mod := netmodel.T3D()
+	gap := Converse(mod, 8, rounds) - Native(mod, 8, rounds)
+	if gap <= 0 || gap > 2 {
+		t.Errorf("T3D short-message Converse gap = %.2f us; paper: 'very close to the best possible'", gap)
+	}
+	below := Converse(mod, 16376, rounds)
+	at := Converse(mod, 16384, rounds)
+	if at-below < 50 {
+		t.Errorf("no 16KB jump through the runtime: %.2f -> %.2f us", below, at)
+	}
+}
+
+// TestAllFiguresShapeCriteria applies the shape criteria from DESIGN.md
+// to every machine: (a) Converse tracks native with a small constant
+// gap; (b) ordering native < converse < queued holds everywhere; (c)
+// the relative gap vanishes for large messages.
+func TestAllFiguresShapeCriteria(t *testing.T) {
+	for _, fig := range Figures() {
+		mod := fig.Model
+		gapSmall := Converse(mod, 8, rounds) - Native(mod, 8, rounds)
+		gapBig := Converse(mod, 65536, rounds) - Native(mod, 65536, rounds)
+		if math.Abs(gapSmall-gapBig) > 0.5 {
+			t.Errorf("%s: Converse gap not constant: %.2f vs %.2f us", mod.Name, gapSmall, gapBig)
+		}
+		if gapSmall <= 0 || gapSmall > 7 {
+			t.Errorf("%s: Converse gap %.2f us outside 'few tens of instructions'", mod.Name, gapSmall)
+		}
+		for _, size := range []int{8, 1024, 65536} {
+			n, c, q := Native(mod, size, rounds), Converse(mod, size, rounds), Queued(mod, size, rounds)
+			if !(n < c && c < q) {
+				t.Errorf("%s at %dB: want native < converse < queued, got %.2f %.2f %.2f",
+					mod.Name, size, n, c, q)
+			}
+		}
+		if rel := gapBig / Native(mod, 65536, rounds); rel > 0.05 {
+			t.Errorf("%s: relative gap at 64KB = %.3f, want < 5%%", mod.Name, rel)
+		}
+	}
+}
+
+// TestRuntimeMatchesClosedForm: the harness drives real code paths, so
+// its numbers must agree exactly with the model's closed-form OneWay
+// functions — any divergence means a layer is charging the wrong cost.
+func TestRuntimeMatchesClosedForm(t *testing.T) {
+	for _, fig := range Figures() {
+		mod := fig.Model
+		for _, size := range []int{8, 512, 16384} {
+			if got, want := Native(mod, size, rounds), mod.OneWay(size); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s native %dB: harness %.4f vs model %.4f", mod.Name, size, got, want)
+			}
+			if got, want := Converse(mod, size, rounds), mod.OneWayConverse(size); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s converse %dB: harness %.4f vs model %.4f", mod.Name, size, got, want)
+			}
+			if got, want := Queued(mod, size, rounds), mod.OneWayQueued(size); math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s queued %dB: harness %.4f vs model %.4f", mod.Name, size, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepMonotone: one-way time never decreases with message size on
+// any machine or layer.
+func TestSweepMonotone(t *testing.T) {
+	for _, fig := range Figures() {
+		rows := Sweep(fig.Model, 5)
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Native < rows[i-1].Native ||
+				rows[i].Converse < rows[i-1].Converse ||
+				rows[i].Queued < rows[i-1].Queued {
+				t.Errorf("%s: non-monotone at %d bytes", fig.Model.Name, rows[i].Size)
+			}
+		}
+	}
+}
+
+func TestFiguresList(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 5 {
+		t.Fatalf("Figures() returned %d, want 5 (Figures 4-8)", len(figs))
+	}
+	for i, f := range figs {
+		if f.Number != i+4 {
+			t.Errorf("figure %d has number %d", i, f.Number)
+		}
+		if f.ShowQueued != (f.Number == 6) {
+			t.Errorf("queueing experiment must be exactly Figure 6")
+		}
+	}
+}
+
+func TestPrintFormat(t *testing.T) {
+	var buf bytes.Buffer
+	fig := Figures()[2] // Figure 6
+	if err := Print(&buf, fig, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "conv+queue") {
+		t.Fatalf("output missing expected columns:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+len(Sizes) {
+		t.Fatalf("got %d lines, want %d", len(lines), 2+len(Sizes))
+	}
+	var buf4 bytes.Buffer
+	if err := Print(&buf4, Figures()[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf4.String(), "conv+queue") {
+		t.Fatal("Figure 4 must not show the queueing series")
+	}
+}

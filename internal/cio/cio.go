@@ -1,0 +1,153 @@
+// Package cio provides elementary parallel file I/O primitives over
+// Converse, a first cut at the §6 future-work item: "Design of
+// appropriate primitives for parallel file I/O and their
+// implementations on different machines will also be the subject of
+// future research."
+//
+// Following the MMI's host-based I/O philosophy (CmiPrintf is
+// "implemented on top of the messaging layer using asynchronous
+// sends"), these primitives funnel data through processor 0, which owns
+// the actual stream: WriteOrdered performs a collective rank-ordered
+// write (every processor contributes a block; the file sees block 0,
+// block 1, ... regardless of arrival order), and ReadScatter performs
+// the dual collective read (processor 0 reads fixed-size blocks and
+// deals them out by rank).
+package cio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"converse/internal/core"
+)
+
+// IO is the per-processor parallel-I/O runtime.
+type IO struct {
+	p *core.Proc
+	h int
+
+	// pending collective state at the root
+	blocks   [][]byte
+	have     int
+	ack      bool
+	ackTotal int
+	inBlock  []byte
+	inOK     bool
+}
+
+// wire format: [kind u8][rank u32][len u32][data...]
+const (
+	kData  = 1 // rank's block to the root
+	kAck   = 2 // root's completion ack
+	kBlock = 3 // scattered block to a rank
+)
+
+// extKey locates the IO state in a Proc.
+const extKey = "converse.cio"
+
+// Attach creates (or returns) the processor's parallel-I/O runtime.
+func Attach(p *core.Proc) *IO {
+	if c, ok := p.Ext(extKey).(*IO); ok {
+		return c
+	}
+	c := &IO{p: p}
+	c.h = p.RegisterHandler(c.onMsg)
+	p.SetExt(extKey, c)
+	return c
+}
+
+func (c *IO) onMsg(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	switch pl[0] {
+	case kData:
+		rank := int(binary.LittleEndian.Uint32(pl[1:]))
+		n := int(binary.LittleEndian.Uint32(pl[5:]))
+		blk := make([]byte, n)
+		copy(blk, pl[9:])
+		c.blocks[rank] = blk
+		c.have++
+	case kAck:
+		c.ackTotal = int(binary.LittleEndian.Uint32(pl[9:]))
+		c.ack = true
+	case kBlock:
+		n := int(binary.LittleEndian.Uint32(pl[5:]))
+		c.inBlock = make([]byte, n)
+		copy(c.inBlock, pl[9:])
+		c.inOK = true
+	default:
+		panic(fmt.Sprintf("cio: pe %d: unknown message kind %d", p.MyPe(), pl[0]))
+	}
+}
+
+func (c *IO) send(dst int, kind byte, rank int, data []byte) {
+	msg := core.NewMsg(c.h, 9+len(data))
+	pl := core.Payload(msg)
+	pl[0] = kind
+	binary.LittleEndian.PutUint32(pl[1:], uint32(rank))
+	binary.LittleEndian.PutUint32(pl[5:], uint32(len(data)))
+	copy(pl[9:], data)
+	c.p.SyncSendAndFree(dst, msg)
+}
+
+// WriteOrdered is a collective rank-ordered write: every processor
+// passes its block (possibly empty); processor 0 — the only one whose w
+// is used — writes the blocks in rank order and acknowledges everyone.
+// It returns the total bytes written (on every processor) once the
+// write is durable in w.
+func (c *IO) WriteOrdered(w io.Writer, block []byte) (int, error) {
+	if c.p.MyPe() != 0 {
+		c.ack = false
+		c.send(0, kData, c.p.MyPe(), block)
+		c.p.ServeUntil(func() bool { return c.ack })
+		return c.ackTotal, nil
+	}
+	c.blocks = make([][]byte, c.p.NumPes())
+	c.blocks[0] = block
+	c.have = 1
+	c.p.ServeUntil(func() bool { return c.have == c.p.NumPes() })
+	total := 0
+	for _, blk := range c.blocks {
+		n, err := w.Write(blk)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("cio: ordered write: %w", err)
+		}
+	}
+	c.ackTotal = total
+	for pe := 1; pe < c.p.NumPes(); pe++ {
+		ackMsg := make([]byte, 4)
+		binary.LittleEndian.PutUint32(ackMsg, uint32(total))
+		c.send(pe, kAck, 0, ackMsg)
+	}
+	c.blocks = nil
+	return total, nil
+}
+
+// ReadScatter is the collective dual: processor 0 reads one
+// blockSize-byte block per processor from r (short final blocks are
+// allowed at EOF) and deals block i to rank i. Every processor returns
+// its own block; a rank beyond EOF receives an empty block.
+func (c *IO) ReadScatter(r io.Reader, blockSize int) ([]byte, error) {
+	if c.p.MyPe() != 0 {
+		c.inOK = false
+		c.p.ServeUntil(func() bool { return c.inOK })
+		blk := c.inBlock
+		c.inBlock = nil
+		return blk, nil
+	}
+	var mine []byte
+	for pe := 0; pe < c.p.NumPes(); pe++ {
+		buf := make([]byte, blockSize)
+		n, err := io.ReadFull(r, buf)
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("cio: scatter read: %w", err)
+		}
+		if pe == 0 {
+			mine = buf[:n]
+			continue
+		}
+		c.send(pe, kBlock, pe, buf[:n])
+	}
+	return mine, nil
+}

@@ -1,0 +1,190 @@
+package cio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+)
+
+func newMachine(pes int) *core.Machine {
+	return core.NewMachine(core.Config{PEs: pes, Watchdog: 15 * time.Second})
+}
+
+func TestWriteOrdered(t *testing.T) {
+	const pes = 4
+	cm := newMachine(pes)
+	var out bytes.Buffer
+	totals := make([]int, pes)
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		block := []byte(fmt.Sprintf("[block-%d]", p.MyPe()))
+		var w *bytes.Buffer
+		if p.MyPe() == 0 {
+			w = &out
+		}
+		var werr error
+		totals[p.MyPe()], werr = c.WriteOrdered(ioWriterOrNil(w), block)
+		if werr != nil {
+			t.Errorf("pe %d: %v", p.MyPe(), werr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[block-0][block-1][block-2][block-3]"
+	if out.String() != want {
+		t.Fatalf("file = %q, want %q", out.String(), want)
+	}
+	for pe, n := range totals {
+		if n != len(want) {
+			t.Errorf("pe %d: total = %d, want %d", pe, n, len(want))
+		}
+	}
+}
+
+// ioWriterOrNil keeps the nil interface clean for non-root PEs.
+func ioWriterOrNil(b *bytes.Buffer) *bytes.Buffer { return b }
+
+func TestWriteOrderedEmptyBlocks(t *testing.T) {
+	const pes = 3
+	cm := newMachine(pes)
+	var out bytes.Buffer
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		var block []byte
+		if p.MyPe() == 1 {
+			block = []byte("only-middle")
+		}
+		var w *bytes.Buffer
+		if p.MyPe() == 0 {
+			w = &out
+		}
+		if _, err := c.WriteOrdered(ioWriterOrNil(w), block); err != nil {
+			t.Errorf("pe %d: %v", p.MyPe(), err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "only-middle" {
+		t.Fatalf("file = %q", out.String())
+	}
+}
+
+func TestWriteOrderedRepeated(t *testing.T) {
+	const pes = 2
+	cm := newMachine(pes)
+	var out bytes.Buffer
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		var w *bytes.Buffer
+		if p.MyPe() == 0 {
+			w = &out
+		}
+		for round := 0; round < 3; round++ {
+			block := []byte(fmt.Sprintf("r%dp%d;", round, p.MyPe()))
+			if _, err := c.WriteOrdered(ioWriterOrNil(w), block); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "r0p0;r0p1;r1p0;r1p1;r2p0;r2p1;"
+	if out.String() != want {
+		t.Fatalf("file = %q, want %q", out.String(), want)
+	}
+}
+
+func TestReadScatter(t *testing.T) {
+	const pes = 4
+	cm := newMachine(pes)
+	input := "AAAABBBBCCCCDDDD"
+	got := make([]string, pes)
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		var r *strings.Reader
+		if p.MyPe() == 0 {
+			r = strings.NewReader(input)
+		}
+		blk, err := c.ReadScatter(readerOrNil(r), 4)
+		if err != nil {
+			t.Errorf("pe %d: %v", p.MyPe(), err)
+			return
+		}
+		got[p.MyPe()] = string(blk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, want := range []string{"AAAA", "BBBB", "CCCC", "DDDD"} {
+		if got[pe] != want {
+			t.Errorf("pe %d: block %q, want %q", pe, got[pe], want)
+		}
+	}
+}
+
+func readerOrNil(r *strings.Reader) *strings.Reader { return r }
+
+func TestReadScatterShortFile(t *testing.T) {
+	const pes = 3
+	cm := newMachine(pes)
+	got := make([]string, pes)
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		var r *strings.Reader
+		if p.MyPe() == 0 {
+			r = strings.NewReader("XXYY Z") // 1.5 blocks of 4
+		}
+		blk, err := c.ReadScatter(readerOrNil(r), 4)
+		if err != nil {
+			t.Errorf("pe %d: %v", p.MyPe(), err)
+			return
+		}
+		got[p.MyPe()] = string(blk)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "XXYY" || got[1] != " Z" || got[2] != "" {
+		t.Fatalf("blocks = %q", got)
+	}
+}
+
+func TestScatterThenOrderedWriteRoundTrip(t *testing.T) {
+	// read-scatter a file, transform blocks in parallel, write it back
+	// ordered: the composition must preserve order.
+	const pes = 4
+	cm := newMachine(pes)
+	input := "abcdEFGHijklMNOP"
+	var out bytes.Buffer
+	err := cm.Run(func(p *core.Proc) {
+		c := Attach(p)
+		var r *strings.Reader
+		var w *bytes.Buffer
+		if p.MyPe() == 0 {
+			r = strings.NewReader(input)
+			w = &out
+		}
+		blk, err := c.ReadScatter(readerOrNil(r), 4)
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		upper := bytes.ToUpper(blk)
+		if _, err := c.WriteOrdered(ioWriterOrNil(w), upper); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "ABCDEFGHIJKLMNOP" {
+		t.Fatalf("round trip = %q", out.String())
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"converse/internal/machine"
+)
+
+// Config parameterizes a Converse machine.
+type Config struct {
+	// PEs is the number of processors; must be >= 1.
+	PEs int
+	// Model prices communication in virtual microseconds (see
+	// internal/netmodel). If it also implements ConverseCosts, the
+	// Converse software overheads are charged too. Nil means all
+	// communication is free (functional mode).
+	Model machine.CostModel
+	// Watchdog, if nonzero, aborts Run after the given wall-clock time,
+	// turning deadlocks in tests into errors.
+	Watchdog time.Duration
+	// Tracer, if non-nil, is called once per PE to build its event
+	// tracer.
+	Tracer func(pe int) Tracer
+}
+
+// Machine is a Converse machine: a simulated multicomputer with one
+// Converse runtime instance (Proc) per processor. It is the Go
+// counterpart of the ConverseInit/ConverseExit bracket — New builds and
+// initializes all components, Run coordinates startup and termination.
+type Machine struct {
+	m     *machine.Machine
+	procs []*Proc
+}
+
+// NewMachine creates a Converse machine.
+func NewMachine(cfg Config) *Machine {
+	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
+	cm := &Machine{m: m}
+	cm.procs = make([]*Proc, cfg.PEs)
+	for i := range cm.procs {
+		cm.procs[i] = newProc(m.PE(i))
+		if cfg.Tracer != nil {
+			cm.procs[i].SetTracer(cfg.Tracer(i))
+		}
+	}
+	return cm
+}
+
+// NumPes reports the machine size.
+func (cm *Machine) NumPes() int { return len(cm.procs) }
+
+// Proc returns the Converse runtime instance of processor pe. It is
+// intended for pre-Run setup and post-Run inspection; during Run each
+// processor must use only its own Proc.
+func (cm *Machine) Proc(pe int) *Proc { return cm.procs[pe] }
+
+// Machine exposes the underlying simulated multicomputer.
+func (cm *Machine) Machine() *machine.Machine { return cm.m }
+
+// RegisterHandler registers h on every processor (they all receive the
+// same index) and returns that index. It must be called before Run; it
+// matches the common Converse idiom of registering all handlers during
+// startup so indices agree across processors.
+func (cm *Machine) RegisterHandler(h Handler) int {
+	idx := -1
+	for _, p := range cm.procs {
+		i := p.RegisterHandler(h)
+		if idx == -1 {
+			idx = i
+		} else if i != idx {
+			panic("core: handler index mismatch across PEs; register machine-wide handlers before per-PE ones")
+		}
+	}
+	return idx
+}
+
+// SetConsole redirects the machine's atomic standard output/error.
+func (cm *Machine) SetConsole(out, errw io.Writer) { cm.m.SetConsole(out, errw) }
+
+// SetInput redirects the machine's standard input.
+func (cm *Machine) SetInput(r io.Reader) { cm.m.SetInput(r) }
+
+// Run starts the program: one driver per processor executing start with
+// that processor's Proc, returning when all have finished (or with an
+// error on panic or watchdog expiry). No Converse call may be made after
+// Run returns, except for inspection of Procs.
+func (cm *Machine) Run(start func(p *Proc)) error {
+	return cm.m.Run(func(pe *machine.PE) {
+		start(cm.procs[pe.ID()])
+	})
+}
+
+// Stop aborts the machine, unblocking all processors.
+func (cm *Machine) Stop() { cm.m.Stop() }

@@ -1,0 +1,102 @@
+// Package core implements the Converse core: generalized messages, the
+// handler registry, the Converse machine interface (CMI), and the
+// unified scheduler (Csd) described in §3.1 of the paper.
+//
+// A generalized message is an arbitrary block of memory whose first word
+// specifies the function that will handle it — here, an index into a
+// per-processor handler table (the paper prefers the index form over a
+// raw pointer because it works on heterogeneous machines and is
+// smaller). A generalized message can represent a message sent from a
+// remote processor, a scheduler entry for a ready thread, or a delayed
+// function call with its argument; the unified scheduler treats all
+// three identically.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderSize is the size of the generalized-message header in bytes
+// (CmiMsgHeaderSizeBytes): a 4-byte handler index followed by 4 bytes of
+// flags reserved for runtime layers (the language-specific second
+// handler trick of §3.3 stores state here in some runtimes).
+const HeaderSize = 8
+
+// Handler is a message-handler function, registered per processor with
+// RegisterHandler. The msg slice includes the header; use Payload to
+// access the body. Ownership of msg remains with the CMI unless the
+// handler calls GrabBuffer.
+type Handler func(p *Proc, msg []byte)
+
+// NewMsg allocates a fresh generalized message with the given handler
+// index and payload length. The payload bytes are zeroed.
+func NewMsg(handler int, payloadLen int) []byte {
+	msg := make([]byte, HeaderSize+payloadLen)
+	SetHandler(msg, handler)
+	return msg
+}
+
+// MakeMsg builds a generalized message carrying a copy of payload.
+func MakeMsg(handler int, payload []byte) []byte {
+	msg := NewMsg(handler, len(payload))
+	copy(msg[HeaderSize:], payload)
+	return msg
+}
+
+// SetHandler stores the handler index in a message's header
+// (CmiSetHandler).
+func SetHandler(msg []byte, handler int) {
+	if len(msg) < HeaderSize {
+		panic(fmt.Sprintf("core: message of %d bytes is smaller than the %d-byte header", len(msg), HeaderSize))
+	}
+	binary.LittleEndian.PutUint32(msg[0:4], uint32(handler))
+}
+
+// HandlerOf extracts the handler index from a message's header.
+func HandlerOf(msg []byte) int {
+	if len(msg) < HeaderSize {
+		panic(fmt.Sprintf("core: message of %d bytes is smaller than the %d-byte header", len(msg), HeaderSize))
+	}
+	return int(binary.LittleEndian.Uint32(msg[0:4]))
+}
+
+// immediateBit is the core-reserved bit of the header flags word
+// marking a preemptive ("immediate") message — the interrupt-message
+// facility the paper lists as future work. Language runtimes own the
+// remaining 31 bits through SetFlags/FlagsOf, which mask it.
+const immediateBit = 1 << 31
+
+// SetFlags stores the language-owned part of a message's flags word
+// (31 bits; the core reserves one bit for SetImmediate). The core does
+// not interpret these bits; language runtimes use them freely — for
+// example to distinguish "fresh from the network" from "replayed from
+// the scheduler queue" without registering a second handler.
+func SetFlags(msg []byte, flags uint32) {
+	imm := binary.LittleEndian.Uint32(msg[4:8]) & immediateBit
+	binary.LittleEndian.PutUint32(msg[4:8], flags&^immediateBit|imm)
+}
+
+// FlagsOf returns the language-owned part of the message's flags word.
+func FlagsOf(msg []byte) uint32 {
+	return binary.LittleEndian.Uint32(msg[4:8]) &^ immediateBit
+}
+
+// SetImmediate marks msg as an immediate (preemptive) message: its
+// handler runs as soon as the destination processor touches the network
+// — even inside a blocking GetSpecificMsg waiting for a different
+// handler, where ordinary messages are set aside. Immediate handlers
+// should be short and self-contained, like interrupt handlers; they run
+// in whatever context the processor happens to be in. (The paper's §6:
+// "Preemptive messages (interrupt messages) will be investigated in the
+// future" — this is that facility, as it later appeared in Converse.)
+func SetImmediate(msg []byte) {
+	msg[7] |= 0x80 // high bit of the little-endian flags word
+}
+
+// IsImmediate reports whether msg is marked immediate.
+func IsImmediate(msg []byte) bool { return msg[7]&0x80 != 0 }
+
+// Payload returns the message body after the header. The slice aliases
+// msg; writes are visible to other holders of the message.
+func Payload(msg []byte) []byte { return msg[HeaderSize:] }

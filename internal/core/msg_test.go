@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgHeaderRoundTrip(t *testing.T) {
+	msg := NewMsg(42, 16)
+	if len(msg) != HeaderSize+16 {
+		t.Fatalf("len = %d, want %d", len(msg), HeaderSize+16)
+	}
+	if HandlerOf(msg) != 42 {
+		t.Fatalf("HandlerOf = %d, want 42", HandlerOf(msg))
+	}
+	SetHandler(msg, 7)
+	if HandlerOf(msg) != 7 {
+		t.Fatalf("HandlerOf after SetHandler = %d, want 7", HandlerOf(msg))
+	}
+	SetFlags(msg, 0x5eadbeef) // language flags are 31 bits
+	if FlagsOf(msg) != 0x5eadbeef {
+		t.Fatalf("FlagsOf = %#x", FlagsOf(msg))
+	}
+	if HandlerOf(msg) != 7 {
+		t.Fatal("SetFlags clobbered the handler field")
+	}
+}
+
+func TestMsgHeaderProperty(t *testing.T) {
+	f := func(h uint16, flags uint32, payload []byte) bool {
+		msg := MakeMsg(int(h), payload)
+		SetFlags(msg, flags)
+		// The language-owned flags are the low 31 bits; the core
+		// reserves the top bit for SetImmediate.
+		return HandlerOf(msg) == int(h) &&
+			FlagsOf(msg) == flags&^(1<<31) &&
+			bytes.Equal(Payload(msg), payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadAliases(t *testing.T) {
+	msg := MakeMsg(1, []byte("abc"))
+	Payload(msg)[0] = 'X'
+	if string(msg[HeaderSize:]) != "Xbc" {
+		t.Fatal("Payload does not alias the message")
+	}
+}
+
+func TestShortMessagePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"SetHandler": func() { SetHandler(make([]byte, 4), 1) },
+		"HandlerOf":  func() { HandlerOf(make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on short slice did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMakeMsgCopiesPayload(t *testing.T) {
+	src := []byte("orig")
+	msg := MakeMsg(3, src)
+	src[0] = 'X'
+	if string(Payload(msg)) != "orig" {
+		t.Fatal("MakeMsg did not copy the payload")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"converse/internal/machine"
+	"converse/internal/queue"
+)
+
+// ConverseCosts extends machine.CostModel with the Converse-layer
+// software costs: the "few tens of instructions" the framework adds over
+// a native implementation (§3), and the scheduler-queue pass measured in
+// the Figure 6 experiment. A cost model that implements this interface
+// (internal/netmodel.Model does) gets these charged to the virtual
+// clock; with any other model they are zero.
+type ConverseCosts interface {
+	CvsSendOverhead() float64
+	CvsRecvOverhead() float64
+	SchedOverhead() float64
+}
+
+// Tracer receives runtime events for the tracing module (§3.3.2). The
+// core, thread, and language layers all emit through this interface;
+// internal/trace provides implementations.
+type Tracer interface {
+	Event(e TraceEvent)
+}
+
+// EventKind enumerates the standard trace events that all language
+// implementations must record per the paper: message send, receive and
+// processing, plus object and thread creation.
+type EventKind uint8
+
+// Standard event kinds.
+const (
+	EvSend          EventKind = iota + 1 // message sent; Src=this PE, Dst, Size, Handler
+	EvRecv                               // message picked up from network; Src, Size, Handler
+	EvBegin                              // handler processing begins; Handler
+	EvEnd                                // handler processing ends; Handler
+	EvEnqueue                            // message enqueued in scheduler queue; Handler
+	EvThreadCreate                       // thread object created; Aux=thread id
+	EvThreadResume                       // thread resumed; Aux=thread id
+	EvThreadSuspend                      // thread suspended; Aux=thread id
+	EvObjectCreate                       // language-level object created; Aux=object id
+	EvUser                               // first self-describing user kind (see internal/trace)
+)
+
+// TraceEvent is one trace record in the standard format.
+type TraceEvent struct {
+	Kind    EventKind
+	T       float64 // virtual time, microseconds
+	PE      int
+	Src     int
+	Dst     int
+	Size    int
+	Handler int
+	Aux     int
+}
+
+// Proc is one processor's Converse runtime instance: handler table,
+// scheduler queue and machine-interface state. Converse keeps all
+// runtime state strictly processor-local; a Proc's methods (other than
+// those documented as cross-PE, none currently) must be called only from
+// its PE's driver goroutine or a thread hand-off chain rooted there.
+type Proc struct {
+	pe    *machine.PE
+	costs ConverseCosts // nil when the model prices no Converse costs
+
+	handlers []Handler
+
+	q        queue.Sched[[]byte] // the scheduler's queue (pluggable strategies)
+	deferred queue.Deque[[]byte] // network messages set aside by GetSpecificMsg
+
+	exit bool // set by ExitScheduler
+
+	// Buffer-ownership protocol (CmiGrabBuffer): the CMI owns the
+	// buffer of the message currently being handled (dispStack, one
+	// frame per nested dispatch) or most recently retrieved (lastGot)
+	// unless grabbed; un-grabbed buffers are recycled through pool.
+	dispStack []ownedBuf
+	lastGot   ownedBuf
+	ownSeq    uint64
+	pool      [][]byte
+
+	// pending asynchronous sends, flushed by the progress engine
+	async queue.Deque[*CommHandle]
+
+	// preDispatch hooks run on every network message before handler
+	// dispatch; a hook returning true consumes the message (used by the
+	// EMI scatter facility).
+	pre []func(msg []byte) bool
+
+	tracer Tracer
+
+	// treeBcastHandler is the built-in spanning-tree broadcast
+	// forwarder (bcast.go), registered first on every processor.
+	treeBcastHandler int
+
+	// ext stores per-processor state for higher layers (thread runtime,
+	// language runtimes), keyed by package-chosen strings.
+	ext map[string]any
+
+	nIdle uint64 // times the scheduler found nothing to do (stats)
+}
+
+// ownedBuf is one CMI-owned message buffer awaiting grab-or-recycle.
+type ownedBuf struct {
+	msg     []byte
+	grabbed bool
+	seq     uint64
+}
+
+func newProc(pe *machine.PE) *Proc {
+	p := &Proc{pe: pe, ext: make(map[string]any)}
+	if cc, ok := pe.Machine().Model().(ConverseCosts); ok {
+		p.costs = cc
+	}
+	// Built-in handlers come first, uniformly on every processor, so
+	// user handler indices stay aligned machine-wide.
+	p.treeBcastHandler = p.RegisterHandler(onTreeBcast)
+	return p
+}
+
+// MyPe returns this processor's logical id (CmiMyPe).
+func (p *Proc) MyPe() int { return p.pe.ID() }
+
+// NumPes returns the machine size (CmiNumPe).
+func (p *Proc) NumPes() int { return p.pe.NumPEs() }
+
+// PE exposes the underlying machine-level processing element.
+func (p *Proc) PE() *machine.PE { return p.pe }
+
+// Timer returns the current virtual time in seconds since startup
+// (CmiTimer; "usually has at least microsecond accuracy").
+func (p *Proc) Timer() float64 { return p.pe.Clock() / 1e6 }
+
+// TimerUs returns the current virtual time in microseconds.
+func (p *Proc) TimerUs() float64 { return p.pe.Clock() }
+
+// RegisterHandler adds a message handler to this processor's table and
+// returns its index (CmiRegisterHandler). For SPMD use, register
+// handlers in the same order on every processor so indices agree, as in
+// Converse itself.
+func (p *Proc) RegisterHandler(h Handler) int {
+	if h == nil {
+		panic("core: RegisterHandler(nil)")
+	}
+	p.handlers = append(p.handlers, h)
+	return len(p.handlers) - 1
+}
+
+// HandlerFunc returns the handler function registered under index id
+// (CmiGetHandlerFunction).
+func (p *Proc) HandlerFunc(id int) Handler {
+	if id < 0 || id >= len(p.handlers) {
+		panic(fmt.Sprintf("core: pe %d: no handler registered under index %d", p.MyPe(), id))
+	}
+	return p.handlers[id]
+}
+
+// SetTracer installs (or removes, with nil) the event tracer.
+func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
+
+// Tracer returns the installed tracer, or nil.
+func (p *Proc) Tracer() Tracer { return p.tracer }
+
+// trace emits an event if a tracer is installed.
+func (p *Proc) trace(kind EventKind, src, dst, size, handler, aux int) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Event(TraceEvent{
+		Kind: kind, T: p.pe.Clock(), PE: p.MyPe(),
+		Src: src, Dst: dst, Size: size, Handler: handler, Aux: aux,
+	})
+}
+
+// AddPreDispatch registers a hook that sees every network message before
+// handler dispatch; returning true consumes the message. The EMI scatter
+// ("advance receive") facility is built on this.
+func (p *Proc) AddPreDispatch(f func(msg []byte) bool) { p.pre = append(p.pre, f) }
+
+// SetExt stores per-processor extension state for a higher layer.
+func (p *Proc) SetExt(key string, v any) { p.ext[key] = v }
+
+// Ext retrieves extension state stored with SetExt, or nil.
+func (p *Proc) Ext(key string) any { return p.ext[key] }
+
+// Printf performs an atomic formatted write to standard output
+// (CmiPrintf).
+func (p *Proc) Printf(format string, args ...any) { p.pe.Printf(format, args...) }
+
+// Errorf performs an atomic formatted write to standard error
+// (CmiError).
+func (p *Proc) Errorf(format string, args ...any) { p.pe.Errorf(format, args...) }
+
+// Scanf performs an atomic, blocking formatted read from standard input
+// (CmiScanf).
+func (p *Proc) Scanf(format string, args ...any) (int, error) {
+	return p.pe.Scanf(format, args...)
+}
+
+// ScanfAsync is the non-blocking CmiScanf variant: it reads one input
+// line and sends it to the given handler on this processor as the
+// payload of a generalized message; the recipient can re-scan it
+// (fmt.Sscanf), as the paper describes. Delivery happens through the
+// normal message path, so the result is picked up by the scheduler.
+func (p *Proc) ScanfAsync(handler int) error {
+	line, err := p.pe.ReadLine()
+	if err != nil {
+		return err
+	}
+	p.SyncSend(p.MyPe(), MakeMsg(handler, []byte(line)))
+	return nil
+}

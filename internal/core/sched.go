@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+
+	"converse/internal/queue"
+)
+
+// This file implements the unified scheduler (Csd) of §3.1.2 and the
+// message-retrieval side of the machine interface (CmiGetMsg,
+// CmiDeliverMsgs, CmiGetSpecificMsg), including the buffer-ownership
+// protocol (CmiGrabBuffer).
+//
+// The scheduler's job is to repeatedly deliver messages to their
+// handlers. There are two kinds of messages waiting to be scheduled:
+// messages that have come from the network, and locally generated ones
+// sitting in the scheduler's queue. Per the paper's pseudocode
+// (Figure 3), each scheduler iteration first extracts as many messages
+// as it can from the network, calling the handler for each, and then
+// dequeues one message from the scheduler's queue and delivers it to its
+// handler.
+
+// Scheduler runs the Converse scheduler loop (CsdScheduler). If nMsgs is
+// negative, it loops — blocking when idle — until ExitScheduler is
+// called from a handler. Otherwise it processes at most nMsgs messages
+// (network deliveries and queue dispatches both count) and returns
+// early, without blocking, once both the network and the scheduler's
+// queue are empty; this is the ScheduleFor(n) form that lets a
+// single-process module grant a bounded amount of execution to
+// concurrent modules while it waits for its own data.
+func (p *Proc) Scheduler(nMsgs int) {
+	defer func() { p.exit = false }() // re-arming: scheduler may be re-entered
+	remaining := nMsgs
+	for !p.exit && remaining != 0 {
+		delivered := p.deliverFromNetwork(&remaining)
+		if p.exit || remaining == 0 {
+			return
+		}
+		if msg, ok := p.q.Deq(); ok {
+			p.chargeSched()
+			p.dispatch(msg)
+			if remaining > 0 {
+				remaining--
+			}
+			continue
+		}
+		if delivered == 0 {
+			// Nothing from the network and nothing queued.
+			if nMsgs >= 0 {
+				return // bounded form never blocks
+			}
+			p.nIdle++
+			pkt, ok := p.pe.Recv() // block for the network
+			if !ok {
+				return // machine stopped
+			}
+			p.dispatchNet(pkt.Data, pkt.Src)
+			if remaining > 0 {
+				remaining--
+			}
+		}
+	}
+}
+
+// ScheduleUntilIdle runs the scheduler until there are no messages left
+// in either the network's queue or the scheduler's queue, then returns.
+// It also honors ExitScheduler.
+func (p *Proc) ScheduleUntilIdle() {
+	defer func() { p.exit = false }()
+	for !p.exit {
+		n := -1 // sentinel: unbounded within this sweep
+		delivered := p.deliverFromNetwork(&n)
+		if p.exit {
+			return
+		}
+		msg, ok := p.q.Deq()
+		if !ok {
+			if delivered == 0 {
+				return
+			}
+			continue
+		}
+		p.chargeSched()
+		p.dispatch(msg)
+	}
+}
+
+// ExitScheduler makes the innermost running Scheduler/ScheduleUntilIdle
+// return once control is back in its loop (CsdExitScheduler). It is
+// normally called from a message handler.
+func (p *Proc) ExitScheduler() { p.exit = true }
+
+// ServeUntil runs the scheduler loop — network first, then the
+// scheduler's queue, blocking when idle — until pred() reports true.
+// Unlike GetSpecificMsg it keeps dispatching every message to its
+// handler, so remote requests (one-sided operations, reductions) are
+// served while waiting; this is the progress discipline synchronous EMI
+// calls need to avoid cross-PE deadlock. pred is evaluated between
+// messages; the call returns as soon as it holds.
+func (p *Proc) ServeUntil(pred func() bool) {
+	for !pred() {
+		one := 1
+		if p.deliverFromNetwork(&one) > 0 {
+			continue
+		}
+		if msg, ok := p.q.Deq(); ok {
+			p.chargeSched()
+			p.dispatch(msg)
+			continue
+		}
+		pkt, ok := p.pe.Recv() // idle: block for the network
+		if !ok {
+			panic(fmt.Sprintf("core: pe %d: machine stopped in ServeUntil", p.MyPe()))
+		}
+		p.dispatchNet(pkt.Data, pkt.Src)
+	}
+}
+
+// Enqueue places a generalized message in the scheduler's queue in FIFO
+// order (CsdEnqueue). It is usually called from a handler that decides
+// the message should be processed later rather than immediately; such a
+// handler must call GrabBuffer first, since the CMI otherwise reclaims
+// the buffer when the handler returns. Enqueue is also how local ready
+// entities — threads, delayed calls — are scheduled.
+func (p *Proc) Enqueue(msg []byte) {
+	p.checkEnqueue(msg)
+	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.q.Enq(msg)
+}
+
+// EnqueueLifo places msg at the front of the scheduler's queue
+// (CsdEnqueueLifo).
+func (p *Proc) EnqueueLifo(msg []byte) {
+	p.checkEnqueue(msg)
+	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.q.EnqLifo(msg)
+}
+
+// EnqueuePrio places msg in the scheduler's queue with an integer
+// priority; smaller values are served first, negative values before all
+// unprioritized work (CsdEnqueueGeneral with an integer priority).
+func (p *Proc) EnqueuePrio(msg []byte, prio int32) {
+	p.checkEnqueue(msg)
+	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.q.EnqPrio(msg, prio)
+}
+
+// EnqueueBitVec places msg in the scheduler's queue under a bit-vector
+// priority (§2.3: needed by state-space search for consistent and
+// monotonic speedups).
+func (p *Proc) EnqueueBitVec(msg []byte, prio queue.BitVec) {
+	p.checkEnqueue(msg)
+	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.q.EnqBitVec(msg, prio)
+}
+
+// QueueLen reports the number of messages in the scheduler's queue.
+func (p *Proc) QueueLen() int { return p.q.Len() }
+
+// IdleCount reports how many times the scheduler blocked idle (stats).
+func (p *Proc) IdleCount() uint64 { return p.nIdle }
+
+// checkEnqueue enforces the buffer-ownership protocol: enqueueing the
+// message currently being handled without grabbing it first would let
+// the CMI recycle the buffer while it sits in the queue.
+func (p *Proc) checkEnqueue(msg []byte) {
+	if len(msg) < HeaderSize {
+		panic(fmt.Sprintf("core: pe %d: enqueue of %d-byte message, smaller than the header", p.MyPe(), len(msg)))
+	}
+	if top := p.topDispatch(); top != nil && !top.grabbed && sameBuffer(msg, top.msg) {
+		panic(fmt.Sprintf("core: pe %d: handler enqueued its message buffer without CmiGrabBuffer; the CMI would recycle it", p.MyPe()))
+	}
+	if p.lastGot.msg != nil && !p.lastGot.grabbed && sameBuffer(msg, p.lastGot.msg) {
+		panic(fmt.Sprintf("core: pe %d: enqueue of a retrieved message buffer without CmiGrabBuffer; the CMI would recycle it", p.MyPe()))
+	}
+}
+
+// sameBuffer reports whether two slices share a backing array start.
+func sameBuffer(a, b []byte) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// --- message retrieval (CMI) ---
+
+// DeliverMsgs retrieves messages that have arrived from the network and
+// invokes the handler for each, up to maxMsgs (all available if
+// maxMsgs < 0). It returns the number delivered (CmiDeliverMsgs). It
+// does not touch the scheduler's queue.
+func (p *Proc) DeliverMsgs(maxMsgs int) int {
+	return p.deliverFromNetwork(&maxMsgs)
+}
+
+// deliverFromNetwork drains deferred and fresh network messages,
+// dispatching each, decrementing *budget per message (budget<0 =
+// unbounded), and returns the count delivered.
+func (p *Proc) deliverFromNetwork(budget *int) int {
+	p.Progress()
+	n := 0
+	for *budget != 0 && !p.exit {
+		if msg, ok := p.deferred.PopFront(); ok {
+			p.dispatch(msg) // already charged receive costs at pickup
+			n++
+			if *budget > 0 {
+				*budget--
+			}
+			continue
+		}
+		pkt, ok := p.pe.TryRecv()
+		if !ok {
+			break
+		}
+		p.dispatchNet(pkt.Data, pkt.Src)
+		n++
+		if *budget > 0 {
+			*budget--
+		}
+	}
+	return n
+}
+
+// GetMsg returns a recently received network message without invoking
+// its handler (CmiGetMsg), or ok=false if none is available. Buffer
+// ownership stays with the CMI: the buffer may be recycled at the next
+// retrieval unless GrabBuffer is called.
+func (p *Proc) GetMsg() (msg []byte, ok bool) {
+	p.Progress()
+	if m, ok := p.deferred.PopFront(); ok {
+		p.setGot(m)
+		return m, true
+	}
+	pkt, ok := p.pe.TryRecv()
+	if !ok {
+		return nil, false
+	}
+	p.chargeRecv()
+	p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
+	p.setGot(pkt.Data)
+	return pkt.Data, true
+}
+
+// GetSpecificMsg waits until a message for the specified handler is
+// available and returns it, buffering any messages meant for other
+// handlers in arrival order (CmiGetSpecificMsg). It supports
+// languages with no concurrency within a process (§2.1): while the
+// caller blocks, no other user-space activity takes place and no
+// handlers run. Ownership of the returned buffer stays with the CMI
+// unless GrabBuffer is called.
+func (p *Proc) GetSpecificMsg(handler int) []byte {
+	p.Progress()
+	// First check messages previously set aside.
+	for i := 0; i < p.deferred.Len(); i++ {
+		m, _ := p.deferred.PopFront()
+		if HandlerOf(m) == handler {
+			p.setGot(m)
+			return m
+		}
+		p.deferred.PushBack(m)
+	}
+	for {
+		pkt, ok := p.pe.Recv()
+		if !ok {
+			panic(fmt.Sprintf("core: pe %d: machine stopped while waiting in GetSpecificMsg(%d)", p.MyPe(), handler))
+		}
+		p.chargeRecv()
+		p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
+		if HandlerOf(pkt.Data) == handler {
+			p.setGot(pkt.Data)
+			return pkt.Data
+		}
+		if IsImmediate(pkt.Data) {
+			// Preemptive message: its handler runs now, even though
+			// this processor is blocked waiting for another handler.
+			p.dispatch(pkt.Data)
+			continue
+		}
+		p.deferred.PushBack(pkt.Data)
+	}
+}
+
+// --- dispatch & buffer ownership ---
+
+// dispatchNet delivers a fresh network message: pre-dispatch hooks
+// (EMI scatter) run first; if none consumes it, the receive cost is
+// charged and the handler invoked under the ownership protocol.
+func (p *Proc) dispatchNet(msg []byte, src int) {
+	for _, hook := range p.pre {
+		if hook(msg) {
+			return
+		}
+	}
+	p.chargeRecv()
+	p.trace(EvRecv, src, p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.dispatch(msg)
+}
+
+// dispatch invokes a message's handler under the buffer-ownership
+// protocol: if the handler does not grab the buffer, the CMI reclaims it
+// for reuse. Dispatches nest (a handler may invoke the scheduler), so
+// in-flight buffers are kept on a stack.
+func (p *Proc) dispatch(msg []byte) {
+	id := HandlerOf(msg)
+	h := p.HandlerFunc(id)
+	p.ownSeq++
+	p.dispStack = append(p.dispStack, ownedBuf{msg: msg, seq: p.ownSeq})
+	p.trace(EvBegin, p.MyPe(), p.MyPe(), len(msg), id, 0)
+	h(p, msg)
+	p.trace(EvEnd, p.MyPe(), p.MyPe(), len(msg), id, 0)
+	top := p.dispStack[len(p.dispStack)-1]
+	p.dispStack = p.dispStack[:len(p.dispStack)-1]
+	if !top.grabbed {
+		p.recycle(top.msg)
+	}
+}
+
+// topDispatch returns the innermost dispatch context, or nil.
+func (p *Proc) topDispatch() *ownedBuf {
+	if len(p.dispStack) == 0 {
+		return nil
+	}
+	return &p.dispStack[len(p.dispStack)-1]
+}
+
+// setGot records msg as the most recently retrieved message (GetMsg /
+// GetSpecificMsg), reclaiming the previous one if it was not grabbed.
+func (p *Proc) setGot(msg []byte) {
+	if p.lastGot.msg != nil && !p.lastGot.grabbed {
+		p.recycle(p.lastGot.msg)
+	}
+	p.ownSeq++
+	p.lastGot = ownedBuf{msg: msg, seq: p.ownSeq}
+}
+
+// GrabBuffer transfers ownership of the most recently acquired message —
+// the one being handled, or the one just returned by
+// GetMsg/GetSpecificMsg, whichever is newer — from the CMI to the caller
+// (CmiGrabBuffer). A handler that wants to keep its message, for example
+// to enqueue it in the scheduler's queue, must call this; otherwise the
+// CMI recycles the buffer when the handler returns. It returns the
+// (unchanged) buffer for convenience.
+func (p *Proc) GrabBuffer() []byte {
+	top := p.topDispatch()
+	got := &p.lastGot
+	switch {
+	case top == nil && got.msg == nil:
+		panic(fmt.Sprintf("core: pe %d: GrabBuffer outside message handling", p.MyPe()))
+	case top == nil || (got.msg != nil && got.seq > top.seq):
+		got.grabbed = true
+		return got.msg
+	default:
+		top.grabbed = true
+		return top.msg
+	}
+}
+
+// Alloc returns a message buffer with at least the given payload
+// capacity, reusing recycled buffers when possible (the CMI buffer
+// pool). The returned message has its handler field zeroed; the caller
+// must SetHandler it. Contents beyond the header are unspecified.
+func (p *Proc) Alloc(payloadLen int) []byte {
+	want := HeaderSize + payloadLen
+	for i := len(p.pool) - 1; i >= 0; i-- {
+		if cap(p.pool[i]) >= want {
+			buf := p.pool[i][:want]
+			p.pool = append(p.pool[:i], p.pool[i+1:]...)
+			SetHandler(buf, 0)
+			SetFlags(buf, 0)
+			return buf
+		}
+	}
+	return NewMsg(0, payloadLen)
+}
+
+// recycle returns a buffer to the pool. The pool is bounded to avoid
+// retaining a large high-water mark.
+func (p *Proc) recycle(buf []byte) {
+	const maxPool = 64
+	if len(p.pool) < maxPool {
+		p.pool = append(p.pool, buf)
+	}
+}
+
+// chargeRecv bills the Converse receive-dispatch cost.
+func (p *Proc) chargeRecv() {
+	if p.costs != nil {
+		p.pe.Charge(p.costs.CvsRecvOverhead())
+	}
+}
+
+// chargeSched bills the scheduler-queue pass (enqueue+dequeue), the
+// Figure 6 experiment's extra cost.
+func (p *Proc) chargeSched() {
+	if p.costs != nil {
+		p.pe.Charge(p.costs.SchedOverhead())
+	}
+}

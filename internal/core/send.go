@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// CommHandle tracks the progress of an asynchronous communication
+// operation (CmiAsyncSend and friends). The machine's progress engine —
+// which runs whenever the processor enters the scheduler or any receive
+// call — completes pending operations; IsSent reports completion.
+type CommHandle struct {
+	dst      int // destination PE, or a bcast* sentinel
+	msg      []byte
+	sent     bool
+	released bool
+}
+
+// Destination sentinels for asynchronous broadcasts.
+const (
+	bcastOthers = -1 // all processors except the sender
+	bcastAll    = -2 // all processors including the sender
+)
+
+// SyncSend sends a generalized message to the destination processor
+// (CmiSyncSend). When it returns, the caller may reuse or change msg.
+func (p *Proc) SyncSend(dst int, msg []byte) {
+	p.checkSend(dst, msg)
+	p.chargeSend()
+	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
+	p.pe.Send(dst, msg)
+}
+
+// SyncSendAndFree sends msg transferring ownership: the caller must not
+// touch msg afterwards. This avoids the copy that SyncSend makes
+// (CmiSyncSendAndFree).
+func (p *Proc) SyncSendAndFree(dst int, msg []byte) {
+	p.checkSend(dst, msg)
+	p.chargeSend()
+	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
+	p.pe.SendOwned(dst, msg)
+}
+
+// AsyncSend initiates an asynchronous send of msg to dst and returns a
+// CommHandle for status enquiry (CmiAsyncSend). The message buffer must
+// not be reused or freed until IsSent reports true. The send is
+// performed by the progress engine, which runs on every entry to the
+// scheduler or a receive call.
+func (p *Proc) AsyncSend(dst int, msg []byte) *CommHandle {
+	p.checkSend(dst, msg)
+	h := &CommHandle{dst: dst, msg: msg}
+	p.async.PushBack(h)
+	return h
+}
+
+// IsSent reports whether the asynchronous operation has completed
+// (CmiAsyncMsgSent). It also gives the progress engine a chance to run,
+// so polling IsSent in a loop makes progress.
+func (p *Proc) IsSent(h *CommHandle) bool {
+	if !h.sent {
+		p.Progress()
+	}
+	return h.sent
+}
+
+// Release returns the communication handle to the CMI
+// (CmiReleaseCommHandle). It does not free the message buffer. Releasing
+// an incomplete operation panics, as reusing the handle would race with
+// the pending send.
+func (p *Proc) Release(h *CommHandle) {
+	if !h.sent {
+		panic("core: Release of incomplete CommHandle")
+	}
+	h.released = true
+}
+
+// Progress flushes pending asynchronous operations. It is called
+// implicitly by the scheduler and all receive paths; explicit calls are
+// only needed in long computation loops that never touch the scheduler.
+func (p *Proc) Progress() {
+	for {
+		h, ok := p.async.PopFront()
+		if !ok {
+			return
+		}
+		switch {
+		case h.dst >= 0:
+			p.chargeSend()
+			p.trace(EvSend, p.MyPe(), h.dst, len(h.msg), HandlerOf(h.msg), 0)
+			p.pe.SendOwned(h.dst, h.msg)
+		case h.dst == bcastOthers:
+			p.SyncBroadcast(h.msg)
+		case h.dst == bcastAll:
+			p.SyncBroadcastAll(h.msg)
+		}
+		h.sent = true
+	}
+}
+
+// SyncBroadcast sends msg to every processor except this one
+// (CmiSyncBroadcast). The broadcast involves only the sender: it is not
+// a barrier.
+func (p *Proc) SyncBroadcast(msg []byte) {
+	p.checkSend(0, msg)
+	for dst := 0; dst < p.NumPes(); dst++ {
+		if dst != p.MyPe() {
+			p.SyncSend(dst, msg)
+		}
+	}
+}
+
+// SyncBroadcastAll sends msg to every processor including this one
+// (CmiSyncBroadcastAll). The buffer is not freed.
+func (p *Proc) SyncBroadcastAll(msg []byte) {
+	p.SyncBroadcast(msg)
+	p.SyncSend(p.MyPe(), msg)
+}
+
+// SyncBroadcastAllAndFree is SyncBroadcastAll transferring buffer
+// ownership: msg must be heap-allocated and untouched afterwards
+// (CmiSyncBroadcastAllAndFree).
+func (p *Proc) SyncBroadcastAllAndFree(msg []byte) {
+	p.SyncBroadcast(msg)
+	p.SyncSendAndFree(p.MyPe(), msg)
+}
+
+// AsyncBroadcast initiates an asynchronous broadcast to all other
+// processors and returns a handle (CmiAsyncBroadcast). msg must not be
+// modified until IsSent reports true.
+func (p *Proc) AsyncBroadcast(msg []byte) *CommHandle {
+	p.checkSend(0, msg)
+	// A broadcast handle completes when the progress engine has sent
+	// copies to every peer.
+	h := &CommHandle{dst: bcastOthers, msg: msg}
+	p.async.PushBack(h)
+	return h
+}
+
+// AsyncBroadcastAll is AsyncBroadcast including this processor.
+func (p *Proc) AsyncBroadcastAll(msg []byte) *CommHandle {
+	p.checkSend(0, msg)
+	h := &CommHandle{dst: bcastAll, msg: msg}
+	p.async.PushBack(h)
+	return h
+}
+
+// VectorSend gathers the given pieces into one contiguous generalized
+// message with the given handler and initiates an asynchronous send to
+// dst (CmiVectorSend / the EMI gather-send). The pieces are logically
+// concatenated in order; they must not be modified until the returned
+// handle reports sent.
+func (p *Proc) VectorSend(dst int, handler int, pieces ...[]byte) *CommHandle {
+	total := 0
+	for _, piece := range pieces {
+		total += len(piece)
+	}
+	msg := NewMsg(handler, total)
+	off := HeaderSize
+	for _, piece := range pieces {
+		off += copy(msg[off:], piece)
+	}
+	return p.AsyncSend(dst, msg)
+}
+
+// checkSend validates a message before transmission.
+func (p *Proc) checkSend(dst int, msg []byte) {
+	if len(msg) < HeaderSize {
+		panic(fmt.Sprintf("core: pe %d: send of %d-byte message, smaller than the header", p.MyPe(), len(msg)))
+	}
+	if dst < 0 || dst >= p.NumPes() {
+		panic(fmt.Sprintf("core: pe %d: send to invalid processor %d (machine has %d)", p.MyPe(), dst, p.NumPes()))
+	}
+}
+
+// chargeSend bills the Converse-layer send overhead to the virtual
+// clock.
+func (p *Proc) chargeSend() {
+	if p.costs != nil {
+		p.pe.Charge(p.costs.CvsSendOverhead())
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"converse/internal/netmodel"
+)
+
+func TestSyncSendBufferReusable(t *testing.T) {
+	cm := newTestMachine(2)
+	var got string
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		got = string(Payload(msg))
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			msg := MakeMsg(h, []byte("first"))
+			p.SyncSend(1, msg)
+			copy(Payload(msg), "XXXXX") // allowed after SyncSend returns
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "first" {
+		t.Fatalf("receiver saw %q", got)
+	}
+}
+
+func TestAsyncSendProgress(t *testing.T) {
+	cm := newTestMachine(2)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) { p.ExitScheduler() })
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			msg := MakeMsg(h, []byte("async"))
+			hdl := p.AsyncSend(1, msg)
+			// The send completes through the progress engine.
+			for !p.IsSent(hdl) {
+			}
+			p.Release(hdl)
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncSendDeferredUntilProgress(t *testing.T) {
+	cm := newTestMachine(2)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	cm.Proc(0) // silence linters; real assertions below
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() != 0 {
+			return
+		}
+		hdl := p.AsyncSend(1, MakeMsg(h, nil))
+		if hdl.sent {
+			t.Error("AsyncSend completed synchronously; want deferral to progress engine")
+		}
+		other := cm.Machine().PE(1)
+		if other.InboxLen() != 0 {
+			t.Error("message transmitted before progress engine ran")
+		}
+		p.Progress()
+		if !hdl.sent {
+			t.Error("Progress did not complete the send")
+		}
+		if other.InboxLen() != 1 {
+			t.Error("message not delivered after Progress")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseIncompleteHandlePanics(t *testing.T) {
+	cm := newTestMachine(2)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() != 0 {
+			return
+		}
+		hdl := p.AsyncSend(1, MakeMsg(h, nil))
+		p.Release(hdl) // incomplete: must panic
+	})
+	if err == nil {
+		t.Fatal("Release of incomplete handle did not error")
+	}
+}
+
+func TestSyncBroadcastExcludesSelf(t *testing.T) {
+	const pes = 5
+	cm := NewMachine(Config{PEs: pes, Watchdog: 10 * time.Second})
+	recv := make([]int, pes)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		recv[p.MyPe()]++
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 2 {
+			p.SyncBroadcast(MakeMsg(h, nil))
+			p.Scheduler(2) // drains nothing; must not receive own broadcast
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range recv {
+		want := 1
+		if pe == 2 {
+			want = 0
+		}
+		if n != want {
+			t.Errorf("PE %d received %d, want %d", pe, n, want)
+		}
+	}
+}
+
+func TestSyncBroadcastAllIncludesSelf(t *testing.T) {
+	const pes = 4
+	cm := NewMachine(Config{PEs: pes, Watchdog: 10 * time.Second})
+	recv := make([]int, pes)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		recv[p.MyPe()]++
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			p.SyncBroadcastAllAndFree(MakeMsg(h, []byte("bcast")))
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range recv {
+		if n != 1 {
+			t.Errorf("PE %d received %d, want 1", pe, n)
+		}
+	}
+}
+
+func TestAsyncBroadcast(t *testing.T) {
+	const pes = 4
+	cm := NewMachine(Config{PEs: pes, Watchdog: 10 * time.Second})
+	recv := make([]int, pes)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		recv[p.MyPe()]++
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 1 {
+			hdl := p.AsyncBroadcast(MakeMsg(h, nil))
+			for !p.IsSent(hdl) {
+			}
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range recv {
+		want := 1
+		if pe == 1 {
+			want = 0
+		}
+		if n != want {
+			t.Errorf("PE %d received %d, want %d", pe, n, want)
+		}
+	}
+}
+
+func TestVectorSendGathers(t *testing.T) {
+	cm := newTestMachine(2)
+	var got []byte
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		got = append([]byte(nil), Payload(msg)...)
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			a, b, c := []byte("one,"), []byte("two,"), []byte("three")
+			hdl := p.VectorSend(1, h, a, b, c)
+			for !p.IsSent(hdl) {
+			}
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("one,two,three")) {
+		t.Fatalf("gathered payload = %q", got)
+	}
+}
+
+func TestVectorSendEmptyPieces(t *testing.T) {
+	cm := newTestMachine(1)
+	var n = -1
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		n = len(Payload(msg))
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		p.VectorSend(0, h)
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("payload length = %d, want 0", n)
+	}
+}
+
+func TestSendToInvalidPePanics(t *testing.T) {
+	cm := newTestMachine(2)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			p.SyncSend(5, MakeMsg(h, nil))
+		}
+	})
+	if err == nil {
+		t.Fatal("send to invalid PE did not error")
+	}
+}
+
+func TestSendShortMessagePanics(t *testing.T) {
+	cm := newTestMachine(2)
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 0 {
+			p.SyncSend(1, []byte{1, 2}) // smaller than header
+		}
+	})
+	if err == nil {
+		t.Fatal("short send did not error")
+	}
+}
+
+// TestModeledTimingMatchesNetmodel ties core dispatch to the virtual
+// clock: a ping-pong over the MyrinetFM model must cost exactly
+// 2*OneWayConverse per round trip.
+func TestModeledTimingMatchesNetmodel(t *testing.T) {
+	mod := netmodel.MyrinetFM()
+	cm := NewMachine(Config{PEs: 2, Model: mod, Watchdog: 10 * time.Second})
+	const rounds = 10
+	const size = 64
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	var elapsed float64
+	err := cm.Run(func(p *Proc) {
+		msg := NewMsg(h, size-HeaderSize)
+		if p.MyPe() == 0 {
+			start := p.TimerUs()
+			for i := 0; i < rounds; i++ {
+				p.SyncSend(1, msg)
+				p.GetSpecificMsg(h)
+			}
+			elapsed = p.TimerUs() - start
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			p.GetSpecificMsg(h)
+			p.SyncSend(0, msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rounds * 2 * mod.OneWayConverse(size)
+	if math.Abs(elapsed-want) > 1e-6 {
+		t.Fatalf("elapsed = %v us, want %v (model OneWayConverse=%v)",
+			elapsed, want, mod.OneWayConverse(size))
+	}
+}

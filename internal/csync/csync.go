@@ -1,0 +1,161 @@
+// Package csync implements the Converse synchronization mechanisms of
+// §3.2.3 and appendix §6: locks (mutexes), condition variables, and
+// barriers, built purely on thread objects (internal/cth).
+//
+// These are *cooperative* primitives for Converse threads on a single
+// processor: a thread that cannot proceed is queued on the primitive and
+// suspended; releasing/signalling shifts ownership to the first waiter
+// and awakens it (so it continues when its scheduler strategy runs it).
+// They intentionally mirror the paper's semantics — the functionality is
+// "an extension of the Posix threads standard ... [with] the scheduler
+// separated out".
+package csync
+
+import (
+	"fmt"
+
+	"converse/internal/cth"
+	"converse/internal/queue"
+)
+
+// Lock is a mutual-exclusion lock with a FIFO waiter queue (CtsLock).
+// The zero value is not usable; create locks with NewLock on the owning
+// processor's thread runtime.
+type Lock struct {
+	rt      *cth.Runtime
+	owner   *cth.Thread
+	waiters queue.Deque[*cth.Thread]
+}
+
+// NewLock creates an unlocked lock (CtsNewLock).
+func NewLock(rt *cth.Runtime) *Lock { return &Lock{rt: rt} }
+
+// TryLock attempts to take the lock without blocking (CtsTryLock). It
+// returns true and makes the current thread the owner if the lock was
+// free, false otherwise.
+func (l *Lock) TryLock() bool {
+	if l.owner != nil {
+		return false
+	}
+	l.owner = l.rt.Self()
+	return true
+}
+
+// Lock blocks the calling thread until it owns the lock (CtsLock).
+// Several threads making this call queue up and receive the lock in FIFO
+// order. Locking from the main (scheduler) context succeeds only if the
+// lock is free, since the main context cannot suspend.
+func (l *Lock) Lock() {
+	if l.TryLock() {
+		return
+	}
+	self := l.rt.Self()
+	if self == l.owner {
+		panic("csync: recursive Lock by owner")
+	}
+	l.waiters.PushBack(self)
+	l.rt.Suspend()
+	// When we are awakened, Unlock has already made us the owner.
+	if l.owner != self {
+		panic("csync: awakened waiter does not own the lock")
+	}
+}
+
+// Unlock releases the lock (CtsUnLock). If threads are queued, ownership
+// shifts to the first waiter, which is awakened. Unlock returns an error
+// if the caller is not the owner.
+func (l *Lock) Unlock() error {
+	if l.owner != l.rt.Self() {
+		return fmt.Errorf("csync: Unlock by non-owner thread")
+	}
+	next, ok := l.waiters.PopFront()
+	if !ok {
+		l.owner = nil
+		return nil
+	}
+	l.owner = next
+	l.rt.Awaken(next)
+	return nil
+}
+
+// Locked reports whether the lock is currently held.
+func (l *Lock) Locked() bool { return l.owner != nil }
+
+// Cond is a condition variable (CtsNewCondn): several threads may block
+// on it; Signal unblocks one, Broadcast unblocks all.
+type Cond struct {
+	rt      *cth.Runtime
+	waiters queue.Deque[*cth.Thread]
+}
+
+// NewCond creates a condition variable.
+func NewCond(rt *cth.Runtime) *Cond { return &Cond{rt: rt} }
+
+// Wait suspends the calling thread on the condition variable
+// (CtsCondnWait) until Signal or Broadcast releases it.
+func (c *Cond) Wait() {
+	c.waiters.PushBack(c.rt.Self())
+	c.rt.Suspend()
+}
+
+// Signal awakens one thread waiting on the condition variable
+// (CtsCondnSignal), in FIFO order. It is a no-op if none wait.
+func (c *Cond) Signal() {
+	if t, ok := c.waiters.PopFront(); ok {
+		c.rt.Awaken(t)
+	}
+}
+
+// Broadcast awakens all threads waiting on the condition variable
+// (CtsCondnBroadcast).
+func (c *Cond) Broadcast() {
+	for {
+		t, ok := c.waiters.PopFront()
+		if !ok {
+			return
+		}
+		c.rt.Awaken(t)
+	}
+}
+
+// Waiting reports the number of threads blocked on the condition.
+func (c *Cond) Waiting() int { return c.waiters.Len() }
+
+// Barrier makes a group of k threads wait for each other: it is "a
+// condition variable whose kth wait is a broadcast" (appendix §6.3).
+type Barrier struct {
+	cond *Cond
+	need int
+	have int
+}
+
+// NewBarrier creates a barrier awaiting no threads; call Reinit to arm
+// it (CtsNewBarrier).
+func NewBarrier(rt *cth.Runtime) *Barrier { return &Barrier{cond: NewCond(rt)} }
+
+// Reinit frees any threads currently waiting and re-arms the barrier to
+// await num threads (CtsBarrierReinit).
+func (b *Barrier) Reinit(num int) {
+	if num < 0 {
+		panic("csync: Barrier.Reinit with negative count")
+	}
+	b.cond.Broadcast()
+	b.need = num
+	b.have = 0
+}
+
+// Arrive blocks the calling thread at the barrier; the arrival of the
+// num-th thread (per Reinit) releases them all (CtsAtBarrier). The
+// barrier then awaits the next group of num threads.
+func (b *Barrier) Arrive() {
+	b.have++
+	if b.have >= b.need {
+		b.have = 0
+		b.cond.Broadcast()
+		return
+	}
+	b.cond.Wait()
+}
+
+// Waiting reports how many threads are currently blocked at the barrier.
+func (b *Barrier) Waiting() int { return b.cond.Waiting() }

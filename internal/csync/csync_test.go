@@ -1,0 +1,362 @@
+package csync
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/cth"
+)
+
+// run executes body on a 1-PE machine with a thread runtime.
+func run(t *testing.T, body func(p *core.Proc, rt *cth.Runtime)) {
+	t.Helper()
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		body(p, cth.Init(p))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drain resumes ready-pool threads until the pool is empty.
+func drain(rt *cth.Runtime) {
+	for rt.ReadyLen() > 0 {
+		// Create a trampoline: suspend into the pool from a thread.
+		th := rt.Create(func() {})
+		th.SetStrategy(nil, nil)
+		rt.Resume(th) // exiting thread's suspend strategy pops the pool
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		l := NewLock(rt)
+		if l.Locked() {
+			t.Fatal("new lock is locked")
+		}
+		if !l.TryLock() {
+			t.Fatal("TryLock on free lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		if err := l.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Locked() {
+			t.Fatal("lock still held after Unlock")
+		}
+	})
+}
+
+func TestUnlockByNonOwnerErrors(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		l := NewLock(rt)
+		if err := l.Unlock(); err == nil {
+			t.Fatal("Unlock of free lock returned nil error")
+		}
+		th := rt.Create(func() { l.Lock() })
+		rt.Resume(th)
+		// Main does not own the lock.
+		if err := l.Unlock(); err == nil {
+			t.Fatal("Unlock by non-owner returned nil error")
+		}
+	})
+}
+
+func TestLockFIFOHandoff(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		l := NewLock(rt)
+		var order []int
+		holder := rt.Create(func() {
+			l.Lock()
+			rt.Suspend() // hold the lock while others queue
+			if err := l.Unlock(); err != nil {
+				t.Errorf("Unlock: %v", err)
+			}
+		})
+		rt.Resume(holder)
+		mk := func(id int) *cth.Thread {
+			return rt.Create(func() {
+				l.Lock()
+				order = append(order, id)
+				if err := l.Unlock(); err != nil {
+					t.Errorf("Unlock: %v", err)
+				}
+			})
+		}
+		for i := 1; i <= 3; i++ {
+			th := mk(i)
+			rt.Resume(th) // each blocks in Lock, control returns here
+		}
+		rt.Resume(holder) // releases: ownership chains 1 -> 2 -> 3
+		drain(rt)
+		if got := len(order); got != 3 {
+			t.Fatalf("order = %v", order)
+		}
+		for i, id := range order {
+			if id != i+1 {
+				t.Fatalf("order = %v, want FIFO [1 2 3]", order)
+			}
+		}
+	})
+}
+
+func TestRecursiveLockPanics(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		rt := cth.Init(p)
+		l := NewLock(rt)
+		th := rt.Create(func() {
+			l.Lock()
+			l.Lock() // recursive: must panic
+		})
+		rt.Resume(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		c := NewCond(rt)
+		woken := 0
+		for i := 0; i < 3; i++ {
+			th := rt.Create(func() {
+				c.Wait()
+				woken++
+			})
+			rt.Resume(th)
+		}
+		if c.Waiting() != 3 {
+			t.Fatalf("Waiting = %d, want 3", c.Waiting())
+		}
+		c.Signal()
+		drain(rt)
+		if woken != 1 {
+			t.Fatalf("woken = %d after Signal, want 1", woken)
+		}
+		c.Broadcast()
+		drain(rt)
+		if woken != 3 {
+			t.Fatalf("woken = %d after Broadcast, want 3", woken)
+		}
+	})
+}
+
+func TestCondSignalEmptyNoop(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		c := NewCond(rt)
+		c.Signal()
+		c.Broadcast()
+		if c.Waiting() != 0 {
+			t.Fatal("phantom waiters")
+		}
+	})
+}
+
+func TestBarrierReleasesAtK(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		b := NewBarrier(rt)
+		b.Reinit(3)
+		passed := 0
+		for i := 0; i < 3; i++ {
+			th := rt.Create(func() {
+				b.Arrive()
+				passed++
+			})
+			rt.Resume(th)
+		}
+		drain(rt)
+		if passed != 3 {
+			t.Fatalf("passed = %d, want 3 (all released at the 3rd arrival)", passed)
+		}
+	})
+}
+
+func TestBarrierBlocksBeforeK(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		b := NewBarrier(rt)
+		b.Reinit(3)
+		passed := 0
+		for i := 0; i < 2; i++ {
+			th := rt.Create(func() {
+				b.Arrive()
+				passed++
+			})
+			rt.Resume(th)
+		}
+		drain(rt)
+		if passed != 0 {
+			t.Fatalf("passed = %d before the 3rd arrival, want 0", passed)
+		}
+		if b.Waiting() != 2 {
+			t.Fatalf("Waiting = %d, want 2", b.Waiting())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		b := NewBarrier(rt)
+		b.Reinit(2)
+		rounds := 0
+		mk := func() *cth.Thread {
+			return rt.Create(func() {
+				b.Arrive()
+				rounds++
+				b.Arrive()
+				rounds++
+			})
+		}
+		t1, t2 := mk(), mk()
+		rt.Resume(t1)
+		rt.Resume(t2) // 2nd arrival: both pass round 1, arrive at round 2
+		drain(rt)
+		if rounds != 4 {
+			t.Fatalf("rounds = %d, want 4 (barrier must re-arm)", rounds)
+		}
+	})
+}
+
+func TestBarrierReinitFreesWaiters(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		b := NewBarrier(rt)
+		b.Reinit(5)
+		freed := false
+		th := rt.Create(func() {
+			b.Arrive()
+			freed = true
+		})
+		rt.Resume(th)
+		b.Reinit(2) // must free the stuck waiter
+		drain(rt)
+		if !freed {
+			t.Fatal("Reinit did not free waiting threads")
+		}
+	})
+}
+
+func TestBarrierNegativePanics(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		rt := cth.Init(p)
+		NewBarrier(rt).Reinit(-1)
+	})
+	if err == nil {
+		t.Fatal("negative Reinit did not error")
+	}
+}
+
+func TestProducerConsumerWithLockAndCond(t *testing.T) {
+	// Classic bounded-buffer built from Lock + Cond, all cooperative.
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		l := NewLock(rt)
+		notEmpty := NewCond(rt)
+		var buf []int
+		var got []int
+		consumer := rt.Create(func() {
+			for len(got) < 5 {
+				l.Lock()
+				for len(buf) == 0 {
+					if err := l.Unlock(); err != nil {
+						t.Errorf("Unlock: %v", err)
+					}
+					notEmpty.Wait()
+					l.Lock()
+				}
+				got = append(got, buf[0])
+				buf = buf[1:]
+				if err := l.Unlock(); err != nil {
+					t.Errorf("Unlock: %v", err)
+				}
+			}
+		})
+		rt.Resume(consumer) // blocks in Wait
+		for i := 1; i <= 5; i++ {
+			l.Lock()
+			buf = append(buf, i)
+			if err := l.Unlock(); err != nil {
+				t.Errorf("Unlock: %v", err)
+			}
+			notEmpty.Signal()
+			drain(rt)
+		}
+		if len(got) != 5 {
+			t.Fatalf("consumed %v", got)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("consumed %v, want [1..5] in order", got)
+			}
+		}
+	})
+}
+
+func TestCondSignalFIFO(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		c := NewCond(rt)
+		var order []int
+		for i := 1; i <= 3; i++ {
+			th := rt.Create(func() {
+				c.Wait()
+				order = append(order, i)
+			})
+			rt.Resume(th)
+		}
+		for i := 0; i < 3; i++ {
+			c.Signal()
+			drain(rt)
+		}
+		for i, v := range order {
+			if v != i+1 {
+				t.Fatalf("order = %v, want FIFO", order)
+			}
+		}
+	})
+}
+
+func TestTryLockFromSecondThread(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		l := NewLock(rt)
+		holder := rt.Create(func() {
+			l.Lock()
+			rt.Suspend()
+			if err := l.Unlock(); err != nil {
+				t.Errorf("Unlock: %v", err)
+			}
+		})
+		rt.Resume(holder)
+		tried := rt.Create(func() {
+			if l.TryLock() {
+				t.Error("TryLock succeeded while held elsewhere")
+			}
+		})
+		rt.Resume(tried)
+		rt.Resume(holder)
+		if l.Locked() {
+			t.Error("lock still held at end")
+		}
+	})
+}
+
+func TestBarrierZeroCountReleasesImmediately(t *testing.T) {
+	run(t, func(p *core.Proc, rt *cth.Runtime) {
+		b := NewBarrier(rt)
+		b.Reinit(0)
+		passed := false
+		th := rt.Create(func() {
+			b.Arrive() // 0-or-1 needed: must pass immediately
+			passed = true
+		})
+		rt.Resume(th)
+		drain(rt)
+		if !passed {
+			t.Fatal("Arrive blocked at a zero barrier")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package charm
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+
+	"converse/internal/core"
+	"converse/internal/ldb"
+)
+
+// elem is one array element accumulating values.
+type elem struct {
+	idx int
+	sum int64
+}
+
+func TestArrayCreationSpread(t *testing.T) {
+	const pes = 4
+	const n = 10
+	cm := newMachine(pes)
+	created := make([]int64, pes)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		at := rt.RegisterArray(func(rt *RT, aid ArrayID, idx int, msg []byte) any {
+			atomic.AddInt64(&created[rt.Proc().MyPe()], 1)
+			return &elem{idx: idx}
+		})
+		if p.MyPe() == 0 {
+			aid := rt.CreateArray(at, n, nil)
+			if rt.ArrayLen(aid) != n {
+				t.Errorf("ArrayLen = %d", rt.ArrayLen(aid))
+			}
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i mod P map: PEs 0,1 get 3 elements, PEs 2,3 get 2.
+	want := []int64{3, 3, 2, 2}
+	for pe, c := range created {
+		if c != want[pe] {
+			t.Errorf("PE %d created %d elements, want %d: %v", pe, c, want[pe], created)
+		}
+	}
+}
+
+func TestSendElemRoutesByIndex(t *testing.T) {
+	const pes = 3
+	const n = 7
+	cm := newMachine(pes)
+	var visited int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		at := rt.RegisterArray(
+			func(rt *RT, aid ArrayID, idx int, msg []byte) any { return &elem{idx: idx} },
+			// entry 0: record that the right element got the message
+			func(rt *RT, e any, idx int, msg []byte) {
+				el := e.(*elem)
+				if el.idx != idx || int(msg[0]) != idx {
+					t.Errorf("element %d got message for %d/%d", el.idx, idx, msg[0])
+				}
+				if rt.ArrayOwner(idx) != rt.Proc().MyPe() {
+					t.Errorf("element %d executed on wrong PE %d", idx, rt.Proc().MyPe())
+				}
+				atomic.AddInt64(&visited, 1)
+			},
+		)
+		if p.MyPe() == 0 {
+			aid := rt.CreateArray(at, n, nil)
+			for idx := 0; idx < n; idx++ {
+				rt.SendElem(aid, idx, 0, []byte{byte(idx)})
+			}
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != n {
+		t.Fatalf("visited = %d, want %d", visited, n)
+	}
+}
+
+func TestBroadcastArray(t *testing.T) {
+	const pes = 2
+	const n = 5
+	cm := newMachine(pes)
+	var hits int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		at := rt.RegisterArray(
+			func(rt *RT, aid ArrayID, idx int, msg []byte) any { return nil },
+			func(rt *RT, e any, idx int, msg []byte) { atomic.AddInt64(&hits, 1) },
+		)
+		if p.MyPe() == 0 {
+			aid := rt.CreateArray(at, n, nil)
+			rt.BroadcastArray(aid, 0, nil)
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != n {
+		t.Fatalf("hits = %d, want %d", hits, n)
+	}
+}
+
+// TestArrayNeighborExchange: the canonical array program — each element
+// passes a value to element (i+1) mod n; after one round every element
+// holds its left neighbor's index.
+func TestArrayNeighborExchange(t *testing.T) {
+	const pes = 4
+	const n = 9
+	cm := newMachine(pes)
+	var correct int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var at int
+		at = rt.RegisterArray(
+			func(rt *RT, aid ArrayID, idx int, msg []byte) any { return &elem{idx: idx} },
+			// entry 0: start — send my index to my right neighbor
+			func(rt *RT, e any, idx int, msg []byte) {
+				aid := ArrayID(binary.LittleEndian.Uint32(msg))
+				out := make([]byte, 8)
+				binary.LittleEndian.PutUint32(out, uint32(idx))
+				binary.LittleEndian.PutUint32(out[4:], uint32(aid))
+				rt.SendElem(aid, (idx+1)%n, 1, out)
+			},
+			// entry 1: receive the left neighbor's index
+			func(rt *RT, e any, idx int, msg []byte) {
+				from := int(binary.LittleEndian.Uint32(msg))
+				if (from+1)%n == idx {
+					atomic.AddInt64(&correct, 1)
+				}
+			},
+		)
+		if p.MyPe() == 0 {
+			aid := rt.CreateArray(at, n, nil)
+			start := make([]byte, 4)
+			binary.LittleEndian.PutUint32(start, uint32(aid))
+			rt.BroadcastArray(aid, 0, start)
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != n {
+		t.Fatalf("correct = %d, want %d", correct, n)
+	}
+}
+
+func TestElemPriorities(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var order []byte
+		at := rt.RegisterArray(
+			func(rt *RT, aid ArrayID, idx int, msg []byte) any { return nil },
+			func(rt *RT, e any, idx int, msg []byte) { order = append(order, msg[0]) },
+		)
+		aid := rt.CreateArray(at, 1, nil)
+		rt.SendElemPrio(aid, 0, 0, []byte{'2'}, 5)
+		rt.SendElemPrio(aid, 0, 0, []byte{'1'}, -5)
+		p.ScheduleUntilIdle()
+		if string(order) != "12" {
+			t.Errorf("order = %q", order)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownArrayPanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		rt.RegisterArray(func(rt *RT, aid ArrayID, idx int, msg []byte) any { return nil },
+			func(rt *RT, e any, idx int, msg []byte) {})
+		rt.SendElem(ArrayID(777), 0, 0, nil)
+		p.ScheduleUntilIdle()
+	})
+	if err == nil {
+		t.Fatal("unknown array invocation did not error")
+	}
+}
+
+func TestCreateArrayValidation(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		rt.CreateArray(5, 3, nil) // unregistered type
+	})
+	if err == nil {
+		t.Fatal("unregistered array type did not error")
+	}
+	cm2 := newMachine(1)
+	err = cm2.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		at := rt.RegisterArray(func(rt *RT, aid ArrayID, idx int, msg []byte) any { return nil })
+		rt.CreateArray(at, 0, nil) // zero elements
+	})
+	if err == nil {
+		t.Fatal("zero-element array did not error")
+	}
+}
+
+func TestElementAccessor(t *testing.T) {
+	const pes = 2
+	cm := newMachine(pes)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		at := rt.RegisterArray(func(rt *RT, aid ArrayID, idx int, msg []byte) any {
+			return &elem{idx: idx}
+		})
+		if p.MyPe() != 0 {
+			p.Scheduler(-1)
+			return
+		}
+		aid := rt.CreateArray(at, 4, nil)
+		// Local elements: 0 and 2 on PE0.
+		if e := rt.Element(aid, 2); e == nil || e.(*elem).idx != 2 {
+			t.Error("Element(2) wrong")
+		}
+		if rt.Element(aid, 1) != nil {
+			t.Error("Element(1) should be remote (nil here)")
+		}
+		if rt.Element(ArrayID(999), 0) != nil {
+			t.Error("unknown array Element != nil")
+		}
+		rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package charm
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/ldb"
+	"converse/internal/queue"
+)
+
+func newMachine(pes int) *core.Machine {
+	return core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+}
+
+func TestChareIDEncodeDecode(t *testing.T) {
+	id := ChareID{PE: 3, Local: 0xdeadbeef}
+	var buf [ChareIDSize]byte
+	id.Encode(buf[:])
+	if DecodeChareID(buf[:]) != id {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestLocalChareInvocation(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		type counter struct{ n int }
+		var typeID int
+		typeID = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return &counter{} },
+			func(rt *RT, obj any, msg []byte) { // ep 0: add
+				obj.(*counter).n += int(msg[0])
+			},
+		)
+		id := rt.CreateHere(typeID, nil)
+		rt.Send(typeID, id, 0, []byte{5})
+		rt.Send(typeID, id, 0, []byte{7})
+		p.ScheduleUntilIdle()
+		if got := rt.Chare(id).(*counter).n; got != 12 {
+			t.Errorf("counter = %d, want 12", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityOrdersExecution(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var order []byte
+		var typeID int
+		typeID = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) { order = append(order, msg[0]) },
+		)
+		id := rt.CreateHere(typeID, nil)
+		rt.SendPrio(typeID, id, 0, []byte{'c'}, 10)
+		rt.SendPrio(typeID, id, 0, []byte{'a'}, -10)
+		rt.SendPrio(typeID, id, 0, []byte{'b'}, 0) // default lane
+		p.ScheduleUntilIdle()
+		if string(order) != "abc" {
+			t.Errorf("order = %q, want abc", order)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVecPriorityLocal(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var order []byte
+		var typeID int
+		typeID = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) { order = append(order, msg[0]) },
+		)
+		id := rt.CreateHere(typeID, nil)
+		rt.SendBitVec(typeID, id, 0, []byte{'z'}, queue.BitVec{0x90000000})
+		rt.SendBitVec(typeID, id, 0, []byte{'y'}, queue.BitVec{0x10000000})
+		rt.SendBitVec(typeID, id, 0, []byte{'x'}, queue.BitVec{0x10000000, 1})
+		p.ScheduleUntilIdle()
+		if string(order) != "yxz" {
+			t.Errorf("order = %q, want yxz (lexicographic bit-vector)", order)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFanOutFanIn: a root chare fans work out to dynamically created
+// worker chares (placed by the load balancer) and collects replies;
+// quiescence detection notices completion and terminates all PEs.
+func TestFanOutFanIn(t *testing.T) {
+	const pes = 4
+	const workers = 24
+	cm := newMachine(pes)
+	var rootID atomic.Value // ChareID of the root, set on PE0
+	var total int64
+	var quiesced int32
+
+	// worker: created with [rootID][value]; sends value*2 back to root.
+	// root: collects replies.
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewRandom(int64(p.MyPe())+1))
+		var rootType, workerType int
+		type rootState struct{ got int }
+		rootType = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return &rootState{} },
+			func(rt *RT, obj any, msg []byte) { // ep 0: reply from worker
+				r := obj.(*rootState)
+				r.got++
+				atomic.AddInt64(&total, int64(binary.LittleEndian.Uint32(msg)))
+			},
+		)
+		workerType = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any {
+				// Work happens at construction: double and reply.
+				root := DecodeChareID(msg[0:])
+				v := binary.LittleEndian.Uint32(msg[ChareIDSize:])
+				reply := make([]byte, 4)
+				binary.LittleEndian.PutUint32(reply, v*2)
+				rt.Send(rootType, root, 0, reply)
+				return nil
+			},
+		)
+		_ = workerType
+		if p.MyPe() == 0 {
+			id := rt.CreateHere(rootType, nil)
+			rootID.Store(id)
+			for i := 1; i <= workers; i++ {
+				payload := make([]byte, ChareIDSize+4)
+				id.Encode(payload)
+				binary.LittleEndian.PutUint32(payload[ChareIDSize:], uint32(i))
+				rt.Create(workerType, payload)
+			}
+			rt.StartQD(func(rt *RT) {
+				atomic.AddInt32(&quiesced, 1)
+				rt.ExitAll()
+			})
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(workers * (workers + 1)) // sum of 2i for i=1..workers
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if quiesced != 1 {
+		t.Fatalf("quiescence fired %d times", quiesced)
+	}
+}
+
+func TestQuiescenceWaitsForPendingWork(t *testing.T) {
+	// A chain of chare messages: quiescence must not fire while the
+	// chain is still propagating.
+	const pes = 3
+	const chainLen = 30
+	cm := newMachine(pes)
+	var steps int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var typeID int
+		typeID = rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) {
+				n := binary.LittleEndian.Uint32(msg)
+				atomic.AddInt64(&steps, 1)
+				if n > 0 {
+					next := make([]byte, 4)
+					binary.LittleEndian.PutUint32(next, n-1)
+					// Forward to a chare on the next PE.
+					to := ChareID{PE: (rt.Proc().MyPe() + 1) % pes, Local: 1}
+					rt.Send(typeID, to, 0, next)
+				}
+			},
+		)
+		id := rt.CreateHere(typeID, nil) // Local 1 on every PE
+		if id.Local != 1 {
+			t.Errorf("expected local id 1, got %d", id.Local)
+		}
+		if p.MyPe() == 0 {
+			first := make([]byte, 4)
+			binary.LittleEndian.PutUint32(first, chainLen)
+			rt.Send(typeID, id, 0, first)
+			rt.StartQD(func(rt *RT) {
+				if n := atomic.LoadInt64(&steps); n != chainLen+1 {
+					t.Errorf("quiescence fired after %d steps, want %d", n, chainLen+1)
+				}
+				rt.ExitAll()
+			})
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateSpreadsOverPEs(t *testing.T) {
+	const pes = 4
+	const n = 40
+	cm := newMachine(pes)
+	created := make([]int64, pes)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any {
+			atomic.AddInt64(&created[rt.Proc().MyPe()], 1)
+			return nil
+		})
+		if p.MyPe() == 0 {
+			for i := 0; i < n; i++ {
+				rt.Create(typeID, nil)
+			}
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for pe, c := range created {
+		sum += c
+		if c == 0 {
+			t.Errorf("PE %d created no chares under spray: %v", pe, created)
+		}
+	}
+	if sum != n {
+		t.Fatalf("created %d chares, want %d", sum, n)
+	}
+}
+
+func TestUnknownChareInvocationPanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) {})
+		rt.Send(typeID, ChareID{PE: 0, Local: 99}, 0, nil)
+		p.ScheduleUntilIdle()
+	})
+	if err == nil {
+		t.Fatal("invocation of unknown chare did not error")
+	}
+}
+
+func TestCreateUnregisteredTypePanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		rt.Create(7, nil)
+	})
+	if err == nil {
+		t.Fatal("Create of unregistered type did not error")
+	}
+}
+
+func TestStatsBalance(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) {})
+		id := rt.CreateHere(typeID, nil)
+		for i := 0; i < 5; i++ {
+			rt.Send(typeID, id, 0, nil)
+		}
+		sent, proc := rt.Stats()
+		if sent != 5 || proc != 0 {
+			t.Errorf("before scheduling: sent=%d proc=%d", sent, proc)
+		}
+		p.ScheduleUntilIdle()
+		sent, proc = rt.Stats()
+		if sent != 5 || proc != 5 {
+			t.Errorf("after scheduling: sent=%d proc=%d", sent, proc)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBitVecRemote(t *testing.T) {
+	cm := newMachine(2)
+	var gotSum atomic.Int32
+	var gotCount atomic.Int32
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(
+			func(rt *RT, self ChareID, msg []byte) any { return nil },
+			func(rt *RT, obj any, msg []byte) {
+				gotSum.Add(int32(msg[0]))
+				if gotCount.Add(1) == 2 {
+					p.ExitScheduler()
+				}
+			},
+		)
+		if p.MyPe() == 1 {
+			rt.CreateHere(typeID, nil)
+			p.Scheduler(-1)
+			return
+		}
+		// Remote bit-vector sends: the first word rides as an integer
+		// priority at the destination.
+		to := ChareID{PE: 1, Local: 1}
+		rt.SendBitVec(typeID, to, 0, []byte{10}, queue.BitVec{0x90000000})
+		rt.SendBitVec(typeID, to, 0, []byte{20}, queue.BitVec{0x10000000})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCount.Load() != 2 || gotSum.Load() != 30 {
+		t.Fatalf("count=%d sum=%d", gotCount.Load(), gotSum.Load())
+	}
+}
+
+func TestBadEntryMethodPanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any { return nil })
+		id := rt.CreateHere(typeID, nil)
+		rt.Send(typeID, id, 3, nil) // no entry method 3
+		p.ScheduleUntilIdle()
+	})
+	if err == nil {
+		t.Fatal("bad entry method did not error")
+	}
+}
+
+func TestAttachIdempotentAndGet(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		if Attach(p, ldb.NewSpray()) != rt || Get(p) != rt {
+			t.Error("Attach/Get not idempotent")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetWithoutAttachPanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) { Get(p) })
+	if err == nil {
+		t.Fatal("Get without Attach did not error")
+	}
+}
+
+func TestLocalChares(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		a := rt.Register(func(rt *RT, self ChareID, msg []byte) any { return nil })
+		b := rt.Register(func(rt *RT, self ChareID, msg []byte) any { return nil })
+		rt.CreateHere(a, nil)
+		rt.CreateHere(a, nil)
+		rt.CreateHere(b, nil)
+		if n := len(rt.LocalChares(a)); n != 2 {
+			t.Errorf("LocalChares(a) = %d", n)
+		}
+		if n := len(rt.LocalChares(b)); n != 1 {
+			t.Errorf("LocalChares(b) = %d", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

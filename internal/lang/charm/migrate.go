@@ -1,0 +1,151 @@
+package charm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"converse/internal/core"
+)
+
+// Object migration, the first of the two extended load-balancing
+// situations the paper describes beyond seed balancing (§3.3.1,
+// footnote): "entities such as message-driven objects ... are moved from
+// one processor to another while the computation is in progress.
+// Supporting this involves queues for forwarding messages to migrated
+// objects." The paper notes this is implementable on top of Converse as
+// a library; this file is that library for chares.
+//
+// Protocol. Migrate packs the object, removes it locally, and ships the
+// blob to the destination, which rebuilds it under a fresh id and
+// replies with a "moved" notice. Until the notice arrives, invocations
+// reaching the old home are held in a forwarding queue; afterwards, a
+// permanent forwarding entry rewrites and re-sends them (and anything
+// that arrives later) to the new home. Chained migrations forward hop
+// by hop. Quiescence counters treat a forwarded message as processed
+// here and sent anew, so detection stays exact.
+
+// Migratable is implemented by chare objects that can move: Pack
+// serializes the object's state for reconstruction on the destination.
+type Migratable interface {
+	Pack() []byte
+}
+
+// Unpacker rebuilds a migrated chare from its packed state on the
+// destination processor.
+type Unpacker func(rt *RT, self ChareID, blob []byte) any
+
+// SetUnpacker registers the reconstruction function for a chare type,
+// enabling migration for it. Like Register, call it identically on
+// every processor.
+func (rt *RT) SetUnpacker(typeID int, u Unpacker) {
+	if typeID < 0 || typeID >= len(rt.types) {
+		panic(fmt.Sprintf("charm: pe %d: SetUnpacker for unregistered type %d", rt.p.MyPe(), typeID))
+	}
+	rt.types[typeID].unpack = u
+}
+
+// Migrate moves the chare (typeID, id) from this processor to dst while
+// the computation is in progress. The chare must live here, implement
+// Migratable, and its type must have an Unpacker. Invocations in flight
+// or arriving during and after the move are delivered to the new
+// incarnation via the forwarding queue and forwarding table.
+func (rt *RT) Migrate(typeID int, id ChareID, dst int) {
+	if id.PE != rt.p.MyPe() {
+		panic(fmt.Sprintf("charm: pe %d: Migrate of non-local chare %v", rt.p.MyPe(), id))
+	}
+	rec, ok := rt.chares[id.Local]
+	if !ok {
+		panic(fmt.Sprintf("charm: pe %d: Migrate of unknown chare %v", rt.p.MyPe(), id))
+	}
+	m, ok := rec.obj.(Migratable)
+	if !ok {
+		panic(fmt.Sprintf("charm: pe %d: chare %v does not implement Migratable", rt.p.MyPe(), id))
+	}
+	if rt.types[typeID].unpack == nil {
+		panic(fmt.Sprintf("charm: pe %d: type %d has no Unpacker", rt.p.MyPe(), typeID))
+	}
+	if dst == rt.p.MyPe() {
+		return // moving home is a no-op
+	}
+	blob := m.Pack()
+	delete(rt.chares, id.Local)
+	rt.inMove[id.Local] = &moveState{}
+
+	msg := core.NewMsg(rt.hMigrate, 12+len(blob))
+	pl := core.Payload(msg)
+	binary.LittleEndian.PutUint32(pl[0:], uint32(typeID))
+	binary.LittleEndian.PutUint32(pl[4:], uint32(rt.p.MyPe()))
+	binary.LittleEndian.PutUint32(pl[8:], id.Local)
+	copy(pl[12:], blob)
+	rt.p.SyncSendAndFree(dst, msg)
+	rt.migrations++
+}
+
+// moveState is the forwarding queue of a migration in progress.
+type moveState struct {
+	held [][]byte // grabbed invocation messages awaiting the new home
+}
+
+// Migrations reports how many chares this processor has migrated away.
+func (rt *RT) Migrations() uint64 { return rt.migrations }
+
+// onMigrate rebuilds an arriving chare and reports its new id home.
+func (rt *RT) onMigrate(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	typeID := int(binary.LittleEndian.Uint32(pl[0:]))
+	origin := int(binary.LittleEndian.Uint32(pl[4:]))
+	oldLocal := binary.LittleEndian.Uint32(pl[8:])
+	rt.next++
+	newID := ChareID{PE: p.MyPe(), Local: rt.next}
+	if tr := p.Tracer(); tr != nil {
+		tr.Event(core.TraceEvent{Kind: core.EvObjectCreate, T: p.TimerUs(), PE: p.MyPe(), Aux: int(newID.Local)})
+	}
+	rt.chares[newID.Local] = &chareRec{obj: rt.types[typeID].unpack(rt, newID, pl[12:]), typ: typeID}
+
+	moved := core.NewMsg(rt.hMoved, 4+ChareIDSize)
+	mp := core.Payload(moved)
+	binary.LittleEndian.PutUint32(mp[0:], oldLocal)
+	newID.Encode(mp[4:])
+	p.SyncSendAndFree(origin, moved)
+}
+
+// onMoved installs the forwarding entry and flushes the held queue.
+func (rt *RT) onMoved(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	oldLocal := binary.LittleEndian.Uint32(pl[0:])
+	newID := DecodeChareID(pl[4:])
+	st, ok := rt.inMove[oldLocal]
+	if !ok {
+		panic(fmt.Sprintf("charm: pe %d: moved-notice for unknown migration %d", p.MyPe(), oldLocal))
+	}
+	delete(rt.inMove, oldLocal)
+	rt.forwards[oldLocal] = newID
+	for _, held := range st.held {
+		rt.forwardInvoke(held, newID)
+	}
+}
+
+// forwardInvoke rewrites an owned invocation message to the new home
+// and re-sends it. The quiescence counters see one send.
+func (rt *RT) forwardInvoke(msg []byte, to ChareID) {
+	pl := core.Payload(msg)
+	to.Encode(pl[0:])
+	core.SetFlags(msg, 0) // fresh again at the destination
+	rt.sent++
+	rt.p.SyncSendAndFree(to.PE, msg)
+}
+
+// redirectInvoke handles a replayed invocation whose chare is gone:
+// held if the migration is still in flight, forwarded if the new home
+// is known. It reports whether it consumed the message.
+func (rt *RT) redirectInvoke(p *core.Proc, msg []byte, local uint32) bool {
+	if st, ok := rt.inMove[local]; ok {
+		st.held = append(st.held, p.GrabBuffer())
+		return true
+	}
+	if to, ok := rt.forwards[local]; ok {
+		rt.forwardInvoke(p.GrabBuffer(), to)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+package charm
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/ldb"
+)
+
+// counterChare is a migratable chare accumulating byte values.
+type counterChare struct {
+	sum int64
+}
+
+func (c *counterChare) Pack() []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(c.sum))
+	return out
+}
+
+// registerCounter registers the migratable counter type on a runtime,
+// reporting final sums through the finals channel-free slice.
+func registerCounter(rt *RT, total *int64) int {
+	typeID := rt.Register(
+		func(rt *RT, self ChareID, msg []byte) any { return &counterChare{} },
+		// entry 0: add msg[0]
+		func(rt *RT, obj any, msg []byte) {
+			obj.(*counterChare).sum += int64(msg[0])
+			atomic.AddInt64(total, int64(msg[0]))
+		},
+	)
+	rt.SetUnpacker(typeID, func(rt *RT, self ChareID, blob []byte) any {
+		return &counterChare{sum: int64(binary.LittleEndian.Uint64(blob))}
+	})
+	return typeID
+}
+
+func TestMigrationPreservesStateAndDelivery(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 2, Watchdog: 20 * time.Second})
+	var total int64
+	var migratedSum int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := registerCounter(rt, &total)
+		if p.MyPe() != 0 {
+			p.Scheduler(-1)
+			return
+		}
+		id := rt.CreateHere(typeID, nil)
+		// Feed it, then migrate it mid-computation, then feed the OLD
+		// id again: the forwarding machinery must deliver.
+		rt.Send(typeID, id, 0, []byte{5})
+		p.ScheduleUntilIdle()
+		rt.Migrate(typeID, id, 1)
+		for i := 0; i < 4; i++ {
+			rt.Send(typeID, id, 0, []byte{10}) // old address
+		}
+		rt.StartQD(func(rt *RT) {
+			// All 45 units must have been absorbed somewhere.
+			migratedSum = atomic.LoadInt64(&total)
+			rt.ExitAll()
+		})
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migratedSum != 45 {
+		t.Fatalf("total delivered = %d, want 45", migratedSum)
+	}
+}
+
+func TestMigrationHeldQueue(t *testing.T) {
+	// Messages sent to the old home while the move is still in flight
+	// must be held and flushed, not lost or crashed.
+	cm := core.NewMachine(core.Config{PEs: 2, Watchdog: 20 * time.Second})
+	var total int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := registerCounter(rt, &total)
+		if p.MyPe() != 0 {
+			p.Scheduler(-1)
+			return
+		}
+		id := rt.CreateHere(typeID, nil)
+		rt.Migrate(typeID, id, 1)
+		// The moved-notice has NOT been processed yet (we have not
+		// scheduled): these go to the held queue.
+		rt.Send(typeID, id, 0, []byte{1})
+		rt.Send(typeID, id, 0, []byte{2})
+		if rt.Migrations() != 1 {
+			t.Errorf("Migrations = %d", rt.Migrations())
+		}
+		rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+}
+
+func TestChainedMigration(t *testing.T) {
+	// A -> B -> C: messages to the original address traverse two
+	// forwarding hops.
+	cm := core.NewMachine(core.Config{PEs: 3, Watchdog: 20 * time.Second})
+	var total int64
+	// relay: on receipt, PE1 migrates its (only) resident chare onward
+	// to PE2. Registered machine-wide before Attach so indices agree.
+	hRelay := cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		rt := Get(p)
+		typeID := int(binary.LittleEndian.Uint32(core.Payload(msg)))
+		for local := range rt.chares {
+			rt.Migrate(typeID, ChareID{PE: p.MyPe(), Local: local}, 2)
+		}
+	})
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := registerCounter(rt, &total)
+		switch p.MyPe() {
+		case 0:
+			id := rt.CreateHere(typeID, nil)
+			rt.Migrate(typeID, id, 1)
+			p.ScheduleUntilIdle() // processes the moved-notice
+			// Ask PE1 to push the chare onward to PE2.
+			ctl := core.NewMsg(hRelay, 4)
+			binary.LittleEndian.PutUint32(core.Payload(ctl), uint32(typeID))
+			p.SyncSendAndFree(1, ctl)
+			// The old address must still work after both hops.
+			rt.Send(typeID, id, 0, []byte{7})
+			rt.Send(typeID, id, 0, []byte{8})
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+			p.Scheduler(-1)
+		default:
+			p.Scheduler(-1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 15 {
+		t.Fatalf("total = %d, want 15", total)
+	}
+}
+
+func TestMigrateNonMigratablePanics(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 2, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any {
+			return struct{}{} // not Migratable
+		})
+		if p.MyPe() == 0 {
+			id := rt.CreateHere(typeID, nil)
+			rt.Migrate(typeID, id, 1)
+		}
+	})
+	if err == nil {
+		t.Fatal("migrating a non-Migratable chare did not error")
+	}
+}
+
+func TestMigrateWithoutUnpackerPanics(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 2, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := rt.Register(func(rt *RT, self ChareID, msg []byte) any {
+			return &counterChare{}
+		})
+		if p.MyPe() == 0 {
+			id := rt.CreateHere(typeID, nil)
+			rt.Migrate(typeID, id, 1)
+		}
+	})
+	if err == nil {
+		t.Fatal("migrating without an Unpacker did not error")
+	}
+}
+
+func TestMigrateToSelfNoop(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second})
+	var total int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := registerCounter(rt, &total)
+		id := rt.CreateHere(typeID, nil)
+		rt.Migrate(typeID, id, 0)
+		rt.Send(typeID, id, 0, []byte{9})
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,102 @@
+package charm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"converse/internal/core"
+)
+
+// Quiescence detection. Message-driven programs have no natural end:
+// work exists wherever messages are queued or in flight, so "done" is a
+// global property — no chare message anywhere remains unprocessed. The
+// runtime counts application messages sent and processed on each
+// processor and an initiator runs repeated probe waves; following the
+// classic double-wave (four-counter) scheme, quiescence is declared when
+// two consecutive waves report identical, balanced global counts. The
+// counters are monotonic, so unchanged balanced sums across two waves
+// imply no activity occurred anywhere between them and nothing was in
+// flight.
+
+// StartQD begins quiescence detection on this processor (the
+// initiator); onQuiescence runs here, in handler context, when the
+// machine-wide chare computation has quiesced. Typical callbacks
+// broadcast an exit (see ExitAll).
+func (rt *RT) StartQD(onQuiescence func(rt *RT)) {
+	if rt.qdActive {
+		panic(fmt.Sprintf("charm: pe %d: quiescence detection already active", rt.p.MyPe()))
+	}
+	rt.qdActive = true
+	rt.qdPrevBalanced = false
+	rt.onQuiescence = onQuiescence
+	rt.probeWave()
+}
+
+// probeWave broadcasts a round-stamped probe to every processor
+// (including this one).
+func (rt *RT) probeWave() {
+	rt.qdRound++
+	rt.qdGot = 0
+	rt.qdSent, rt.qdProc = 0, 0
+	msg := core.NewMsg(rt.hProbe, 8)
+	pl := core.Payload(msg)
+	binary.LittleEndian.PutUint32(pl[0:], rt.qdRound)
+	binary.LittleEndian.PutUint32(pl[4:], uint32(rt.p.MyPe()))
+	rt.p.SyncBroadcastAllAndFree(msg)
+}
+
+// onProbe reports this processor's counters back to the initiator.
+func (rt *RT) onProbe(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	round := binary.LittleEndian.Uint32(pl[0:])
+	initiator := int(binary.LittleEndian.Uint32(pl[4:]))
+	reply := core.NewMsg(rt.hReply, 20)
+	rp := core.Payload(reply)
+	binary.LittleEndian.PutUint32(rp[0:], round)
+	binary.LittleEndian.PutUint64(rp[4:], rt.sent)
+	binary.LittleEndian.PutUint64(rp[12:], rt.processed)
+	p.SyncSendAndFree(initiator, reply)
+}
+
+// onReply accumulates a wave at the initiator and decides: quiescent,
+// or probe again.
+func (rt *RT) onReply(p *core.Proc, msg []byte) {
+	if !rt.qdActive {
+		return
+	}
+	pl := core.Payload(msg)
+	if binary.LittleEndian.Uint32(pl[0:]) != rt.qdRound {
+		return // stale wave
+	}
+	rt.qdSent += binary.LittleEndian.Uint64(pl[4:])
+	rt.qdProc += binary.LittleEndian.Uint64(pl[12:])
+	rt.qdGot++
+	if rt.qdGot < p.NumPes() {
+		return
+	}
+	balanced := rt.qdSent == rt.qdProc
+	confirmed := balanced && rt.qdPrevBalanced &&
+		rt.qdSent == rt.qdPrevSent && rt.qdProc == rt.qdPrevProc
+	rt.qdPrevBalanced = balanced
+	rt.qdPrevSent, rt.qdPrevProc = rt.qdSent, rt.qdProc
+	if confirmed {
+		rt.qdActive = false
+		if rt.onQuiescence != nil {
+			rt.onQuiescence(rt)
+		}
+		return
+	}
+	rt.probeWave()
+}
+
+// ExitAll broadcasts a scheduler-exit to every processor; each
+// processor's innermost Scheduler call returns. Standard termination
+// for chare programs after quiescence.
+func (rt *RT) ExitAll() {
+	rt.p.SyncBroadcastAllAndFree(core.NewMsg(rt.hQD, 0))
+}
+
+// onQD stops the local scheduler.
+func (rt *RT) onQD(p *core.Proc, msg []byte) {
+	p.ExitScheduler()
+}

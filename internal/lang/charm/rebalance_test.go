@@ -1,0 +1,141 @@
+package charm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/ldb"
+)
+
+func TestRebalanceEvensOutChares(t *testing.T) {
+	const pes = 4
+	const total = 22 // not divisible by pes: targets are 6,6,5,5
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	countsAfter := make([]int64, pes)
+	var sum int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var tCount int64
+		typeID := registerCounter(rt, &tCount)
+		// Lopsided creation: everything on PE0.
+		if p.MyPe() == 0 {
+			for i := 0; i < total; i++ {
+				id := rt.CreateHere(typeID, nil)
+				rt.Send(typeID, id, 0, []byte{1}) // give each some state
+			}
+			p.ScheduleUntilIdle()
+		}
+		rt.Rebalance(typeID)
+		// Let the moved-notices settle so forwarding tables are final.
+		p.ScheduleUntilIdle()
+		n := len(rt.LocalChares(typeID))
+		atomic.StoreInt64(&countsAfter[p.MyPe()], int64(n))
+		// Verify migrated state arrived intact: sum the counters.
+		var local int64
+		for _, id := range rt.LocalChares(typeID) {
+			local += rt.Chare(id).(*counterChare).sum
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for pe, c := range countsAfter {
+		n += c
+		if c < total/pes || c > total/pes+1 {
+			t.Errorf("PE %d has %d chares after rebalance, want %d or %d",
+				pe, c, total/pes, total/pes+1)
+		}
+	}
+	if n != total {
+		t.Fatalf("chares after rebalance = %d, want %d", n, total)
+	}
+	if sum != total {
+		t.Fatalf("migrated state sum = %d, want %d", sum, total)
+	}
+}
+
+func TestRebalanceAlreadyBalancedShipsNothing(t *testing.T) {
+	const pes = 3
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	var shippedTotal int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var tc int64
+		typeID := registerCounter(rt, &tc)
+		for i := 0; i < 5; i++ {
+			rt.CreateHere(typeID, nil)
+		}
+		shipped := rt.Rebalance(typeID)
+		atomic.AddInt64(&shippedTotal, int64(shipped))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shippedTotal != 0 {
+		t.Fatalf("balanced system shipped %d chares", shippedTotal)
+	}
+}
+
+func TestRebalanceThenComputePhase(t *testing.T) {
+	// The quasi-dynamic pattern end to end: phase 1 creates lopsided
+	// work, rebalance, phase 2 sends to the OLD addresses — forwarding
+	// must route everything to the moved chares.
+	const pes = 3
+	const total = 9
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	var delivered int64
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		typeID := registerCounter(rt, &delivered)
+		var ids []ChareID
+		if p.MyPe() == 0 {
+			for i := 0; i < total; i++ {
+				ids = append(ids, rt.CreateHere(typeID, nil))
+			}
+		}
+		rt.Rebalance(typeID)
+		if p.MyPe() == 0 {
+			// Phase 2: address chares by their pre-rebalance ids.
+			for _, id := range ids {
+				rt.Send(typeID, id, 0, []byte{2})
+			}
+			rt.StartQD(func(rt *RT) { rt.ExitAll() })
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2*total {
+		t.Fatalf("delivered = %d, want %d", delivered, 2*total)
+	}
+}
+
+func TestRepeatedRebalance(t *testing.T) {
+	const pes = 2
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		rt := Attach(p, ldb.NewSpray())
+		var tc int64
+		typeID := registerCounter(rt, &tc)
+		if p.MyPe() == 0 {
+			for i := 0; i < 8; i++ {
+				rt.CreateHere(typeID, nil)
+			}
+		}
+		for round := 0; round < 3; round++ {
+			rt.Rebalance(typeID)
+			p.ScheduleUntilIdle()
+		}
+		if n := len(rt.LocalChares(typeID)); n != 4 {
+			t.Errorf("pe %d: %d chares after repeated rebalance, want 4", p.MyPe(), n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

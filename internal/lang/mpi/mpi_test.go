@@ -1,0 +1,294 @@
+package mpi
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+)
+
+func newMachine(pes int) *core.Machine {
+	return core.NewMachine(core.Config{PEs: pes, Watchdog: 15 * time.Second})
+}
+
+func TestSendRecvStatus(t *testing.T) {
+	cm := newMachine(2)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		if m.Rank() == 0 {
+			m.Send([]byte("hello-mpi"), 1, 42)
+			return
+		}
+		buf := make([]byte, 32)
+		st := m.Recv(buf, 0, 42)
+		if st.Source != 0 || st.Tag != 42 || st.Count != 9 {
+			t.Errorf("status = %+v", st)
+		}
+		if string(buf[:st.Count]) != "hello-mpi" {
+			t.Errorf("buf = %q", buf[:st.Count])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	cm := newMachine(3)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		switch m.Rank() {
+		case 1:
+			m.Send([]byte{1}, 0, 10)
+		case 2:
+			m.Send([]byte{2}, 0, 20)
+		case 0:
+			buf := make([]byte, 4)
+			st1 := m.Recv(buf, AnySource, 20)
+			if st1.Source != 2 || buf[0] != 2 {
+				t.Errorf("Recv(*,20) = %+v", st1)
+			}
+			st2 := m.Recv(buf, 1, AnyTag)
+			if st2.Tag != 10 || buf[0] != 1 {
+				t.Errorf("Recv(1,*) = %+v", st2)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseOrderPreserved(t *testing.T) {
+	// MPI guarantees non-overtaking between a pair with equal tags.
+	cm := newMachine(2)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		if m.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				m.Send([]byte{byte(i)}, 1, 7)
+			}
+			return
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < 50; i++ {
+			m.Recv(buf, 0, 7)
+			if int(buf[0]) != i {
+				t.Fatalf("message %d overtaken by %d", i, buf[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	cm := newMachine(2)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		if m.Rank() == 0 {
+			m.Send([]byte("sized"), 1, 3)
+			return
+		}
+		st := m.Probe(0, 3)
+		if st.Count != 5 {
+			t.Errorf("Probe count = %d", st.Count)
+		}
+		buf := make([]byte, st.Count) // classic probe-then-recv sizing
+		m.Recv(buf, st.Source, st.Tag)
+		if string(buf) != "sized" {
+			t.Errorf("buf = %q", buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	cm := newMachine(2)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		if m.Rank() == 0 {
+			if _, ok := m.Iprobe(AnySource, AnyTag); ok {
+				t.Error("Iprobe matched on empty system")
+			}
+			m.Send([]byte{1}, 1, 1)
+			m.Recv(make([]byte, 1), 1, 2) // ack
+			return
+		}
+		for {
+			if st, ok := m.Iprobe(0, 1); ok {
+				if st.Count != 1 {
+					t.Errorf("Iprobe status = %+v", st)
+				}
+				break
+			}
+		}
+		m.Recv(make([]byte, 1), 0, 1)
+		m.Send([]byte{1}, 0, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvHeadOnExchange(t *testing.T) {
+	cm := newMachine(2)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		other := 1 - m.Rank()
+		out := []byte{byte(m.Rank() + 10)}
+		in := make([]byte, 1)
+		m.Sendrecv(out, other, 5, in, other, 5)
+		if int(in[0]) != other+10 {
+			t.Errorf("rank %d received %d", m.Rank(), in[0])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const pes = 5
+	cm := newMachine(pes)
+	var arrived int64
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		atomic.AddInt64(&arrived, 1)
+		m.Barrier()
+		if n := atomic.LoadInt64(&arrived); n != pes {
+			t.Errorf("rank %d passed barrier with %d arrivals", m.Rank(), n)
+		}
+		m.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastFromEachRoot(t *testing.T) {
+	const pes = 6
+	for root := 0; root < pes; root++ {
+		cm := newMachine(pes)
+		err := cm.Run(func(p *core.Proc) {
+			m := Attach(p)
+			buf := make([]byte, 8)
+			if m.Rank() == root {
+				copy(buf, "RootData")
+			}
+			m.Bcast(buf, root)
+			if string(buf) != "RootData" {
+				t.Errorf("root=%d rank=%d got %q", root, m.Rank(), buf)
+			}
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+	}
+}
+
+func TestReduceAtEveryRoot(t *testing.T) {
+	const pes = 4
+	for root := 0; root < pes; root++ {
+		cm := newMachine(pes)
+		results := make([]int64, pes)
+		err := cm.Run(func(p *core.Proc) {
+			m := Attach(p)
+			results[m.Rank()] = m.Reduce(int64(m.Rank()+1), OpSum, root)
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for rank, r := range results {
+			want := int64(0)
+			if rank == root {
+				want = 10 // 1+2+3+4
+			}
+			if r != want {
+				t.Errorf("root=%d rank=%d Reduce = %d, want %d", root, rank, r, want)
+			}
+		}
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	const pes = 7
+	cm := newMachine(pes)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		got := m.Allreduce(int64(m.Rank()+1), OpSum)
+		if got != pes*(pes+1)/2 {
+			t.Errorf("rank %d Allreduce = %d", m.Rank(), got)
+		}
+		if mx := m.Allreduce(int64(m.Rank()), OpMax); mx != pes-1 {
+			t.Errorf("rank %d Allreduce max = %d", m.Rank(), mx)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const pes = 4
+	cm := newMachine(pes)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		block := []byte{byte(m.Rank()), byte(m.Rank() * 2)}
+		out := m.Gather(block, 1)
+		if m.Rank() != 1 {
+			if out != nil {
+				t.Errorf("rank %d got non-nil gather", m.Rank())
+			}
+			return
+		}
+		want := []byte{0, 0, 1, 2, 2, 4, 3, 6}
+		if !bytes.Equal(out, want) {
+			t.Errorf("Gather = %v, want %v", out, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesInterleavedWithP2P(t *testing.T) {
+	const pes = 4
+	cm := newMachine(pes)
+	err := cm.Run(func(p *core.Proc) {
+		m := Attach(p)
+		for round := 0; round < 5; round++ {
+			// point-to-point ring...
+			next := (m.Rank() + 1) % pes
+			prev := (m.Rank() + pes - 1) % pes
+			in := make([]byte, 1)
+			m.Sendrecv([]byte{byte(m.Rank())}, next, 9, in, prev, 9)
+			if int(in[0]) != prev {
+				t.Errorf("round %d: rank %d got %d", round, m.Rank(), in[0])
+			}
+			// ...interleaved with collectives
+			if s := m.Allreduce(1, OpSum); s != pes {
+				t.Errorf("Allreduce = %d", s)
+			}
+			m.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadTagPanics(t *testing.T) {
+	cm := newMachine(1)
+	err := cm.Run(func(p *core.Proc) {
+		Attach(p).Send(nil, 0, -3)
+	})
+	if err == nil {
+		t.Fatal("negative tag did not error")
+	}
+}

@@ -1,0 +1,321 @@
+// Package ldb implements Converse's dynamic load balancing module for
+// "seeds" (§3.3.1): pieces of work, represented as generalized messages,
+// that can execute on any processor. A language runtime hands a seed to
+// the balancer on any processor; the balancing strategy moves it from
+// processor to processor until it "takes root" — is handed to its
+// handler — on some destination.
+//
+// As the paper notes, "there are a large number of load balancing
+// modules supported in Converse. Each one is often useful in a different
+// situation. Depending on the application, the user is able to link in a
+// different load balancing strategy." Here the strategy is a Policy
+// value: Random, Spray (round robin), Neighbor (load diffusion on a
+// ring), or Central (manager-based).
+package ldb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"converse/internal/core"
+)
+
+// Balancer is the per-processor load-balancing module. Create one with
+// New on every processor, at the same point of startup (it registers
+// message handlers).
+type Balancer struct {
+	p   *core.Proc
+	pol Policy
+
+	hSeed   int
+	hStatus int
+
+	deposited, rooted, forwarded uint64
+}
+
+// Policy decides where seeds go. Implementations are per-processor
+// (each Balancer owns its own Policy value) and communicate with remote
+// counterparts through status messages.
+type Policy interface {
+	// Name identifies the strategy for diagnostics.
+	Name() string
+	// Setup is called once when the balancer is created.
+	Setup(b *Balancer)
+	// Place picks the destination processor for a seed that is being
+	// deposited locally or is passing through (hops counts prior
+	// forwards). Returning the local processor id roots the seed here.
+	Place(b *Balancer, hops int) int
+	// OnStatus processes a strategy-specific status message from a
+	// peer balancer.
+	OnStatus(b *Balancer, src int, payload []byte)
+}
+
+// maxHops bounds seed forwarding so no strategy can make a seed float
+// forever.
+const maxHops = 8
+
+// New creates the processor's balancer with the given policy.
+func New(p *core.Proc, pol Policy) *Balancer {
+	b := &Balancer{p: p, pol: pol}
+	b.hSeed = p.RegisterHandler(b.onSeed)
+	b.hStatus = p.RegisterHandler(b.onStatus)
+	pol.Setup(b)
+	return b
+}
+
+// Proc returns the balancer's processor.
+func (b *Balancer) Proc() *core.Proc { return b.p }
+
+// Deposit hands a seed — a generalized message whose handler performs
+// the work — to the balancing module (the paper's "a language runtime
+// may hand over a seed, in the form of a generalized message, on any
+// processor"). Ownership of the buffer transfers to the balancer.
+func (b *Balancer) Deposit(seed []byte) {
+	if len(seed) < core.HeaderSize {
+		panic(fmt.Sprintf("ldb: pe %d: seed smaller than a message header", b.p.MyPe()))
+	}
+	b.deposited++
+	b.route(seed, 0)
+}
+
+// route sends the seed to the policy's pick, or roots it locally.
+func (b *Balancer) route(seed []byte, hops int) {
+	dst := b.p.MyPe()
+	if hops < maxHops {
+		dst = b.pol.Place(b, hops)
+	}
+	if dst == b.p.MyPe() {
+		b.rooted++
+		b.p.Enqueue(seed) // takes root: scheduled for its handler here
+		return
+	}
+	b.forwarded++
+	env := core.NewMsg(b.hSeed, 1+len(seed))
+	pl := core.Payload(env)
+	pl[0] = byte(hops + 1)
+	copy(pl[1:], seed)
+	b.p.SyncSendAndFree(dst, env)
+}
+
+// onSeed receives a traveling seed envelope.
+func (b *Balancer) onSeed(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	hops := int(pl[0])
+	seed := make([]byte, len(pl)-1)
+	copy(seed, pl[1:])
+	b.route(seed, hops)
+}
+
+// onStatus delivers a policy status message.
+func (b *Balancer) onStatus(p *core.Proc, msg []byte) {
+	pl := core.Payload(msg)
+	src := int(pl[0])
+	b.pol.OnStatus(b, src, pl[1:])
+}
+
+// sendStatus ships a policy status payload to a peer balancer.
+func (b *Balancer) sendStatus(dst int, payload []byte) {
+	msg := core.NewMsg(b.hStatus, 1+len(payload))
+	pl := core.Payload(msg)
+	pl[0] = byte(b.p.MyPe())
+	copy(pl[1:], payload)
+	b.p.SyncSendAndFree(dst, msg)
+}
+
+// Load is the local load metric: the scheduler queue length (which
+// includes rooted seeds awaiting execution). The paper's module "can
+// also make calls to other entities for ascertaining the load"; the
+// queue length is the core's own measure.
+func (b *Balancer) Load() int { return b.p.QueueLen() }
+
+// Stats reports the number of seeds deposited locally, rooted locally,
+// and forwarded onward by this balancer.
+func (b *Balancer) Stats() (deposited, rooted, forwarded uint64) {
+	return b.deposited, b.rooted, b.forwarded
+}
+
+// --- Random ---
+
+// RandomPolicy sends every deposited seed to a uniformly random
+// processor (including this one), where it takes root. Simple, cheap,
+// and surprisingly effective for irregular task trees.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds a random policy; each processor should use a
+// different seed for decorrelation (e.g. its PE number).
+func NewRandom(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*RandomPolicy) Name() string { return "random" }
+
+// Setup implements Policy.
+func (*RandomPolicy) Setup(*Balancer) {}
+
+// Place implements Policy: fresh seeds scatter randomly; arriving seeds
+// take root.
+func (r *RandomPolicy) Place(b *Balancer, hops int) int {
+	if hops > 0 {
+		return b.p.MyPe()
+	}
+	return r.rng.Intn(b.p.NumPes())
+}
+
+// OnStatus implements Policy.
+func (*RandomPolicy) OnStatus(*Balancer, int, []byte) {}
+
+// --- Spray (round robin) ---
+
+// SprayPolicy deals deposited seeds round-robin across all processors,
+// guaranteeing an even spread of seed counts regardless of depositor.
+type SprayPolicy struct {
+	next int
+}
+
+// NewSpray builds a spray policy.
+func NewSpray() *SprayPolicy { return &SprayPolicy{} }
+
+// Name implements Policy.
+func (*SprayPolicy) Name() string { return "spray" }
+
+// Setup implements Policy: stagger starting points so concurrent
+// depositors do not all dump on processor 0.
+func (s *SprayPolicy) Setup(b *Balancer) { s.next = b.p.MyPe() }
+
+// Place implements Policy.
+func (s *SprayPolicy) Place(b *Balancer, hops int) int {
+	if hops > 0 {
+		return b.p.MyPe()
+	}
+	dst := s.next % b.p.NumPes()
+	s.next++
+	return dst
+}
+
+// OnStatus implements Policy.
+func (*SprayPolicy) OnStatus(*Balancer, int, []byte) {}
+
+// --- Neighbor (load diffusion on a ring) ---
+
+// NeighborPolicy keeps seeds local while the local load is modest and
+// diffuses them to the less-loaded ring neighbor when it is not,
+// exchanging load estimates with the two ring neighbors on every
+// placement decision. This is the classic neighborhood-averaging scheme
+// the paper's module family includes.
+type NeighborPolicy struct {
+	// Threshold is how much the local load may exceed the best
+	// neighbor estimate before seeds are pushed away.
+	Threshold int
+
+	left, right         int
+	leftLoad, rightLoad int
+	sinceStatus         int
+}
+
+// NewNeighbor builds a neighbor-diffusion policy.
+func NewNeighbor(threshold int) *NeighborPolicy {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &NeighborPolicy{Threshold: threshold}
+}
+
+// Name implements Policy.
+func (*NeighborPolicy) Name() string { return "neighbor" }
+
+// Setup implements Policy.
+func (n *NeighborPolicy) Setup(b *Balancer) {
+	pes := b.p.NumPes()
+	me := b.p.MyPe()
+	n.left = (me - 1 + pes) % pes
+	n.right = (me + 1) % pes
+}
+
+// Place implements Policy.
+func (n *NeighborPolicy) Place(b *Balancer, hops int) int {
+	me := b.p.MyPe()
+	if n.left == me { // single-processor machine
+		return me
+	}
+	n.sinceStatus++
+	if n.sinceStatus >= 4 {
+		n.sinceStatus = 0
+		n.broadcastLoad(b)
+	}
+	load := b.Load()
+	best, bestLoad := n.left, n.leftLoad
+	if n.right != n.left && n.rightLoad < bestLoad {
+		best, bestLoad = n.right, n.rightLoad
+	}
+	if load > bestLoad+n.Threshold {
+		return best
+	}
+	return me
+}
+
+// OnStatus implements Policy: record a neighbor's reported load.
+func (n *NeighborPolicy) OnStatus(b *Balancer, src int, payload []byte) {
+	load := int(payload[0]) | int(payload[1])<<8
+	if src == n.left {
+		n.leftLoad = load
+	}
+	if src == n.right {
+		n.rightLoad = load
+	}
+}
+
+// broadcastLoad reports the local load to both ring neighbors.
+func (n *NeighborPolicy) broadcastLoad(b *Balancer) {
+	load := b.Load()
+	payload := []byte{byte(load), byte(load >> 8)}
+	b.sendStatus(n.left, payload)
+	if n.right != n.left {
+		b.sendStatus(n.right, payload)
+	}
+}
+
+// --- Central manager ---
+
+// CentralPolicy funnels every seed through a manager processor, which
+// deals them out round-robin. It models the centralized strategies in
+// Converse's module family: simple global decisions at the cost of a
+// potential bottleneck.
+type CentralPolicy struct {
+	Manager int
+	next    int
+}
+
+// NewCentral builds a central-manager policy; all processors must name
+// the same manager.
+func NewCentral(manager int) *CentralPolicy { return &CentralPolicy{Manager: manager} }
+
+// Name implements Policy.
+func (*CentralPolicy) Name() string { return "central" }
+
+// Setup implements Policy.
+func (*CentralPolicy) Setup(*Balancer) {}
+
+// Place implements Policy: non-managers forward fresh seeds to the
+// manager; the manager deals arrivals (and its own deposits) round
+// robin; workers root whatever the manager assigns them.
+func (c *CentralPolicy) Place(b *Balancer, hops int) int {
+	me := b.p.MyPe()
+	if me != c.Manager {
+		if hops == 0 {
+			return c.Manager
+		}
+		return me // assigned by the manager: take root
+	}
+	if hops > 1 {
+		return me // already dealt once: avoid ping-ponging
+	}
+	dst := c.next % b.p.NumPes()
+	c.next++
+	return dst
+}
+
+// OnStatus implements Policy.
+func (*CentralPolicy) OnStatus(*Balancer, int, []byte) {}

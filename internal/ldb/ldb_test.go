@@ -1,0 +1,184 @@
+package ldb
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+)
+
+// runSeedWorkload deposits perPE seeds on every processor of a pes-wide
+// machine under the given policy factory, runs until every seed has
+// executed exactly once, and returns the per-PE execution counts.
+func runSeedWorkload(t *testing.T, pes, perPE int, mkPolicy func(pe int) Policy) []int64 {
+	t.Helper()
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	total := int64(pes * perPE)
+	executed := make([]int64, pes) // owned per-PE; read after Run
+	var acks int64
+	var hWork, hAck, hStop int
+	hWork = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		executed[p.MyPe()]++
+		p.SyncSendAndFree(0, core.NewMsg(hAck, 0))
+	})
+	hAck = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if atomic.AddInt64(&acks, 1) == total {
+			p.SyncBroadcastAllAndFree(core.NewMsg(hStop, 0))
+		}
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, mkPolicy(p.MyPe()))
+		for i := 0; i < perPE; i++ {
+			b.Deposit(core.NewMsg(hWork, 8))
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, n := range executed {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("executed %d seeds, want %d (conservation violated)", sum, total)
+	}
+	return executed
+}
+
+func TestRandomConservation(t *testing.T) {
+	counts := runSeedWorkload(t, 4, 50, func(pe int) Policy { return NewRandom(int64(pe) + 1) })
+	// Uniform random: no PE should be starved entirely with 200 seeds.
+	for pe, n := range counts {
+		if n == 0 {
+			t.Errorf("PE %d executed no seeds under random policy: %v", pe, counts)
+		}
+	}
+}
+
+func TestSprayEvenSpread(t *testing.T) {
+	const pes, perPE = 4, 40
+	counts := runSeedWorkload(t, pes, perPE, func(pe int) Policy { return NewSpray() })
+	// Round robin from staggered origins: exactly even.
+	for pe, n := range counts {
+		if n != perPE {
+			t.Errorf("PE %d executed %d seeds, want exactly %d under spray: %v", pe, n, perPE, counts)
+		}
+	}
+}
+
+func TestCentralDealsAll(t *testing.T) {
+	const pes, perPE = 5, 20
+	counts := runSeedWorkload(t, pes, perPE, func(pe int) Policy { return NewCentral(0) })
+	for pe, n := range counts {
+		if n == 0 {
+			t.Errorf("PE %d starved under central policy: %v", pe, counts)
+		}
+	}
+}
+
+func TestNeighborConservation(t *testing.T) {
+	counts := runSeedWorkload(t, 4, 30, func(pe int) Policy { return NewNeighbor(2) })
+	_ = counts // conservation is asserted inside runSeedWorkload
+}
+
+func TestNeighborDiffusesFromHotSpot(t *testing.T) {
+	// All seeds deposited on PE0; the diffusion policy must push a
+	// meaningful share to the ring neighbors.
+	const pes = 4
+	const total = 200
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	executed := make([]int64, pes)
+	var acks int64
+	var hWork, hAck, hStop int
+	hWork = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		executed[p.MyPe()]++
+		p.SyncSendAndFree(0, core.NewMsg(hAck, 0))
+	})
+	hAck = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if atomic.AddInt64(&acks, 1) == total {
+			p.SyncBroadcastAllAndFree(core.NewMsg(hStop, 0))
+		}
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) { p.ExitScheduler() })
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, NewNeighbor(1))
+		if p.MyPe() == 0 {
+			for i := 0; i < total; i++ {
+				b.Deposit(core.NewMsg(hWork, 8))
+			}
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, n := range executed {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("executed %d, want %d", sum, total)
+	}
+	if executed[0] == total {
+		t.Errorf("no diffusion happened: %v", executed)
+	}
+}
+
+func TestSingleProcessorAllPolicies(t *testing.T) {
+	for _, mk := range []func(pe int) Policy{
+		func(pe int) Policy { return NewRandom(1) },
+		func(pe int) Policy { return NewSpray() },
+		func(pe int) Policy { return NewNeighbor(1) },
+		func(pe int) Policy { return NewCentral(0) },
+	} {
+		counts := runSeedWorkload(t, 1, 10, mk)
+		if counts[0] != 10 {
+			t.Errorf("1-PE machine executed %d seeds, want 10", counts[0])
+		}
+	}
+}
+
+func TestDepositShortSeedPanics(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 5 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, NewSpray())
+		b.Deposit([]byte{1})
+	})
+	if err == nil {
+		t.Fatal("short seed did not error")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 5 * time.Second})
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) {})
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, NewSpray())
+		for i := 0; i < 5; i++ {
+			b.Deposit(core.NewMsg(h, 0))
+		}
+		p.ScheduleUntilIdle()
+		dep, rooted, fwd := b.Stats()
+		if dep != 5 || rooted != 5 || fwd != 0 {
+			t.Errorf("stats = %d,%d,%d; want 5,5,0 on one PE", dep, rooted, fwd)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, pol := range []Policy{NewRandom(1), NewSpray(), NewNeighbor(1), NewCentral(0)} {
+		if pol.Name() == "" || names[pol.Name()] {
+			t.Errorf("bad or duplicate policy name %q", pol.Name())
+		}
+		names[pol.Name()] = true
+	}
+}

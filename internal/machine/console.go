@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// console serializes standard output, error and input across PEs,
+// implementing the MMI guarantee that "data from two separate printfs is
+// not interleaved" and that scanfs "from different sources are
+// effectively serialized".
+type console struct {
+	mu  sync.Mutex
+	out io.Writer
+	err io.Writer
+	in  *bufio.Reader
+}
+
+func (c *console) init() {
+	c.out = os.Stdout
+	c.err = os.Stderr
+	c.in = bufio.NewReader(os.Stdin)
+}
+
+// SetConsole redirects the machine's standard output and error streams.
+// Tests use it to capture atomic printf output. Either writer may be nil
+// to keep the current one.
+func (m *Machine) SetConsole(out, errw io.Writer) {
+	m.console.mu.Lock()
+	defer m.console.mu.Unlock()
+	if out != nil {
+		m.console.out = out
+	}
+	if errw != nil {
+		m.console.err = errw
+	}
+}
+
+// SetInput redirects the machine's standard input stream.
+func (m *Machine) SetInput(r io.Reader) {
+	m.console.mu.Lock()
+	defer m.console.mu.Unlock()
+	m.console.in = bufio.NewReader(r)
+}
+
+// Printf performs an atomic formatted write to the machine's standard
+// output on behalf of a PE (CmiPrintf).
+func (pe *PE) Printf(format string, args ...any) {
+	c := &pe.m.console
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.out, format, args...)
+}
+
+// Errorf performs an atomic formatted write to the machine's standard
+// error (CmiError).
+func (pe *PE) Errorf(format string, args ...any) {
+	c := &pe.m.console
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.err, format, args...)
+}
+
+// Scanf performs an atomic formatted read from the machine's standard
+// input, blocking the calling PE (CmiScanf). Reads from different PEs
+// are serialized: each call consumes one input line and scans it.
+func (pe *PE) Scanf(format string, args ...any) (int, error) {
+	line, err := pe.ReadLine()
+	if err != nil {
+		return 0, err
+	}
+	return fmt.Sscanf(line, format, args...)
+}
+
+// ReadLine atomically consumes one line from the machine's standard
+// input, without the trailing newline. It backs both the blocking and
+// the non-blocking (handler-result) forms of CmiScanf: the non-blocking
+// form ships the returned string to a handler, which can re-scan it with
+// fmt.Sscanf, exactly as the paper describes ("a formatted string, which
+// the recipient can re-scan using sscanf").
+func (pe *PE) ReadLine() (string, error) {
+	c := &pe.m.console
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.in.ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimRight(line, "\n"), nil
+}

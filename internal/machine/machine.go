@@ -1,0 +1,187 @@
+// Package machine implements the simulated multicomputer substrate that
+// stands in for the parallel hardware of the paper's evaluation (Sun/HP
+// workstation networks, Cray T3D, IBM SP, Intel Paragon).
+//
+// A Machine is a set of logical processing elements (PEs). Each PE is
+// driven by exactly one goroutine, owns a private address space by
+// convention (nothing is shared except through messages), and has a
+// thread-safe inbound packet queue fed by the other PEs. This is the
+// layer below the Converse machine interface (CMI): internal/core
+// implements CmiSyncSend, CmiGetMsg and friends on top of it.
+//
+// Every packet carries a virtual arrival time in microseconds, computed
+// from the sending PE's virtual clock plus a pluggable CostModel (wire
+// latency + software overheads). With a nil model all costs are zero and
+// the machine is a purely functional message-passing substrate; with one
+// of the internal/netmodel models attached, the virtual clocks reproduce
+// the timing behaviour of the paper's target machines.
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CostModel prices communication in virtual microseconds. Implementations
+// live in internal/netmodel; a nil model means every cost is zero.
+type CostModel interface {
+	// WireTime is the network transit time for a packet of the given
+	// total size in bytes (latency plus per-byte cost, including any
+	// packetization effects).
+	WireTime(bytes int) float64
+	// SendOverhead is the per-message software cost charged to the
+	// sender's clock at send time.
+	SendOverhead() float64
+	// RecvOverhead is the per-message software cost charged to the
+	// receiver's clock when it picks the packet up.
+	RecvOverhead() float64
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// PEs is the number of processing elements; must be >= 1.
+	PEs int
+	// Model prices communication in virtual time. Nil means free.
+	Model CostModel
+	// Watchdog, if nonzero, aborts Run after the given wall-clock
+	// duration, unblocking every PE. It exists so that tests of
+	// blocking primitives fail with an error instead of hanging.
+	Watchdog time.Duration
+}
+
+// Machine is a simulated multicomputer: Config.PEs processing elements
+// connected by a reliable, non-overtaking-per-pair transport.
+type Machine struct {
+	pes      []*PE
+	model    CostModel
+	console  console
+	watchdog time.Duration
+
+	stopMu  sync.Mutex
+	stopped bool
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.PEs < 1 {
+		panic(fmt.Sprintf("machine: PEs must be >= 1, got %d", cfg.PEs))
+	}
+	m := &Machine{model: cfg.Model}
+	m.console.init()
+	m.pes = make([]*PE, cfg.PEs)
+	for i := range m.pes {
+		m.pes[i] = newPE(m, i)
+	}
+	if cfg.Watchdog > 0 {
+		m.watchdog = cfg.Watchdog
+	}
+	return m
+}
+
+// NumPEs reports the number of processing elements.
+func (m *Machine) NumPEs() int { return len(m.pes) }
+
+// PE returns the processing element with the given id.
+func (m *Machine) PE(id int) *PE { return m.pes[id] }
+
+// Model returns the machine's cost model (possibly nil).
+func (m *Machine) Model() CostModel { return m.model }
+
+// Run starts one driver goroutine per PE, each executing start with its
+// PE, and returns when all of them have returned. It corresponds to the
+// process creation and coordination at initiation and termination points
+// that the paper assigns to the MMI (CmiInit/CmiExit).
+//
+// If any PE panics, Run recovers it and returns it as an error after the
+// remaining PEs finish or the watchdog fires. If the watchdog fires
+// first, Run unblocks every blocked receive and returns an error.
+func (m *Machine) Run(start func(pe *PE)) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(m.pes))
+	for _, pe := range m.pes {
+		wg.Add(1)
+		go func(pe *PE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 16<<10)
+					n := runtime.Stack(buf, false)
+					errs <- fmt.Errorf("machine: PE %d panicked: %v\n%s", pe.id, r, buf[:n])
+					m.Stop() // unblock the other PEs
+				}
+			}()
+			start(pe)
+		}(pe)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var timeout <-chan time.Time
+	if m.watchdog > 0 {
+		t := time.NewTimer(m.watchdog)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case <-done:
+	case <-timeout:
+		m.Stop()
+		<-done
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		return fmt.Errorf("machine: watchdog expired after %v (likely deadlock: %s)", m.watchdog, m.describeBlocked())
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	return nil
+}
+
+// Stop marks the machine stopped and unblocks every PE blocked in a
+// receive; their blocking calls return ok=false. Stop is idempotent and
+// safe to call from any goroutine.
+func (m *Machine) Stop() {
+	m.stopMu.Lock()
+	if m.stopped {
+		m.stopMu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.stopMu.Unlock()
+	for _, pe := range m.pes {
+		pe.mu.Lock()
+		pe.cond.Broadcast()
+		pe.mu.Unlock()
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (m *Machine) Stopped() bool {
+	m.stopMu.Lock()
+	defer m.stopMu.Unlock()
+	return m.stopped
+}
+
+// describeBlocked summarizes inbox states for watchdog diagnostics.
+func (m *Machine) describeBlocked() string {
+	s := ""
+	for _, pe := range m.pes {
+		pe.mu.Lock()
+		n := pe.inbox.Len()
+		pe.mu.Unlock()
+		if s != "" {
+			s += ", "
+		}
+		s += fmt.Sprintf("pe%d inbox=%d", pe.id, n)
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"sync"
+
+	"converse/internal/queue"
+)
+
+// Packet is a block of bytes in flight between two PEs, the machine-level
+// carrier of a Converse generalized message.
+type Packet struct {
+	Src, Dst int
+	Data     []byte
+	// Arrive is the packet's virtual arrival time at the destination,
+	// in microseconds: sender clock at send time plus modeled send
+	// overhead and wire time.
+	Arrive float64
+}
+
+// PE is one processing element of a simulated multicomputer. All of its
+// methods except the send family must be called only from the PE's own
+// driver goroutine (or a context hand-off chain rooted in it); the send
+// family may be called by any PE targeting this one.
+type PE struct {
+	id int
+	m  *Machine
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox queue.Deque[*Packet]
+
+	clock float64 // virtual time in microseconds; owned by the driver
+
+	// lastArrive[dst] is the arrival stamp of the previous packet this
+	// PE sent to dst. Links are FIFO (non-overtaking), so a packet's
+	// arrival time is never earlier than its predecessor's on the same
+	// link. Owned by the driver goroutine.
+	lastArrive []float64
+
+	// statistics, owned by the driver goroutine
+	sent     uint64
+	received uint64
+	sentToMe uint64 // updated under mu by senders
+}
+
+func newPE(m *Machine, id int) *PE {
+	pe := &PE{id: id, m: m}
+	pe.cond = sync.NewCond(&pe.mu)
+	return pe
+}
+
+// ID returns the PE's logical processor number (CmiMyPe).
+func (pe *PE) ID() int { return pe.id }
+
+// Machine returns the owning machine.
+func (pe *PE) Machine() *Machine { return pe.m }
+
+// NumPEs reports the machine size (CmiNumPe).
+func (pe *PE) NumPEs() int { return len(pe.m.pes) }
+
+// Clock returns the PE's current virtual time in microseconds
+// (the substrate behind CmiTimer).
+func (pe *PE) Clock() float64 { return pe.clock }
+
+// Charge advances the PE's virtual clock by dt microseconds. Layers above
+// use it to account for software costs that the cost model prices.
+func (pe *PE) Charge(dt float64) { pe.clock += dt }
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (pe *PE) AdvanceTo(t float64) {
+	if t > pe.clock {
+		pe.clock = t
+	}
+}
+
+// Send transmits a copy of data to the destination PE. The caller may
+// reuse data immediately (CmiSyncSend buffer semantics). The packet's
+// virtual arrival time is stamped from this PE's clock and the machine's
+// cost model.
+func (pe *PE) Send(dst int, data []byte) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	pe.SendOwned(dst, buf)
+}
+
+// SendOwned transmits data without copying; ownership of the slice
+// passes to the destination (the CmiSyncSendAndFree pattern: the sender
+// must not touch data afterwards).
+func (pe *PE) SendOwned(dst int, data []byte) {
+	if dst < 0 || dst >= len(pe.m.pes) {
+		panic("machine: send to invalid PE")
+	}
+	arrive := pe.clock
+	if mod := pe.m.model; mod != nil {
+		pe.clock += mod.SendOverhead()
+		arrive = pe.clock + mod.WireTime(len(data))
+	}
+	if pe.lastArrive == nil {
+		pe.lastArrive = make([]float64, len(pe.m.pes))
+	}
+	if arrive < pe.lastArrive[dst] {
+		arrive = pe.lastArrive[dst] // FIFO link: no overtaking
+	}
+	pe.lastArrive[dst] = arrive
+	pe.sent++
+	pkt := &Packet{Src: pe.id, Dst: dst, Data: data, Arrive: arrive}
+	pe.m.pes[dst].deliver(pkt)
+}
+
+// deliver appends a packet to the inbox and wakes blocked receivers.
+func (pe *PE) deliver(pkt *Packet) {
+	pe.mu.Lock()
+	pe.inbox.PushBack(pkt)
+	pe.sentToMe++
+	pe.mu.Unlock()
+	pe.cond.Broadcast()
+}
+
+// TryRecv removes and returns the oldest inbound packet without
+// blocking. It returns nil, false if the inbox is empty. On success the
+// PE's clock advances to the packet's arrival time plus the model's
+// receive overhead.
+func (pe *PE) TryRecv() (*Packet, bool) {
+	pe.mu.Lock()
+	pkt, ok := pe.inbox.PopFront()
+	pe.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	pe.arrived(pkt)
+	return pkt, true
+}
+
+// Recv blocks until a packet is available and returns it. It returns
+// nil, false if the machine is stopped while waiting (watchdog or
+// explicit Stop).
+func (pe *PE) Recv() (*Packet, bool) {
+	pe.mu.Lock()
+	for pe.inbox.Len() == 0 {
+		if pe.m.Stopped() {
+			pe.mu.Unlock()
+			return nil, false
+		}
+		pe.cond.Wait()
+	}
+	pkt, _ := pe.inbox.PopFront()
+	pe.mu.Unlock()
+	pe.arrived(pkt)
+	return pkt, true
+}
+
+// arrived performs the receive-side clock accounting for a packet.
+func (pe *PE) arrived(pkt *Packet) {
+	pe.AdvanceTo(pkt.Arrive)
+	if mod := pe.m.model; mod != nil {
+		pe.clock += mod.RecvOverhead()
+	}
+	pe.received++
+}
+
+// InboxLen reports the number of packets waiting in the inbox.
+func (pe *PE) InboxLen() int {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	return pe.inbox.Len()
+}
+
+// Stats reports the number of packets this PE has sent and received.
+func (pe *PE) Stats() (sent, received uint64) { return pe.sent, pe.received }

@@ -1,0 +1,215 @@
+package msgmgr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetSingleTag(t *testing.T) {
+	m := New()
+	m.Put([]byte("a"), 10)
+	m.Put([]byte("b"), 20)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	msg, tag, ok := m.Get(20)
+	if !ok || string(msg) != "b" || tag != 20 {
+		t.Fatalf("Get(20) = %q,%d,%v", msg, tag, ok)
+	}
+	if _, _, ok := m.Get(20); ok {
+		t.Fatal("second Get(20) found a message")
+	}
+	msg, tag, ok = m.Get(Wildcard)
+	if !ok || string(msg) != "a" || tag != 10 {
+		t.Fatalf("Get(Wildcard) = %q,%d,%v", msg, tag, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after draining", m.Len())
+	}
+}
+
+func TestFIFOAmongMatches(t *testing.T) {
+	m := New()
+	m.Put([]byte("1"), 7)
+	m.Put([]byte("2"), 7)
+	m.Put([]byte("3"), 7)
+	for _, want := range []string{"1", "2", "3"} {
+		msg, _, ok := m.Get(7)
+		if !ok || string(msg) != want {
+			t.Fatalf("Get = %q,%v; want %q", msg, ok, want)
+		}
+	}
+}
+
+func TestProbeDoesNotRemove(t *testing.T) {
+	m := New()
+	m.Put([]byte("hello"), 3)
+	size, tag, ok := m.Probe(3)
+	if !ok || size != 5 || tag != 3 {
+		t.Fatalf("Probe = %d,%d,%v", size, tag, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatal("Probe removed the message")
+	}
+	if _, _, ok := m.Probe(4); ok {
+		t.Fatal("Probe(4) matched")
+	}
+	if size, _, ok := m.Probe(Wildcard); !ok || size != 5 {
+		t.Fatal("Probe(Wildcard) failed")
+	}
+}
+
+func TestTwoTags(t *testing.T) {
+	m := New()
+	m.Put2([]byte("x"), 1, 100)
+	m.Put2([]byte("y"), 1, 200)
+	m.Put2([]byte("z"), 2, 100)
+
+	if _, _, _, ok := m.Get2(1, 300); ok {
+		t.Fatal("Get2(1,300) matched")
+	}
+	msg, t1, t2, ok := m.Get2(1, 200)
+	if !ok || string(msg) != "y" || t1 != 1 || t2 != 200 {
+		t.Fatalf("Get2(1,200) = %q,%d,%d,%v", msg, t1, t2, ok)
+	}
+	msg, t1, t2, ok = m.Get2(Wildcard, 100)
+	if !ok || string(msg) != "x" {
+		t.Fatalf("Get2(*,100) = %q,%d,%d,%v", msg, t1, t2, ok)
+	}
+	msg, _, _, ok = m.Get2(Wildcard, Wildcard)
+	if !ok || string(msg) != "z" {
+		t.Fatalf("Get2(*,*) = %q", msg)
+	}
+}
+
+func TestSingleTagQueryMatchesTwoTagEntryOnFirst(t *testing.T) {
+	m := New()
+	m.Put2([]byte("two"), 5, 50)
+	msg, tag, ok := m.Get(5)
+	if !ok || string(msg) != "two" || tag != 5 {
+		t.Fatalf("Get(5) on two-tag entry = %q,%d,%v", msg, tag, ok)
+	}
+}
+
+func TestTwoTagQueryIgnoresOneTagEntry(t *testing.T) {
+	m := New()
+	m.Put([]byte("one"), 5)
+	if _, _, _, ok := m.Get2(5, Wildcard); ok {
+		t.Fatal("Get2 matched a one-tag entry")
+	}
+}
+
+func TestProbe2(t *testing.T) {
+	m := New()
+	m.Put2([]byte("abcd"), 9, 90)
+	size, t1, t2, ok := m.Probe2(Wildcard, 90)
+	if !ok || size != 4 || t1 != 9 || t2 != 90 {
+		t.Fatalf("Probe2 = %d,%d,%d,%v", size, t1, t2, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatal("Probe2 removed the message")
+	}
+}
+
+func TestGetInto(t *testing.T) {
+	m := New()
+	m.Put([]byte("payload"), 1)
+	dst := make([]byte, 4)
+	n, tag, ok := m.GetInto(dst, 1)
+	if !ok || n != 7 || tag != 1 || string(dst) != "payl" {
+		t.Fatalf("GetInto = %d,%d,%v dst=%q", n, tag, ok, dst)
+	}
+	if _, _, ok := m.GetInto(dst, 1); ok {
+		t.Fatal("GetInto found removed message")
+	}
+}
+
+func TestAutoTagExtraction(t *testing.T) {
+	m := NewAtOffset(0, 4)
+	msg := make([]byte, 12)
+	binary.LittleEndian.PutUint32(msg[0:], 77)
+	binary.LittleEndian.PutUint32(msg[4:], 88)
+	copy(msg[8:], "data")
+	m.PutAuto(msg)
+	got, t1, t2, ok := m.Get2(77, 88)
+	if !ok || t1 != 77 || t2 != 88 || !bytes.Equal(got, msg) {
+		t.Fatalf("Get2 after PutAuto = %v,%d,%d,%v", got, t1, t2, ok)
+	}
+}
+
+func TestAutoTagSingleOffset(t *testing.T) {
+	m := NewAtOffset(2, -1)
+	msg := make([]byte, 8)
+	binary.LittleEndian.PutUint32(msg[2:], 55)
+	m.PutAuto(msg)
+	if _, tag, ok := m.Get(55); !ok || tag != 55 {
+		t.Fatal("single-offset PutAuto/Get failed")
+	}
+}
+
+func TestPutAutoOnExplicitManagerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().PutAuto(make([]byte, 8))
+}
+
+func TestNewAtOffsetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAtOffset(-1, -1)
+}
+
+// TestConservationProperty: every message put is got exactly once via
+// wildcard draining, in insertion order per tag.
+func TestConservationProperty(t *testing.T) {
+	f := func(tags []uint8) bool {
+		m := New()
+		for i, tg := range tags {
+			m.Put([]byte{byte(i)}, int(tg))
+		}
+		seen := make([]bool, len(tags))
+		for range tags {
+			msg, tag, ok := m.Get(Wildcard)
+			if !ok || seen[msg[0]] || int(tags[msg[0]]) != tag {
+				return false
+			}
+			seen[msg[0]] = true
+		}
+		_, _, ok := m.Get(Wildcard)
+		return !ok && m.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTagIsolationProperty: Get(tag) never returns a message stored
+// under a different tag.
+func TestTagIsolationProperty(t *testing.T) {
+	f := func(tags []uint8, query uint8) bool {
+		m := New()
+		for i, tg := range tags {
+			m.Put([]byte{byte(i)}, int(tg))
+		}
+		for {
+			msg, tag, ok := m.Get(int(query))
+			if !ok {
+				return true
+			}
+			if tag != int(query) || tags[msg[0]] != query {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package netmodel provides analytic communication-cost models for the
+// five machines of the paper's evaluation (§5, Figures 4-8): HP
+// workstations on an ATM switch, the Cray T3D (via the FM package), Sun
+// workstations on Myrinet with FM, the IBM SP-1, and the Intel Paragon
+// under SUNMOS.
+//
+// Each model prices a message in virtual microseconds as
+//
+//	time = SendOv + WireTime(n) + RecvOv
+//	WireTime(n) = Alpha + Beta*max(n, MinBytes)
+//	            + PerPacket * (ceil(n/PacketSize) - 1)      [if PacketSize > 0]
+//	            + CopyPerByte * n                           [if n >= CopyThreshold]
+//
+// SendOv/RecvOv are the *native* per-message software overheads — the
+// cost of the lowest-level communication layer the paper compares
+// against. On top of these, CvsSendOv/CvsRecvOv price the additional
+// Converse overhead (header fill-in, handler-table dispatch: "a few tens
+// of instructions"), and SchedOv prices the optional pass through the
+// scheduler's queue (the Figure 6 experiment, which the paper measures
+// at 9-15 microseconds for short messages on Myrinet/FM).
+//
+// The CopyThreshold/CopyPerByte pair models the T3D behaviour the paper
+// calls out: "The jump at 16K bytes is due to copying during
+// packetization, which we believe can be eliminated."
+//
+// Absolute constants are fit to the numbers the paper states (FM ~25 us
+// up to 128 bytes, Converse ~31 us; T3D "very close to the best possible
+// ... for short messages") and to published characteristics of the era's
+// hardware; EXPERIMENTS.md records the provenance of each value.
+package netmodel
+
+import "math"
+
+// Model is a parameterized communication-cost model. It implements
+// machine.CostModel plus the Converse-specific overhead accessors used
+// by internal/core.
+type Model struct {
+	// Name identifies the machine, e.g. "Cray T3D".
+	Name string
+
+	// Alpha is the zero-byte network latency in microseconds.
+	Alpha float64
+	// Beta is the per-byte transmission cost in microseconds.
+	Beta float64
+	// MinBytes, if nonzero, is the minimum billed size: messages
+	// smaller than this cost the same as MinBytes (minimum-packet
+	// behaviour; FM's flat cost up to 128 bytes).
+	MinBytes int
+	// PacketSize, if nonzero, splits messages into packets of this
+	// many bytes, each beyond the first adding PerPacket microseconds.
+	PacketSize int
+	PerPacket  float64
+	// CopyThreshold, if nonzero, adds CopyPerByte*n for messages of at
+	// least this size (the T3D packetization copy at 16 KB).
+	CopyThreshold int
+	CopyPerByte   float64
+
+	// SendOv/RecvOv are the native layer's per-message software costs.
+	SendOv, RecvOv float64
+	// CvsSendOv/CvsRecvOv are the additional Converse costs on each
+	// side (message header + handler dispatch).
+	CvsSendOv, CvsRecvOv float64
+	// SchedOv is the additional cost of routing a received message
+	// through the scheduler's queue (enqueue + dequeue) instead of
+	// handling it directly.
+	SchedOv float64
+}
+
+// WireTime returns the network transit time in microseconds for a
+// message of n bytes. It implements machine.CostModel.
+func (m *Model) WireTime(n int) float64 {
+	billed := n
+	if billed < m.MinBytes {
+		billed = m.MinBytes
+	}
+	t := m.Alpha + m.Beta*float64(billed)
+	if m.PacketSize > 0 && n > m.PacketSize {
+		packets := int(math.Ceil(float64(n) / float64(m.PacketSize)))
+		t += m.PerPacket * float64(packets-1)
+	}
+	if m.CopyThreshold > 0 && n >= m.CopyThreshold {
+		t += m.CopyPerByte * float64(n)
+	}
+	return t
+}
+
+// SendOverhead returns the native per-message send cost.
+// It implements machine.CostModel.
+func (m *Model) SendOverhead() float64 { return m.SendOv }
+
+// RecvOverhead returns the native per-message receive cost.
+// It implements machine.CostModel.
+func (m *Model) RecvOverhead() float64 { return m.RecvOv }
+
+// CvsSendOverhead returns the extra Converse cost charged at send time.
+func (m *Model) CvsSendOverhead() float64 { return m.CvsSendOv }
+
+// CvsRecvOverhead returns the extra Converse cost charged at handler
+// dispatch.
+func (m *Model) CvsRecvOverhead() float64 { return m.CvsRecvOv }
+
+// SchedOverhead returns the extra cost of the scheduler-queue pass.
+func (m *Model) SchedOverhead() float64 { return m.SchedOv }
+
+// OneWay returns the full modeled one-way time for an n-byte message
+// through the native layer: send + wire + receive.
+func (m *Model) OneWay(n int) float64 {
+	return m.SendOv + m.WireTime(n) + m.RecvOv
+}
+
+// OneWayConverse returns the modeled one-way time through Converse
+// handler dispatch (no scheduler queue).
+func (m *Model) OneWayConverse(n int) float64 {
+	return m.OneWay(n) + m.CvsSendOv + m.CvsRecvOv
+}
+
+// OneWayQueued returns the modeled one-way time through Converse with
+// the receive-side scheduler-queue pass (the Figure 6 experiment).
+func (m *Model) OneWayQueued(n int) float64 {
+	return m.OneWayConverse(n) + m.SchedOv
+}
+
+// The five machines of Figures 4-8. Constructor functions return fresh
+// values so callers may tweak parameters without aliasing.
+
+// ATMHP models the cluster of HP workstations connected by an ATM switch
+// (Figure 4). 155 Mbit/s ATM link (~0.052 us/byte) with the high
+// per-message latency of workstation network stacks of the era.
+func ATMHP() *Model {
+	return &Model{
+		Name:  "ATM-connected HPs",
+		Alpha: 32, Beta: 0.055,
+		PacketSize: 4096, PerPacket: 18, // ATM AAL5 segmentation + per-buffer costs
+		SendOv: 14, RecvOv: 14,
+		CvsSendOv: 2.5, CvsRecvOv: 2.5,
+		SchedOv: 10,
+	}
+}
+
+// T3D models the Cray T3D using the FM package (Figure 5): very low
+// latency, ~120 MB/s links, and the paper's 16 KB packetization-copy
+// jump. Converse overhead is small in absolute terms on the fast Alpha
+// CPUs ("very close to the best possible on the Cray hardware for short
+// messages").
+func T3D() *Model {
+	return &Model{
+		Name:  "Cray T3D",
+		Alpha: 1.6, Beta: 0.008,
+		CopyThreshold: 16384, CopyPerByte: 0.007,
+		SendOv: 1.4, RecvOv: 1.4,
+		CvsSendOv: 0.8, CvsRecvOv: 0.8,
+		SchedOv: 3,
+	}
+}
+
+// MyrinetFM models Sun workstations on a Myrinet switch with the FM
+// library (Figure 6). Fit to the paper's stated numbers: FM delivers
+// messages up to 128 bytes in ~25 us; Converse needs ~31 us; pushing
+// every received message through the scheduler queue adds ~9-15 us for
+// short messages.
+func MyrinetFM() *Model {
+	return &Model{
+		Name:  "Myrinet/FM Suns",
+		Alpha: 10.3, Beta: 0.025, MinBytes: 128,
+		SendOv: 5.6, RecvOv: 5.9,
+		CvsSendOv: 3, CvsRecvOv: 3,
+		SchedOv: 12,
+	}
+}
+
+// SP1 models the IBM SP-1 (Figure 7): high-latency switch adapter,
+// ~35 MB/s.
+func SP1() *Model {
+	return &Model{
+		Name:  "IBM SP-1",
+		Alpha: 29, Beta: 0.028,
+		SendOv: 13, RecvOv: 13,
+		CvsSendOv: 2, CvsRecvOv: 2,
+		SchedOv: 8,
+	}
+}
+
+// Paragon models the Intel Paragon under SUNMOS (Figure 8): ~25 us
+// latency with fast mesh links (~170 MB/s).
+func Paragon() *Model {
+	return &Model{
+		Name:  "Intel Paragon (SUNMOS)",
+		Alpha: 23, Beta: 0.006,
+		SendOv: 11, RecvOv: 11,
+		CvsSendOv: 2, CvsRecvOv: 2,
+		SchedOv: 7,
+	}
+}
+
+// All returns the five evaluation machines in figure order (4-8).
+func All() []*Model {
+	return []*Model{ATMHP(), T3D(), MyrinetFM(), SP1(), Paragon()}
+}

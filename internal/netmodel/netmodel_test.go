@@ -1,0 +1,135 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMyrinetFMPaperNumbers(t *testing.T) {
+	m := MyrinetFM()
+	// "the FM library using Myrinet switches delivers messages up to
+	// 128 bytes in 25 microseconds, whereas Converse messages need
+	// about 31 microseconds."
+	for _, n := range []int{4, 16, 64, 128} {
+		if got := m.OneWay(n); math.Abs(got-25) > 1 {
+			t.Errorf("FM native OneWay(%d) = %.2f us, want ~25", n, got)
+		}
+		if got := m.OneWayConverse(n); math.Abs(got-31) > 1 {
+			t.Errorf("Converse OneWay(%d) = %.2f us, want ~31", n, got)
+		}
+	}
+	// Scheduling adds "about 9 to 15 microseconds for short messages".
+	over := m.OneWayQueued(64) - m.OneWayConverse(64)
+	if over < 9 || over > 15 {
+		t.Errorf("scheduling overhead = %.2f us, want in [9,15]", over)
+	}
+	// "For large messages, the relative difference becomes negligible."
+	rel := (m.OneWayQueued(65536) - m.OneWayConverse(65536)) / m.OneWayConverse(65536)
+	if rel > 0.02 {
+		t.Errorf("relative queueing overhead at 64KB = %.3f, want < 2%%", rel)
+	}
+}
+
+func TestT3DJumpAt16K(t *testing.T) {
+	m := T3D()
+	below := m.OneWay(16383)
+	at := m.OneWay(16384)
+	// The copy penalty must produce a visible discontinuity.
+	if at-below < 50 {
+		t.Errorf("no 16KB jump: OneWay(16383)=%.2f OneWay(16384)=%.2f", below, at)
+	}
+	// Short messages stay near the hardware minimum.
+	if m.OneWayConverse(8) > 8 {
+		t.Errorf("T3D short Converse message = %.2f us, want close to hardware (<8)", m.OneWayConverse(8))
+	}
+}
+
+func TestConverseGapIsSmallConstant(t *testing.T) {
+	for _, m := range All() {
+		gap0 := m.OneWayConverse(4) - m.OneWay(4)
+		gapN := m.OneWayConverse(65536) - m.OneWay(65536)
+		if math.Abs(gap0-gapN) > 1e-9 {
+			t.Errorf("%s: Converse gap not constant: %.2f vs %.2f", m.Name, gap0, gapN)
+		}
+		if gap0 <= 0 || gap0 > 7 {
+			t.Errorf("%s: Converse gap %.2f us out of 'few tens of instructions' range", m.Name, gap0)
+		}
+		// Relative gap becomes negligible for large messages.
+		if rel := gapN / m.OneWay(65536); rel > 0.05 {
+			t.Errorf("%s: relative gap at 64KB = %.3f, want < 5%%", m.Name, rel)
+		}
+	}
+}
+
+func TestWireTimeMonotoneProperty(t *testing.T) {
+	for _, m := range All() {
+		f := func(a, b uint16) bool {
+			x, y := int(a), int(b)
+			if x > y {
+				x, y = y, x
+			}
+			return m.WireTime(x) <= m.WireTime(y)+1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: wire time not monotone in size: %v", m.Name, err)
+		}
+	}
+}
+
+func TestWireTimePositiveProperty(t *testing.T) {
+	for _, m := range All() {
+		f := func(n uint32) bool {
+			return m.WireTime(int(n%(1<<20))) > 0
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMinBytesFloor(t *testing.T) {
+	m := MyrinetFM()
+	if m.WireTime(1) != m.WireTime(128) {
+		t.Errorf("WireTime below MinBytes not flat: %v vs %v", m.WireTime(1), m.WireTime(128))
+	}
+	if m.WireTime(129) <= m.WireTime(128) {
+		t.Error("WireTime should grow past MinBytes")
+	}
+}
+
+func TestPacketization(t *testing.T) {
+	m := ATMHP()
+	// Just under vs just over a packet boundary.
+	under := m.WireTime(m.PacketSize)
+	over := m.WireTime(m.PacketSize + 1)
+	if over-under < m.PerPacket {
+		t.Errorf("packet boundary step = %.2f, want >= PerPacket=%.2f", over-under, m.PerPacket)
+	}
+}
+
+func TestAllNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if m.Name == "" || seen[m.Name] {
+			t.Errorf("bad or duplicate model name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("All() returned %d models, want 5 (Figures 4-8)", len(seen))
+	}
+}
+
+func TestOrderingAcrossLayers(t *testing.T) {
+	// native < converse < queued, for every model and size.
+	for _, m := range All() {
+		for _, n := range []int{4, 128, 4096, 65536} {
+			a, b, c := m.OneWay(n), m.OneWayConverse(n), m.OneWayQueued(n)
+			if !(a < b && b < c) {
+				t.Errorf("%s n=%d: want native < converse < queued, got %.2f %.2f %.2f",
+					m.Name, n, a, b, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package queue
+
+// BitVec is a bit-vector priority, the prioritization mechanism the paper
+// calls out for state-space search "to ensure consistent and monotonic
+// speedups" (§2.3). A bit-vector priority is an arbitrary-length bit
+// string; priorities are ordered lexicographically on the bits, with a
+// shorter vector implicitly extended by zero bits. Numerically smaller
+// vectors are *higher* priority, matching integer priorities where lower
+// values are served first.
+//
+// The vector is stored most-significant word first in a []uint32.
+type BitVec []uint32
+
+// CompareBitVec orders two bit-vector priorities.
+// It returns -1 if a is higher priority (lexicographically smaller),
+// +1 if b is higher priority, and 0 if they are equal after zero
+// extension.
+func CompareBitVec(a, b BitVec) int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var wa, wb uint32
+		if i < len(a) {
+			wa = a[i]
+		}
+		if i < len(b) {
+			wb = b[i]
+		}
+		switch {
+		case wa < wb:
+			return -1
+		case wa > wb:
+			return 1
+		}
+	}
+	return 0
+}
+
+// BitVecFromInt converts a signed integer priority to a bit-vector
+// priority with the same ordering: for any two ints x < y,
+// CompareBitVec(BitVecFromInt(x), BitVecFromInt(y)) == -1. This lets
+// integer-prioritized and bit-vector-prioritized entries share one
+// priority queue, as in Converse's queueing module.
+func BitVecFromInt(p int32) BitVec {
+	// Offset-binary encoding: flipping the sign bit makes unsigned
+	// comparison agree with signed comparison.
+	return BitVec{uint32(p) ^ 0x80000000}
+}
+
+// Clone returns an independent copy of the vector.
+func (v BitVec) Clone() BitVec {
+	c := make(BitVec, len(v))
+	copy(c, v)
+	return c
+}

@@ -1,0 +1,90 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBitVecBasic(t *testing.T) {
+	cases := []struct {
+		a, b BitVec
+		want int
+	}{
+		{BitVec{}, BitVec{}, 0},
+		{BitVec{0}, BitVec{}, 0},     // zero extension
+		{BitVec{0, 0}, BitVec{0}, 0}, // zero extension both ways
+		{BitVec{1}, BitVec{2}, -1},   // smaller is higher priority
+		{BitVec{2}, BitVec{1}, 1},
+		{BitVec{1, 0}, BitVec{1}, 0}, // trailing zeros irrelevant
+		{BitVec{1, 1}, BitVec{1}, 1}, // longer with nonzero tail is lower prio
+		{BitVec{1}, BitVec{1, 1}, -1},
+		{BitVec{0, 5}, BitVec{1}, -1},                  // first word dominates
+		{BitVec{0xffffffff}, BitVec{1, 0xffffffff}, 1}, // first word dominates length
+	}
+	for i, c := range cases {
+		if got := CompareBitVec(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareBitVecAntisymmetric(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		return CompareBitVec(a, b) == -CompareBitVec(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareBitVecReflexive(t *testing.T) {
+	f := func(a []uint32) bool {
+		return CompareBitVec(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareBitVecTransitiveSample(t *testing.T) {
+	f := func(a, b, c []uint32) bool {
+		// if a<=b and b<=c then a<=c
+		if CompareBitVec(a, b) <= 0 && CompareBitVec(b, c) <= 0 {
+			return CompareBitVec(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitVecFromIntOrder: the int->bitvec encoding preserves signed
+// integer ordering, so ints and bit-vectors can share a queue.
+func TestBitVecFromIntOrder(t *testing.T) {
+	f := func(x, y int32) bool {
+		got := CompareBitVec(BitVecFromInt(x), BitVecFromInt(y))
+		switch {
+		case x < y:
+			return got == -1
+		case x > y:
+			return got == 1
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVecClone(t *testing.T) {
+	v := BitVec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+	if CompareBitVec(v, BitVec{1, 2, 3}) != 0 {
+		t.Fatal("original mutated")
+	}
+}

@@ -1,0 +1,94 @@
+// Package queue provides the pluggable queueing strategies used by the
+// Converse scheduler (the paper's "assortment of queuing strategies",
+// §2.3, §3.1.2).
+//
+// The scheduler's queue is deliberately a separate module so that an
+// application can link in exactly the strategy it needs and pay only for
+// the features it uses: a plain FIFO/LIFO deque for unprioritized work,
+// a binary heap for integer priorities, and a lexicographic bit-vector
+// priority queue for search-style computations. Sched composes them the
+// way Converse's Cqs module does, keeping the unprioritized path O(1).
+package queue
+
+// Deque is a growable ring-buffer double-ended queue.
+//
+// It backs the scheduler's default (unprioritized) lane: CsdEnqueue
+// appends at the back (FIFO) and CsdEnqueueLifo pushes at the front.
+// The zero value is ready to use.
+type Deque[T any] struct {
+	buf   []T
+	head  int // index of first element
+	count int
+}
+
+// Len reports the number of queued elements.
+func (d *Deque[T]) Len() int { return d.count }
+
+// PushBack appends x at the tail (FIFO enqueue).
+func (d *Deque[T]) PushBack(x T) {
+	d.grow()
+	d.buf[(d.head+d.count)%len(d.buf)] = x
+	d.count++
+}
+
+// PushFront inserts x at the head (LIFO enqueue).
+func (d *Deque[T]) PushFront(x T) {
+	d.grow()
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = x
+	d.count++
+}
+
+// PopFront removes and returns the element at the head.
+// The second result is false if the deque is empty.
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	x := d.buf[d.head]
+	d.buf[d.head] = zero // release reference for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	return x, true
+}
+
+// PopBack removes and returns the element at the tail.
+// The second result is false if the deque is empty.
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	i := (d.head + d.count - 1) % len(d.buf)
+	x := d.buf[i]
+	d.buf[i] = zero
+	d.count--
+	return x, true
+}
+
+// Peek returns the head element without removing it.
+func (d *Deque[T]) Peek() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
+}
+
+// grow doubles the buffer when full.
+func (d *Deque[T]) grow() {
+	if d.count < len(d.buf) {
+		return
+	}
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]T, n)
+	for i := 0; i < d.count; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}

@@ -1,0 +1,146 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	if d.Len() != 0 {
+		t.Fatalf("zero value Len = %d, want 0", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		x, ok := d.PopFront()
+		if !ok || x != i {
+			t.Fatalf("PopFront #%d = %d,%v; want %d,true", i, x, ok, i)
+		}
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty deque returned ok")
+	}
+}
+
+func TestDequeLIFO(t *testing.T) {
+	var d Deque[string]
+	d.PushFront("a")
+	d.PushFront("b")
+	d.PushFront("c")
+	want := []string{"c", "b", "a"}
+	for _, w := range want {
+		x, ok := d.PopFront()
+		if !ok || x != w {
+			t.Fatalf("PopFront = %q,%v; want %q,true", x, ok, w)
+		}
+	}
+}
+
+func TestDequePopBack(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 5; i++ {
+		d.PushBack(i)
+	}
+	for i := 4; i >= 0; i-- {
+		x, ok := d.PopBack()
+		if !ok || x != i {
+			t.Fatalf("PopBack = %d,%v; want %d,true", x, ok, i)
+		}
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty deque returned ok")
+	}
+}
+
+func TestDequePeek(t *testing.T) {
+	var d Deque[int]
+	if _, ok := d.Peek(); ok {
+		t.Fatal("Peek on empty deque returned ok")
+	}
+	d.PushBack(7)
+	d.PushBack(8)
+	if x, ok := d.Peek(); !ok || x != 7 {
+		t.Fatalf("Peek = %d,%v; want 7,true", x, ok)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Peek modified Len: %d", d.Len())
+	}
+}
+
+func TestDequeWrapAround(t *testing.T) {
+	var d Deque[int]
+	// Force head to rotate through the ring repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(round*7 + i)
+		}
+		for i := 0; i < 7; i++ {
+			x, ok := d.PopFront()
+			if !ok || x != round*7+i {
+				t.Fatalf("round %d: got %d,%v; want %d", round, x, ok, round*7+i)
+			}
+		}
+	}
+}
+
+func TestDequeMixedEnds(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(2)
+	d.PushFront(1)
+	d.PushBack(3)
+	d.PushFront(0)
+	for i := 0; i < 4; i++ {
+		x, ok := d.PopFront()
+		if !ok || x != i {
+			t.Fatalf("got %d,%v; want %d,true", x, ok, i)
+		}
+	}
+}
+
+// TestDequeOrderProperty: for any sequence of pushes at the back, pops
+// return the same sequence.
+func TestDequeOrderProperty(t *testing.T) {
+	f := func(xs []int) bool {
+		var d Deque[int]
+		for _, x := range xs {
+			d.PushBack(x)
+		}
+		for _, x := range xs {
+			got, ok := d.PopFront()
+			if !ok || got != x {
+				return false
+			}
+		}
+		_, ok := d.PopFront()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeReverseProperty: PushFront then PopFront reverses order
+// relative to PushBack.
+func TestDequeReverseProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		var d Deque[uint8]
+		for _, x := range xs {
+			d.PushFront(x)
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			got, ok := d.PopFront()
+			if !ok || got != xs[i] {
+				return false
+			}
+		}
+		return d.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package queue
+
+// prioEntry is one element of the priority heap: a payload plus its
+// bit-vector priority and an insertion sequence number that keeps
+// dequeue order FIFO among equal priorities (important for fairness and
+// for reproducible schedules).
+type prioEntry[T any] struct {
+	item T
+	prio BitVec
+	seq  uint64
+}
+
+// Heap is a binary min-heap of prioritized entries. Lower priority
+// values dequeue first; ties dequeue in insertion order. The zero value
+// is ready to use.
+type Heap[T any] struct {
+	entries []prioEntry[T]
+	seq     uint64
+}
+
+// Len reports the number of queued entries.
+func (h *Heap[T]) Len() int { return len(h.entries) }
+
+// Push inserts item with the given priority. The heap keeps its own
+// reference to prio; callers that mutate the slice afterwards should
+// pass prio.Clone().
+func (h *Heap[T]) Push(item T, prio BitVec) {
+	h.entries = append(h.entries, prioEntry[T]{item: item, prio: prio, seq: h.seq})
+	h.seq++
+	h.up(len(h.entries) - 1)
+}
+
+// Pop removes and returns the highest-priority entry (smallest priority
+// value, FIFO among equals). The second result is false if empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	var zero T
+	if len(h.entries) == 0 {
+		return zero, false
+	}
+	top := h.entries[0].item
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries[last] = prioEntry[T]{} // release references
+	h.entries = h.entries[:last]
+	if len(h.entries) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// PeekPrio returns the priority of the entry Pop would return.
+// The second result is false if the heap is empty.
+func (h *Heap[T]) PeekPrio() (BitVec, bool) {
+	if len(h.entries) == 0 {
+		return nil, false
+	}
+	return h.entries[0].prio, true
+}
+
+// less orders entries by priority, then insertion sequence.
+func (h *Heap[T]) less(i, j int) bool {
+	switch CompareBitVec(h.entries[i].prio, h.entries[j].prio) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	return h.entries[i].seq < h.entries[j].seq
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}

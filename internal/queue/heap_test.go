@@ -1,0 +1,146 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	var h Heap[string]
+	h.Push("c", BitVecFromInt(3))
+	h.Push("a", BitVecFromInt(1))
+	h.Push("b", BitVecFromInt(2))
+	h.Push("z", BitVecFromInt(-5))
+	want := []string{"z", "a", "b", "c"}
+	for _, w := range want {
+		x, ok := h.Pop()
+		if !ok || x != w {
+			t.Fatalf("Pop = %q,%v; want %q,true", x, ok, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap returned ok")
+	}
+}
+
+func TestHeapFIFOAmongEquals(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 50; i++ {
+		h.Push(i, BitVecFromInt(7))
+	}
+	for i := 0; i < 50; i++ {
+		x, ok := h.Pop()
+		if !ok || x != i {
+			t.Fatalf("Pop #%d = %d,%v; want %d (FIFO among equal priorities)", i, x, ok, i)
+		}
+	}
+}
+
+func TestHeapPeekPrio(t *testing.T) {
+	var h Heap[int]
+	if _, ok := h.PeekPrio(); ok {
+		t.Fatal("PeekPrio on empty heap returned ok")
+	}
+	h.Push(1, BitVecFromInt(10))
+	h.Push(2, BitVecFromInt(-10))
+	p, ok := h.PeekPrio()
+	if !ok || CompareBitVec(p, BitVecFromInt(-10)) != 0 {
+		t.Fatalf("PeekPrio = %v,%v; want prio(-10)", p, ok)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("PeekPrio modified Len: %d", h.Len())
+	}
+}
+
+// TestHeapSortProperty: popping everything yields entries sorted by
+// priority, and the multiset of items is preserved.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(prios []int32) bool {
+		var h Heap[int]
+		for i, p := range prios {
+			h.Push(i, BitVecFromInt(p))
+		}
+		sorted := append([]int32(nil), prios...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		seen := make(map[int]bool)
+		for _, want := range sorted {
+			idx, ok := h.Pop()
+			if !ok || seen[idx] || prios[idx] != want {
+				return false
+			}
+			seen[idx] = true
+		}
+		_, ok := h.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapBitVecProperty: bit-vector priorities dequeue in lexicographic
+// order.
+func TestHeapBitVecProperty(t *testing.T) {
+	f := func(vecs [][]uint32) bool {
+		var h Heap[int]
+		for i, v := range vecs {
+			h.Push(i, BitVec(v).Clone())
+		}
+		var prev BitVec
+		first := true
+		for range vecs {
+			i, ok := h.Pop()
+			if !ok {
+				return false
+			}
+			cur := BitVec(vecs[i])
+			if !first && CompareBitVec(prev, cur) > 0 {
+				return false
+			}
+			prev, first = cur, false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Heap[int]
+	type entry struct {
+		item int
+		prio int32
+		seq  int
+	}
+	var ref []entry
+	seq := 0
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 || len(ref) == 0 {
+			p := int32(rng.Intn(10) - 5)
+			h.Push(op, BitVecFromInt(p))
+			ref = append(ref, entry{item: op, prio: p, seq: seq})
+			seq++
+		} else {
+			// Reference pop: min prio, min seq.
+			best := 0
+			for i, e := range ref {
+				if e.prio < ref[best].prio || (e.prio == ref[best].prio && e.seq < ref[best].seq) {
+					best = i
+				}
+			}
+			want := ref[best]
+			ref = append(ref[:best], ref[best+1:]...)
+			got, ok := h.Pop()
+			if !ok || got != want.item {
+				t.Fatalf("op %d: Pop = %d,%v; want %d", op, got, ok, want.item)
+			}
+		}
+	}
+	if h.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference has %d", h.Len(), len(ref))
+	}
+}

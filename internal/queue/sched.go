@@ -1,0 +1,60 @@
+package queue
+
+// Sched is the composite scheduler queue, the counterpart of Converse's
+// Cqs module. It combines an O(1) unprioritized FIFO/LIFO lane with a
+// priority heap, arranged so that programs which never use priorities
+// never pay for them ("need-based cost", §3):
+//
+//   - Enq / EnqFifo / EnqLifo use only the deque lane.
+//   - EnqPrio / EnqBitVec use the heap.
+//   - Deq serves heap entries with priority above the default (priority
+//     value below zero) first, then the unprioritized lane, then the
+//     remaining heap entries — the same three-region order (negative,
+//     zero, positive priority) as Converse.
+//
+// Sched is not safe for concurrent use; in Converse the scheduler queue
+// is strictly processor-local.
+type Sched[T any] struct {
+	lane Deque[T]
+	heap Heap[T]
+}
+
+// zeroPrio is the bit-vector encoding of integer priority 0, the
+// implicit priority of the unprioritized lane.
+var zeroPrio = BitVecFromInt(0)
+
+// Len reports the total number of queued entries.
+func (s *Sched[T]) Len() int { return s.lane.Len() + s.heap.Len() }
+
+// Enq appends x to the default FIFO lane (CsdEnqueue).
+func (s *Sched[T]) Enq(x T) { s.lane.PushBack(x) }
+
+// EnqFifo appends x to the default lane; alias of Enq (CsdEnqueueFifo).
+func (s *Sched[T]) EnqFifo(x T) { s.lane.PushBack(x) }
+
+// EnqLifo pushes x at the front of the default lane (CsdEnqueueLifo).
+func (s *Sched[T]) EnqLifo(x T) { s.lane.PushFront(x) }
+
+// EnqPrio inserts x with an integer priority; smaller values dequeue
+// first, negative values before all unprioritized entries, positive
+// values after them (CsdEnqueueGeneral with an integer priority).
+func (s *Sched[T]) EnqPrio(x T, prio int32) { s.heap.Push(x, BitVecFromInt(prio)) }
+
+// EnqBitVec inserts x with a bit-vector priority (CsdEnqueueGeneral with
+// a bit-vector priority). The queue keeps its own reference to prio.
+func (s *Sched[T]) EnqBitVec(x T, prio BitVec) { s.heap.Push(x, prio) }
+
+// Deq removes and returns the next entry in scheduling order.
+// The second result is false if the queue is empty.
+func (s *Sched[T]) Deq() (T, bool) {
+	if p, ok := s.heap.PeekPrio(); ok {
+		// Heap entries that outrank the default priority go first.
+		if CompareBitVec(p, zeroPrio) < 0 || s.lane.Len() == 0 {
+			return s.heap.Pop()
+		}
+	}
+	if x, ok := s.lane.PopFront(); ok {
+		return x, true
+	}
+	return s.heap.Pop()
+}

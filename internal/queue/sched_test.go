@@ -1,0 +1,165 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedFIFODefault(t *testing.T) {
+	var s Sched[int]
+	for i := 0; i < 10; i++ {
+		s.Enq(i)
+	}
+	for i := 0; i < 10; i++ {
+		x, ok := s.Deq()
+		if !ok || x != i {
+			t.Fatalf("Deq = %d,%v; want %d,true", x, ok, i)
+		}
+	}
+	if _, ok := s.Deq(); ok {
+		t.Fatal("Deq on empty Sched returned ok")
+	}
+}
+
+func TestSchedLIFO(t *testing.T) {
+	var s Sched[int]
+	s.EnqLifo(1)
+	s.EnqLifo(2)
+	s.EnqLifo(3)
+	for _, w := range []int{3, 2, 1} {
+		x, ok := s.Deq()
+		if !ok || x != w {
+			t.Fatalf("Deq = %d,%v; want %d", x, ok, w)
+		}
+	}
+}
+
+// TestSchedThreeRegionOrder checks the Converse Cqs order: negative
+// priorities, then the unprioritized lane, then positive priorities.
+func TestSchedThreeRegionOrder(t *testing.T) {
+	var s Sched[string]
+	s.Enq("fifo1")
+	s.EnqPrio("pos", 5)
+	s.EnqPrio("neg", -5)
+	s.Enq("fifo2")
+	want := []string{"neg", "fifo1", "fifo2", "pos"}
+	for _, w := range want {
+		x, ok := s.Deq()
+		if !ok || x != w {
+			t.Fatalf("Deq = %q,%v; want %q", x, ok, w)
+		}
+	}
+}
+
+// TestSchedZeroPrioTies: heap entries at exactly priority 0 rank after
+// the unprioritized lane only when the lane is non-empty; they are still
+// served before positive priorities.
+func TestSchedZeroPrioAfterLane(t *testing.T) {
+	var s Sched[string]
+	s.EnqPrio("zeroheap", 0)
+	s.Enq("lane")
+	s.EnqPrio("pos", 1)
+	got := make([]string, 0, 3)
+	for {
+		x, ok := s.Deq()
+		if !ok {
+			break
+		}
+		got = append(got, x)
+	}
+	if len(got) != 3 || got[0] != "lane" || got[1] != "zeroheap" || got[2] != "pos" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestSchedBitVecMixedWithInt(t *testing.T) {
+	var s Sched[string]
+	s.EnqBitVec("bv-low", BitVec{0x80000000, 1}) // just above int 0
+	s.EnqPrio("int-neg", -1)
+	s.EnqBitVec("bv-high", BitVec{0x70000000}) // below int 0 => high prio
+	want := []string{"bv-high", "int-neg", "bv-low"}
+	for _, w := range want {
+		x, ok := s.Deq()
+		if !ok || x != w {
+			t.Fatalf("Deq = %q,%v; want %q", x, ok, w)
+		}
+	}
+}
+
+func TestSchedLen(t *testing.T) {
+	var s Sched[int]
+	s.Enq(1)
+	s.EnqPrio(2, 3)
+	s.EnqLifo(0)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	s.Deq()
+	if s.Len() != 2 {
+		t.Fatalf("Len after Deq = %d, want 2", s.Len())
+	}
+}
+
+// TestSchedConservationProperty: everything enqueued is dequeued exactly
+// once, regardless of the mix of strategies.
+func TestSchedConservationProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Prio int32
+	}
+	f := func(ops []op) bool {
+		var s Sched[int]
+		n := 0
+		for i, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				s.Enq(i)
+			case 1:
+				s.EnqLifo(i)
+			case 2:
+				s.EnqPrio(i, o.Prio)
+			case 3:
+				s.EnqBitVec(i, BitVec{uint32(o.Prio), uint32(i)})
+			}
+			n++
+		}
+		seen := make(map[int]bool)
+		for {
+			x, ok := s.Deq()
+			if !ok {
+				break
+			}
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return len(seen) == n && s.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedPriorityRespectedProperty: when only EnqPrio is used, entries
+// come out in nondecreasing priority order.
+func TestSchedPriorityRespectedProperty(t *testing.T) {
+	f := func(prios []int32) bool {
+		var s Sched[int]
+		for i, p := range prios {
+			s.EnqPrio(i, p)
+		}
+		last := int32(-1 << 31)
+		for range prios {
+			i, ok := s.Deq()
+			if !ok || prios[i] < last {
+				return false
+			}
+			last = prios[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

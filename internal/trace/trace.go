@@ -1,0 +1,250 @@
+// Package trace implements Converse's support for performance and
+// debugging tools (§3.3.2): an event-trace facility with a standard
+// format all language implementations share — message send, receive and
+// processing events, plus object and thread creation — and an
+// extensible, self-describing part for language-specific events.
+//
+// As the paper says, "many variants of this module are provided,
+// depending on the sophistication of the tracing desired": Buffer
+// records full event streams in memory, Counter keeps only per-kind
+// counters, and Null discards everything (so untraced runs pay nothing
+// beyond a nil check in the core).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"converse/internal/core"
+)
+
+// Buffer is a full-fidelity per-processor tracer: it records every
+// event with its virtual timestamp. It implements core.Tracer.
+type Buffer struct {
+	pe     int
+	events []core.TraceEvent
+	schema *Schema
+}
+
+// Event implements core.Tracer.
+func (b *Buffer) Event(e core.TraceEvent) { b.events = append(b.events, e) }
+
+// Events returns the recorded stream in emission order.
+func (b *Buffer) Events() []core.TraceEvent { return b.events }
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Counter is a lightweight tracer variant that keeps only per-kind
+// event counts.
+type Counter struct {
+	counts map[core.EventKind]uint64
+}
+
+// NewCounter builds a counting tracer.
+func NewCounter() *Counter { return &Counter{counts: make(map[core.EventKind]uint64)} }
+
+// Event implements core.Tracer.
+func (c *Counter) Event(e core.TraceEvent) { c.counts[e.Kind]++ }
+
+// Count reports how many events of the given kind were seen.
+func (c *Counter) Count(kind core.EventKind) uint64 { return c.counts[kind] }
+
+// Null discards all events. It implements core.Tracer.
+type Null struct{}
+
+// Event implements core.Tracer.
+func (Null) Event(core.TraceEvent) {}
+
+// Schema is the self-describing part of the trace format: user-defined
+// event kinds with names and field labels, shared by the processors of
+// one machine. The standard kinds are predefined.
+type Schema struct {
+	names  map[core.EventKind]string
+	fields map[core.EventKind][]string
+	next   core.EventKind
+}
+
+// NewSchema creates a schema containing the standard kinds.
+func NewSchema() *Schema {
+	s := &Schema{
+		names:  make(map[core.EventKind]string),
+		fields: make(map[core.EventKind][]string),
+		next:   core.EvUser,
+	}
+	std := map[core.EventKind]string{
+		core.EvSend:          "msg-send",
+		core.EvRecv:          "msg-recv",
+		core.EvBegin:         "handler-begin",
+		core.EvEnd:           "handler-end",
+		core.EvEnqueue:       "enqueue",
+		core.EvThreadCreate:  "thread-create",
+		core.EvThreadResume:  "thread-resume",
+		core.EvThreadSuspend: "thread-suspend",
+		core.EvObjectCreate:  "object-create",
+	}
+	for k, n := range std {
+		s.names[k] = n
+	}
+	return s
+}
+
+// Define registers a language-specific event kind with a name and field
+// labels, returning the kind value to emit with. This is the extensible
+// self-describing format: consumers can interpret unknown kinds from the
+// schema alone.
+func (s *Schema) Define(name string, fields ...string) core.EventKind {
+	k := s.next
+	s.next++
+	s.names[k] = name
+	s.fields[k] = fields
+	return k
+}
+
+// Name returns the kind's registered name, or a numeric fallback.
+func (s *Schema) Name(k core.EventKind) string {
+	if n, ok := s.names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind-%d", k)
+}
+
+// Collector owns the per-processor trace buffers of one machine and the
+// shared schema. Pass Collector.Tracer as core.Config.Tracer.
+type Collector struct {
+	bufs   []*Buffer
+	schema *Schema
+}
+
+// NewCollector builds a collector for a machine of pes processors.
+func NewCollector(pes int) *Collector {
+	c := &Collector{schema: NewSchema()}
+	c.bufs = make([]*Buffer, pes)
+	for i := range c.bufs {
+		c.bufs[i] = &Buffer{pe: i, schema: c.schema}
+	}
+	return c
+}
+
+// Schema returns the collector's (shared) schema.
+func (c *Collector) Schema() *Schema { return c.schema }
+
+// Tracer returns processor pe's tracer; it has the signature
+// core.Config.Tracer expects.
+func (c *Collector) Tracer(pe int) core.Tracer { return c.bufs[pe] }
+
+// Buffer returns processor pe's buffer for direct inspection.
+func (c *Collector) Buffer(pe int) *Buffer { return c.bufs[pe] }
+
+// Merged returns all processors' events merged into one stream ordered
+// by virtual time (ties broken by processor, then emission order).
+// It must only be called after the machine run has finished.
+func (c *Collector) Merged() []core.TraceEvent {
+	var all []core.TraceEvent
+	for _, b := range c.bufs {
+		all = append(all, b.events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].T != all[j].T {
+			return all[i].T < all[j].T
+		}
+		return all[i].PE < all[j].PE
+	})
+	return all
+}
+
+// Summary aggregates a trace: per-kind counts, message totals and bytes.
+type Summary struct {
+	PEs       int
+	Counts    map[core.EventKind]uint64
+	Sends     uint64
+	Recvs     uint64
+	SentBytes uint64
+	PerPE     []PESummary
+}
+
+// PESummary is one processor's share of the summary.
+type PESummary struct {
+	Events uint64
+	Sends  uint64
+	Recvs  uint64
+	// BusyUs is the total virtual time spent inside handlers
+	// (outermost handler-begin to handler-end spans), the utilization
+	// measure the paper's performance tools consume.
+	BusyUs float64
+	// SpanUs is this processor's total traced virtual time (first to
+	// last event); BusyUs/SpanUs is its utilization.
+	SpanUs float64
+}
+
+// Summarize computes the machine-wide summary.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		PEs:    len(c.bufs),
+		Counts: make(map[core.EventKind]uint64),
+		PerPE:  make([]PESummary, len(c.bufs)),
+	}
+	for pe, b := range c.bufs {
+		depth := 0
+		var spanStart, spanEnd, busyStart float64
+		first := true
+		for _, e := range b.events {
+			s.Counts[e.Kind]++
+			s.PerPE[pe].Events++
+			if first {
+				spanStart, first = e.T, false
+			}
+			spanEnd = e.T
+			switch e.Kind {
+			case core.EvSend:
+				s.Sends++
+				s.PerPE[pe].Sends++
+				s.SentBytes += uint64(e.Size)
+			case core.EvRecv:
+				s.Recvs++
+				s.PerPE[pe].Recvs++
+			case core.EvBegin:
+				if depth == 0 {
+					busyStart = e.T
+				}
+				depth++
+			case core.EvEnd:
+				depth--
+				if depth == 0 {
+					s.PerPE[pe].BusyUs += e.T - busyStart
+				}
+			}
+		}
+		s.PerPE[pe].SpanUs = spanEnd - spanStart
+	}
+	return s
+}
+
+// WriteText writes the merged stream in the standard textual format:
+// a self-describing header (one line per known kind) followed by one
+// line per event:
+//
+//	t=<us> pe=<n> <kind-name> src=<n> dst=<n> size=<n> handler=<n> aux=<n>
+func (c *Collector) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# converse trace, %d pes\n", len(c.bufs)); err != nil {
+		return err
+	}
+	kinds := make([]core.EventKind, 0, len(c.schema.names))
+	for k := range c.schema.names {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if _, err := fmt.Fprintf(w, "# kind %d = %s %v\n", k, c.schema.names[k], c.schema.fields[k]); err != nil {
+			return err
+		}
+	}
+	for _, e := range c.Merged() {
+		if _, err := fmt.Fprintf(w, "t=%.3f pe=%d %s src=%d dst=%d size=%d handler=%d aux=%d\n",
+			e.T, e.PE, c.schema.Name(e.Kind), e.Src, e.Dst, e.Size, e.Handler, e.Aux); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/cth"
+	"converse/internal/netmodel"
+)
+
+// tracedPingPong runs a 2-PE ping-pong with tracing and returns the
+// collector.
+func tracedPingPong(t *testing.T, rounds int) *Collector {
+	t.Helper()
+	col := NewCollector(2)
+	cm := core.NewMachine(core.Config{
+		PEs: 2, Model: netmodel.MyrinetFM(),
+		Watchdog: 10 * time.Second,
+		Tracer:   col.Tracer,
+	})
+	var h, hStop int
+	h = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		n := int(core.Payload(msg)[0])
+		if n == 0 {
+			p.SyncSendAndFree(1-p.MyPe(), core.NewMsg(hStop, 0))
+			p.ExitScheduler()
+			return
+		}
+		p.SyncSendAndFree(1-p.MyPe(), core.MakeMsg(h, []byte{byte(n - 1)}))
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) { p.ExitScheduler() })
+	err := cm.Run(func(p *core.Proc) {
+		if p.MyPe() == 0 {
+			p.SyncSendAndFree(1, core.MakeMsg(h, []byte{byte(rounds)}))
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestSendRecvCountsBalance(t *testing.T) {
+	col := tracedPingPong(t, 20)
+	s := col.Summarize()
+	if s.Sends == 0 {
+		t.Fatal("no sends recorded")
+	}
+	if s.Sends != s.Recvs {
+		t.Fatalf("sends=%d recvs=%d; every sent message must be received", s.Sends, s.Recvs)
+	}
+	if s.Counts[core.EvBegin] != s.Counts[core.EvEnd] {
+		t.Fatalf("begin=%d end=%d", s.Counts[core.EvBegin], s.Counts[core.EvEnd])
+	}
+}
+
+func TestMergedOrderedByTime(t *testing.T) {
+	col := tracedPingPong(t, 10)
+	merged := col.Merged()
+	if len(merged) == 0 {
+		t.Fatal("empty merged trace")
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].T < merged[i-1].T {
+			t.Fatalf("event %d out of order: %v < %v", i, merged[i].T, merged[i-1].T)
+		}
+	}
+}
+
+func TestRecvAfterSendCausality(t *testing.T) {
+	// Pairwise FIFO links: the k-th receive on PE p from src s happens
+	// at/after the k-th send from s to p.
+	col := tracedPingPong(t, 15)
+	type pair struct{ src, dst int }
+	sends := map[pair][]float64{}
+	recvs := map[pair][]float64{}
+	for _, e := range col.Merged() {
+		switch e.Kind {
+		case core.EvSend:
+			k := pair{e.Src, e.Dst}
+			sends[k] = append(sends[k], e.T)
+		case core.EvRecv:
+			k := pair{e.Src, e.PE}
+			recvs[k] = append(recvs[k], e.T)
+		}
+	}
+	for k, rs := range recvs {
+		ss := sends[k]
+		if len(ss) < len(rs) {
+			t.Fatalf("link %v: %d recvs but %d sends", k, len(rs), len(ss))
+		}
+		for i, rt := range rs {
+			if rt < ss[i] {
+				t.Fatalf("link %v msg %d: recv at %v before send at %v", k, i, rt, ss[i])
+			}
+		}
+	}
+}
+
+func TestHandlerBeginEndNesting(t *testing.T) {
+	col := tracedPingPong(t, 8)
+	for pe := 0; pe < 2; pe++ {
+		depth := 0
+		for _, e := range col.Buffer(pe).Events() {
+			switch e.Kind {
+			case core.EvBegin:
+				depth++
+			case core.EvEnd:
+				depth--
+				if depth < 0 {
+					t.Fatalf("pe %d: handler end without begin", pe)
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("pe %d: unbalanced begin/end depth %d", pe, depth)
+		}
+	}
+}
+
+func TestThreadEventsRecorded(t *testing.T) {
+	col := NewCollector(1)
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second, Tracer: col.Tracer})
+	err := cm.Run(func(p *core.Proc) {
+		rt := cth.Init(p)
+		th := rt.Create(func() { rt.Yield() })
+		th2 := rt.Create(func() {})
+		rt.Resume(th)
+		rt.Resume(th2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summarize()
+	if s.Counts[core.EvThreadCreate] < 2 {
+		t.Fatalf("thread-create count = %d", s.Counts[core.EvThreadCreate])
+	}
+	if s.Counts[core.EvThreadResume] == 0 || s.Counts[core.EvThreadSuspend] == 0 {
+		t.Fatal("thread resume/suspend events missing")
+	}
+}
+
+func TestSchemaSelfDescribing(t *testing.T) {
+	s := NewSchema()
+	k1 := s.Define("chare-create", "chare-id", "ep")
+	k2 := s.Define("quiescence", "phase")
+	if k1 == k2 {
+		t.Fatal("Define returned duplicate kinds")
+	}
+	if k1 < core.EvUser {
+		t.Fatalf("user kind %d collides with standard kinds", k1)
+	}
+	if s.Name(k1) != "chare-create" || s.Name(k2) != "quiescence" {
+		t.Fatal("schema names wrong")
+	}
+	if !strings.HasPrefix(s.Name(core.EventKind(200)), "kind-") {
+		t.Fatal("unknown kind fallback missing")
+	}
+	if s.Name(core.EvSend) != "msg-send" {
+		t.Fatal("standard kind not predefined")
+	}
+}
+
+func TestUserEventsFlowThrough(t *testing.T) {
+	col := NewCollector(1)
+	kind := col.Schema().Define("my-event", "value")
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second, Tracer: col.Tracer})
+	err := cm.Run(func(p *core.Proc) {
+		p.Tracer().Event(core.TraceEvent{Kind: kind, T: p.TimerUs(), PE: p.MyPe(), Aux: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := col.Buffer(0).Events()
+	if len(evs) != 1 || evs[0].Kind != kind || evs[0].Aux != 7 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	col := tracedPingPong(t, 3)
+	var buf bytes.Buffer
+	if err := col.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# converse trace, 2 pes\n") {
+		t.Fatalf("missing header: %q", out[:40])
+	}
+	if !strings.Contains(out, "# kind 1 = msg-send") {
+		t.Fatal("schema lines missing")
+	}
+	if !strings.Contains(out, "msg-recv") || !strings.Contains(out, "handler-begin") {
+		t.Fatal("event lines missing")
+	}
+	// Every event line parses.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "t=") || !strings.Contains(line, "pe=") {
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+}
+
+func TestCounterVariant(t *testing.T) {
+	c := NewCounter()
+	c.Event(core.TraceEvent{Kind: core.EvSend})
+	c.Event(core.TraceEvent{Kind: core.EvSend})
+	c.Event(core.TraceEvent{Kind: core.EvRecv})
+	if c.Count(core.EvSend) != 2 || c.Count(core.EvRecv) != 1 || c.Count(core.EvBegin) != 0 {
+		t.Fatal("counter miscounted")
+	}
+}
+
+func TestNullVariant(t *testing.T) {
+	var n Null
+	n.Event(core.TraceEvent{Kind: core.EvSend}) // must not panic
+}
+
+func TestEnqueueEventRecorded(t *testing.T) {
+	col := NewCollector(1)
+	cm := core.NewMachine(core.Config{PEs: 1, Watchdog: 10 * time.Second, Tracer: col.Tracer})
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) {})
+	err := cm.Run(func(p *core.Proc) {
+		p.Enqueue(core.NewMsg(h, 0))
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summarize()
+	if s.Counts[core.EvEnqueue] != 1 {
+		t.Fatalf("enqueue events = %d, want 1", s.Counts[core.EvEnqueue])
+	}
+}
+
+func TestBusyTimeSummary(t *testing.T) {
+	// A handler that charges virtual time: busy time must reflect it.
+	col := NewCollector(1)
+	cm := core.NewMachine(core.Config{
+		PEs: 1, Model: netmodel.T3D(), Watchdog: 10 * time.Second, Tracer: col.Tracer,
+	})
+	const workUs = 100.0
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		p.PE().Charge(workUs)
+	})
+	err := cm.Run(func(p *core.Proc) {
+		for i := 0; i < 3; i++ {
+			p.SyncSendAndFree(0, core.NewMsg(h, 0))
+		}
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.Summarize()
+	busy := s.PerPE[0].BusyUs
+	if busy < 3*workUs || busy > 3*workUs+10 {
+		t.Fatalf("BusyUs = %v, want ~%v", busy, 3*workUs)
+	}
+	if s.PerPE[0].SpanUs < busy {
+		t.Fatalf("SpanUs %v < BusyUs %v", s.PerPE[0].SpanUs, busy)
+	}
+}

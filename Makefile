@@ -1,0 +1,44 @@
+# Tier-1 CI for the Converse reproduction.
+#
+#   make tier1     vet + build + test (the ROADMAP tier-1 gate)
+#   make race      full test suite under the race detector
+#   make overhead  observability overhead gate: the disabled-path
+#                  benchmarks must report zero allocations
+#   make ci        all of the above
+
+GO ?= go
+
+.PHONY: ci tier1 vet build test race overhead bench
+
+ci: tier1 race overhead
+
+tier1: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Overhead gate: run the zero-overhead-when-off benchmarks and fail if
+# any reports a nonzero allocation count. BenchmarkDispatchOff,
+# BenchmarkNullTracerOverhead and BenchmarkMetricsEnabled cover the full
+# dispatch path; BenchmarkMetricsDisabled covers the raw hooks.
+overhead:
+	@out=$$($(GO) test ./internal/core/ -run '^$$' \
+		-bench 'DispatchOff|NullTracerOverhead|MetricsEnabled|MetricsDisabled' \
+		-benchmem -benchtime 200000x); \
+	echo "$$out"; \
+	if echo "$$out" | grep -E ' [1-9][0-9]* allocs/op'; then \
+		echo 'FAIL: observability path allocates when it must not'; exit 1; \
+	fi; \
+	echo 'overhead gate: 0 allocs/op on all instrumented paths'
+
+bench:
+	$(GO) test ./internal/core/ -run '^$$' -bench . -benchmem

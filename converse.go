@@ -20,7 +20,8 @@
 //   - internal/msgmgr — tagged message managers
 //   - internal/emi — scatter/gather, global pointers, processor groups
 //   - internal/ldb — seed-based dynamic load balancing
-//   - internal/trace — event tracing
+//   - internal/trace — event tracing, causal merge and Perfetto export
+//   - internal/metrics — allocation-free per-PE runtime metrics
 //   - internal/lang/{sm,tsm,pvmc,charm,mdt} — language runtimes built on
 //     the framework
 //
@@ -49,6 +50,7 @@ package converse
 
 import (
 	"converse/internal/core"
+	"converse/internal/metrics"
 )
 
 // Machine is a Converse machine: a simulated multicomputer with one
@@ -94,3 +96,15 @@ func HandlerOf(msg []byte) int { return core.HandlerOf(msg) }
 
 // Payload returns the message body after the header.
 func Payload(msg []byte) []byte { return core.Payload(msg) }
+
+// NewMetrics builds a per-PE metrics registry for a machine of the
+// given size; attach it via Config.Metrics and read it with
+// Registry.Snapshot (safe while the machine runs). With no registry
+// attached, the instrumented runtime paths cost only a nil check.
+func NewMetrics(pes int) *metrics.Registry { return metrics.New(pes) }
+
+// MetricsRegistry is the per-machine metrics registry type.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a merged, read-consistent view of a registry.
+type MetricsSnapshot = metrics.Snapshot

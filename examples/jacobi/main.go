@@ -10,18 +10,27 @@
 // boundary temperatures, partitioned across processors.
 //
 // Run with: go run ./examples/jacobi
+//
+// With -trace FILE, the run is traced and the merged event stream is
+// written as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing; cmd/traceview -in reads the
+// text form written with -tracetext FILE.
 package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 	"sync/atomic"
 	"time"
 
 	"converse"
 	"converse/internal/lang/sm"
+	"converse/internal/trace"
 )
 
 const (
@@ -44,7 +53,17 @@ func f64(b []byte) float64     { return math.Float64frombits(binary.LittleEndian
 func bytes64(v float64) []byte { return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v)) }
 
 func main() {
-	cm := converse.NewMachine(converse.Config{PEs: pes, Watchdog: 120 * time.Second})
+	traceJSON := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto)")
+	traceText := flag.String("tracetext", "", "write the run's trace in the standard text format (cmd/traceview -in)")
+	flag.Parse()
+
+	cfg := converse.Config{PEs: pes, Watchdog: 120 * time.Second}
+	var col *trace.Collector
+	if *traceJSON != "" || *traceText != "" {
+		col = trace.NewCollector(pes)
+		cfg.Tracer = col.Tracer
+	}
+	cm := converse.NewMachine(cfg)
 	var monitorTicks int64
 	var iters int
 
@@ -145,4 +164,34 @@ func main() {
 	}
 	fmt.Printf("jacobi: %d points on %d PEs converged in %d iterations\n", pes*perPE, pes, iters)
 	fmt.Printf("monitor handler ran %d times inside ScheduleFor windows\n", atomic.LoadInt64(&monitorTicks))
+
+	if col != nil {
+		col.Schema().NameHandler(hMon, "residual-monitor")
+		if *traceJSON != "" {
+			if err := writeFile(*traceJSON, col.WriteChrome); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Chrome trace written to %s (open in ui.perfetto.dev)\n", *traceJSON)
+		}
+		if *traceText != "" {
+			if err := writeFile(*traceText, col.WriteText); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("text trace written to %s (analyze with traceview -in)\n", *traceText)
+		}
+	}
+}
+
+// writeFile creates path and streams one of the collector's exports
+// into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -307,3 +307,79 @@ func TestGlobalPointersAcrossParadigms(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestObservabilityEndToEnd runs a multi-paradigm, multi-PE program
+// with both the tracer and the metrics registry attached, then checks
+// (a) the merge property — every receive appears after its matching
+// send in the globally merged stream, even with zero-cost timestamp
+// ties — and (b) that the metrics registry agrees with the trace on
+// message and dispatch counts.
+func TestObservabilityEndToEnd(t *testing.T) {
+	const pes = 4
+	col := trace.NewCollector(pes)
+	reg := converse.NewMetrics(pes)
+	// No Model: the zero-cost machine produces heavily tied timestamps,
+	// the hard case for a causally consistent global merge.
+	cm := converse.NewMachine(converse.Config{
+		PEs: pes, Watchdog: 20 * time.Second, Tracer: col.Tracer, Metrics: reg,
+	})
+	err := cm.Run(func(p *converse.Proc) {
+		ts := tsm.Attach(p)
+		bal := ldb.New(p, ldb.NewSpray())
+		hWork := p.RegisterHandler(func(p *core.Proc, msg []byte) {})
+		ts.Create(func() {
+			for i := 0; i < 5; i++ {
+				seed := converse.NewMsg(hWork, 8)
+				bal.Deposit(seed)
+				ts.Send((p.MyPe()+1)%pes, 7, []byte{byte(i)})
+				ts.Recv(7)
+			}
+		})
+		ts.Run()
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Causal consistency of the global merge.
+	type link struct{ src, dst int }
+	sends := map[link]int{}
+	merged := col.Merged()
+	for i, e := range merged {
+		if i > 0 && e.T < merged[i-1].T {
+			t.Fatalf("merged stream not time sorted at %d", i)
+		}
+		switch e.Kind {
+		case core.EvSend:
+			sends[link{e.PE, e.Dst}]++
+		case core.EvRecv:
+			l := link{e.Src, e.PE}
+			sends[l]--
+			if sends[l] < 0 {
+				t.Fatalf("event %d: receive on link %v precedes its send", i, l)
+			}
+		}
+	}
+
+	// (b) Metrics agree with the trace.
+	s := col.Summarize()
+	snap := reg.Snapshot()
+	var sentMsgs, dispatches, seeds uint64
+	for _, pe := range snap.PEs {
+		for _, n := range pe.SentMsgs {
+			sentMsgs += n
+		}
+		dispatches += pe.Dispatches
+		seeds += pe.SeedsDeposited
+	}
+	if sentMsgs != s.Sends {
+		t.Errorf("metrics sends=%d, trace sends=%d", sentMsgs, s.Sends)
+	}
+	if dispatches != s.Counts[core.EvBegin] {
+		t.Errorf("metrics dispatches=%d, trace begins=%d", dispatches, s.Counts[core.EvBegin])
+	}
+	if seeds != pes*5 {
+		t.Errorf("seeds deposited=%d, want %d", seeds, pes*5)
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"time"
 
 	"converse/internal/machine"
+	"converse/internal/metrics"
 )
 
 // Config parameterizes a Converse machine.
@@ -22,6 +24,12 @@ type Config struct {
 	// Tracer, if non-nil, is called once per PE to build its event
 	// tracer.
 	Tracer func(pe int) Tracer
+	// Metrics, if non-nil, attaches the per-PE observability registry
+	// (internal/metrics): scheduler idle/busy time, queue depth
+	// high-water marks, per-handler dispatch latency, per-peer message
+	// volume. It must have been built for the same number of PEs. When
+	// nil, the instrumented hot paths cost one nil check.
+	Metrics *metrics.Registry
 }
 
 // Machine is a Converse machine: a simulated multicomputer with one
@@ -35,6 +43,10 @@ type Machine struct {
 
 // NewMachine creates a Converse machine.
 func NewMachine(cfg Config) *Machine {
+	if cfg.Metrics != nil && cfg.Metrics.NumPEs() != cfg.PEs {
+		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
+			cfg.Metrics.NumPEs(), cfg.PEs))
+	}
 	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
 	cm := &Machine{m: m}
 	cm.procs = make([]*Proc, cfg.PEs)
@@ -42,6 +54,9 @@ func NewMachine(cfg Config) *Machine {
 		cm.procs[i] = newProc(m.PE(i))
 		if cfg.Tracer != nil {
 			cm.procs[i].SetTracer(cfg.Tracer(i))
+		}
+		if cfg.Metrics != nil {
+			cm.procs[i].SetMetrics(cfg.Metrics.PE(i))
 		}
 	}
 	return cm

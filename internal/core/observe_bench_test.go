@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"converse/internal/metrics"
+)
+
+// These benchmarks guard the observability layer's zero-overhead-when-
+// off contract: with no tracer and no metrics registry, the scheduler's
+// dispatch and send paths must not allocate, and the instrumentation
+// hooks must cost no more than a nil check. The Makefile's overhead
+// target fails CI if any of the *Disabled/*Overhead benchmarks report
+// allocations.
+
+// nullTracer is a local no-op Tracer. (internal/trace.Null is the
+// public one, but trace imports core, so tests in package core define
+// their own.)
+type nullTracer struct{}
+
+func (nullTracer) Event(TraceEvent) {}
+
+// benchDispatch measures the full local dispatch path — allocate from
+// the buffer pool, enqueue, schedule, dispatch, recycle — on one PE of
+// a machine configured by cfg. Steady state must be allocation-free
+// when tracing and metrics are off.
+func benchDispatch(b *testing.B, mutate func(*Config)) {
+	cfg := Config{PEs: 1, Watchdog: 5 * time.Minute}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cm := NewMachine(cfg)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	err := cm.Run(func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg := p.Alloc(0)
+			SetHandler(msg, h)
+			p.Enqueue(msg)
+			p.ScheduleUntilIdle()
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDispatchOff is the baseline: no tracer, no metrics.
+func BenchmarkDispatchOff(b *testing.B) {
+	benchDispatch(b, nil)
+}
+
+// BenchmarkNullTracerOverhead runs the same path with a no-op tracer
+// installed: the cost of the trace hooks when events are discarded.
+func BenchmarkNullTracerOverhead(b *testing.B) {
+	benchDispatch(b, func(cfg *Config) {
+		cfg.Tracer = func(pe int) Tracer { return nullTracer{} }
+	})
+}
+
+// BenchmarkMetricsEnabled runs the dispatch path with a live metrics
+// registry, for comparison against BenchmarkDispatchOff (the recording
+// itself is also allocation-free).
+func BenchmarkMetricsEnabled(b *testing.B) {
+	benchDispatch(b, func(cfg *Config) {
+		cfg.Metrics = metrics.New(1)
+	})
+}
+
+// BenchmarkMetricsDisabled measures the raw instrumentation hooks on a
+// Proc with no registry attached: each must compile down to a nil check
+// (sub-5ns, zero allocations).
+func BenchmarkMetricsDisabled(b *testing.B) {
+	cm := NewMachine(Config{PEs: 1, Watchdog: 5 * time.Minute})
+	err := cm.Run(func(p *Proc) {
+		b.Run("send-hook", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.noteSend(0, 64)
+			}
+		})
+		b.Run("recv-hook", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.noteRecv(0, 64)
+			}
+		})
+		b.Run("enqueue-hook", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.noteEnqueue()
+			}
+		})
+		b.Run("idle-hook", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.noteIdleEnd(p.noteIdleStart())
+			}
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

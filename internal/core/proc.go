@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"converse/internal/machine"
+	"converse/internal/metrics"
 	"converse/internal/queue"
 )
 
@@ -91,6 +92,7 @@ type Proc struct {
 	pre []func(msg []byte) bool
 
 	tracer Tracer
+	met    *metrics.PE // nil when no metrics registry is attached
 
 	// treeBcastHandler is the built-in spanning-tree broadcast
 	// forwarder (bcast.go), registered first on every processor.
@@ -164,6 +166,16 @@ func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
 // Tracer returns the installed tracer, or nil.
 func (p *Proc) Tracer() Tracer { return p.tracer }
 
+// SetMetrics installs (or removes, with nil) this processor's metrics
+// registry. Like the tracer it is normally wired machine-wide through
+// Config.Metrics.
+func (p *Proc) SetMetrics(m *metrics.PE) { p.met = m }
+
+// Metrics returns the processor's metrics registry, or nil when
+// observability is off. Higher layers (cth, ldb, language runtimes)
+// record through it with a nil check, mirroring the tracer discipline.
+func (p *Proc) Metrics() *metrics.PE { return p.met }
+
 // trace emits an event if a tracer is installed.
 func (p *Proc) trace(kind EventKind, src, dst, size, handler, aux int) {
 	if p.tracer == nil {
@@ -173,6 +185,48 @@ func (p *Proc) trace(kind EventKind, src, dst, size, handler, aux int) {
 		Kind: kind, T: p.pe.Clock(), PE: p.MyPe(),
 		Src: src, Dst: dst, Size: size, Handler: handler, Aux: aux,
 	})
+}
+
+// --- metrics hook points (§3.3.2 observability) ---
+//
+// Each note* helper is a single nil check when no registry is attached;
+// BenchmarkMetricsDisabled asserts the disabled cost (0 allocs, a few
+// ns) on the dispatch and send hot paths.
+
+// noteSend records a message sent to dst in the metrics registry.
+func (p *Proc) noteSend(dst, n int) {
+	if p.met != nil {
+		p.met.MsgSent(dst, n)
+	}
+}
+
+// noteRecv records a message received from src.
+func (p *Proc) noteRecv(src, n int) {
+	if p.met != nil {
+		p.met.MsgRecv(src, n)
+	}
+}
+
+// noteEnqueue records a scheduler-queue enqueue and its resulting depth.
+func (p *Proc) noteEnqueue() {
+	if p.met != nil {
+		p.met.Enqueued(p.q.Len())
+	}
+}
+
+// noteIdleStart samples the clock before a blocking network wait.
+func (p *Proc) noteIdleStart() float64 {
+	if p.met == nil {
+		return 0
+	}
+	return p.pe.Clock()
+}
+
+// noteIdleEnd charges the virtual time that passed while blocked idle.
+func (p *Proc) noteIdleEnd(from float64) {
+	if p.met != nil {
+		p.met.SchedIdle(p.pe.Clock() - from)
+	}
 }
 
 // AddPreDispatch registers a hook that sees every network message before

@@ -50,10 +50,12 @@ func (p *Proc) Scheduler(nMsgs int) {
 				return // bounded form never blocks
 			}
 			p.nIdle++
+			idleFrom := p.noteIdleStart()
 			pkt, ok := p.pe.Recv() // block for the network
 			if !ok {
 				return // machine stopped
 			}
+			p.noteIdleEnd(idleFrom)
 			p.dispatchNet(pkt.Data, pkt.Src)
 			if remaining > 0 {
 				remaining--
@@ -108,10 +110,12 @@ func (p *Proc) ServeUntil(pred func() bool) {
 			p.dispatch(msg)
 			continue
 		}
+		idleFrom := p.noteIdleStart()
 		pkt, ok := p.pe.Recv() // idle: block for the network
 		if !ok {
 			panic(fmt.Sprintf("core: pe %d: machine stopped in ServeUntil", p.MyPe()))
 		}
+		p.noteIdleEnd(idleFrom)
 		p.dispatchNet(pkt.Data, pkt.Src)
 	}
 }
@@ -126,6 +130,7 @@ func (p *Proc) Enqueue(msg []byte) {
 	p.checkEnqueue(msg)
 	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
 	p.q.Enq(msg)
+	p.noteEnqueue()
 }
 
 // EnqueueLifo places msg at the front of the scheduler's queue
@@ -134,6 +139,7 @@ func (p *Proc) EnqueueLifo(msg []byte) {
 	p.checkEnqueue(msg)
 	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
 	p.q.EnqLifo(msg)
+	p.noteEnqueue()
 }
 
 // EnqueuePrio places msg in the scheduler's queue with an integer
@@ -143,6 +149,7 @@ func (p *Proc) EnqueuePrio(msg []byte, prio int32) {
 	p.checkEnqueue(msg)
 	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
 	p.q.EnqPrio(msg, prio)
+	p.noteEnqueue()
 }
 
 // EnqueueBitVec places msg in the scheduler's queue under a bit-vector
@@ -152,6 +159,7 @@ func (p *Proc) EnqueueBitVec(msg []byte, prio queue.BitVec) {
 	p.checkEnqueue(msg)
 	p.trace(EvEnqueue, p.MyPe(), p.MyPe(), len(msg), HandlerOf(msg), 0)
 	p.q.EnqBitVec(msg, prio)
+	p.noteEnqueue()
 }
 
 // QueueLen reports the number of messages in the scheduler's queue.
@@ -234,6 +242,7 @@ func (p *Proc) GetMsg() (msg []byte, ok bool) {
 	}
 	p.chargeRecv()
 	p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
+	p.noteRecv(pkt.Src, len(pkt.Data))
 	p.setGot(pkt.Data)
 	return pkt.Data, true
 }
@@ -257,12 +266,15 @@ func (p *Proc) GetSpecificMsg(handler int) []byte {
 		p.deferred.PushBack(m)
 	}
 	for {
+		idleFrom := p.noteIdleStart()
 		pkt, ok := p.pe.Recv()
 		if !ok {
 			panic(fmt.Sprintf("core: pe %d: machine stopped while waiting in GetSpecificMsg(%d)", p.MyPe(), handler))
 		}
+		p.noteIdleEnd(idleFrom)
 		p.chargeRecv()
 		p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
+		p.noteRecv(pkt.Src, len(pkt.Data))
 		if HandlerOf(pkt.Data) == handler {
 			p.setGot(pkt.Data)
 			return pkt.Data
@@ -290,6 +302,7 @@ func (p *Proc) dispatchNet(msg []byte, src int) {
 	}
 	p.chargeRecv()
 	p.trace(EvRecv, src, p.MyPe(), len(msg), HandlerOf(msg), 0)
+	p.noteRecv(src, len(msg))
 	p.dispatch(msg)
 }
 
@@ -302,9 +315,19 @@ func (p *Proc) dispatch(msg []byte) {
 	h := p.HandlerFunc(id)
 	p.ownSeq++
 	p.dispStack = append(p.dispStack, ownedBuf{msg: msg, seq: p.ownSeq})
+	var t0 float64
+	if p.met != nil {
+		t0 = p.pe.Clock()
+	}
 	p.trace(EvBegin, p.MyPe(), p.MyPe(), len(msg), id, 0)
 	h(p, msg)
 	p.trace(EvEnd, p.MyPe(), p.MyPe(), len(msg), id, 0)
+	if p.met != nil {
+		// Only outermost dispatches add scheduler busy time; nested
+		// dispatches (a handler invoking the scheduler) would double
+		// count it.
+		p.met.HandlerDone(id, len(msg), p.pe.Clock()-t0, len(p.dispStack) == 1)
+	}
 	top := p.dispStack[len(p.dispStack)-1]
 	p.dispStack = p.dispStack[:len(p.dispStack)-1]
 	if !top.grabbed {

@@ -25,6 +25,7 @@ func (p *Proc) SyncSend(dst int, msg []byte) {
 	p.checkSend(dst, msg)
 	p.chargeSend()
 	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
+	p.noteSend(dst, len(msg))
 	p.pe.Send(dst, msg)
 }
 
@@ -35,6 +36,7 @@ func (p *Proc) SyncSendAndFree(dst int, msg []byte) {
 	p.checkSend(dst, msg)
 	p.chargeSend()
 	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
+	p.noteSend(dst, len(msg))
 	p.pe.SendOwned(dst, msg)
 }
 
@@ -84,6 +86,7 @@ func (p *Proc) Progress() {
 		case h.dst >= 0:
 			p.chargeSend()
 			p.trace(EvSend, p.MyPe(), h.dst, len(h.msg), HandlerOf(h.msg), 0)
+			p.noteSend(h.dst, len(h.msg))
 			p.pe.SendOwned(h.dst, h.msg)
 		case h.dst == bcastOthers:
 			p.SyncBroadcast(h.msg)

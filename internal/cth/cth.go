@@ -118,6 +118,9 @@ func (rt *Runtime) Create(fn func()) *Thread {
 	rt.threads[t.id] = t
 	rt.created++
 	rt.emit(core.EvThreadCreate, t)
+	if m := rt.p.Metrics(); m != nil {
+		m.ThreadCreated()
+	}
 	return t
 }
 
@@ -159,6 +162,9 @@ func (rt *Runtime) handoff(t *Thread) {
 	rt.current = t
 	rt.switches++
 	rt.emit(core.EvThreadResume, t)
+	if m := rt.p.Metrics(); m != nil {
+		m.ThreadSwitch()
+	}
 	if !t.started {
 		t.started = true
 		go t.body()

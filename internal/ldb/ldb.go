@@ -75,6 +75,9 @@ func (b *Balancer) Deposit(seed []byte) {
 		panic(fmt.Sprintf("ldb: pe %d: seed smaller than a message header", b.p.MyPe()))
 	}
 	b.deposited++
+	if m := b.p.Metrics(); m != nil {
+		m.SeedDeposited()
+	}
 	b.route(seed, 0)
 }
 
@@ -86,10 +89,16 @@ func (b *Balancer) route(seed []byte, hops int) {
 	}
 	if dst == b.p.MyPe() {
 		b.rooted++
+		if m := b.p.Metrics(); m != nil {
+			m.SeedRooted()
+		}
 		b.p.Enqueue(seed) // takes root: scheduled for its handler here
 		return
 	}
 	b.forwarded++
+	if m := b.p.Metrics(); m != nil {
+		m.SeedForwarded()
+	}
 	env := core.NewMsg(b.hSeed, 1+len(seed))
 	pl := core.Payload(env)
 	pl[0] = byte(hops + 1)

@@ -1,0 +1,395 @@
+// Package metrics implements the Projections-style observability
+// registry that grew out of the paper's tracing component (§3.3.2):
+// where internal/trace records *event streams*, this package keeps
+// *aggregates* — counters, gauges and fixed-bucket histograms — cheap
+// enough to leave on for whole runs.
+//
+// The registry is strictly per-PE, like every other piece of Converse
+// runtime state: each processor records into its own PE value with no
+// cross-processor sharing on the hot path. All cells are atomics, so a
+// machine-level Snapshot can be taken at any time — concurrently with a
+// running machine — and is read-consistent per cell. Recording is
+// allocation-free in the steady state; when no registry is attached the
+// core's hot paths pay a single nil check (verified by
+// BenchmarkMetricsDisabled in internal/core).
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of histogram buckets. Bucket 0 counts
+// observations below 1 µs; bucket i counts [2^(i-1), 2^i) µs; the last
+// bucket absorbs everything beyond.
+const NumBuckets = 16
+
+// Histogram is a fixed-bucket latency histogram over virtual
+// microseconds. Recording is lock-free and allocation-free.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration in virtual microseconds.
+func (h *Histogram) Observe(us float64) {
+	i := 0
+	for b := 1.0; i < NumBuckets-1 && us >= b; i++ {
+		b *= 2
+	}
+	h.buckets[i].Add(1)
+}
+
+// BucketBound returns the exclusive upper bound of bucket i in
+// microseconds (+Inf is represented by the last bucket, bound 2^(n-1)).
+func BucketBound(i int) float64 {
+	b := 1.0
+	for ; i > 0; i-- {
+		b *= 2
+	}
+	return b
+}
+
+// snapshot copies the bucket counts.
+func (h *Histogram) snapshot() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// HandlerStats aggregates one handler's dispatches on one PE.
+type HandlerStats struct {
+	count  atomic.Uint64
+	bytes  atomic.Uint64
+	timeNs atomic.Uint64 // virtual handler time, nanoseconds
+	hist   Histogram     // per-dispatch latency, virtual µs
+}
+
+// PE is one processor's metrics registry. Its recording methods are
+// called by the instrumented runtime layers (core, cth, ldb); they are
+// safe for the owner PE to call concurrently with Snapshot readers.
+type PE struct {
+	id     int
+	numPEs int
+
+	idleNs     atomic.Uint64 // scheduler blocked-idle virtual time, ns
+	busyNs     atomic.Uint64 // outermost handler virtual time, ns
+	dispatches atomic.Uint64
+	enqueues   atomic.Uint64
+	queueHWM   atomic.Uint64 // scheduler queue depth high-water mark
+
+	threadSwitches atomic.Uint64
+	threadsCreated atomic.Uint64
+
+	seedsDeposited atomic.Uint64
+	seedsRooted    atomic.Uint64
+	seedsForwarded atomic.Uint64
+
+	sentMsgs  []atomic.Uint64 // per peer PE
+	sentBytes []atomic.Uint64
+	recvMsgs  []atomic.Uint64
+	recvBytes []atomic.Uint64
+
+	// handlers grows copy-on-write (only the owner PE grows it, on the
+	// first dispatch of each handler id) so lock-free readers and the
+	// dispatch hot path see a stable slice.
+	handlers atomic.Pointer[[]*HandlerStats]
+	growMu   sync.Mutex
+}
+
+// Registry is the machine-level registry: one PE registry per
+// processor. Pass it as core.Config.Metrics.
+type Registry struct {
+	pes []*PE
+}
+
+// New builds a registry for a machine of numPEs processors.
+func New(numPEs int) *Registry {
+	if numPEs < 1 {
+		panic(fmt.Sprintf("metrics: numPEs must be >= 1, got %d", numPEs))
+	}
+	r := &Registry{pes: make([]*PE, numPEs)}
+	for i := range r.pes {
+		pe := &PE{
+			id:        i,
+			numPEs:    numPEs,
+			sentMsgs:  make([]atomic.Uint64, numPEs),
+			sentBytes: make([]atomic.Uint64, numPEs),
+			recvMsgs:  make([]atomic.Uint64, numPEs),
+			recvBytes: make([]atomic.Uint64, numPEs),
+		}
+		empty := make([]*HandlerStats, 0)
+		pe.handlers.Store(&empty)
+		r.pes[i] = pe
+	}
+	return r
+}
+
+// NumPEs reports the machine size the registry was built for.
+func (r *Registry) NumPEs() int { return len(r.pes) }
+
+// PE returns processor pe's registry.
+func (r *Registry) PE(pe int) *PE { return r.pes[pe] }
+
+// nsOf converts virtual microseconds to the integer nanoseconds the
+// atomic time cells accumulate.
+func nsOf(us float64) uint64 {
+	if us <= 0 {
+		return 0
+	}
+	return uint64(us * 1e3)
+}
+
+// MsgSent records one message of n bytes sent to peer dst.
+func (m *PE) MsgSent(dst, n int) {
+	m.sentMsgs[dst].Add(1)
+	m.sentBytes[dst].Add(uint64(n))
+}
+
+// MsgRecv records one message of n bytes received from peer src.
+func (m *PE) MsgRecv(src, n int) {
+	m.recvMsgs[src].Add(1)
+	m.recvBytes[src].Add(uint64(n))
+}
+
+// HandlerDone records one completed dispatch of handler id: message
+// size, virtual duration, and whether this was an outermost dispatch
+// (only outermost dispatches accumulate scheduler busy time, so nested
+// dispatches are not double counted).
+func (m *PE) HandlerDone(id, bytes int, us float64, outermost bool) {
+	m.dispatches.Add(1)
+	if outermost {
+		m.busyNs.Add(nsOf(us))
+	}
+	h := m.handler(id)
+	h.count.Add(1)
+	h.bytes.Add(uint64(bytes))
+	h.timeNs.Add(nsOf(us))
+	h.hist.Observe(us)
+}
+
+// SchedIdle records virtual time the scheduler spent blocked waiting
+// for the network.
+func (m *PE) SchedIdle(us float64) { m.idleNs.Add(nsOf(us)) }
+
+// Enqueued records one scheduler-queue enqueue and the resulting queue
+// depth, maintaining the high-water mark.
+func (m *PE) Enqueued(depth int) {
+	m.enqueues.Add(1)
+	d := uint64(depth)
+	for {
+		cur := m.queueHWM.Load()
+		if d <= cur || m.queueHWM.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// ThreadSwitch records one thread context switch.
+func (m *PE) ThreadSwitch() { m.threadSwitches.Add(1) }
+
+// ThreadCreated records one thread object creation.
+func (m *PE) ThreadCreated() { m.threadsCreated.Add(1) }
+
+// SeedDeposited records a seed handed to the local balancer.
+func (m *PE) SeedDeposited() { m.seedsDeposited.Add(1) }
+
+// SeedRooted records a seed taking root on this PE.
+func (m *PE) SeedRooted() { m.seedsRooted.Add(1) }
+
+// SeedForwarded records a seed migrated onward to another PE.
+func (m *PE) SeedForwarded() { m.seedsForwarded.Add(1) }
+
+// handler returns handler id's stats cell, growing the table on first
+// use. Growth is copy-on-write: the hot path is one atomic pointer load
+// plus an index.
+func (m *PE) handler(id int) *HandlerStats {
+	// Fast path in its own frame: growHandler stores &hs, which would
+	// otherwise make the slice header escape (and allocate) on every
+	// call.
+	if hs := *m.handlers.Load(); id < len(hs) && hs[id] != nil {
+		return hs[id]
+	}
+	return m.growHandler(id)
+}
+
+// growHandler extends the copy-on-write handler table to cover id.
+func (m *PE) growHandler(id int) *HandlerStats {
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	hs := *m.handlers.Load()
+	if id >= len(hs) {
+		grown := make([]*HandlerStats, id+1)
+		copy(grown, hs)
+		hs = grown
+	} else {
+		hs = append([]*HandlerStats(nil), hs...)
+	}
+	if hs[id] == nil {
+		hs[id] = &HandlerStats{}
+	}
+	m.handlers.Store(&hs)
+	return hs[id]
+}
+
+// --- snapshots -------------------------------------------------------
+
+// HandlerSnapshot is one handler's aggregate on one PE.
+type HandlerSnapshot struct {
+	Handler int
+	Count   uint64
+	Bytes   uint64
+	// TimeUs is the total virtual time spent in this handler
+	// (inclusive of nested dispatches it performed).
+	TimeUs float64
+	// LatencyBuckets is the per-dispatch latency histogram; bucket i
+	// counts dispatches of [BucketBound(i-1), BucketBound(i)) µs.
+	LatencyBuckets [NumBuckets]uint64
+}
+
+// PESnapshot is one processor's aggregates.
+type PESnapshot struct {
+	PE int
+
+	SchedIdleUs float64 // virtual time blocked idle in the scheduler
+	BusyUs      float64 // virtual time in outermost handler dispatches
+	Dispatches  uint64
+	Enqueues    uint64
+	QueueHWM    uint64
+
+	ThreadSwitches uint64
+	ThreadsCreated uint64
+
+	SeedsDeposited uint64
+	SeedsRooted    uint64
+	SeedsForwarded uint64
+
+	SentMsgs  []uint64 // indexed by peer PE
+	SentBytes []uint64
+	RecvMsgs  []uint64
+	RecvBytes []uint64
+
+	Handlers []HandlerSnapshot // only handlers that ran
+}
+
+// Utilization is BusyUs / (BusyUs + SchedIdleUs), the Projections-style
+// utilization measure; it reports 0 when the PE recorded nothing.
+func (s *PESnapshot) Utilization() float64 {
+	tot := s.BusyUs + s.SchedIdleUs
+	if tot <= 0 {
+		return 0
+	}
+	return s.BusyUs / tot
+}
+
+// TotalSentBytes sums bytes sent to all peers.
+func (s *PESnapshot) TotalSentBytes() uint64 { return sum(s.SentBytes) }
+
+// TotalRecvBytes sums bytes received from all peers.
+func (s *PESnapshot) TotalRecvBytes() uint64 { return sum(s.RecvBytes) }
+
+func sum(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Snapshot is a machine-level view: every PE's aggregates, merged from
+// the per-PE registries at one point in time.
+type Snapshot struct {
+	PEs []PESnapshot
+}
+
+// Snapshot merges all PE registries into one read-consistent view. It
+// may be taken while the machine runs (each cell is read atomically) or
+// after Run returns (fully consistent).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{PEs: make([]PESnapshot, len(r.pes))}
+	for i, m := range r.pes {
+		ps := PESnapshot{
+			PE:             i,
+			SchedIdleUs:    float64(m.idleNs.Load()) / 1e3,
+			BusyUs:         float64(m.busyNs.Load()) / 1e3,
+			Dispatches:     m.dispatches.Load(),
+			Enqueues:       m.enqueues.Load(),
+			QueueHWM:       m.queueHWM.Load(),
+			ThreadSwitches: m.threadSwitches.Load(),
+			ThreadsCreated: m.threadsCreated.Load(),
+			SeedsDeposited: m.seedsDeposited.Load(),
+			SeedsRooted:    m.seedsRooted.Load(),
+			SeedsForwarded: m.seedsForwarded.Load(),
+			SentMsgs:       loadAll(m.sentMsgs),
+			SentBytes:      loadAll(m.sentBytes),
+			RecvMsgs:       loadAll(m.recvMsgs),
+			RecvBytes:      loadAll(m.recvBytes),
+		}
+		for id, h := range *m.handlers.Load() {
+			if h == nil || h.count.Load() == 0 {
+				continue
+			}
+			ps.Handlers = append(ps.Handlers, HandlerSnapshot{
+				Handler:        id,
+				Count:          h.count.Load(),
+				Bytes:          h.bytes.Load(),
+				TimeUs:         float64(h.timeNs.Load()) / 1e3,
+				LatencyBuckets: h.hist.snapshot(),
+			})
+		}
+		s.PEs[i] = ps
+	}
+	return s
+}
+
+func loadAll(v []atomic.Uint64) []uint64 {
+	out := make([]uint64, len(v))
+	for i := range v {
+		out[i] = v[i].Load()
+	}
+	return out
+}
+
+// MessageBytesMatrix returns the PE×PE matrix of bytes sent, indexed
+// [src][dst], from the senders' accounting.
+func (s *Snapshot) MessageBytesMatrix() [][]uint64 {
+	out := make([][]uint64, len(s.PEs))
+	for i := range s.PEs {
+		out[i] = append([]uint64(nil), s.PEs[i].SentBytes...)
+	}
+	return out
+}
+
+// HandlerTotals merges every PE's per-handler aggregates into one
+// machine-wide profile, sorted by handler id.
+func (s *Snapshot) HandlerTotals() []HandlerSnapshot {
+	byID := map[int]*HandlerSnapshot{}
+	maxID := -1
+	for _, pe := range s.PEs {
+		for _, h := range pe.Handlers {
+			t := byID[h.Handler]
+			if t == nil {
+				t = &HandlerSnapshot{Handler: h.Handler}
+				byID[h.Handler] = t
+				if h.Handler > maxID {
+					maxID = h.Handler
+				}
+			}
+			t.Count += h.Count
+			t.Bytes += h.Bytes
+			t.TimeUs += h.TimeUs
+			for i, c := range h.LatencyBuckets {
+				t.LatencyBuckets[i] += c
+			}
+		}
+	}
+	var out []HandlerSnapshot
+	for id := 0; id <= maxID; id++ {
+		if t := byID[id]; t != nil {
+			out = append(out, *t)
+		}
+	}
+	return out
+}

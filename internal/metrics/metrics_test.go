@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	r := New(3)
+	m := r.PE(1)
+	m.MsgSent(0, 100)
+	m.MsgSent(0, 50)
+	m.MsgSent(2, 8)
+	m.MsgRecv(2, 64)
+	m.HandlerDone(4, 32, 10.0, true)
+	m.HandlerDone(4, 32, 2.5, false)
+	m.SchedIdle(7.5)
+	m.Enqueued(3)
+	m.Enqueued(1)
+	m.ThreadSwitch()
+	m.ThreadCreated()
+	m.SeedDeposited()
+	m.SeedRooted()
+
+	s := r.Snapshot()
+	pe := s.PEs[1]
+	if pe.SentMsgs[0] != 2 || pe.SentBytes[0] != 150 {
+		t.Fatalf("sent to 0: %d msgs %d bytes", pe.SentMsgs[0], pe.SentBytes[0])
+	}
+	if pe.SentBytes[2] != 8 || pe.RecvBytes[2] != 64 {
+		t.Fatalf("peer 2 accounting wrong: %v %v", pe.SentBytes, pe.RecvBytes)
+	}
+	if pe.TotalSentBytes() != 158 || pe.TotalRecvBytes() != 64 {
+		t.Fatalf("totals: %d %d", pe.TotalSentBytes(), pe.TotalRecvBytes())
+	}
+	if pe.Dispatches != 2 {
+		t.Fatalf("dispatches = %d", pe.Dispatches)
+	}
+	// Only the outermost dispatch contributes busy time.
+	if pe.BusyUs < 9.99 || pe.BusyUs > 10.01 {
+		t.Fatalf("BusyUs = %v, want 10", pe.BusyUs)
+	}
+	if pe.SchedIdleUs < 7.49 || pe.SchedIdleUs > 7.51 {
+		t.Fatalf("SchedIdleUs = %v, want 7.5", pe.SchedIdleUs)
+	}
+	if u := pe.Utilization(); u < 0.57 || u > 0.58 {
+		t.Fatalf("utilization = %v, want 10/17.5", u)
+	}
+	if pe.QueueHWM != 3 || pe.Enqueues != 2 {
+		t.Fatalf("queue hwm=%d enqueues=%d", pe.QueueHWM, pe.Enqueues)
+	}
+	if pe.ThreadSwitches != 1 || pe.ThreadsCreated != 1 {
+		t.Fatal("thread counters wrong")
+	}
+	if pe.SeedsDeposited != 1 || pe.SeedsRooted != 1 || pe.SeedsForwarded != 0 {
+		t.Fatal("seed counters wrong")
+	}
+	if len(pe.Handlers) != 1 || pe.Handlers[0].Handler != 4 {
+		t.Fatalf("handlers = %+v", pe.Handlers)
+	}
+	h := pe.Handlers[0]
+	if h.Count != 2 || h.Bytes != 64 {
+		t.Fatalf("handler count=%d bytes=%d", h.Count, h.Bytes)
+	}
+	if h.TimeUs < 12.49 || h.TimeUs > 12.51 {
+		t.Fatalf("handler TimeUs = %v, want 12.5", h.TimeUs)
+	}
+	// Untouched PEs snapshot clean.
+	if s.PEs[0].Dispatches != 0 || len(s.PEs[0].Handlers) != 0 {
+		t.Fatal("pe 0 not clean")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0.5)  // bucket 0: < 1us
+	h.Observe(1.0)  // bucket 1: [1,2)
+	h.Observe(3.0)  // bucket 2: [2,4)
+	h.Observe(1e12) // overflow: last bucket
+	s := h.snapshot()
+	if s[0] != 1 || s[1] != 1 || s[2] != 1 || s[NumBuckets-1] != 1 {
+		t.Fatalf("buckets = %v", s)
+	}
+	if BucketBound(0) != 1 || BucketBound(3) != 8 {
+		t.Fatalf("bounds: %v %v", BucketBound(0), BucketBound(3))
+	}
+}
+
+func TestHandlerTableGrowth(t *testing.T) {
+	r := New(1)
+	m := r.PE(0)
+	m.HandlerDone(17, 8, 1, true)
+	m.HandlerDone(2, 8, 1, true)
+	m.HandlerDone(17, 8, 1, true)
+	hs := r.Snapshot().PEs[0].Handlers
+	if len(hs) != 2 || hs[0].Handler != 2 || hs[1].Handler != 17 {
+		t.Fatalf("handlers = %+v", hs)
+	}
+	if hs[1].Count != 2 {
+		t.Fatalf("handler 17 count = %d", hs[1].Count)
+	}
+}
+
+func TestHandlerTotalsAndMatrix(t *testing.T) {
+	r := New(2)
+	r.PE(0).HandlerDone(3, 10, 5, true)
+	r.PE(1).HandlerDone(3, 10, 7, true)
+	r.PE(0).MsgSent(1, 100)
+	r.PE(1).MsgSent(0, 40)
+	s := r.Snapshot()
+	tot := s.HandlerTotals()
+	if len(tot) != 1 || tot[0].Count != 2 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if tot[0].TimeUs < 11.99 || tot[0].TimeUs > 12.01 {
+		t.Fatalf("merged TimeUs = %v", tot[0].TimeUs)
+	}
+	mat := s.MessageBytesMatrix()
+	if mat[0][1] != 100 || mat[1][0] != 40 || mat[0][0] != 0 {
+		t.Fatalf("matrix = %v", mat)
+	}
+}
+
+// TestConcurrentRecordAndSnapshot exercises recording from per-PE
+// goroutines while another goroutine snapshots, under -race.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	const pes, iters = 4, 2000
+	r := New(pes)
+	var wg sync.WaitGroup
+	for pe := 0; pe < pes; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			m := r.PE(pe)
+			for i := 0; i < iters; i++ {
+				m.MsgSent((pe+1)%pes, 64)
+				m.MsgRecv((pe+1)%pes, 64)
+				m.HandlerDone(i%8, 64, 1.5, true)
+				m.Enqueued(i % 10)
+				m.SchedIdle(0.25)
+			}
+		}(pe)
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	s := r.Snapshot()
+	for pe := 0; pe < pes; pe++ {
+		if s.PEs[pe].Dispatches != iters {
+			t.Fatalf("pe %d dispatches = %d", pe, s.PEs[pe].Dispatches)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Projections-style trace analysis (§3.3.2): binned utilization
+// timelines, per-handler time profiles, and message-volume matrices
+// computed from a merged event stream. These are the views the paper's
+// "performance analysis tools" consume; cmd/traceview renders them as
+// text.
+package trace
+
+import (
+	"sort"
+
+	"converse/internal/core"
+)
+
+// Utilization is one machine's binned utilization timeline: for each
+// PE, the fraction of each time bin spent inside (outermost) handler
+// execution.
+type Utilization struct {
+	Start, End float64     // traced time range, virtual µs
+	Bins       [][]float64 // [pe][bin] busy fraction in [0,1]
+}
+
+// BinWidth returns the width of one bin in microseconds.
+func (u *Utilization) BinWidth() float64 {
+	if len(u.Bins) == 0 || len(u.Bins[0]) == 0 {
+		return 0
+	}
+	return (u.End - u.Start) / float64(len(u.Bins[0]))
+}
+
+// PEBusy returns PE pe's overall busy fraction across the whole range.
+func (u *Utilization) PEBusy(pe int) float64 {
+	bins := u.Bins[pe]
+	if len(bins) == 0 {
+		return 0
+	}
+	var t float64
+	for _, b := range bins {
+		t += b
+	}
+	return t / float64(len(bins))
+}
+
+// ComputeUtilization bins the merged stream's handler-busy intervals
+// into nbins equal slices of the traced time range. Nested dispatches
+// are collapsed into their outermost span, as in Summarize.
+func ComputeUtilization(events []core.TraceEvent, pes, nbins int) *Utilization {
+	if nbins < 1 {
+		nbins = 1
+	}
+	u := &Utilization{Bins: make([][]float64, pes)}
+	for pe := range u.Bins {
+		u.Bins[pe] = make([]float64, nbins)
+	}
+	if len(events) == 0 {
+		return u
+	}
+	u.Start = events[0].T
+	u.End = events[0].T
+	for _, e := range events {
+		if e.T < u.Start {
+			u.Start = e.T
+		}
+		if e.T > u.End {
+			u.End = e.T
+		}
+	}
+	width := (u.End - u.Start) / float64(nbins)
+	if width <= 0 {
+		return u
+	}
+	depth := make([]int, pes)
+	busyFrom := make([]float64, pes)
+	addSpan := func(pe int, t0, t1 float64) {
+		for b := 0; b < nbins; b++ {
+			lo := u.Start + float64(b)*width
+			hi := lo + width
+			if t1 <= lo || t0 >= hi {
+				continue
+			}
+			o0, o1 := t0, t1
+			if o0 < lo {
+				o0 = lo
+			}
+			if o1 > hi {
+				o1 = hi
+			}
+			u.Bins[pe][b] += (o1 - o0) / width
+		}
+	}
+	for _, e := range events {
+		if e.PE < 0 || e.PE >= pes {
+			continue
+		}
+		switch e.Kind {
+		case core.EvBegin:
+			if depth[e.PE] == 0 {
+				busyFrom[e.PE] = e.T
+			}
+			depth[e.PE]++
+		case core.EvEnd:
+			depth[e.PE]--
+			if depth[e.PE] == 0 {
+				addSpan(e.PE, busyFrom[e.PE], e.T)
+			}
+		}
+	}
+	return u
+}
+
+// HandlerTime is one handler's share of a time profile.
+type HandlerTime struct {
+	Handler int
+	Count   uint64
+	// InclusiveUs is total virtual time between this handler's begin
+	// and end events, including any nested dispatches it performed.
+	InclusiveUs float64
+	MaxUs       float64 // longest single dispatch
+	Bytes       uint64  // total message bytes dispatched to it
+}
+
+// HandlerProfile computes the per-handler time profile of a merged
+// stream, sorted by inclusive time, largest first.
+func HandlerProfile(events []core.TraceEvent, pes int) []HandlerTime {
+	type open struct {
+		handler int
+		t       float64
+	}
+	stacks := make([][]open, pes)
+	acc := map[int]*HandlerTime{}
+	for _, e := range events {
+		if e.PE < 0 || e.PE >= pes {
+			continue
+		}
+		switch e.Kind {
+		case core.EvBegin:
+			stacks[e.PE] = append(stacks[e.PE], open{e.Handler, e.T})
+		case core.EvEnd:
+			s := stacks[e.PE]
+			if len(s) == 0 {
+				continue // truncated trace
+			}
+			top := s[len(s)-1]
+			stacks[e.PE] = s[:len(s)-1]
+			h := acc[top.handler]
+			if h == nil {
+				h = &HandlerTime{Handler: top.handler}
+				acc[top.handler] = h
+			}
+			h.Count++
+			d := e.T - top.t
+			h.InclusiveUs += d
+			if d > h.MaxUs {
+				h.MaxUs = d
+			}
+			h.Bytes += uint64(e.Size)
+		}
+	}
+	out := make([]HandlerTime, 0, len(acc))
+	for _, h := range acc {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InclusiveUs != out[j].InclusiveUs {
+			return out[i].InclusiveUs > out[j].InclusiveUs
+		}
+		return out[i].Handler < out[j].Handler
+	})
+	return out
+}
+
+// MessageMatrix computes the PE×PE message-volume matrices of a merged
+// stream from its send events: msgs[src][dst] counts messages,
+// bytes[src][dst] sums their sizes.
+func MessageMatrix(events []core.TraceEvent, pes int) (msgs, bytes [][]uint64) {
+	msgs = make([][]uint64, pes)
+	bytes = make([][]uint64, pes)
+	for i := range msgs {
+		msgs[i] = make([]uint64, pes)
+		bytes[i] = make([]uint64, pes)
+	}
+	for _, e := range events {
+		if e.Kind != core.EvSend {
+			continue
+		}
+		if e.Src < 0 || e.Src >= pes || e.Dst < 0 || e.Dst >= pes {
+			continue
+		}
+		msgs[e.Src][e.Dst]++
+		bytes[e.Src][e.Dst] += uint64(e.Size)
+	}
+	return msgs, bytes
+}

@@ -1,0 +1,118 @@
+// Chrome trace-event export: the merged Converse event stream rendered
+// as Trace Event Format JSON, loadable by Perfetto (ui.perfetto.dev)
+// and chrome://tracing. Each PE becomes one track (tid) of a single
+// process; handler executions are duration slices, send→recv pairs are
+// flow arrows between tracks, and the remaining standard kinds (plus
+// self-describing user kinds) are instant events.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"converse/internal/core"
+)
+
+// ChromeEvent is one JSON record of the Trace Event Format. Timestamps
+// and durations are in microseconds, matching Converse virtual time.
+type ChromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the JSON-object form of the format.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the collector's merged stream as Chrome
+// trace-event JSON.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, len(c.bufs), c.Merged(), c.schema)
+}
+
+// WriteChrome exports a merged event stream (as produced by
+// Collector.Merged or ReadText) as Chrome trace-event JSON. schema may
+// be nil, in which case default kind and handler names are used.
+func WriteChrome(w io.Writer, pes int, events []core.TraceEvent, schema *Schema) error {
+	if schema == nil {
+		schema = NewSchema()
+	}
+	t := BuildChromeTrace(pes, events, schema)
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// BuildChromeTrace converts a merged event stream into the trace-event
+// records WriteChrome serializes; split out for tests and callers that
+// post-process.
+func BuildChromeTrace(pes int, events []core.TraceEvent, schema *Schema) *ChromeTrace {
+	type link struct{ src, dst int }
+	out := &ChromeTrace{DisplayTimeUnit: "ms"}
+	add := func(e ChromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
+
+	add(ChromeEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "converse machine"}})
+	for pe := 0; pe < pes; pe++ {
+		add(ChromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: pe,
+			Args: map[string]any{"name": pePrintf(pe)}})
+		add(ChromeEvent{Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: pe,
+			Args: map[string]any{"sort_index": pe}})
+	}
+
+	// Flow ids: the k-th send on a (src,dst) link pairs with the k-th
+	// receive on it (links are FIFO).
+	nextFlow := 1
+	pending := map[link][]int{} // flow ids of sends awaiting their receive
+
+	for _, e := range events {
+		switch e.Kind {
+		case core.EvBegin:
+			add(ChromeEvent{Name: schema.HandlerName(e.Handler), Cat: "handler",
+				Ph: "B", Ts: e.T, Pid: 0, Tid: e.PE,
+				Args: map[string]any{"handler": e.Handler, "size": e.Size}})
+		case core.EvEnd:
+			add(ChromeEvent{Ph: "E", Ts: e.T, Pid: 0, Tid: e.PE})
+		case core.EvSend:
+			id := nextFlow
+			nextFlow++
+			l := link{e.PE, e.Dst}
+			pending[l] = append(pending[l], id)
+			add(ChromeEvent{Name: "msg", Cat: "msg", Ph: "s", Ts: e.T,
+				Pid: 0, Tid: e.PE, ID: id,
+				Args: map[string]any{"dst": e.Dst, "size": e.Size, "handler": e.Handler}})
+		case core.EvRecv:
+			l := link{e.Src, e.PE}
+			if ids := pending[l]; len(ids) > 0 {
+				id := ids[0]
+				pending[l] = ids[1:]
+				add(ChromeEvent{Name: "msg", Cat: "msg", Ph: "f", BP: "e",
+					Ts: e.T, Pid: 0, Tid: e.PE, ID: id,
+					Args: map[string]any{"src": e.Src, "size": e.Size, "handler": e.Handler}})
+			} else {
+				// No recorded send (tracer attached mid-run): plain
+				// instant so the event still shows.
+				add(ChromeEvent{Name: "msg-recv", Cat: "msg", Ph: "i", S: "t",
+					Ts: e.T, Pid: 0, Tid: e.PE,
+					Args: map[string]any{"src": e.Src, "size": e.Size}})
+			}
+		default:
+			add(ChromeEvent{Name: schema.Name(e.Kind), Cat: "event",
+				Ph: "i", S: "t", Ts: e.T, Pid: 0, Tid: e.PE,
+				Args: map[string]any{"handler": e.Handler, "aux": e.Aux, "size": e.Size}})
+		}
+	}
+	return out
+}
+
+func pePrintf(pe int) string { return fmt.Sprintf("PE %d", pe) }

@@ -1,0 +1,164 @@
+// Reader for the standard textual trace format WriteText emits, so
+// analysis tools (cmd/traceview) can consume exported traces without
+// re-running the program — the paper's "standard format all language
+// implementations share" read back in.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"converse/internal/core"
+)
+
+// Parsed is a trace read back from the standard textual format.
+type Parsed struct {
+	PEs    int
+	Events []core.TraceEvent // in file order (WriteText writes the merged stream)
+	Schema *Schema
+}
+
+// ReadText parses a trace in the format WriteText produces: a header
+// line, kind-definition comment lines, then one event per line.
+func ReadText(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	p := &Parsed{Schema: NewSchema()}
+	nameToKind := map[string]core.EventKind{}
+	for _, kd := range p.Schema.Kinds() {
+		nameToKind[kd.Name] = kd.Kind
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := p.parseHeader(line, nameToKind); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		e, err := parseEventLine(line, nameToKind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if e.PE >= p.PEs {
+			p.PEs = e.PE + 1
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.PEs == 0 {
+		return nil, fmt.Errorf("trace: no header and no events")
+	}
+	return p, nil
+}
+
+// parseHeader handles "# converse trace, N pes",
+// "# kind K = name [fields]" and "# handler N = name" lines; other
+// comments are ignored.
+func (p *Parsed) parseHeader(line string, nameToKind map[string]core.EventKind) error {
+	if n, err := fmt.Sscanf(line, "# converse trace, %d pes", &p.PEs); n == 1 && err == nil {
+		return nil
+	}
+	var k int
+	var rest string
+	if n, _ := fmt.Sscanf(line, "# handler %d = %s", &k, &rest); n == 2 {
+		p.Schema.NameHandler(k, rest)
+		return nil
+	}
+	if n, _ := fmt.Sscanf(line, "# kind %d = %s", &k, &rest); n == 2 {
+		kind := core.EventKind(k)
+		if kind >= core.EvUser {
+			// Re-register the user kind under its recorded value; field
+			// labels follow the name as a bracketed list.
+			fields := parseFieldList(line)
+			p.Schema.defineAt(kind, rest, fields)
+		}
+		nameToKind[rest] = kind
+	}
+	return nil
+}
+
+// parseFieldList extracts the "[a b c]" suffix of a kind line.
+func parseFieldList(line string) []string {
+	i := strings.Index(line, "[")
+	j := strings.LastIndex(line, "]")
+	if i < 0 || j <= i {
+		return nil
+	}
+	return strings.Fields(line[i+1 : j])
+}
+
+// defineAt registers a kind under an explicit value (trace re-import).
+func (s *Schema) defineAt(k core.EventKind, name string, fields []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.names[k] = name
+	s.fields[k] = fields
+	if k >= s.next {
+		s.next = k + 1
+	}
+}
+
+// parseEventLine parses one
+// "t=<us> pe=<n> <kind> src=<n> dst=<n> size=<n> handler=<n> aux=<n>".
+func parseEventLine(line string, nameToKind map[string]core.EventKind) (core.TraceEvent, error) {
+	var e core.TraceEvent
+	for _, tok := range strings.Fields(line) {
+		key, val, found := strings.Cut(tok, "=")
+		if !found {
+			kind, ok := nameToKind[tok]
+			if !ok {
+				// Unknown kind name of the form "kind-N".
+				numStr, isNum := strings.CutPrefix(tok, "kind-")
+				n, err := strconv.Atoi(numStr)
+				if !isNum || err != nil {
+					return e, fmt.Errorf("unknown event kind %q", tok)
+				}
+				kind = core.EventKind(n)
+			}
+			e.Kind = kind
+			continue
+		}
+		switch key {
+		case "t":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad t %q", val)
+			}
+			e.T = f
+		case "pe", "src", "dst", "size", "handler", "aux":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return e, fmt.Errorf("bad %s %q", key, val)
+			}
+			switch key {
+			case "pe":
+				e.PE = n
+			case "src":
+				e.Src = n
+			case "dst":
+				e.Dst = n
+			case "size":
+				e.Size = n
+			case "handler":
+				e.Handler = n
+			case "aux":
+				e.Aux = n
+			}
+		}
+	}
+	if e.Kind == 0 {
+		return e, fmt.Errorf("line %q carries no event kind", line)
+	}
+	return e, nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"converse/internal/core"
 )
@@ -37,8 +38,12 @@ func (b *Buffer) Events() []core.TraceEvent { return b.events }
 func (b *Buffer) Len() int { return len(b.events) }
 
 // Counter is a lightweight tracer variant that keeps only per-kind
-// event counts.
+// event counts. Converse tracers are per-PE — build one per processor
+// through Config.Tracer's factory — but because a single Counter is
+// occasionally shared across PEs (or read while the machine runs), it
+// is safe for concurrent use.
 type Counter struct {
+	mu     sync.Mutex
 	counts map[core.EventKind]uint64
 }
 
@@ -46,10 +51,18 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{counts: make(map[core.EventKind]uint64)} }
 
 // Event implements core.Tracer.
-func (c *Counter) Event(e core.TraceEvent) { c.counts[e.Kind]++ }
+func (c *Counter) Event(e core.TraceEvent) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
 
 // Count reports how many events of the given kind were seen.
-func (c *Counter) Count(kind core.EventKind) uint64 { return c.counts[kind] }
+func (c *Counter) Count(kind core.EventKind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[kind]
+}
 
 // Null discards all events. It implements core.Tracer.
 type Null struct{}
@@ -59,19 +72,25 @@ func (Null) Event(core.TraceEvent) {}
 
 // Schema is the self-describing part of the trace format: user-defined
 // event kinds with names and field labels, shared by the processors of
-// one machine. The standard kinds are predefined.
+// one machine. The standard kinds are predefined. Because one Schema is
+// shared by every PE of a machine — language runtimes register kinds
+// from their own processors at startup — registration and lookup are
+// safe for concurrent use.
 type Schema struct {
-	names  map[core.EventKind]string
-	fields map[core.EventKind][]string
-	next   core.EventKind
+	mu       sync.RWMutex
+	names    map[core.EventKind]string
+	fields   map[core.EventKind][]string
+	next     core.EventKind
+	handlers map[int]string // optional display names for handler indices
 }
 
 // NewSchema creates a schema containing the standard kinds.
 func NewSchema() *Schema {
 	s := &Schema{
-		names:  make(map[core.EventKind]string),
-		fields: make(map[core.EventKind][]string),
-		next:   core.EvUser,
+		names:    make(map[core.EventKind]string),
+		fields:   make(map[core.EventKind][]string),
+		next:     core.EvUser,
+		handlers: make(map[int]string),
 	}
 	std := map[core.EventKind]string{
 		core.EvSend:          "msg-send",
@@ -95,6 +114,11 @@ func NewSchema() *Schema {
 // self-describing format: consumers can interpret unknown kinds from the
 // schema alone.
 func (s *Schema) Define(name string, fields ...string) core.EventKind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next == 0 {
+		panic("trace: schema full: EventKind space exhausted")
+	}
 	k := s.next
 	s.next++
 	s.names[k] = name
@@ -104,10 +128,73 @@ func (s *Schema) Define(name string, fields ...string) core.EventKind {
 
 // Name returns the kind's registered name, or a numeric fallback.
 func (s *Schema) Name(k core.EventKind) string {
-	if n, ok := s.names[k]; ok {
+	s.mu.RLock()
+	n, ok := s.names[k]
+	s.mu.RUnlock()
+	if ok {
 		return n
 	}
 	return fmt.Sprintf("kind-%d", k)
+}
+
+// NameHandler attaches a display name to a handler index, used by the
+// trace exporters and cmd/traceview in place of "handler-<n>". Handler
+// indices agree machine-wide (handlers are registered in the same order
+// on every PE), so one name per index suffices.
+func (s *Schema) NameHandler(handler int, name string) {
+	s.mu.Lock()
+	s.handlers[handler] = name
+	s.mu.Unlock()
+}
+
+// HandlerName returns the display name of a handler index, or
+// "handler-<n>" if none was registered.
+func (s *Schema) HandlerName(handler int) string {
+	s.mu.RLock()
+	n, ok := s.handlers[handler]
+	s.mu.RUnlock()
+	if ok {
+		return n
+	}
+	return fmt.Sprintf("handler-%d", handler)
+}
+
+// HandlerDef is one handler display name, as returned by HandlerNames.
+type HandlerDef struct {
+	Handler int
+	Name    string
+}
+
+// HandlerNames returns all registered handler display names sorted by
+// handler index.
+func (s *Schema) HandlerNames() []HandlerDef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]HandlerDef, 0, len(s.handlers))
+	for h, n := range s.handlers {
+		out = append(out, HandlerDef{Handler: h, Name: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Handler < out[j].Handler })
+	return out
+}
+
+// KindDef is one schema entry, as returned by Kinds.
+type KindDef struct {
+	Kind   core.EventKind
+	Name   string
+	Fields []string
+}
+
+// Kinds returns all registered kinds sorted by kind value.
+func (s *Schema) Kinds() []KindDef {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]KindDef, 0, len(s.names))
+	for k, n := range s.names {
+		out = append(out, KindDef{Kind: k, Name: n, Fields: s.fields[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
 }
 
 // Collector owns the per-processor trace buffers of one machine and the
@@ -137,21 +224,76 @@ func (c *Collector) Tracer(pe int) core.Tracer { return c.bufs[pe] }
 // Buffer returns processor pe's buffer for direct inspection.
 func (c *Collector) Buffer(pe int) *Buffer { return c.bufs[pe] }
 
-// Merged returns all processors' events merged into one stream ordered
-// by virtual time (ties broken by processor, then emission order).
-// It must only be called after the machine run has finished.
+// Merged returns all processors' events merged into one causally
+// consistent stream: nondecreasing in virtual time, preserving each
+// processor's emission order, and with every receive placed after its
+// matching send even when their timestamps tie (as they do under a
+// zero-cost model, where wire time is free). It must only be called
+// after the machine run has finished.
 func (c *Collector) Merged() []core.TraceEvent {
-	var all []core.TraceEvent
-	for _, b := range c.bufs {
-		all = append(all, b.events...)
+	streams := make([][]core.TraceEvent, len(c.bufs))
+	for i, b := range c.bufs {
+		streams[i] = b.events
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].T != all[j].T {
-			return all[i].T < all[j].T
+	return MergeCausal(streams)
+}
+
+// MergeCausal performs the global merge of per-PE event streams by
+// virtual time with a causal refinement. Each stream must be
+// nondecreasing in T (per-PE virtual clocks are monotonic). A k-way
+// merge picks the earliest head; among heads tied in time, a receive
+// whose matching send has not yet been emitted is deferred — its
+// sender's head necessarily carries an equal-or-earlier timestamp, so
+// progress is guaranteed and the output stays time sorted. Receives
+// with no recorded send (a tracer attached mid-run) fall back to plain
+// time order.
+func MergeCausal(streams [][]core.TraceEvent) []core.TraceEvent {
+	type link struct{ src, dst int }
+	idx := make([]int, len(streams))
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	sendsOut := make(map[link]int) // sends already emitted per link
+	recvsOut := make(map[link]int) // receives already emitted per link
+	out := make([]core.TraceEvent, 0, total)
+	for len(out) < total {
+		pick, blocked := -1, -1
+		for pe, s := range streams {
+			if idx[pe] >= len(s) {
+				continue
+			}
+			e := s[idx[pe]]
+			if e.Kind == core.EvRecv {
+				l := link{e.Src, e.PE}
+				if recvsOut[l] >= sendsOut[l] {
+					// Its send is still pending on another stream.
+					if blocked == -1 || e.T < streams[blocked][idx[blocked]].T {
+						blocked = pe
+					}
+					continue
+				}
+			}
+			if pick == -1 || e.T < streams[pick][idx[pick]].T {
+				pick = pe
+			}
 		}
-		return all[i].PE < all[j].PE
-	})
-	return all
+		if pick == -1 {
+			// Every remaining head is a receive without a recorded
+			// send: degrade gracefully to time order.
+			pick = blocked
+		}
+		e := streams[pick][idx[pick]]
+		idx[pick]++
+		switch e.Kind {
+		case core.EvSend:
+			sendsOut[link{e.PE, e.Dst}]++
+		case core.EvRecv:
+			recvsOut[link{e.Src, e.PE}]++
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // Summary aggregates a trace: per-kind counts, message totals and bytes.
@@ -230,13 +372,13 @@ func (c *Collector) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# converse trace, %d pes\n", len(c.bufs)); err != nil {
 		return err
 	}
-	kinds := make([]core.EventKind, 0, len(c.schema.names))
-	for k := range c.schema.names {
-		kinds = append(kinds, k)
+	for _, kd := range c.schema.Kinds() {
+		if _, err := fmt.Fprintf(w, "# kind %d = %s %v\n", kd.Kind, kd.Name, kd.Fields); err != nil {
+			return err
+		}
 	}
-	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
-	for _, k := range kinds {
-		if _, err := fmt.Fprintf(w, "# kind %d = %s %v\n", k, c.schema.names[k], c.schema.fields[k]); err != nil {
+	for _, hd := range c.schema.HandlerNames() {
+		if _, err := fmt.Fprintf(w, "# handler %d = %s\n", hd.Handler, hd.Name); err != nil {
 			return err
 		}
 	}

@@ -2,7 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -266,5 +269,297 @@ func TestBusyTimeSummary(t *testing.T) {
 	}
 	if s.PerPE[0].SpanUs < busy {
 		t.Fatalf("SpanUs %v < BusyUs %v", s.PerPE[0].SpanUs, busy)
+	}
+}
+
+// --- observability-layer additions -----------------------------------
+
+// TestSchemaConcurrentRegister registers kinds from every PE of a
+// running machine simultaneously; under -race this is the regression
+// test for the shared Schema's synchronization.
+func TestSchemaConcurrentRegister(t *testing.T) {
+	const pes, perPE = 4, 40
+	col := NewCollector(pes)
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second, Tracer: col.Tracer})
+	err := cm.Run(func(p *core.Proc) {
+		for i := 0; i < perPE; i++ {
+			k := col.Schema().Define(fmt.Sprintf("pe%d-ev%d", p.MyPe(), i), "v")
+			p.Tracer().Event(core.TraceEvent{Kind: k, T: p.TimerUs(), PE: p.MyPe(), Aux: i})
+			if col.Schema().Name(k) == "" {
+				t.Error("empty name")
+			}
+			col.Schema().NameHandler(i, fmt.Sprintf("h%d", i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every Define must have returned a distinct kind.
+	seen := map[core.EventKind]bool{}
+	names := map[string]bool{}
+	for _, kd := range col.Schema().Kinds() {
+		if seen[kd.Kind] {
+			t.Fatalf("kind %d assigned twice", kd.Kind)
+		}
+		seen[kd.Kind] = true
+		names[kd.Name] = true
+	}
+	for pe := 0; pe < pes; pe++ {
+		for i := 0; i < perPE; i++ {
+			if !names[fmt.Sprintf("pe%d-ev%d", pe, i)] {
+				t.Fatalf("kind pe%d-ev%d lost", pe, i)
+			}
+		}
+	}
+}
+
+// TestCounterConcurrentUse shares one Counter across all PEs of a
+// machine — the cross-PE sharing the docs warn about — and checks both
+// race freedom (under -race) and an exact total.
+func TestCounterConcurrentUse(t *testing.T) {
+	const pes, each = 4, 500
+	c := NewCounter()
+	cm := core.NewMachine(core.Config{
+		PEs: pes, Watchdog: 20 * time.Second,
+		Tracer: func(pe int) core.Tracer { return c },
+	})
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) {})
+	err := cm.Run(func(p *core.Proc) {
+		for i := 0; i < each; i++ {
+			p.Enqueue(core.NewMsg(h, 0))
+		}
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Count(core.EvEnqueue); got != pes*each {
+		t.Fatalf("enqueue count = %d, want %d", got, pes*each)
+	}
+}
+
+// TestMergedCausalConsistency is the merge property test: in the merged
+// stream, every EvRecv must appear after its matching EvSend, even
+// under a zero-cost model where send and receive carry identical
+// timestamps (the worst case for a plain time sort).
+func TestMergedCausalConsistency(t *testing.T) {
+	const pes = 4
+	col := NewCollector(pes)
+	// Nil model: all communication is free, so timestamps tie heavily.
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second, Tracer: col.Tracer})
+	var h, hStop int
+	var hops int64
+	h = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		n := int(core.Payload(msg)[0])
+		if n == 0 {
+			if atomic.AddInt64(&hops, 1) == pes {
+				for d := 0; d < pes; d++ {
+					p.SyncSendAndFree(d, core.NewMsg(hStop, 0))
+				}
+			}
+			return
+		}
+		// Scatter to both neighbors to create cross-PE traffic.
+		p.SyncSendAndFree((p.MyPe()+1)%pes, core.MakeMsg(h, []byte{byte(n - 1)}))
+		p.SyncSendAndFree((p.MyPe()+pes-1)%pes, core.MakeMsg(h, []byte{byte(n - 1)}))
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) { p.ExitScheduler() })
+	err := cm.Run(func(p *core.Proc) {
+		p.SyncSendAndFree((p.MyPe()+1)%pes, core.MakeMsg(h, []byte{4}))
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCausal(t, col.Merged())
+}
+
+// assertCausal checks the merged-stream causality property.
+func assertCausal(t *testing.T, merged []core.TraceEvent) {
+	t.Helper()
+	type link struct{ src, dst int }
+	sends := map[link]int{}
+	recvs := map[link]int{}
+	for i, e := range merged {
+		if i > 0 && e.T < merged[i-1].T {
+			t.Fatalf("event %d out of time order: %v < %v", i, e.T, merged[i-1].T)
+		}
+		switch e.Kind {
+		case core.EvSend:
+			sends[link{e.PE, e.Dst}]++
+		case core.EvRecv:
+			l := link{e.Src, e.PE}
+			recvs[l]++
+			if recvs[l] > sends[l] {
+				t.Fatalf("event %d: recv #%d on link %v precedes its send (only %d sends emitted)",
+					i, recvs[l], l, sends[l])
+			}
+		}
+	}
+	if len(recvs) == 0 {
+		t.Fatal("no receives in merged stream")
+	}
+}
+
+// TestWriteChromeValidFormat schema-validates the Chrome trace-event
+// export: well-formed JSON, known phase types, balanced B/E per track,
+// paired flow arrows, microsecond timestamps present.
+func TestWriteChromeValidFormat(t *testing.T) {
+	col := tracedPingPong(t, 12)
+	var buf bytes.Buffer
+	if err := col.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			ID   int            `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	valid := map[string]bool{"B": true, "E": true, "s": true, "f": true, "i": true, "M": true}
+	depth := map[int]int{}
+	flows := map[int]int{} // id -> starts minus finishes
+	sawSlice, sawFlow := false, false
+	for i, e := range parsed.TraceEvents {
+		if !valid[e.Ph] {
+			t.Fatalf("event %d: unknown phase %q", i, e.Ph)
+		}
+		switch e.Ph {
+		case "B":
+			depth[e.Tid]++
+			sawSlice = true
+		case "E":
+			depth[e.Tid]--
+			if depth[e.Tid] < 0 {
+				t.Fatalf("track %d: E without B", e.Tid)
+			}
+		case "s":
+			flows[e.ID]++
+			sawFlow = true
+		case "f":
+			flows[e.ID]--
+			if flows[e.ID] < 0 {
+				t.Fatalf("flow %d finished before starting", e.ID)
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %d: unbalanced slices (depth %d)", tid, d)
+		}
+	}
+	for id, d := range flows {
+		if d != 0 {
+			t.Fatalf("flow %d unpaired (%d)", id, d)
+		}
+	}
+	if !sawSlice || !sawFlow {
+		t.Fatal("export missing handler slices or message flows")
+	}
+}
+
+// TestReadTextRoundTrip writes a trace in the standard text format and
+// reads it back, checking events and user-kind schema survive.
+func TestReadTextRoundTrip(t *testing.T) {
+	col := tracedPingPong(t, 5)
+	col.Schema().NameHandler(1, "ping")
+	userKind := col.Schema().Define("roundtrip-test", "a", "b")
+	col.Buffer(0).Event(core.TraceEvent{Kind: userKind, T: 1e9, PE: 0, Aux: 42})
+	var buf bytes.Buffer
+	if err := col.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.PEs != 2 {
+		t.Fatalf("PEs = %d", parsed.PEs)
+	}
+	want := col.Merged()
+	if len(parsed.Events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(parsed.Events), len(want))
+	}
+	for i, e := range parsed.Events {
+		w := want[i]
+		if e.Kind != w.Kind || e.PE != w.PE || e.Src != w.Src || e.Dst != w.Dst ||
+			e.Size != w.Size || e.Handler != w.Handler || e.Aux != w.Aux {
+			t.Fatalf("event %d: got %+v want %+v", i, e, w)
+		}
+	}
+	if parsed.Schema.Name(userKind) != "roundtrip-test" {
+		t.Fatalf("user kind name = %q", parsed.Schema.Name(userKind))
+	}
+	if parsed.Schema.HandlerName(1) != "ping" {
+		t.Fatalf("handler name = %q", parsed.Schema.HandlerName(1))
+	}
+	// The re-read stream supports the same analyses.
+	prof := HandlerProfile(parsed.Events, parsed.PEs)
+	if len(prof) == 0 {
+		t.Fatal("no handler profile from re-read trace")
+	}
+}
+
+// TestUtilizationAndProfile checks the binned utilization and handler
+// profile on a run with known virtual-time structure.
+func TestUtilizationAndProfile(t *testing.T) {
+	col := NewCollector(1)
+	cm := core.NewMachine(core.Config{
+		PEs: 1, Model: netmodel.T3D(), Watchdog: 10 * time.Second, Tracer: col.Tracer,
+	})
+	const workUs = 50.0
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) { p.PE().Charge(workUs) })
+	err := cm.Run(func(p *core.Proc) {
+		for i := 0; i < 4; i++ {
+			p.SyncSendAndFree(0, core.NewMsg(h, 0))
+		}
+		p.ScheduleUntilIdle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := col.Merged()
+	u := ComputeUtilization(merged, 1, 10)
+	if u.End <= u.Start {
+		t.Fatalf("empty time range: %v..%v", u.Start, u.End)
+	}
+	busy := u.PEBusy(0) * (u.End - u.Start)
+	if busy < 4*workUs-1 || busy > 4*workUs+20 {
+		t.Fatalf("binned busy time = %v, want ~%v", busy, 4*workUs)
+	}
+	prof := HandlerProfile(merged, 1)
+	if len(prof) == 0 || prof[0].Handler != h {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if prof[0].Count != 4 || prof[0].InclusiveUs < 4*workUs-1 {
+		t.Fatalf("handler profile = %+v", prof[0])
+	}
+	msgs, bytes := MessageMatrix(merged, 1)
+	if msgs[0][0] != 4 || bytes[0][0] != 4*uint64(core.HeaderSize) {
+		t.Fatalf("matrix msgs=%v bytes=%v", msgs, bytes)
+	}
+}
+
+// TestHandlerNames checks the handler display-name registry.
+func TestHandlerNames(t *testing.T) {
+	s := NewSchema()
+	if s.HandlerName(3) != "handler-3" {
+		t.Fatalf("default = %q", s.HandlerName(3))
+	}
+	s.NameHandler(3, "ping")
+	if s.HandlerName(3) != "ping" {
+		t.Fatalf("named = %q", s.HandlerName(3))
 	}
 }

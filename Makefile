@@ -1,16 +1,18 @@
 # Tier-1 CI for the Converse reproduction.
 #
-#   make tier1     vet + build + test (the ROADMAP tier-1 gate)
-#   make race      full test suite under the race detector
-#   make overhead  observability overhead gate: the disabled-path
-#                  benchmarks must report zero allocations
-#   make ci        all of the above
+#   make tier1         vet + build + test (the ROADMAP tier-1 gate)
+#   make race          full test suite under the race detector
+#   make machine-race  the lock-free machine layer alone under -race
+#   make overhead      observability overhead gate: the disabled-path
+#                      benchmarks must report zero allocations
+#   make bench         comm fast-path benchmarks; writes BENCH_comm.json
+#   make ci            tier1 + race gates + overhead + commbench smoke
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race overhead bench
+.PHONY: ci tier1 vet build test race machine-race overhead bench commbench-smoke
 
-ci: tier1 race overhead
+ci: tier1 race machine-race overhead commbench-smoke
 
 tier1: vet build test
 
@@ -26,6 +28,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The MPSC inbox ring is the one lock-free structure in the tree; gate
+# it separately so a failure names the layer directly.
+machine-race:
+	$(GO) test -race ./internal/machine/...
+
 # Overhead gate: run the zero-overhead-when-off benchmarks and fail if
 # any reports a nonzero allocation count. BenchmarkDispatchOff,
 # BenchmarkNullTracerOverhead and BenchmarkMetricsEnabled cover the full
@@ -40,5 +47,15 @@ overhead:
 	fi; \
 	echo 'overhead gate: 0 allocs/op on all instrumented paths'
 
+# Full benchmark pass: the core micro-benchmarks, the steady-state
+# 0-alloc benchmarks, and the commbench report (BENCH_comm.json).
 bench:
 	$(GO) test ./internal/core/ -run '^$$' -bench . -benchmem
+	$(GO) test ./internal/bench/ -run '^$$' -bench SendAndFreeSteadyState \
+		-benchmem -benchtime 20000x
+	$(GO) run ./cmd/commbench -o BENCH_comm.json
+
+# CI smoke: a fast deterministic commbench run proving the tool and the
+# fan-in/ping-pong harness work end to end (no wall-clock benchmarks).
+commbench-smoke:
+	$(GO) run ./cmd/commbench -smoke -o /dev/null

@@ -1,0 +1,122 @@
+// Command commbench measures the communication fast path and writes
+// BENCH_comm.json: small-message fan-in throughput and ping-pong
+// latency with coalescing off and on (virtual time, deterministic),
+// plus wall-clock steady-state allocation counts for the pooled send
+// path.
+//
+// Usage:
+//
+//	commbench [-o BENCH_comm.json] [-pes 8] [-msgs 400] [-size 64] [-smoke]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	converse "converse"
+	"converse/bench"
+	"converse/netmodel"
+)
+
+type fanInResult struct {
+	Machine        string  `json:"machine"`
+	OffUs          float64 `json:"off_us"`
+	OnUs           float64 `json:"on_us"`
+	Speedup        float64 `json:"speedup"`
+	OffMsgsPerMs   float64 `json:"off_msgs_per_ms"`
+	OnMsgsPerMs    float64 `json:"on_msgs_per_ms"`
+	MeetsTwoXFloor bool    `json:"meets_2x_floor"`
+}
+
+type pingPongResult struct {
+	Machine     string  `json:"machine"`
+	DirectUs    float64 `json:"direct_us"`
+	CoalescedUs float64 `json:"coalesced_us"`
+}
+
+type steadyStateResult struct {
+	Coalesced   bool    `json:"coalesced"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	PEs         int                 `json:"pes"`
+	MsgsPerPE   int                 `json:"msgs_per_pe"`
+	MsgSize     int                 `json:"msg_size"`
+	Rounds      int                 `json:"pingpong_rounds"`
+	FanIn       []fanInResult       `json:"fan_in"`
+	PingPong    []pingPongResult    `json:"ping_pong"`
+	SteadyState []steadyStateResult `json:"steady_state"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_comm.json", "output file (- for stdout)")
+	pes := flag.Int("pes", 8, "processors in the fan-in pattern")
+	msgs := flag.Int("msgs", 400, "messages per sending PE")
+	size := flag.Int("size", 64, "message size in bytes")
+	rounds := flag.Int("rounds", 200, "ping-pong rounds")
+	smoke := flag.Bool("smoke", false, "small, fast run for CI (skips wall-clock allocs)")
+	flag.Parse()
+
+	if *smoke {
+		*msgs, *rounds = 50, 20
+	}
+
+	off := converse.CoalesceConfig{}
+	on := converse.CoalesceConfig{Enabled: true}
+
+	r := report{PEs: *pes, MsgsPerPE: *msgs, MsgSize: *size, Rounds: *rounds}
+	for _, m := range netmodel.All() {
+		fOff := bench.FanIn(m, *pes, *msgs, *size, off)
+		fOn := bench.FanIn(m, *pes, *msgs, *size, on)
+		r.FanIn = append(r.FanIn, fanInResult{
+			Machine:        m.Name,
+			OffUs:          fOff,
+			OnUs:           fOn,
+			Speedup:        fOff / fOn,
+			OffMsgsPerMs:   bench.FanInThroughput(fOff, *pes, *msgs),
+			OnMsgsPerMs:    bench.FanInThroughput(fOn, *pes, *msgs),
+			MeetsTwoXFloor: fOff/fOn >= 2,
+		})
+		r.PingPong = append(r.PingPong, pingPongResult{
+			Machine:     m.Name,
+			DirectUs:    bench.Converse(m, *size, *rounds),
+			CoalescedUs: bench.ConverseWith(m, *size, *rounds, on),
+		})
+	}
+
+	if !*smoke {
+		for _, co := range []converse.CoalesceConfig{off, on} {
+			allocs, ns := bench.SteadyStateAllocs(co)
+			r.SteadyState = append(r.SteadyState, steadyStateResult{
+				Coalesced: co.Enabled, AllocsPerOp: allocs, NsPerOp: ns,
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	for _, f := range r.FanIn {
+		fmt.Printf("%-22s fan-in %dx%dx%dB  off=%8.0fus  on=%8.0fus  speedup=%.2fx\n",
+			f.Machine, *pes, *msgs, *size, f.OffUs, f.OnUs, f.Speedup)
+	}
+	for _, s := range r.SteadyState {
+		fmt.Printf("steady-state coalesced=%-5v  %.2f allocs/op  %.0f ns/op\n",
+			s.Coalesced, s.AllocsPerOp, s.NsPerOp)
+	}
+}

@@ -20,7 +20,7 @@ import (
 	"log"
 	"os"
 
-	"converse/internal/bench"
+	"converse/bench"
 )
 
 func main() {

@@ -20,10 +20,10 @@ import (
 	"strings"
 	"time"
 
-	"converse/internal/bench"
-	"converse/internal/core"
-	"converse/internal/netmodel"
-	"converse/internal/trace"
+	core "converse"
+	"converse/bench"
+	"converse/netmodel"
+	"converse/trace"
 )
 
 func main() {

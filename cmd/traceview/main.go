@@ -25,11 +25,11 @@ import (
 	"strings"
 	"time"
 
-	"converse/internal/core"
-	"converse/internal/lang/sm"
-	"converse/internal/metrics"
-	"converse/internal/netmodel"
-	"converse/internal/trace"
+	core "converse"
+	"converse/lang/sm"
+	"converse/metrics"
+	"converse/netmodel"
+	"converse/trace"
 )
 
 func main() {

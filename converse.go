@@ -7,23 +7,39 @@
 // paying only for the features each module uses.
 //
 // The package re-exports the core runtime (internal/core); the paper's
-// other components live in sibling packages of internal/:
+// other components have public facade packages:
 //
-//   - internal/machine — the simulated multicomputer substrate
-//   - internal/netmodel — communication-cost models for the paper's five
-//     evaluation machines (Figures 4-8)
-//   - internal/queue — pluggable scheduler queueing strategies,
-//     including bit-vector priorities
-//   - internal/cth — thread objects (suspend/resume divorced from
+//   - converse/netmodel — communication-cost models for the paper's
+//     five evaluation machines (Figures 4-8)
+//   - converse/bench — the measurement harness behind those figures and
+//     the fast-path benchmarks
+//   - converse/cth — thread objects (suspend/resume divorced from
 //     scheduling policy)
-//   - internal/csync — locks, condition variables, barriers
-//   - internal/msgmgr — tagged message managers
-//   - internal/emi — scatter/gather, global pointers, processor groups
-//   - internal/ldb — seed-based dynamic load balancing
-//   - internal/trace — event tracing, causal merge and Perfetto export
-//   - internal/metrics — allocation-free per-PE runtime metrics
-//   - internal/lang/{sm,tsm,pvmc,charm,mdt} — language runtimes built on
-//     the framework
+//   - converse/csync — locks, condition variables, barriers
+//   - converse/msgmgr — tagged message managers
+//   - converse/ldb — seed-based dynamic load balancing
+//   - converse/trace — event tracing, causal merge and Perfetto export
+//   - converse/metrics — allocation-free per-PE runtime metrics
+//   - converse/lang/{sm,tsm,dp,pvmc,charm,mdt} — language runtimes
+//     built on the framework
+//
+// # Sending and message ownership
+//
+// Proc.Send is the unified entry point. By default the runtime copies
+// the message and the caller keeps its buffer; passing the Transfer
+// option hands the buffer to the runtime, which recycles it through
+// the per-PE message pool once sent:
+//
+//	p.Send(dst, msg)                      // copy; caller keeps msg
+//	p.Send(dst, msg, converse.Transfer)   // runtime takes msg
+//	p.Send(converse.BroadcastOthers, msg) // every other processor
+//	p.Send(converse.BroadcastAll, msg, converse.Transfer)
+//
+// Allocate send buffers with Proc.Alloc to hit the pool's sized
+// classes; in steady state a Transfer send then completes without
+// heap allocation. Small messages to the same destination are
+// coalesced into one packet when Config.Coalesce.Enabled is set;
+// delivery order per sender/receiver pair is preserved either way.
 //
 // # Quick start
 //
@@ -75,6 +91,26 @@ type Tracer = core.Tracer
 // TraceEvent is one trace record.
 type TraceEvent = core.TraceEvent
 
+// CoalesceConfig controls per-peer small-message coalescing
+// (Config.Coalesce).
+type CoalesceConfig = core.CoalesceConfig
+
+// SendOpt is an option flag for Proc.Send.
+type SendOpt = core.SendOpt
+
+// Transfer makes Send take ownership of the message buffer: the
+// caller must not touch it afterwards, and the runtime recycles it
+// through the message pool.
+const Transfer = core.Transfer
+
+// BroadcastOthers, passed as the destination to Proc.Send, delivers
+// the message to every processor except the sender; BroadcastAll
+// includes the sender.
+const (
+	BroadcastOthers = core.BroadcastOthers
+	BroadcastAll    = core.BroadcastAll
+)
+
 // HeaderSize is the generalized-message header size in bytes.
 const HeaderSize = core.HeaderSize
 
@@ -96,6 +132,19 @@ func HandlerOf(msg []byte) int { return core.HandlerOf(msg) }
 
 // Payload returns the message body after the header.
 func Payload(msg []byte) []byte { return core.Payload(msg) }
+
+// SetFlags stores the flag word in a message's header.
+func SetFlags(msg []byte, flags uint32) { core.SetFlags(msg, flags) }
+
+// FlagsOf extracts the flag word from a message's header.
+func FlagsOf(msg []byte) uint32 { return core.FlagsOf(msg) }
+
+// SetImmediate marks a message for dispatch on arrival, bypassing the
+// scheduler queue (and the coalescing stage).
+func SetImmediate(msg []byte) { core.SetImmediate(msg) }
+
+// IsImmediate reports whether a message carries the immediate flag.
+func IsImmediate(msg []byte) bool { return core.IsImmediate(msg) }
 
 // NewMetrics builds a per-PE metrics registry for a machine of the
 // given size; attach it via Config.Metrics and read it with

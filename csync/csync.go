@@ -1,0 +1,28 @@
+// Package csync re-exports the thread-synchronization abstractions
+// built on the Converse threads package: locks, condition variables
+// and barriers that suspend threads instead of spinning. See
+// converse/internal/csync for details.
+package csync
+
+import (
+	"converse/internal/csync"
+	"converse/internal/cth"
+)
+
+// Lock is a thread-suspending mutual-exclusion lock.
+type Lock = csync.Lock
+
+// Cond is a thread-suspending condition variable.
+type Cond = csync.Cond
+
+// Barrier is a local thread barrier.
+type Barrier = csync.Barrier
+
+// NewLock creates a lock on the given thread runtime.
+func NewLock(rt *cth.Runtime) *Lock { return csync.NewLock(rt) }
+
+// NewCond creates a condition variable on the given thread runtime.
+func NewCond(rt *cth.Runtime) *Cond { return csync.NewCond(rt) }
+
+// NewBarrier creates a barrier on the given thread runtime.
+func NewBarrier(rt *cth.Runtime) *Barrier { return csync.NewBarrier(rt) }

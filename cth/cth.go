@@ -1,0 +1,21 @@
+// Package cth re-exports the Converse threads runtime (§3.2.1):
+// user-level threads that interleave with handler execution under the
+// unified scheduler. See converse/internal/cth for details.
+package cth
+
+import (
+	"converse/internal/core"
+	"converse/internal/cth"
+)
+
+// Runtime is a processor's thread runtime.
+type Runtime = cth.Runtime
+
+// Thread is one user-level thread.
+type Thread = cth.Thread
+
+// Init creates (or returns) the thread runtime for a processor.
+func Init(p *core.Proc) *Runtime { return cth.Init(p) }
+
+// Get returns the processor's thread runtime, initializing on demand.
+func Get(p *core.Proc) *Runtime { return cth.Get(p) }

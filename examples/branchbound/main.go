@@ -25,8 +25,8 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/lang/charm"
-	"converse/internal/ldb"
+	"converse/lang/charm"
+	"converse/ldb"
 )
 
 const (

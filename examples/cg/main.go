@@ -19,7 +19,7 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/lang/dp"
+	"converse/lang/dp"
 )
 
 const (

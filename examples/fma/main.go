@@ -34,10 +34,10 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/lang/charm"
-	"converse/internal/lang/sm"
-	"converse/internal/lang/tsm"
-	"converse/internal/ldb"
+	"converse/lang/charm"
+	"converse/lang/sm"
+	"converse/lang/tsm"
+	"converse/ldb"
 )
 
 const (

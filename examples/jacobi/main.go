@@ -29,8 +29,8 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/lang/sm"
-	"converse/internal/trace"
+	"converse/lang/sm"
+	"converse/trace"
 )
 
 const (

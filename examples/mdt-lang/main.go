@@ -21,7 +21,7 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/lang/mdt"
+	"converse/lang/mdt"
 )
 
 const (

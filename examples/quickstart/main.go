@@ -20,7 +20,7 @@ import (
 	"time"
 
 	"converse"
-	"converse/internal/netmodel"
+	"converse/netmodel"
 )
 
 func main() {

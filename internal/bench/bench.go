@@ -87,20 +87,20 @@ func Native(model *netmodel.Model, size, rounds int) float64 {
 // delivered to a handler which responded by sending a return message."
 // No scheduler queue is involved.
 func Converse(model *netmodel.Model, size, rounds int) float64 {
-	return converseRT(model, size, rounds, false)
+	return converseRT(model, size, rounds, false, core.CoalesceConfig{})
 }
 
 // Queued is Converse plus the receive-side scheduler-queue pass on the
 // echo processor (the Figure 6 experiment).
 func Queued(model *netmodel.Model, size, rounds int) float64 {
-	return converseRT(model, size, rounds, true)
+	return converseRT(model, size, rounds, true, core.CoalesceConfig{})
 }
 
-func converseRT(model *netmodel.Model, size, rounds int, queued bool) float64 {
+func converseRT(model *netmodel.Model, size, rounds int, queued bool, co core.CoalesceConfig) float64 {
 	if size < core.HeaderSize {
 		size = core.HeaderSize
 	}
-	cm := core.NewMachine(core.Config{PEs: 2, Model: model, Watchdog: watchdog})
+	cm := core.NewMachine(core.Config{PEs: 2, Model: model, Watchdog: watchdog, Coalesce: co})
 	echoed, ponged := 0, 0
 	// twoPhase implements the Figure 6 variant on a handler: a fresh
 	// message is enqueued in the scheduler's queue and replayed, using

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+
+	"converse/internal/core"
+	"converse/internal/netmodel"
+)
+
+// TestFanInCoalesceSpeedup is the acceptance gate for the coalescing
+// fast path: on an 8-PE machine, small-message fan-in throughput must
+// at least double when coalescing is on. The measurement is in virtual
+// time, so it is fully deterministic.
+func TestFanInCoalesceSpeedup(t *testing.T) {
+	const pes, msgs, size = 8, 400, 64
+	for _, model := range []*netmodel.Model{netmodel.ATMHP(), netmodel.SP1()} {
+		off := FanIn(model, pes, msgs, size, core.CoalesceConfig{})
+		on := FanIn(model, pes, msgs, size, core.CoalesceConfig{Enabled: true})
+		if off <= 0 || on <= 0 {
+			t.Fatalf("%s: non-positive elapsed times %v, %v", model.Name, off, on)
+		}
+		speedup := off / on
+		t.Logf("%s: fan-in %d PEs x %d msgs x %dB: off=%.0fus on=%.0fus speedup=%.2fx",
+			model.Name, pes, msgs, size, off, on, speedup)
+		if speedup < 2 {
+			t.Errorf("%s: fan-in speedup %.2fx, want >= 2x", model.Name, speedup)
+		}
+	}
+}
+
+// TestPingPongCoalesceOverheadBounded checks the flip side: strictly
+// alternating round trips cannot amortize anything, so coalescing may
+// cost a little (pack framing + unpack copy) but must stay within a
+// few percent of the direct path.
+func TestPingPongCoalesceOverheadBounded(t *testing.T) {
+	model := netmodel.MyrinetFM()
+	off := Converse(model, 64, 200)
+	on := ConverseWith(model, 64, 200, core.CoalesceConfig{Enabled: true})
+	if on > off*1.25 {
+		t.Errorf("coalesced ping-pong %.2fus vs direct %.2fus: overhead > 25%%", on, off)
+	}
+	t.Logf("ping-pong 64B: direct=%.2fus coalesced=%.2fus", off, on)
+}
+
+// BenchmarkSendAndFreeSteadyState is the 0 allocs/op gate for the
+// pooled send fast path (run by the Makefile's bench target).
+func BenchmarkSendAndFreeSteadyState(b *testing.B) {
+	SteadyStateBench(b, core.CoalesceConfig{})
+}
+
+func BenchmarkSendAndFreeSteadyStateCoalesced(b *testing.B) {
+	SteadyStateBench(b, core.CoalesceConfig{Enabled: true})
+}
+
+func TestFanInDeterministic(t *testing.T) {
+	model := netmodel.T3D()
+	a := FanIn(model, 4, 100, 64, core.CoalesceConfig{Enabled: true})
+	b := FanIn(model, 4, 100, 64, core.CoalesceConfig{Enabled: true})
+	if a != b {
+		t.Errorf("fan-in not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"converse/internal/machine"
+)
+
+// Send coalescing: the sender-side half of the communication fast path.
+//
+// Small messages bound for the same destination within one scheduler
+// iteration are packed into a single machine-level packet, so the
+// per-packet native costs (send overhead, wire latency, receive
+// overhead) are paid once per pack instead of once per message; see
+// netmodel.OneWayCoalesced for the cost model. Packs are flushed by the
+// progress engine (Progress, hence every scheduler iteration), when a
+// peer's pack fills its batch or byte window, and always before this
+// processor blocks waiting for the network — a staged message can never
+// be the one a blocked receive is waiting for.
+//
+// Ordering: messages to one destination stay in send order inside a
+// pack, and a direct (uncoalesced) send to a destination first flushes
+// that destination's pack, so per-pair FIFO delivery is preserved
+// exactly as without coalescing. Immediate messages are never staged.
+//
+// Pack wire format: a normal 8-byte Converse header whose handler index
+// is the built-in packHandler, followed by one length-prefixed segment
+// per message: u32 little-endian total length, then the message bytes
+// (header included).
+
+// CoalesceConfig tunes sender-side message coalescing. The zero value
+// disables it, preserving one-packet-per-message behaviour.
+type CoalesceConfig struct {
+	// Enabled turns coalescing on.
+	Enabled bool
+	// MaxMsgSize is the largest message (bytes, header included) that
+	// is staged rather than sent directly. Default 512.
+	MaxMsgSize int
+	// MaxBatch flushes a peer's pack once it holds this many messages.
+	// Default 32.
+	MaxBatch int
+	// MaxBytes bounds a pack's total size; a message that does not fit
+	// flushes the pack first. Default 4096 (one pool class, so pack
+	// buffers recycle perfectly).
+	MaxBytes int
+}
+
+// normalized fills in defaults and enforces internal consistency.
+func (c CoalesceConfig) normalized() CoalesceConfig {
+	if !c.Enabled {
+		return CoalesceConfig{}
+	}
+	if c.MaxMsgSize <= 0 {
+		c.MaxMsgSize = 512
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 4096
+	}
+	if c.MaxBytes < 256 {
+		c.MaxBytes = 256
+	}
+	// Every staged message must fit in an empty pack.
+	if max := c.MaxBytes - HeaderSize - 4; c.MaxMsgSize > max {
+		c.MaxMsgSize = max
+	}
+	return c
+}
+
+// pack is the per-destination staging buffer.
+type pack struct {
+	buf   []byte // pool buffer of len MaxBytes; nil when nothing staged
+	n     int    // bytes filled (including the pack header)
+	count int    // messages staged
+}
+
+// coalescable reports whether msg takes the staging path.
+func (p *Proc) coalescable(msg []byte) bool {
+	return p.co.Enabled && len(msg) <= p.co.MaxMsgSize && !IsImmediate(msg)
+}
+
+// stageMsg copies msg into dst's pack, flushing first when the pack is
+// out of room and after when the batch window fills.
+func (p *Proc) stageMsg(dst int, msg []byte) {
+	if p.stage == nil {
+		p.stage = make([]pack, p.NumPes())
+	}
+	pk := &p.stage[dst]
+	need := 4 + len(msg)
+	if pk.buf != nil && pk.n+need > p.co.MaxBytes {
+		p.flushPeer(dst)
+	}
+	if pk.buf == nil {
+		pk.buf = p.Alloc(p.co.MaxBytes - HeaderSize)
+		SetHandler(pk.buf, p.packHandler)
+		pk.n = HeaderSize
+	}
+	binary.LittleEndian.PutUint32(pk.buf[pk.n:], uint32(len(msg)))
+	copy(pk.buf[pk.n+4:], msg)
+	pk.n += need
+	pk.count++
+	p.staged++
+	if p.met != nil {
+		p.met.CoalesceStaged()
+	}
+	if pk.count >= p.co.MaxBatch {
+		p.flushPeer(dst)
+	}
+}
+
+// flushPeer transmits dst's staged pack, if any, as one packet.
+func (p *Proc) flushPeer(dst int) {
+	if p.stage == nil {
+		return
+	}
+	pk := &p.stage[dst]
+	if pk.buf == nil {
+		return
+	}
+	buf, n, count := pk.buf, pk.n, pk.count
+	pk.buf, pk.n, pk.count = nil, 0, 0
+	p.staged -= count
+	p.pe.SendOwned(dst, buf[:n])
+	if p.met != nil {
+		p.met.CoalesceFlush()
+	}
+}
+
+// flushAll transmits every staged pack. It is called by Progress and
+// before every blocking network wait.
+func (p *Proc) flushAll() {
+	if p.staged == 0 {
+		return
+	}
+	for dst := range p.stage {
+		p.flushPeer(dst)
+	}
+}
+
+// --- inbound side: the network ingestion queue ---
+
+// netMsg is one inbound Converse message after ingestion: packs have
+// been split back into their constituent messages.
+type netMsg struct {
+	data []byte
+	src  int
+}
+
+// pullNet returns the next inbound network message without blocking,
+// draining the machine-level inbox in whole batches.
+func (p *Proc) pullNet() (netMsg, bool) {
+	if m, ok := p.netq.PopFront(); ok {
+		return m, true
+	}
+	for {
+		n := p.pe.TryRecvBatch(p.rbuf[:])
+		if n == 0 {
+			return netMsg{}, false
+		}
+		for i := 0; i < n; i++ {
+			p.ingest(p.rbuf[i])
+			p.rbuf[i] = machine.Packet{}
+		}
+		if m, ok := p.netq.PopFront(); ok {
+			return m, true
+		}
+		// A batch of empty packs is impossible (packs are only sent
+		// non-empty), but loop for robustness.
+	}
+}
+
+// recvNetBlock returns the next inbound message, blocking until one
+// arrives. It flushes this processor's own staged packs first — the
+// receiver a pack is waiting on may be waiting on us — and returns
+// ok=false when the machine stops.
+func (p *Proc) recvNetBlock() (netMsg, bool) {
+	for {
+		if m, ok := p.pullNet(); ok {
+			return m, true
+		}
+		p.flushAll()
+		pkt, ok := p.pe.Recv()
+		if !ok {
+			return netMsg{}, false
+		}
+		p.ingest(pkt)
+		if m, ok := p.netq.PopFront(); ok {
+			return m, true
+		}
+	}
+}
+
+// ingest turns one machine-level packet into queued Converse messages,
+// unpacking coalesced packs. Unpacked segments are copied into pool
+// buffers so the buffer-ownership protocol (grab or recycle) works
+// unchanged for coalesced and direct messages alike.
+func (p *Proc) ingest(pkt machine.Packet) {
+	data := pkt.Data
+	if len(data) >= HeaderSize && HandlerOf(data) == p.packHandler {
+		p.unpack(data, pkt.Src)
+		return
+	}
+	p.netq.PushBack(netMsg{data: data, src: pkt.Src})
+}
+
+// unpack splits a pack into its messages, charging the per-message
+// unpack cost, and recycles the pack buffer.
+func (p *Proc) unpack(data []byte, src int) {
+	off := HeaderSize
+	for off < len(data) {
+		if off+4 > len(data) {
+			panic(fmt.Sprintf("core: pe %d: truncated coalesced pack from %d", p.MyPe(), src))
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n < HeaderSize || off+n > len(data) {
+			panic(fmt.Sprintf("core: pe %d: corrupt coalesced pack from %d (segment %d bytes)", p.MyPe(), src, n))
+		}
+		buf := p.Alloc(n - HeaderSize)
+		copy(buf, data[off:off+n])
+		off += n
+		p.chargeUnpack()
+		if p.met != nil {
+			p.met.CoalesceUnpacked()
+		}
+		p.netq.PushBack(netMsg{data: buf, src: src})
+	}
+	p.recycle(data)
+}
+
+// chargeUnpack bills the receive-side cost of splitting one message out
+// of a pack.
+func (p *Proc) chargeUnpack() {
+	if p.unpackOv > 0 {
+		p.pe.Charge(p.unpackOv)
+	}
+}
+
+// onPack is the built-in handler for coalesced packs. Packs are
+// normally split during ingestion and never dispatched; this handler
+// exists so a pack that reaches dispatch anyway (for example one
+// grabbed and re-enqueued by diagnostic code) still delivers its
+// messages.
+func onPack(p *Proc, msg []byte) {
+	off := HeaderSize
+	for off < len(msg) {
+		n := int(binary.LittleEndian.Uint32(msg[off:]))
+		off += 4
+		buf := p.Alloc(n - HeaderSize)
+		copy(buf, msg[off:off+n])
+		off += n
+		p.dispatch(buf)
+	}
+}

@@ -30,6 +30,9 @@ type Config struct {
 	// volume. It must have been built for the same number of PEs. When
 	// nil, the instrumented hot paths cost one nil check.
 	Metrics *metrics.Registry
+	// Coalesce tunes sender-side small-message coalescing (see
+	// CoalesceConfig). The zero value leaves coalescing off.
+	Coalesce CoalesceConfig
 }
 
 // Machine is a Converse machine: a simulated multicomputer with one
@@ -51,7 +54,7 @@ func NewMachine(cfg Config) *Machine {
 	cm := &Machine{m: m}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
-		cm.procs[i] = newProc(m.PE(i))
+		cm.procs[i] = newProc(m.PE(i), cfg.Coalesce)
 		if cfg.Tracer != nil {
 			cm.procs[i].SetTracer(cfg.Tracer(i))
 		}
@@ -102,7 +105,11 @@ func (cm *Machine) SetInput(r io.Reader) { cm.m.SetInput(r) }
 // Run returns, except for inspection of Procs.
 func (cm *Machine) Run(start func(p *Proc)) error {
 	return cm.m.Run(func(pe *machine.PE) {
-		start(cm.procs[pe.ID()])
+		p := cm.procs[pe.ID()]
+		start(p)
+		// A driver that returns right after sending must not strand
+		// staged coalescing packs.
+		p.flushAll()
 	})
 }
 

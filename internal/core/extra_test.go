@@ -169,14 +169,23 @@ func TestPoolBounded(t *testing.T) {
 	cm := newTestMachine(1)
 	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
 	err := cm.Run(func(p *Proc) {
-		// Recycle far more buffers than the pool bound; must not grow
-		// unboundedly (white-box: pool cap is 64).
+		// Recycle far more buffers than the pool retains; it must not
+		// grow unboundedly (white-box: per-class cap is poolClassCap).
+		// All sends go out before any dispatch recycles, so all 500
+		// buffers come back to the pool in one burst.
 		for i := 0; i < 500; i++ {
-			p.SyncSend(0, NewMsg(h, 16))
-			p.Scheduler(1)
+			msg := p.Alloc(100)
+			SetHandler(msg, h)
+			p.SyncSendAndFree(0, msg)
 		}
-		if len(p.pool) > 64 {
-			t.Errorf("pool grew to %d", len(p.pool))
+		p.Scheduler(500)
+		if n := p.pool.poolLen(); n > len(poolClassSizes)*poolClassCap {
+			t.Errorf("pool grew to %d", n)
+		}
+		for ci, cls := range p.pool.classes {
+			if len(cls) > poolClassCap {
+				t.Errorf("class %d grew to %d buffers", ci, len(cls))
+			}
 		}
 	})
 	if err != nil {

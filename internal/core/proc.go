@@ -20,6 +20,14 @@ type ConverseCosts interface {
 	SchedOverhead() float64
 }
 
+// CoalesceCosts optionally extends a cost model with the per-message
+// receive-side cost of splitting a coalesced pack apart
+// (netmodel.Model implements it). Without it, unpacking is free in
+// virtual time.
+type CoalesceCosts interface {
+	UnpackOverhead() float64
+}
+
 // Tracer receives runtime events for the tracing module (§3.3.2). The
 // core, thread, and language layers all emit through this interface;
 // internal/trace provides implementations.
@@ -72,6 +80,20 @@ type Proc struct {
 	q        queue.Sched[[]byte] // the scheduler's queue (pluggable strategies)
 	deferred queue.Deque[[]byte] // network messages set aside by GetSpecificMsg
 
+	// Inbound ingestion: machine packets are drained in batches through
+	// rbuf, split out of coalesced packs, and queued here as Converse
+	// messages (see coalesce.go).
+	netq queue.Deque[netMsg]
+	rbuf [32]machine.Packet
+
+	// Outbound coalescing state: per-destination staging packs and the
+	// total count of staged messages (see coalesce.go).
+	co          CoalesceConfig
+	stage       []pack
+	staged      int
+	packHandler int
+	unpackOv    float64
+
 	exit bool // set by ExitScheduler
 
 	// Buffer-ownership protocol (CmiGrabBuffer): the CMI owns the
@@ -81,7 +103,7 @@ type Proc struct {
 	dispStack []ownedBuf
 	lastGot   ownedBuf
 	ownSeq    uint64
-	pool      [][]byte
+	pool      msgPool
 
 	// pending asynchronous sends, flushed by the progress engine
 	async queue.Deque[*CommHandle]
@@ -112,14 +134,18 @@ type ownedBuf struct {
 	seq     uint64
 }
 
-func newProc(pe *machine.PE) *Proc {
-	p := &Proc{pe: pe, ext: make(map[string]any)}
+func newProc(pe *machine.PE, co CoalesceConfig) *Proc {
+	p := &Proc{pe: pe, co: co.normalized(), ext: make(map[string]any)}
 	if cc, ok := pe.Machine().Model().(ConverseCosts); ok {
 		p.costs = cc
+	}
+	if uc, ok := pe.Machine().Model().(CoalesceCosts); ok {
+		p.unpackOv = uc.UnpackOverhead()
 	}
 	// Built-in handlers come first, uniformly on every processor, so
 	// user handler indices stay aligned machine-wide.
 	p.treeBcastHandler = p.RegisterHandler(onTreeBcast)
+	p.packHandler = p.RegisterHandler(onPack)
 	return p
 }
 

@@ -51,12 +51,12 @@ func (p *Proc) Scheduler(nMsgs int) {
 			}
 			p.nIdle++
 			idleFrom := p.noteIdleStart()
-			pkt, ok := p.pe.Recv() // block for the network
+			m, ok := p.recvNetBlock() // block for the network
 			if !ok {
 				return // machine stopped
 			}
 			p.noteIdleEnd(idleFrom)
-			p.dispatchNet(pkt.Data, pkt.Src)
+			p.dispatchNet(m.data, m.src)
 			if remaining > 0 {
 				remaining--
 			}
@@ -111,12 +111,12 @@ func (p *Proc) ServeUntil(pred func() bool) {
 			continue
 		}
 		idleFrom := p.noteIdleStart()
-		pkt, ok := p.pe.Recv() // idle: block for the network
+		m, ok := p.recvNetBlock() // idle: block for the network
 		if !ok {
 			panic(fmt.Sprintf("core: pe %d: machine stopped in ServeUntil", p.MyPe()))
 		}
 		p.noteIdleEnd(idleFrom)
-		p.dispatchNet(pkt.Data, pkt.Src)
+		p.dispatchNet(m.data, m.src)
 	}
 }
 
@@ -213,11 +213,11 @@ func (p *Proc) deliverFromNetwork(budget *int) int {
 			}
 			continue
 		}
-		pkt, ok := p.pe.TryRecv()
+		m, ok := p.pullNet()
 		if !ok {
 			break
 		}
-		p.dispatchNet(pkt.Data, pkt.Src)
+		p.dispatchNet(m.data, m.src)
 		n++
 		if *budget > 0 {
 			*budget--
@@ -236,15 +236,15 @@ func (p *Proc) GetMsg() (msg []byte, ok bool) {
 		p.setGot(m)
 		return m, true
 	}
-	pkt, ok := p.pe.TryRecv()
+	m, ok := p.pullNet()
 	if !ok {
 		return nil, false
 	}
 	p.chargeRecv()
-	p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
-	p.noteRecv(pkt.Src, len(pkt.Data))
-	p.setGot(pkt.Data)
-	return pkt.Data, true
+	p.trace(EvRecv, m.src, p.MyPe(), len(m.data), HandlerOf(m.data), 0)
+	p.noteRecv(m.src, len(m.data))
+	p.setGot(m.data)
+	return m.data, true
 }
 
 // GetSpecificMsg waits until a message for the specified handler is
@@ -267,25 +267,25 @@ func (p *Proc) GetSpecificMsg(handler int) []byte {
 	}
 	for {
 		idleFrom := p.noteIdleStart()
-		pkt, ok := p.pe.Recv()
+		m, ok := p.recvNetBlock()
 		if !ok {
 			panic(fmt.Sprintf("core: pe %d: machine stopped while waiting in GetSpecificMsg(%d)", p.MyPe(), handler))
 		}
 		p.noteIdleEnd(idleFrom)
 		p.chargeRecv()
-		p.trace(EvRecv, pkt.Src, p.MyPe(), len(pkt.Data), HandlerOf(pkt.Data), 0)
-		p.noteRecv(pkt.Src, len(pkt.Data))
-		if HandlerOf(pkt.Data) == handler {
-			p.setGot(pkt.Data)
-			return pkt.Data
+		p.trace(EvRecv, m.src, p.MyPe(), len(m.data), HandlerOf(m.data), 0)
+		p.noteRecv(m.src, len(m.data))
+		if HandlerOf(m.data) == handler {
+			p.setGot(m.data)
+			return m.data
 		}
-		if IsImmediate(pkt.Data) {
+		if IsImmediate(m.data) {
 			// Preemptive message: its handler runs now, even though
 			// this processor is blocked waiting for another handler.
-			p.dispatch(pkt.Data)
+			p.dispatch(m.data)
 			continue
 		}
-		p.deferred.PushBack(pkt.Data)
+		p.deferred.PushBack(m.data)
 	}
 }
 
@@ -372,33 +372,6 @@ func (p *Proc) GrabBuffer() []byte {
 	default:
 		top.grabbed = true
 		return top.msg
-	}
-}
-
-// Alloc returns a message buffer with at least the given payload
-// capacity, reusing recycled buffers when possible (the CMI buffer
-// pool). The returned message has its handler field zeroed; the caller
-// must SetHandler it. Contents beyond the header are unspecified.
-func (p *Proc) Alloc(payloadLen int) []byte {
-	want := HeaderSize + payloadLen
-	for i := len(p.pool) - 1; i >= 0; i-- {
-		if cap(p.pool[i]) >= want {
-			buf := p.pool[i][:want]
-			p.pool = append(p.pool[:i], p.pool[i+1:]...)
-			SetHandler(buf, 0)
-			SetFlags(buf, 0)
-			return buf
-		}
-	}
-	return NewMsg(0, payloadLen)
-}
-
-// recycle returns a buffer to the pool. The pool is bounded to avoid
-// retaining a large high-water mark.
-func (p *Proc) recycle(buf []byte) {
-	const maxPool = 64
-	if len(p.pool) < maxPool {
-		p.pool = append(p.pool, buf)
 	}
 }
 

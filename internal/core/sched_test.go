@@ -296,12 +296,14 @@ func TestGrabBufferOutsideHandlingPanics(t *testing.T) {
 }
 
 func TestUnregisteredHandlerPanics(t *testing.T) {
+	// checkSend rejects a never-registered handler index at send time,
+	// before the message crosses to another processor.
 	cm := newTestMachine(1)
 	err := cm.Run(func(p *Proc) {
 		p.SyncSend(0, MakeMsg(99, nil))
 		p.Scheduler(1)
 	})
-	if err == nil || !strings.Contains(err.Error(), "no handler") {
+	if err == nil || !strings.Contains(err.Error(), "handler index 99") {
 		t.Fatalf("err = %v, want unregistered-handler panic", err)
 	}
 }

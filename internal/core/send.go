@@ -9,42 +9,127 @@ import "fmt"
 type CommHandle struct {
 	dst      int // destination PE, or a bcast* sentinel
 	msg      []byte
+	owned    bool // msg belongs to the runtime (VectorSend): recycle on send
 	sent     bool
 	released bool
 }
 
-// Destination sentinels for asynchronous broadcasts.
+// Destination sentinels for broadcasts, usable as the dst of Send and
+// AsyncSend-via-progress operations.
 const (
 	bcastOthers = -1 // all processors except the sender
 	bcastAll    = -2 // all processors including the sender
+
+	// BroadcastOthers, as the destination of Send, delivers to every
+	// processor except the sender (CmiSyncBroadcast).
+	BroadcastOthers = bcastOthers
+	// BroadcastAll, as the destination of Send, delivers to every
+	// processor including the sender (CmiSyncBroadcastAll).
+	BroadcastAll = bcastAll
 )
 
-// SyncSend sends a generalized message to the destination processor
-// (CmiSyncSend). When it returns, the caller may reuse or change msg.
-func (p *Proc) SyncSend(dst int, msg []byte) {
-	p.checkSend(dst, msg)
-	p.chargeSend()
-	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
-	p.noteSend(dst, len(msg))
-	p.pe.Send(dst, msg)
+// SendOpt adjusts the behaviour of Send. Options combine with |.
+type SendOpt uint8
+
+// Transfer passes ownership of the message buffer to the runtime: the
+// caller must not touch msg after Send returns, and in exchange the
+// runtime avoids copying it and recycles the buffer into the message
+// pool once transmitted. Without Transfer the caller keeps the buffer
+// and may reuse it immediately.
+const Transfer SendOpt = 1 << iota
+
+// Send transmits a generalized message to dst, the single entry point
+// the classic CMI send family is defined in terms of:
+//
+//	Send(dst, msg)                      = CmiSyncSend
+//	Send(dst, msg, Transfer)            = CmiSyncSendAndFree
+//	Send(BroadcastOthers, msg)          = CmiSyncBroadcast
+//	Send(BroadcastAll, msg)             = CmiSyncBroadcastAll
+//	Send(BroadcastAll, msg, Transfer)   = CmiSyncBroadcastAllAndFree
+//
+// dst is a processor number or one of the Broadcast* sentinels. With
+// coalescing enabled, small non-immediate messages are staged into a
+// per-destination pack and flushed by the progress engine; ordering to
+// any single destination is preserved regardless.
+func (p *Proc) Send(dst int, msg []byte, opts ...SendOpt) {
+	var o SendOpt
+	for _, opt := range opts {
+		o |= opt
+	}
+	transfer := o&Transfer != 0
+	switch {
+	case dst >= 0:
+		p.send(dst, msg, transfer)
+	case dst == bcastOthers:
+		p.broadcastCopies(msg)
+		if transfer {
+			p.recycle(msg)
+		}
+	case dst == bcastAll:
+		p.broadcastCopies(msg)
+		p.send(p.MyPe(), msg, transfer)
+	default:
+		panic(fmt.Sprintf("core: pe %d: Send to invalid destination %d", p.MyPe(), dst))
+	}
 }
 
-// SyncSendAndFree sends msg transferring ownership: the caller must not
-// touch msg afterwards. This avoids the copy that SyncSend makes
-// (CmiSyncSendAndFree).
-func (p *Proc) SyncSendAndFree(dst int, msg []byte) {
+// send is the point-to-point fast path behind every synchronous send:
+// validate, charge and record, then either stage into the coalescing
+// pack (which copies, so the original can be recycled right away under
+// Transfer) or hand the packet to the machine layer.
+func (p *Proc) send(dst int, msg []byte, transfer bool) {
 	p.checkSend(dst, msg)
 	p.chargeSend()
 	p.trace(EvSend, p.MyPe(), dst, len(msg), HandlerOf(msg), 0)
 	p.noteSend(dst, len(msg))
+	if p.coalescable(msg) {
+		p.stageMsg(dst, msg)
+		if transfer {
+			p.recycle(msg)
+		}
+		return
+	}
+	// Direct path: flush anything staged for dst first so per-pair
+	// FIFO order holds across the coalesced/direct boundary.
+	p.flushPeer(dst)
+	if !transfer {
+		// The caller keeps msg, so send a copy — drawn from the pool
+		// rather than the heap, so the receiver's recycle feeds a
+		// future send's Alloc and the steady state allocates nothing.
+		buf := p.Alloc(len(msg) - HeaderSize)
+		copy(buf, msg)
+		msg = buf
+	}
 	p.pe.SendOwned(dst, msg)
 }
 
+// broadcastCopies sends a copy of msg to every processor but this one.
+// The broadcast involves only the sender: it is not a barrier.
+func (p *Proc) broadcastCopies(msg []byte) {
+	p.checkSend(0, msg)
+	for dst := 0; dst < p.NumPes(); dst++ {
+		if dst != p.MyPe() {
+			p.send(dst, msg, false)
+		}
+	}
+}
+
+// SyncSend sends a generalized message to the destination processor
+// (CmiSyncSend). When it returns, the caller may reuse or change msg.
+// It is Send(dst, msg).
+func (p *Proc) SyncSend(dst int, msg []byte) { p.send(dst, msg, false) }
+
+// SyncSendAndFree sends msg transferring ownership: the caller must not
+// touch msg afterwards. This avoids the copy that SyncSend makes and
+// recycles the buffer through the message pool (CmiSyncSendAndFree).
+// It is Send(dst, msg, Transfer).
+func (p *Proc) SyncSendAndFree(dst int, msg []byte) { p.send(dst, msg, true) }
+
 // AsyncSend initiates an asynchronous send of msg to dst and returns a
 // CommHandle for status enquiry (CmiAsyncSend). The message buffer must
-// not be reused or freed until IsSent reports true. The send is
-// performed by the progress engine, which runs on every entry to the
-// scheduler or a receive call.
+// not be modified until IsSent reports true; it remains owned by the
+// caller. The send is performed by the progress engine, which runs on
+// every entry to the scheduler or a receive call.
 func (p *Proc) AsyncSend(dst int, msg []byte) *CommHandle {
 	p.checkSend(dst, msg)
 	h := &CommHandle{dst: dst, msg: msg}
@@ -63,9 +148,9 @@ func (p *Proc) IsSent(h *CommHandle) bool {
 }
 
 // Release returns the communication handle to the CMI
-// (CmiReleaseCommHandle). It does not free the message buffer. Releasing
-// an incomplete operation panics, as reusing the handle would race with
-// the pending send.
+// (CmiReleaseCommHandle). It does not free a caller-owned message
+// buffer. Releasing an incomplete operation panics, as reusing the
+// handle would race with the pending send.
 func (p *Proc) Release(h *CommHandle) {
 	if !h.sent {
 		panic("core: Release of incomplete CommHandle")
@@ -73,56 +158,50 @@ func (p *Proc) Release(h *CommHandle) {
 	h.released = true
 }
 
-// Progress flushes pending asynchronous operations. It is called
+// Progress runs the progress engine: it completes pending asynchronous
+// operations and flushes staged coalescing packs. It is called
 // implicitly by the scheduler and all receive paths; explicit calls are
 // only needed in long computation loops that never touch the scheduler.
 func (p *Proc) Progress() {
 	for {
 		h, ok := p.async.PopFront()
 		if !ok {
-			return
+			break
 		}
 		switch {
 		case h.dst >= 0:
-			p.chargeSend()
-			p.trace(EvSend, p.MyPe(), h.dst, len(h.msg), HandlerOf(h.msg), 0)
-			p.noteSend(h.dst, len(h.msg))
-			p.pe.SendOwned(h.dst, h.msg)
+			// The caller keeps ownership of an async buffer, so the
+			// send must copy (staging copies; the direct path copies
+			// via pe.Send) — except for runtime-owned buffers
+			// (VectorSend), which transfer and recycle.
+			p.send(h.dst, h.msg, h.owned)
+			if h.owned {
+				h.msg = nil
+			}
 		case h.dst == bcastOthers:
-			p.SyncBroadcast(h.msg)
+			p.broadcastCopies(h.msg)
 		case h.dst == bcastAll:
-			p.SyncBroadcastAll(h.msg)
+			p.broadcastCopies(h.msg)
+			p.send(p.MyPe(), h.msg, false)
 		}
 		h.sent = true
 	}
+	p.flushAll()
 }
 
 // SyncBroadcast sends msg to every processor except this one
-// (CmiSyncBroadcast). The broadcast involves only the sender: it is not
-// a barrier.
-func (p *Proc) SyncBroadcast(msg []byte) {
-	p.checkSend(0, msg)
-	for dst := 0; dst < p.NumPes(); dst++ {
-		if dst != p.MyPe() {
-			p.SyncSend(dst, msg)
-		}
-	}
-}
+// (CmiSyncBroadcast). It is Send(BroadcastOthers, msg).
+func (p *Proc) SyncBroadcast(msg []byte) { p.Send(BroadcastOthers, msg) }
 
 // SyncBroadcastAll sends msg to every processor including this one
-// (CmiSyncBroadcastAll). The buffer is not freed.
-func (p *Proc) SyncBroadcastAll(msg []byte) {
-	p.SyncBroadcast(msg)
-	p.SyncSend(p.MyPe(), msg)
-}
+// (CmiSyncBroadcastAll). The buffer is not freed. It is
+// Send(BroadcastAll, msg).
+func (p *Proc) SyncBroadcastAll(msg []byte) { p.Send(BroadcastAll, msg) }
 
 // SyncBroadcastAllAndFree is SyncBroadcastAll transferring buffer
-// ownership: msg must be heap-allocated and untouched afterwards
-// (CmiSyncBroadcastAllAndFree).
-func (p *Proc) SyncBroadcastAllAndFree(msg []byte) {
-	p.SyncBroadcast(msg)
-	p.SyncSendAndFree(p.MyPe(), msg)
-}
+// ownership: msg must not be touched afterwards
+// (CmiSyncBroadcastAllAndFree). It is Send(BroadcastAll, msg, Transfer).
+func (p *Proc) SyncBroadcastAllAndFree(msg []byte) { p.Send(BroadcastAll, msg, Transfer) }
 
 // AsyncBroadcast initiates an asynchronous broadcast to all other
 // processors and returns a handle (CmiAsyncBroadcast). msg must not be
@@ -148,24 +227,33 @@ func (p *Proc) AsyncBroadcastAll(msg []byte) *CommHandle {
 // message with the given handler and initiates an asynchronous send to
 // dst (CmiVectorSend / the EMI gather-send). The pieces are logically
 // concatenated in order; they must not be modified until the returned
-// handle reports sent.
+// handle reports sent. The gathered buffer comes from and returns to
+// the message pool.
 func (p *Proc) VectorSend(dst int, handler int, pieces ...[]byte) *CommHandle {
 	total := 0
 	for _, piece := range pieces {
 		total += len(piece)
 	}
-	msg := NewMsg(handler, total)
+	msg := p.Alloc(total)
+	SetHandler(msg, handler)
 	off := HeaderSize
 	for _, piece := range pieces {
 		off += copy(msg[off:], piece)
 	}
-	return p.AsyncSend(dst, msg)
+	h := p.AsyncSend(dst, msg)
+	h.owned = true
+	return h
 }
 
-// checkSend validates a message before transmission.
+// checkSend validates a message before transmission: it must be at
+// least a header, carry a handler index some processor has registered,
+// and go to a processor that exists.
 func (p *Proc) checkSend(dst int, msg []byte) {
 	if len(msg) < HeaderSize {
-		panic(fmt.Sprintf("core: pe %d: send of %d-byte message, smaller than the header", p.MyPe(), len(msg)))
+		panic(fmt.Sprintf("core: pe %d: send of %d-byte message, smaller than the %d-byte header", p.MyPe(), len(msg), HeaderSize))
+	}
+	if h := HandlerOf(msg); h < 0 || h >= len(p.handlers) {
+		panic(fmt.Sprintf("core: pe %d: send of message with handler index %d, but only %d handlers are registered (forgot RegisterHandler, or sent a corrupt header?)", p.MyPe(), h, len(p.handlers)))
 	}
 	if dst < 0 || dst >= p.NumPes() {
 		panic(fmt.Sprintf("core: pe %d: send to invalid processor %d (machine has %d)", p.MyPe(), dst, p.NumPes()))

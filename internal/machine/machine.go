@@ -175,9 +175,7 @@ func (m *Machine) Stopped() bool {
 func (m *Machine) describeBlocked() string {
 	s := ""
 	for _, pe := range m.pes {
-		pe.mu.Lock()
-		n := pe.inbox.Len()
-		pe.mu.Unlock()
+		n := pe.InboxLen()
 		if s != "" {
 			s += ", "
 		}

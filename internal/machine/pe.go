@@ -2,12 +2,15 @@ package machine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"converse/internal/queue"
 )
 
 // Packet is a block of bytes in flight between two PEs, the machine-level
-// carrier of a Converse generalized message.
+// carrier of a Converse generalized message. Packets travel by value
+// through the inbound ring so the steady-state receive path performs no
+// allocation.
 type Packet struct {
 	Src, Dst int
 	Data     []byte
@@ -17,17 +20,51 @@ type Packet struct {
 	Arrive float64
 }
 
+// ringCapacity is the size of each PE's lock-free inbound ring. Bursts
+// beyond it spill to the mutex-protected overflow queue, so the ring
+// bounds memory without ever dropping or blocking a send.
+const ringCapacity = 1024
+
 // PE is one processing element of a simulated multicomputer. All of its
 // methods except the send family must be called only from the PE's own
 // driver goroutine (or a context hand-off chain rooted in it); the send
 // family may be called by any PE targeting this one.
+//
+// The inbound queue is a bounded lock-free MPSC ring (the fast path)
+// with a mutex-protected overflow deque behind it. Senders touch the
+// mutex only when the ring is full or the receiver is blocked asleep;
+// the receiver drains the ring in whole batches into a consumer-local
+// pending queue, preserving per-sender FIFO order across both paths
+// (see refill for the ordering argument).
 type PE struct {
 	id int
 	m  *Machine
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	inbox queue.Deque[*Packet]
+	ring *packetRing
+
+	// mu guards overflow and the sleep/wake handshake. cond is
+	// broadcast by senders that observe the receiver asleep and by
+	// Machine.Stop.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	overflow queue.Deque[Packet]
+
+	// overflowN mirrors overflow.Len() atomically. While nonzero, every
+	// sender routes through the overflow queue (not the ring), so a
+	// sender's packets are never split ring-after-overflow — the
+	// property that keeps per-pair FIFO intact across the fallback.
+	overflowN atomic.Int64
+
+	// sleeping is set (under mu) by the receiver before blocking in
+	// Recv; senders check it after publishing and wake the receiver.
+	sleeping atomic.Bool
+
+	// pending is the consumer-local staging queue: refill moves whole
+	// ring batches (then any overflow) into it; receives pop from it
+	// with no synchronization. pendingN mirrors its length for
+	// InboxLen readers on other goroutines.
+	pending  queue.Deque[Packet]
+	pendingN atomic.Int64
 
 	clock float64 // virtual time in microseconds; owned by the driver
 
@@ -40,11 +77,11 @@ type PE struct {
 	// statistics, owned by the driver goroutine
 	sent     uint64
 	received uint64
-	sentToMe uint64 // updated under mu by senders
+	sentToMe atomic.Uint64 // updated by senders
 }
 
 func newPE(m *Machine, id int) *PE {
-	pe := &PE{id: id, m: m}
+	pe := &PE{id: id, m: m, ring: newPacketRing(ringCapacity)}
 	pe.cond = sync.NewCond(&pe.mu)
 	return pe
 }
@@ -103,50 +140,135 @@ func (pe *PE) SendOwned(dst int, data []byte) {
 	}
 	pe.lastArrive[dst] = arrive
 	pe.sent++
-	pkt := &Packet{Src: pe.id, Dst: dst, Data: data, Arrive: arrive}
-	pe.m.pes[dst].deliver(pkt)
+	pe.m.pes[dst].deliver(Packet{Src: pe.id, Dst: dst, Data: data, Arrive: arrive})
 }
 
-// deliver appends a packet to the inbox and wakes blocked receivers.
-func (pe *PE) deliver(pkt *Packet) {
-	pe.mu.Lock()
-	pe.inbox.PushBack(pkt)
-	pe.sentToMe++
-	pe.mu.Unlock()
-	pe.cond.Broadcast()
+// deliver publishes a packet to this PE's inbound queue and wakes the
+// receiver if it is blocked. The lock-free ring is the fast path; while
+// any packet sits in overflow, all senders take the overflow path so a
+// single sender's packets cannot be consumed out of order.
+func (pe *PE) deliver(pkt Packet) {
+	pe.sentToMe.Add(1)
+	if pe.overflowN.Load() > 0 || !pe.ring.tryPush(pkt) {
+		pe.mu.Lock()
+		pe.overflow.PushBack(pkt)
+		pe.overflowN.Add(1)
+		pe.cond.Broadcast()
+		pe.mu.Unlock()
+		return
+	}
+	if pe.sleeping.Load() {
+		pe.mu.Lock()
+		pe.cond.Broadcast()
+		pe.mu.Unlock()
+	}
+}
+
+// refill drains the whole ring, then any overflow, into the
+// consumer-local pending queue. Ordering: a sender only uses the ring
+// while the overflow is empty, and overflow is only declared empty
+// (overflowN reset) at the moment its contents move into pending — so
+// for any single sender, everything it put in the ring before
+// overflowing is drained in step 1, its overflow packets follow in
+// step 2, and anything it sends after the reset lands in the ring for a
+// later refill, after the current pending batch. Per-pair FIFO holds.
+func (pe *PE) refill() {
+	for {
+		pkt, ok := pe.ring.tryPop()
+		if !ok {
+			break
+		}
+		pe.pending.PushBack(pkt)
+		pe.pendingN.Add(1)
+	}
+	if pe.overflowN.Load() > 0 {
+		pe.mu.Lock()
+		for {
+			pkt, ok := pe.overflow.PopFront()
+			if !ok {
+				break
+			}
+			pe.pending.PushBack(pkt)
+			pe.pendingN.Add(1)
+		}
+		pe.overflowN.Store(0)
+		pe.mu.Unlock()
+	}
+}
+
+// popPending returns the next inbound packet, refilling the pending
+// batch from the ring and overflow when it runs dry.
+func (pe *PE) popPending() (Packet, bool) {
+	if pkt, ok := pe.pending.PopFront(); ok {
+		pe.pendingN.Add(-1)
+		return pkt, true
+	}
+	pe.refill()
+	pkt, ok := pe.pending.PopFront()
+	if ok {
+		pe.pendingN.Add(-1)
+	}
+	return pkt, ok
 }
 
 // TryRecv removes and returns the oldest inbound packet without
-// blocking. It returns nil, false if the inbox is empty. On success the
+// blocking. It returns ok=false if the inbox is empty. On success the
 // PE's clock advances to the packet's arrival time plus the model's
 // receive overhead.
-func (pe *PE) TryRecv() (*Packet, bool) {
-	pe.mu.Lock()
-	pkt, ok := pe.inbox.PopFront()
-	pe.mu.Unlock()
+func (pe *PE) TryRecv() (Packet, bool) {
+	pkt, ok := pe.popPending()
 	if !ok {
-		return nil, false
+		return Packet{}, false
 	}
-	pe.arrived(pkt)
+	pe.arrived(&pkt)
 	return pkt, true
 }
 
+// TryRecvBatch fills out with up to len(out) inbound packets and
+// returns the count, performing the per-packet receive accounting for
+// each. It is the batch form deliverFromNetwork-style loops use: one
+// refill drains the whole ring pass.
+func (pe *PE) TryRecvBatch(out []Packet) int {
+	n := 0
+	for n < len(out) {
+		pkt, ok := pe.popPending()
+		if !ok {
+			break
+		}
+		pe.arrived(&pkt)
+		out[n] = pkt
+		n++
+	}
+	return n
+}
+
 // Recv blocks until a packet is available and returns it. It returns
-// nil, false if the machine is stopped while waiting (watchdog or
+// ok=false if the machine is stopped while waiting (watchdog or
 // explicit Stop).
-func (pe *PE) Recv() (*Packet, bool) {
-	pe.mu.Lock()
-	for pe.inbox.Len() == 0 {
-		if pe.m.Stopped() {
+func (pe *PE) Recv() (Packet, bool) {
+	for {
+		if pkt, ok := pe.TryRecv(); ok {
+			return pkt, true
+		}
+		pe.mu.Lock()
+		pe.sleeping.Store(true)
+		// Recheck after announcing sleep: a sender that published
+		// before seeing sleeping=true is visible here (seq-cst
+		// ordering), so the wakeup cannot be lost.
+		if pe.ring.len() > 0 || pe.overflow.Len() > 0 {
+			pe.sleeping.Store(false)
 			pe.mu.Unlock()
-			return nil, false
+			continue
+		}
+		if pe.m.Stopped() {
+			pe.sleeping.Store(false)
+			pe.mu.Unlock()
+			return Packet{}, false
 		}
 		pe.cond.Wait()
+		pe.sleeping.Store(false)
+		pe.mu.Unlock()
 	}
-	pkt, _ := pe.inbox.PopFront()
-	pe.mu.Unlock()
-	pe.arrived(pkt)
-	return pkt, true
 }
 
 // arrived performs the receive-side clock accounting for a packet.
@@ -158,11 +280,11 @@ func (pe *PE) arrived(pkt *Packet) {
 	pe.received++
 }
 
-// InboxLen reports the number of packets waiting in the inbox.
+// InboxLen reports the number of packets waiting to be received. It is
+// safe to call from any goroutine; under concurrent traffic the count
+// is a point-in-time approximation.
 func (pe *PE) InboxLen() int {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	return pe.inbox.Len()
+	return pe.ring.len() + int(pe.overflowN.Load()) + int(pe.pendingN.Load())
 }
 
 // Stats reports the number of packets this PE has sent and received.

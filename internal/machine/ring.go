@@ -1,0 +1,99 @@
+package machine
+
+import "sync/atomic"
+
+// packetRing is a bounded multi-producer single-consumer queue of
+// Packets, the lock-free fast path of a PE's inbound network queue.
+// It is a sequence-number ring (Vyukov's bounded MPMC algorithm,
+// restricted here to one consumer): each slot carries a sequence cell
+// that tells producers when the slot is free and the consumer when it
+// is filled, so neither side takes a lock and the hot path is two
+// atomic operations per packet.
+//
+// When the ring is momentarily full the machine falls back to the PE's
+// mutex-protected overflow queue (see PE.deliver); the ring never
+// blocks.
+type packetRing struct {
+	mask  uint64
+	slots []ringSlot
+
+	_    [56]byte // keep enq and deq on separate cache lines
+	enq  atomic.Uint64
+	_pad [56]byte
+	deq  atomic.Uint64
+}
+
+// ringSlot is one cell of the ring. seq encodes the slot state: equal
+// to the enqueue position when free for that position, position+1 when
+// filled and awaiting the consumer.
+type ringSlot struct {
+	seq atomic.Uint64
+	pkt Packet
+}
+
+// newPacketRing builds a ring with the given capacity, which must be a
+// power of two.
+func newPacketRing(capacity int) *packetRing {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("machine: packetRing capacity must be a power of two")
+	}
+	r := &packetRing{
+		mask:  uint64(capacity - 1),
+		slots: make([]ringSlot, capacity),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush publishes pkt. It returns false when the ring is full; the
+// caller must then take the overflow path. Safe for concurrent
+// producers.
+func (r *packetRing) tryPush(pkt Packet) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			// Slot free for this position: claim it.
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.pkt = pkt
+				slot.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = r.enq.Load()
+		case diff < 0:
+			// Slot still holds an unconsumed packet a lap behind: full.
+			return false
+		default:
+			// Another producer claimed pos; retry at the new tail.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// tryPop removes the oldest packet. Single consumer only.
+func (r *packetRing) tryPop() (Packet, bool) {
+	pos := r.deq.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return Packet{}, false // empty (or producer mid-publish)
+	}
+	pkt := slot.pkt
+	slot.pkt = Packet{}              // release payload reference
+	slot.seq.Store(pos + r.mask + 1) // mark free for the next lap
+	r.deq.Store(pos + 1)
+	return pkt, true
+}
+
+// len reports the number of published packets currently in the ring.
+// It is approximate under concurrent pushes (reads two atomics).
+func (r *packetRing) len() int {
+	enq, deq := r.enq.Load(), r.deq.Load()
+	if enq < deq {
+		return 0
+	}
+	return int(enq - deq)
+}

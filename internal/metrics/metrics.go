@@ -87,6 +87,14 @@ type PE struct {
 	seedsRooted    atomic.Uint64
 	seedsForwarded atomic.Uint64
 
+	// communication fast path (PR 2): message-pool effectiveness and
+	// send-coalescing activity.
+	poolHits         atomic.Uint64
+	poolMisses       atomic.Uint64
+	coalesceStaged   atomic.Uint64
+	coalescePacks    atomic.Uint64
+	coalesceUnpacked atomic.Uint64
+
 	sentMsgs  []atomic.Uint64 // per peer PE
 	sentBytes []atomic.Uint64
 	recvMsgs  []atomic.Uint64
@@ -187,6 +195,22 @@ func (m *PE) Enqueued(depth int) {
 	}
 }
 
+// PoolHit records a message allocation served from the sized-class
+// buffer pool.
+func (m *PE) PoolHit() { m.poolHits.Add(1) }
+
+// PoolMiss records a message allocation that fell through to the heap.
+func (m *PE) PoolMiss() { m.poolMisses.Add(1) }
+
+// CoalesceStaged records one small message staged into a per-peer pack.
+func (m *PE) CoalesceStaged() { m.coalesceStaged.Add(1) }
+
+// CoalesceFlush records one coalesced packet put on the wire.
+func (m *PE) CoalesceFlush() { m.coalescePacks.Add(1) }
+
+// CoalesceUnpacked records one message split out of an inbound pack.
+func (m *PE) CoalesceUnpacked() { m.coalesceUnpacked.Add(1) }
+
 // ThreadSwitch records one thread context switch.
 func (m *PE) ThreadSwitch() { m.threadSwitches.Add(1) }
 
@@ -266,6 +290,13 @@ type PESnapshot struct {
 	SeedsRooted    uint64
 	SeedsForwarded uint64
 
+	// Pool and coalescing effectiveness (the comm fast path).
+	PoolHits         uint64
+	PoolMisses       uint64
+	CoalesceStaged   uint64 // small messages staged into packs at send
+	CoalescePacks    uint64 // coalesced packets actually sent
+	CoalesceUnpacked uint64 // messages split out of inbound packs
+
 	SentMsgs  []uint64 // indexed by peer PE
 	SentBytes []uint64
 	RecvMsgs  []uint64
@@ -311,21 +342,26 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{PEs: make([]PESnapshot, len(r.pes))}
 	for i, m := range r.pes {
 		ps := PESnapshot{
-			PE:             i,
-			SchedIdleUs:    float64(m.idleNs.Load()) / 1e3,
-			BusyUs:         float64(m.busyNs.Load()) / 1e3,
-			Dispatches:     m.dispatches.Load(),
-			Enqueues:       m.enqueues.Load(),
-			QueueHWM:       m.queueHWM.Load(),
-			ThreadSwitches: m.threadSwitches.Load(),
-			ThreadsCreated: m.threadsCreated.Load(),
-			SeedsDeposited: m.seedsDeposited.Load(),
-			SeedsRooted:    m.seedsRooted.Load(),
-			SeedsForwarded: m.seedsForwarded.Load(),
-			SentMsgs:       loadAll(m.sentMsgs),
-			SentBytes:      loadAll(m.sentBytes),
-			RecvMsgs:       loadAll(m.recvMsgs),
-			RecvBytes:      loadAll(m.recvBytes),
+			PE:               i,
+			SchedIdleUs:      float64(m.idleNs.Load()) / 1e3,
+			BusyUs:           float64(m.busyNs.Load()) / 1e3,
+			Dispatches:       m.dispatches.Load(),
+			Enqueues:         m.enqueues.Load(),
+			QueueHWM:         m.queueHWM.Load(),
+			ThreadSwitches:   m.threadSwitches.Load(),
+			ThreadsCreated:   m.threadsCreated.Load(),
+			SeedsDeposited:   m.seedsDeposited.Load(),
+			SeedsRooted:      m.seedsRooted.Load(),
+			SeedsForwarded:   m.seedsForwarded.Load(),
+			PoolHits:         m.poolHits.Load(),
+			PoolMisses:       m.poolMisses.Load(),
+			CoalesceStaged:   m.coalesceStaged.Load(),
+			CoalescePacks:    m.coalescePacks.Load(),
+			CoalesceUnpacked: m.coalesceUnpacked.Load(),
+			SentMsgs:         loadAll(m.sentMsgs),
+			SentBytes:        loadAll(m.sentBytes),
+			RecvMsgs:         loadAll(m.recvMsgs),
+			RecvBytes:        loadAll(m.recvBytes),
 		}
 		for id, h := range *m.handlers.Load() {
 			if h == nil || h.count.Load() == 0 {

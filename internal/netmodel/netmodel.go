@@ -64,6 +64,13 @@ type Model struct {
 	// through the scheduler's queue (enqueue + dequeue) instead of
 	// handling it directly.
 	SchedOv float64
+	// UnpackOv is the per-message cost of splitting a coalesced
+	// multi-message packet apart at the receiver (one bounded copy per
+	// small message). It is charged only when send coalescing is on;
+	// the native per-packet costs (SendOv, Alpha, RecvOv) are then paid
+	// once per packet instead of once per message, which is the entire
+	// point of coalescing.
+	UnpackOv float64
 }
 
 // WireTime returns the network transit time in microseconds for a
@@ -102,6 +109,10 @@ func (m *Model) CvsRecvOverhead() float64 { return m.CvsRecvOv }
 // SchedOverhead returns the extra cost of the scheduler-queue pass.
 func (m *Model) SchedOverhead() float64 { return m.SchedOv }
 
+// UnpackOverhead returns the per-message receive-side cost of undoing
+// send coalescing (core.CoalesceCosts).
+func (m *Model) UnpackOverhead() float64 { return m.UnpackOv }
+
 // OneWay returns the full modeled one-way time for an n-byte message
 // through the native layer: send + wire + receive.
 func (m *Model) OneWay(n int) float64 {
@@ -120,6 +131,25 @@ func (m *Model) OneWayQueued(n int) float64 {
 	return m.OneWayConverse(n) + m.SchedOv
 }
 
+// CoalescedPacketBytes returns the wire size of a coalesced packet
+// carrying k messages of n bytes each: one 8-byte pack header plus a
+// 4-byte length prefix per message (the core's pack format).
+func CoalescedPacketBytes(k, n int) int { return 8 + k*(4+n) }
+
+// OneWayCoalesced returns the modeled *per-message* one-way time when k
+// n-byte messages travel to the same destination in one coalesced
+// packet: the per-packet costs (native send overhead, wire latency,
+// native receive overhead) amortize over k, while the per-message
+// Converse costs and the receive-side unpack copy are paid per message.
+// With k=1 this is OneWayConverse plus the small pack framing cost.
+func (m *Model) OneWayCoalesced(k, n int) float64 {
+	if k < 1 {
+		panic("netmodel: OneWayCoalesced needs k >= 1")
+	}
+	perPacket := m.SendOv + m.WireTime(CoalescedPacketBytes(k, n)) + m.RecvOv
+	return perPacket/float64(k) + m.CvsSendOv + m.CvsRecvOv + m.UnpackOv
+}
+
 // The five machines of Figures 4-8. Constructor functions return fresh
 // values so callers may tweak parameters without aliasing.
 
@@ -133,7 +163,8 @@ func ATMHP() *Model {
 		PacketSize: 4096, PerPacket: 18, // ATM AAL5 segmentation + per-buffer costs
 		SendOv: 14, RecvOv: 14,
 		CvsSendOv: 2.5, CvsRecvOv: 2.5,
-		SchedOv: 10,
+		SchedOv:  10,
+		UnpackOv: 1,
 	}
 }
 
@@ -149,7 +180,8 @@ func T3D() *Model {
 		CopyThreshold: 16384, CopyPerByte: 0.007,
 		SendOv: 1.4, RecvOv: 1.4,
 		CvsSendOv: 0.8, CvsRecvOv: 0.8,
-		SchedOv: 3,
+		SchedOv:  3,
+		UnpackOv: 0.3,
 	}
 }
 
@@ -164,7 +196,8 @@ func MyrinetFM() *Model {
 		Alpha: 10.3, Beta: 0.025, MinBytes: 128,
 		SendOv: 5.6, RecvOv: 5.9,
 		CvsSendOv: 3, CvsRecvOv: 3,
-		SchedOv: 12,
+		SchedOv:  12,
+		UnpackOv: 1.2,
 	}
 }
 
@@ -176,7 +209,8 @@ func SP1() *Model {
 		Alpha: 29, Beta: 0.028,
 		SendOv: 13, RecvOv: 13,
 		CvsSendOv: 2, CvsRecvOv: 2,
-		SchedOv: 8,
+		SchedOv:  8,
+		UnpackOv: 0.8,
 	}
 }
 
@@ -188,7 +222,8 @@ func Paragon() *Model {
 		Alpha: 23, Beta: 0.006,
 		SendOv: 11, RecvOv: 11,
 		CvsSendOv: 2, CvsRecvOv: 2,
-		SchedOv: 7,
+		SchedOv:  7,
+		UnpackOv: 0.7,
 	}
 }
 

@@ -133,3 +133,32 @@ func TestOrderingAcrossLayers(t *testing.T) {
 		}
 	}
 }
+
+func TestOneWayCoalescedAmortizes(t *testing.T) {
+	// Per-message time must fall monotonically with batch size and
+	// approach the per-message floor (Converse costs + unpack + beta
+	// terms) as the per-packet costs amortize away. For small messages
+	// on every model, a batch of 16 must beat singleton sends by at
+	// least 2x — the fan-in acceptance bar for the comm fast path.
+	for _, m := range All() {
+		single := m.OneWayConverse(64)
+		prev := m.OneWayCoalesced(1, 64)
+		for _, k := range []int{2, 4, 8, 16, 64} {
+			cur := m.OneWayCoalesced(k, 64)
+			if cur >= prev {
+				t.Errorf("%s: per-message time rose from %.2f to %.2f at k=%d", m.Name, prev, cur, k)
+			}
+			prev = cur
+		}
+		if batched := m.OneWayCoalesced(16, 64); single < 2*batched {
+			t.Errorf("%s: 16-way coalescing gives %.2f us/msg vs %.2f uncoalesced (< 2x)",
+				m.Name, batched, single)
+		}
+	}
+}
+
+func TestCoalescedPacketBytes(t *testing.T) {
+	if got := CoalescedPacketBytes(3, 16); got != 8+3*20 {
+		t.Fatalf("CoalescedPacketBytes(3,16) = %d, want %d", got, 8+3*20)
+	}
+}

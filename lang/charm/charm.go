@@ -1,0 +1,59 @@
+// Package charm re-exports the Charm-style message-driven objects
+// runtime (§4): chares, branch-office groups, migratable object
+// arrays, all layered on Converse handlers and the load balancers.
+// See converse/internal/lang/charm for details.
+package charm
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/charm"
+	"converse/internal/ldb"
+)
+
+// ChareIDSize is the encoded size of a ChareID in bytes.
+const ChareIDSize = charm.ChareIDSize
+
+// RT is a processor's Charm runtime instance.
+type RT = charm.RT
+
+// ChareID identifies a chare instance machine-wide.
+type ChareID = charm.ChareID
+
+// GroupID identifies a branch-office group.
+type GroupID = charm.GroupID
+
+// ArrayID identifies a migratable object array.
+type ArrayID = charm.ArrayID
+
+// Ctor constructs a chare from its creation message.
+type Ctor = charm.Ctor
+
+// Entry is a chare entry method.
+type Entry = charm.Entry
+
+// GroupCtor constructs one branch of a group.
+type GroupCtor = charm.GroupCtor
+
+// GroupEntry is a group entry method.
+type GroupEntry = charm.GroupEntry
+
+// ArrayCtor constructs one array element.
+type ArrayCtor = charm.ArrayCtor
+
+// ArrayEntry is an array-element entry method.
+type ArrayEntry = charm.ArrayEntry
+
+// Migratable is implemented by array elements that can move.
+type Migratable = charm.Migratable
+
+// Unpacker rebuilds a migrated element from its packed blob.
+type Unpacker = charm.Unpacker
+
+// Attach creates the Charm runtime on a processor with a seed policy.
+func Attach(p *core.Proc, pol ldb.Policy) *RT { return charm.Attach(p, pol) }
+
+// Get returns the processor's Charm runtime.
+func Get(p *core.Proc) *RT { return charm.Get(p) }
+
+// DecodeChareID reads a ChareID from its wire encoding.
+func DecodeChareID(src []byte) ChareID { return charm.DecodeChareID(src) }

@@ -1,0 +1,18 @@
+// Package dp re-exports the data-parallel language runtime (§4,
+// "DP"): globally synchronous vector operations expressed as Converse
+// handlers. See converse/internal/lang/dp for details.
+package dp
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/dp"
+)
+
+// DP is a processor's data-parallel runtime instance.
+type DP = dp.DP
+
+// Vector is a block-distributed vector.
+type Vector = dp.Vector
+
+// Attach creates the DP runtime on a processor.
+func Attach(p *core.Proc) *DP { return dp.Attach(p) }

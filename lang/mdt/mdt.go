@@ -1,0 +1,15 @@
+// Package mdt re-exports the message-driven threads library (§4,
+// "MDT"): remote service requests whose replies resume suspended
+// threads. See converse/internal/lang/mdt for details.
+package mdt
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/mdt"
+)
+
+// MDT is a processor's message-driven-threads runtime instance.
+type MDT = mdt.MDT
+
+// Attach creates the MDT runtime on a processor.
+func Attach(p *core.Proc) *MDT { return mdt.Attach(p) }

@@ -1,0 +1,22 @@
+// Package pvmc re-exports the PVM-style message-passing compatibility
+// layer (§4, "PVM on Converse"): typed pack/unpack buffers and tagged
+// send/recv over Converse threads. See converse/internal/lang/pvmc
+// for details.
+package pvmc
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/pvmc"
+)
+
+// Any matches any tag or source in a receive.
+const Any = pvmc.Any
+
+// PVM is a processor's PVM runtime instance.
+type PVM = pvmc.PVM
+
+// Buffer is a typed pack/unpack message buffer.
+type Buffer = pvmc.Buffer
+
+// Attach creates the PVM runtime on a processor.
+func Attach(p *core.Proc) *PVM { return pvmc.Attach(p) }

@@ -1,0 +1,18 @@
+// Package sm re-exports the simple tagged message-passing language
+// (§4, "SM"): blocking tagged send/recv on top of the message manager
+// and scheduler. See converse/internal/lang/sm for details.
+package sm
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/sm"
+)
+
+// Wildcard matches any tag in a receive.
+const Wildcard = sm.Wildcard
+
+// SM is a processor's SM runtime instance.
+type SM = sm.SM
+
+// Attach creates the SM runtime on a processor.
+func Attach(p *core.Proc) *SM { return sm.Attach(p) }

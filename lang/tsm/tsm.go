@@ -1,0 +1,19 @@
+// Package tsm re-exports the threaded tagged message-passing language
+// (§4, "TSM"): like SM, but receives suspend the calling thread
+// instead of spinning the scheduler. See converse/internal/lang/tsm
+// for details.
+package tsm
+
+import (
+	"converse/internal/core"
+	"converse/internal/lang/tsm"
+)
+
+// Wildcard matches any tag in a receive.
+const Wildcard = tsm.Wildcard
+
+// TSM is a processor's TSM runtime instance.
+type TSM = tsm.TSM
+
+// Attach creates the TSM runtime on a processor.
+func Attach(p *core.Proc) *TSM { return tsm.Attach(p) }

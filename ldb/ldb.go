@@ -1,0 +1,42 @@
+// Package ldb re-exports the seed-based load balancers (§3.3): a
+// Balancer that intercepts locally generated work seeds and a set of
+// pluggable placement policies. See converse/internal/ldb for details.
+package ldb
+
+import (
+	"converse/internal/core"
+	"converse/internal/ldb"
+)
+
+// Balancer routes work seeds between processors under a Policy.
+type Balancer = ldb.Balancer
+
+// Policy decides where a new seed should execute.
+type Policy = ldb.Policy
+
+// CentralPolicy funnels seeds through one manager processor.
+type CentralPolicy = ldb.CentralPolicy
+
+// NeighborPolicy offloads to neighbors past a queue threshold.
+type NeighborPolicy = ldb.NeighborPolicy
+
+// RandomPolicy sends each seed to a uniformly random processor.
+type RandomPolicy = ldb.RandomPolicy
+
+// SprayPolicy round-robins seeds across all processors.
+type SprayPolicy = ldb.SprayPolicy
+
+// New attaches a balancer with the given policy to a processor.
+func New(p *core.Proc, pol Policy) *Balancer { return ldb.New(p, pol) }
+
+// NewCentral creates a central-manager policy.
+func NewCentral(manager int) *CentralPolicy { return ldb.NewCentral(manager) }
+
+// NewNeighbor creates a threshold-based neighbor policy.
+func NewNeighbor(threshold int) *NeighborPolicy { return ldb.NewNeighbor(threshold) }
+
+// NewRandom creates a seeded random-placement policy.
+func NewRandom(seed int64) *RandomPolicy { return ldb.NewRandom(seed) }
+
+// NewSpray creates a round-robin spray policy.
+func NewSpray() *SprayPolicy { return ldb.NewSpray() }

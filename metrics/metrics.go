@@ -1,0 +1,38 @@
+// Package metrics re-exports the allocation-free per-PE runtime
+// metrics registry (scheduler utilization, queue depths, per-handler
+// latency, message volume, pool and coalescing counters). See
+// converse/internal/metrics for details.
+package metrics
+
+import "converse/internal/metrics"
+
+// NumBuckets is the number of histogram buckets.
+const NumBuckets = metrics.NumBuckets
+
+// Registry holds one metrics instance per processor.
+type Registry = metrics.Registry
+
+// PE is one processor's metrics instance.
+type PE = metrics.PE
+
+// Snapshot is a merged, read-consistent view of a registry.
+type Snapshot = metrics.Snapshot
+
+// PESnapshot is one processor's aggregates.
+type PESnapshot = metrics.PESnapshot
+
+// HandlerSnapshot aggregates one handler's dispatch stats.
+type HandlerSnapshot = metrics.HandlerSnapshot
+
+// HandlerStats is the live per-handler accumulator.
+type HandlerStats = metrics.HandlerStats
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram = metrics.Histogram
+
+// New builds a registry for a machine of numPEs processors.
+func New(numPEs int) *Registry { return metrics.New(numPEs) }
+
+// BucketBound returns the upper bound of histogram bucket i in
+// microseconds.
+func BucketBound(i int) float64 { return metrics.BucketBound(i) }

@@ -1,0 +1,20 @@
+// Package msgmgr re-exports the tagged message manager (§3.2.2): an
+// efficient data structure for storing and retrieving messages by tag
+// sets with wildcards, shared by the SM, TSM and PVM language
+// runtimes. See converse/internal/msgmgr for details.
+package msgmgr
+
+import "converse/internal/msgmgr"
+
+// Wildcard matches any tag value.
+const Wildcard = msgmgr.Wildcard
+
+// M is a message manager instance.
+type M = msgmgr.M
+
+// New creates an empty message manager.
+func New() *M { return msgmgr.New() }
+
+// NewAtOffset creates a manager whose two tags live at the given
+// payload byte offsets.
+func NewAtOffset(off1, off2 int) *M { return msgmgr.NewAtOffset(off1, off2) }

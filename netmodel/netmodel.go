@@ -1,0 +1,34 @@
+// Package netmodel re-exports the analytic communication-cost models
+// for the paper's five evaluation machines (§5, Figures 4-8). See
+// converse/internal/netmodel for the model documentation and the
+// provenance of the constants.
+package netmodel
+
+import "converse/internal/netmodel"
+
+// Model is a parameterized communication-cost model; it implements the
+// machine cost interface plus the Converse and coalescing overhead
+// accessors.
+type Model = netmodel.Model
+
+// ATMHP models the ATM-connected HP workstation cluster (Figure 4).
+func ATMHP() *Model { return netmodel.ATMHP() }
+
+// T3D models the Cray T3D under the FM package (Figure 5).
+func T3D() *Model { return netmodel.T3D() }
+
+// MyrinetFM models Sun workstations on Myrinet with FM (Figure 6).
+func MyrinetFM() *Model { return netmodel.MyrinetFM() }
+
+// SP1 models the IBM SP-1 (Figure 7).
+func SP1() *Model { return netmodel.SP1() }
+
+// Paragon models the Intel Paragon under SUNMOS (Figure 8).
+func Paragon() *Model { return netmodel.Paragon() }
+
+// All returns the five evaluation machines in figure order (4-8).
+func All() []*Model { return netmodel.All() }
+
+// CoalescedPacketBytes returns the wire size of a coalesced packet
+// carrying k messages of n bytes each.
+func CoalescedPacketBytes(k, n int) int { return netmodel.CoalescedPacketBytes(k, n) }

@@ -1,0 +1,96 @@
+// Package trace re-exports the Projections-style trace toolchain:
+// per-PE event collection, causal merge, Perfetto/Chrome export, and
+// text-trace analysis. See converse/internal/trace for details.
+package trace
+
+import (
+	"io"
+
+	"converse/internal/core"
+	"converse/internal/trace"
+)
+
+// Collector gathers per-PE trace buffers for a whole machine.
+type Collector = trace.Collector
+
+// Buffer is one processor's append-only event log.
+type Buffer = trace.Buffer
+
+// Counter tallies events without storing them.
+type Counter = trace.Counter
+
+// Null is a tracer that discards every event.
+type Null = trace.Null
+
+// Schema maps handler indices and event kinds to display names.
+type Schema = trace.Schema
+
+// HandlerDef names one handler index in a Schema.
+type HandlerDef = trace.HandlerDef
+
+// KindDef names one event kind in a Schema.
+type KindDef = trace.KindDef
+
+// ChromeTrace is a Perfetto-loadable trace document.
+type ChromeTrace = trace.ChromeTrace
+
+// ChromeEvent is a single Chrome trace-event record.
+type ChromeEvent = trace.ChromeEvent
+
+// Parsed is a text trace parsed back into events.
+type Parsed = trace.Parsed
+
+// Summary aggregates a trace into per-PE totals.
+type Summary = trace.Summary
+
+// PESummary is one processor's share of a Summary.
+type PESummary = trace.PESummary
+
+// HandlerTime is one handler's aggregate dispatch time.
+type HandlerTime = trace.HandlerTime
+
+// Utilization is a binned busy/idle timeline.
+type Utilization = trace.Utilization
+
+// NewCollector creates a collector for a machine of pes processors.
+func NewCollector(pes int) *Collector { return trace.NewCollector(pes) }
+
+// NewCounter creates a counting tracer.
+func NewCounter() *Counter { return trace.NewCounter() }
+
+// NewSchema creates an empty naming schema.
+func NewSchema() *Schema { return trace.NewSchema() }
+
+// MergeCausal merges per-PE event streams into one causally consistent
+// global order.
+func MergeCausal(streams [][]core.TraceEvent) []core.TraceEvent {
+	return trace.MergeCausal(streams)
+}
+
+// MessageMatrix computes the PE-to-PE message and byte counts.
+func MessageMatrix(events []core.TraceEvent, pes int) (msgs, bytes [][]uint64) {
+	return trace.MessageMatrix(events, pes)
+}
+
+// WriteChrome writes a Perfetto/Chrome trace JSON document to w.
+func WriteChrome(w io.Writer, pes int, events []core.TraceEvent, schema *Schema) error {
+	return trace.WriteChrome(w, pes, events, schema)
+}
+
+// BuildChromeTrace converts merged events into a Chrome trace document.
+func BuildChromeTrace(pes int, events []core.TraceEvent, schema *Schema) *ChromeTrace {
+	return trace.BuildChromeTrace(pes, events, schema)
+}
+
+// ReadText parses the textual trace format emitted by the collector.
+func ReadText(r io.Reader) (*Parsed, error) { return trace.ReadText(r) }
+
+// HandlerProfile aggregates per-handler dispatch time over a trace.
+func HandlerProfile(events []core.TraceEvent, pes int) []HandlerTime {
+	return trace.HandlerProfile(events, pes)
+}
+
+// ComputeUtilization bins busy time into nbins intervals per PE.
+func ComputeUtilization(events []core.TraceEvent, pes, nbins int) *Utilization {
+	return trace.ComputeUtilization(events, pes, nbins)
+}

@@ -6,13 +6,15 @@
 #   make overhead      observability overhead gate: the disabled-path
 #                      benchmarks must report zero allocations
 #   make bench         comm fast-path benchmarks; writes BENCH_comm.json
-#   make ci            tier1 + race gates + overhead + commbench smoke
+#   make net-smoke     multi-process smoke: jacobi + quickstart + commbench
+#                      under converserun -np 4 on real TCP sockets
+#   make ci            tier1 + race gates + overhead + smokes
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench commbench-smoke
+.PHONY: ci tier1 vet build test race machine-race overhead bench commbench-smoke net-smoke
 
-ci: tier1 race machine-race overhead commbench-smoke
+ci: tier1 race machine-race overhead commbench-smoke net-smoke
 
 tier1: vet build test
 
@@ -59,3 +61,18 @@ bench:
 # fan-in/ping-pong harness work end to end (no wall-clock benchmarks).
 commbench-smoke:
 	$(GO) run ./cmd/commbench -smoke -o /dev/null
+
+# Multi-process smoke: real programs as converserun jobs, each rank an
+# OS process on the TCP machine layer, with a hard timeout so a
+# distributed hang fails CI instead of wedging it. The example binaries
+# run unmodified — the same sources `go run` executes in-process.
+net-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	$(GO) build -o $$tmp/jacobi ./examples/jacobi && \
+	$(GO) build -o $$tmp/quickstart ./examples/quickstart && \
+	$(GO) build -o $$tmp/commbench ./cmd/commbench && \
+	$$tmp/converserun -np 4 -timeout 120s $$tmp/jacobi && \
+	$$tmp/converserun -np 4 -timeout 120s $$tmp/quickstart && \
+	$$tmp/commbench -transport tcp -pes 4 -smoke -o /dev/null && \
+	echo 'net-smoke: jacobi + quickstart + commbench ok under converserun -np 4'

@@ -71,3 +71,18 @@ func Figures() []Figure { return bench.Figures() }
 
 // Print writes a figure's table to w.
 func Print(w io.Writer, fig Figure, rounds int) error { return bench.Print(w, fig, rounds) }
+
+// NetPingPong measures the wall-clock round trip between processors 0
+// and 1 on the substrate selected by cfg.Transport, returning one-way
+// microseconds as seen by processor 0 (zero on other ranks).
+func NetPingPong(cfg core.Config, size, rounds int) (float64, error) {
+	return bench.NetPingPong(cfg, size, rounds)
+}
+
+// NetFanIn measures the wall-clock many-to-one burst into processor 0
+// on the substrate selected by cfg.Transport: the first-to-last
+// dispatch span in microseconds and the throughput over it in messages
+// per millisecond (zeros on ranks other than 0).
+func NetFanIn(cfg core.Config, msgs, size int) (elapsedUs, msgsPerMs float64, err error) {
+	return bench.NetFanIn(cfg, msgs, size)
+}

@@ -4,9 +4,17 @@
 // plus wall-clock steady-state allocation counts for the pooled send
 // path.
 //
+// With -transport tcp it instead measures the machine layer itself in
+// wall-clock time — the same ping-pong and fan-in programs on the
+// in-process simulated substrate and on the real TCP network substrate
+// — and writes BENCH_net.json quantifying the wire's overhead. Run
+// directly it launches itself as a converserun job; under converserun
+// it joins the job it finds.
+//
 // Usage:
 //
 //	commbench [-o BENCH_comm.json] [-pes 8] [-msgs 400] [-size 64] [-smoke]
+//	commbench -transport tcp [-o BENCH_net.json] [-pes 4] [-msgs 400] [-size 64] [-smoke]
 package main
 
 import (
@@ -15,9 +23,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	converse "converse"
 	"converse/bench"
+	"converse/mnet"
 	"converse/netmodel"
 )
 
@@ -54,7 +64,8 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_comm.json", "output file (- for stdout)")
+	out := flag.String("o", "", "output file (- for stdout; default BENCH_comm.json or BENCH_net.json)")
+	transport := flag.String("transport", "sim", "machine layer to measure: sim (virtual-time fast path) or tcp (wall-clock sim-vs-tcp)")
 	pes := flag.Int("pes", 8, "processors in the fan-in pattern")
 	msgs := flag.Int("msgs", 400, "messages per sending PE")
 	size := flag.Int("size", 64, "message size in bytes")
@@ -64,6 +75,21 @@ func main() {
 
 	if *smoke {
 		*msgs, *rounds = 50, 20
+	}
+
+	switch *transport {
+	case "tcp":
+		if *out == "" {
+			*out = "BENCH_net.json"
+		}
+		netMain(*out, *pes, *msgs, *size, *rounds)
+		return
+	case "sim":
+	default:
+		log.Fatalf("commbench: unknown -transport %q (want sim or tcp)", *transport)
+	}
+	if *out == "" {
+		*out = "BENCH_comm.json"
 	}
 
 	off := converse.CoalesceConfig{}
@@ -98,19 +124,7 @@ func main() {
 		}
 	}
 
-	data, err := json.MarshalIndent(&r, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-	} else {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	}
+	writeJSON(*out, &r)
 	for _, f := range r.FanIn {
 		fmt.Printf("%-22s fan-in %dx%dx%dB  off=%8.0fus  on=%8.0fus  speedup=%.2fx\n",
 			f.Machine, *pes, *msgs, *size, f.OffUs, f.OnUs, f.Speedup)
@@ -119,4 +133,135 @@ func main() {
 		fmt.Printf("steady-state coalesced=%-5v  %.2f allocs/op  %.0f ns/op\n",
 			s.Coalesced, s.AllocsPerOp, s.NsPerOp)
 	}
+}
+
+// writeJSON marshals v to out ("-" for stdout).
+func writeJSON(out string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}
+
+// --- -transport tcp: wall-clock sim-vs-tcp machine-layer overhead ---
+
+type netPoint struct {
+	Transport string  `json:"transport"`
+	Coalesced bool    `json:"coalesced"`
+	OneWayUs  float64 `json:"one_way_us,omitempty"`
+	ElapsedUs float64 `json:"elapsed_us,omitempty"`
+	MsgsPerMs float64 `json:"msgs_per_ms,omitempty"`
+}
+
+type netReport struct {
+	NP        int        `json:"np"`
+	PEs       int        `json:"pes"`
+	MsgsPerPE int        `json:"msgs_per_pe"`
+	MsgSize   int        `json:"msg_size"`
+	Rounds    int        `json:"pingpong_rounds"`
+	PingPong  []netPoint `json:"ping_pong"`
+	FanIn     []netPoint `json:"fan_in"`
+	// PingPongTCPOverhead is the tcp/sim ratio of one-way wall-clock
+	// times: what crossing a real socket costs relative to an
+	// in-process channel on the identical program.
+	PingPongTCPOverhead float64 `json:"pingpong_tcp_overhead"`
+}
+
+// netMain measures the same ping-pong and fan-in programs on the
+// simulated and TCP substrates in wall-clock time. Outside a
+// converserun job it launches itself as one; inside, every rank runs
+// the TCP measurements (each machine is one rendezvous round, so the
+// creation order below must be identical on all ranks) and rank 0
+// additionally runs the in-process sim baselines and writes the report.
+func netMain(out string, pes, msgs, size, rounds int) {
+	if pes < 2 {
+		log.Fatalf("commbench: -transport tcp needs -pes >= 2, have %d", pes)
+	}
+	if !mnet.InJob() {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := mnet.Launch(mnet.LaunchConfig{
+			NP: pes, Prog: exe, Args: os.Args[1:], Timeout: 10 * time.Minute,
+		}); err != nil {
+			log.Fatalf("commbench: tcp job failed after %v: %v", time.Since(start).Round(time.Millisecond), err)
+		}
+		return
+	}
+
+	const wdog = 2 * time.Minute
+	off := converse.CoalesceConfig{}
+	on := converse.CoalesceConfig{Enabled: true}
+	r := netReport{NP: pes, PEs: pes, MsgsPerPE: msgs, MsgSize: size, Rounds: rounds}
+	rank0 := mnet.Rank() == 0
+
+	var simPP float64
+	if rank0 {
+		// In-process baselines: same code, sim substrate, same wall clock.
+		simCfg := converse.Config{Transport: converse.TransportSim, Watchdog: wdog}
+		var err error
+		simCfg.PEs = 2
+		simPP, err = bench.NetPingPong(simCfg, size, rounds)
+		if err != nil {
+			log.Fatalf("commbench: sim ping-pong: %v", err)
+		}
+		r.PingPong = append(r.PingPong, netPoint{Transport: "sim", OneWayUs: simPP})
+		simCfg.PEs = pes
+		for _, co := range []converse.CoalesceConfig{off, on} {
+			simCfg.Coalesce = co
+			el, tput, err := bench.NetFanIn(simCfg, msgs, size)
+			if err != nil {
+				log.Fatalf("commbench: sim fan-in: %v", err)
+			}
+			r.FanIn = append(r.FanIn, netPoint{Transport: "sim", Coalesced: co.Enabled, ElapsedUs: el, MsgsPerMs: tput})
+		}
+	}
+
+	tcpCfg := converse.Config{Transport: converse.TransportTCP, Watchdog: wdog}
+	tcpCfg.PEs = 2
+	tcpPP, err := bench.NetPingPong(tcpCfg, size, rounds)
+	if err != nil {
+		log.Fatalf("commbench: tcp ping-pong: %v", err)
+	}
+	tcpCfg.PEs = pes
+	var tcpFI [2][2]float64
+	for i, co := range []converse.CoalesceConfig{off, on} {
+		tcpCfg.Coalesce = co
+		el, tput, err := bench.NetFanIn(tcpCfg, msgs, size)
+		if err != nil {
+			log.Fatalf("commbench: tcp fan-in: %v", err)
+		}
+		tcpFI[i] = [2]float64{el, tput}
+	}
+	if !rank0 {
+		return
+	}
+
+	r.PingPong = append(r.PingPong, netPoint{Transport: "tcp", OneWayUs: tcpPP})
+	for i, co := range []bool{false, true} {
+		r.FanIn = append(r.FanIn, netPoint{Transport: "tcp", Coalesced: co, ElapsedUs: tcpFI[i][0], MsgsPerMs: tcpFI[i][1]})
+	}
+	if simPP > 0 {
+		r.PingPongTCPOverhead = tcpPP / simPP
+	}
+	writeJSON(out, &r)
+	for _, p := range r.PingPong {
+		fmt.Printf("%-4s ping-pong %dB        one-way %8.2f us\n", p.Transport, size, p.OneWayUs)
+	}
+	for _, p := range r.FanIn {
+		fmt.Printf("%-4s fan-in %dx%dx%dB coalesced=%-5v  %8.0f us  %8.1f msgs/ms\n",
+			p.Transport, pes, msgs, size, p.Coalesced, p.ElapsedUs, p.MsgsPerMs)
+	}
+	fmt.Printf("tcp/sim ping-pong overhead: %.1fx\n", r.PingPongTCPOverhead)
 }

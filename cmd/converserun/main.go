@@ -1,0 +1,61 @@
+// Command converserun is the job launcher for the TCP network machine
+// layer — the counterpart of Converse's charmrun. It starts -np copies
+// of a Converse program as worker processes on this host, serves their
+// rendezvous (node-table exchange, go and release barriers), forwards
+// their CmiPrintf output, and propagates failure: the job exits nonzero
+// the moment any worker dies, wedges, or reports a fatal error.
+//
+// The program itself needs no changes to run under converserun: the
+// launcher passes the job coordinates through the environment, and
+// core.NewMachine joins the mesh automatically (Transport auto/tcp).
+//
+// Usage:
+//
+//	converserun -np 4 ./jacobi -n 64 -iters 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"converse/mnet"
+)
+
+func main() {
+	np := flag.Int("np", 1, "number of worker processes to start")
+	hosts := flag.String("hosts", "", "reserved: remote host list (only local jobs are supported so far)")
+	timeout := flag.Duration("timeout", 0, "kill the whole job after this wall-clock time (0 = no limit)")
+	heartbeat := flag.Duration("heartbeat", 0, "worker liveness interval (default 1s)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: converserun [flags] program [args...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *hosts != "" {
+		fmt.Fprintln(os.Stderr, "converserun: -hosts is reserved for multi-host jobs and not implemented yet; run without it for a local job")
+		os.Exit(2)
+	}
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *np < 1 {
+		fmt.Fprintf(os.Stderr, "converserun: -np must be >= 1, got %d\n", *np)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	err := mnet.Launch(mnet.LaunchConfig{
+		NP:        *np,
+		Prog:      flag.Arg(0),
+		Args:      flag.Args()[1:],
+		Timeout:   *timeout,
+		Heartbeat: *heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converserun: job failed after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+		os.Exit(1)
+	}
+}

@@ -114,6 +114,15 @@ const (
 // HeaderSize is the generalized-message header size in bytes.
 const HeaderSize = core.HeaderSize
 
+// Transport values for Config.Transport: TransportAuto picks the TCP
+// network machine inside a converserun job and the simulated
+// multicomputer otherwise; the other two force a substrate.
+const (
+	TransportAuto = core.TransportAuto
+	TransportSim  = core.TransportSim
+	TransportTCP  = core.TransportTCP
+)
+
 // NewMachine creates a Converse machine.
 func NewMachine(cfg Config) *Machine { return core.NewMachine(cfg) }
 

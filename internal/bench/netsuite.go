@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"converse/internal/core"
+)
+
+// This file measures the machine layer itself in wall-clock time, so
+// the simulated multicomputer and the TCP network substrate can be
+// compared on identical programs (cmd/commbench -transport tcp,
+// BENCH_net.json). The virtual-time measurements elsewhere in this
+// package price the paper's cost models; these price the real software
+// stack underneath them.
+//
+// Under the network substrate every rank executes the same function in
+// its own OS process and only processor 0 can observe a meaningful
+// time, so each measurement returns its result on processor 0 and zero
+// on every other rank. Ranks beyond cfg.PEs (surplus nodes of a wider
+// converserun job) participate in the machine's lifecycle barriers but
+// run no driver.
+
+// NetPingPong measures the wall-clock round trip between processors 0
+// and 1 through full Converse dispatch on the substrate selected by
+// cfg.Transport. It returns the one-way time in microseconds as seen
+// by processor 0.
+func NetPingPong(cfg core.Config, size, rounds int) (float64, error) {
+	if cfg.PEs < 2 {
+		return 0, fmt.Errorf("bench: ping-pong needs at least 2 PEs, have %d", cfg.PEs)
+	}
+	if size < core.HeaderSize {
+		size = core.HeaderSize
+	}
+	cm := core.NewMachine(cfg)
+	echoed := 0
+	var hPing, hPong int
+	hPing = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		reply := p.Alloc(len(msg) - core.HeaderSize)
+		core.SetHandler(reply, hPong)
+		p.SyncSendAndFree(0, reply)
+		echoed++
+	})
+	ponged := 0
+	hPong = cm.RegisterHandler(func(p *core.Proc, msg []byte) { ponged++ })
+
+	var elapsed time.Duration
+	err := cm.Run(func(p *core.Proc) {
+		switch p.MyPe() {
+		case 0:
+			msg := core.NewMsg(hPing, size-core.HeaderSize)
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				p.SyncSend(1, msg)
+				want := ponged + 1
+				p.ServeUntil(func() bool { return ponged == want })
+			}
+			elapsed = time.Since(start)
+		case 1:
+			p.ServeUntil(func() bool { return echoed == rounds })
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Microseconds()) / float64(2*rounds), nil
+}
+
+// NetFanIn measures the wall-clock many-to-one burst: every processor
+// except 0 sends msgs messages of the given size to processor 0. The
+// result is the time in microseconds from processor 0's first dispatch
+// to its last — a span measured entirely on one clock, so it is valid
+// even though the senders' processes start at slightly different
+// moments — along with the delivered-message throughput over that span
+// in messages per millisecond.
+func NetFanIn(cfg core.Config, msgs, size int) (elapsedUs, msgsPerMs float64, err error) {
+	if cfg.PEs < 2 {
+		return 0, 0, fmt.Errorf("bench: fan-in needs at least 2 PEs, have %d", cfg.PEs)
+	}
+	if size < core.HeaderSize {
+		size = core.HeaderSize
+	}
+	cm := core.NewMachine(cfg)
+	total := (cfg.PEs - 1) * msgs
+	received := 0
+	var first, last time.Time
+	h := cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if received == 0 {
+			first = time.Now()
+		}
+		received++
+		if received == total {
+			last = time.Now()
+			p.ExitScheduler()
+		}
+	})
+	err = cm.Run(func(p *core.Proc) {
+		if p.MyPe() == 0 {
+			p.Scheduler(-1)
+			return
+		}
+		msg := core.NewMsg(h, size-core.HeaderSize)
+		for i := 0; i < msgs; i++ {
+			p.SyncSend(0, msg)
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if received == 0 {
+		// Not processor 0 (network substrate): nothing measured here.
+		return 0, 0, nil
+	}
+	if received != total {
+		return 0, 0, fmt.Errorf("bench: fan-in delivered %d of %d messages", received, total)
+	}
+	span := last.Sub(first)
+	us := float64(span.Microseconds())
+	if us <= 0 {
+		us = 1 // sub-microsecond bursts: avoid a zero denominator
+	}
+	return us, float64(total-1) / us * 1000, nil
+}

@@ -206,22 +206,38 @@ func (p *Proc) ingest(pkt machine.Packet) {
 	p.netq.PushBack(netMsg{data: data, src: pkt.Src})
 }
 
+// packSeg returns the message segment starting at offset off of a pack
+// and the offset of the following one. It validates the length prefix
+// against the pack's bounds: truncated, corrupt, or oversized input
+// yields an error — never a panic, an out-of-range access, or an
+// allocation (the segment aliases the pack; FuzzUnpack exercises this).
+// It is a plain function rather than a closure-based iterator so the
+// unpack path stays allocation-free in the steady state.
+func packSeg(data []byte, off int) (seg []byte, next int, err error) {
+	if off+4 > len(data) {
+		return nil, 0, fmt.Errorf("truncated length prefix at offset %d of %d", off, len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if n < HeaderSize || n > len(data)-off {
+		return nil, 0, fmt.Errorf("segment of %d bytes at offset %d overruns pack of %d", n, off, len(data))
+	}
+	return data[off : off+n : off+n], off + n, nil
+}
+
 // unpack splits a pack into its messages, charging the per-message
-// unpack cost, and recycles the pack buffer.
+// unpack cost, and recycles the pack buffer. A malformed pack is a
+// runtime-integrity failure (the sender staged it, so it was well
+// formed when it left): unpack fails the processor loudly.
 func (p *Proc) unpack(data []byte, src int) {
-	off := HeaderSize
-	for off < len(data) {
-		if off+4 > len(data) {
-			panic(fmt.Sprintf("core: pe %d: truncated coalesced pack from %d", p.MyPe(), src))
+	for off := HeaderSize; off < len(data); {
+		seg, next, err := packSeg(data, off)
+		if err != nil {
+			panic(fmt.Sprintf("core: pe %d: bad coalesced pack from %d: %v", p.MyPe(), src, err))
 		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		off += 4
-		if n < HeaderSize || off+n > len(data) {
-			panic(fmt.Sprintf("core: pe %d: corrupt coalesced pack from %d (segment %d bytes)", p.MyPe(), src, n))
-		}
-		buf := p.Alloc(n - HeaderSize)
-		copy(buf, data[off:off+n])
-		off += n
+		buf := p.Alloc(len(seg) - HeaderSize)
+		copy(buf, seg)
+		off = next
 		p.chargeUnpack()
 		if p.met != nil {
 			p.met.CoalesceUnpacked()
@@ -245,13 +261,14 @@ func (p *Proc) chargeUnpack() {
 // grabbed and re-enqueued by diagnostic code) still delivers its
 // messages.
 func onPack(p *Proc, msg []byte) {
-	off := HeaderSize
-	for off < len(msg) {
-		n := int(binary.LittleEndian.Uint32(msg[off:]))
-		off += 4
-		buf := p.Alloc(n - HeaderSize)
-		copy(buf, msg[off:off+n])
-		off += n
+	for off := HeaderSize; off < len(msg); {
+		seg, next, err := packSeg(msg, off)
+		if err != nil {
+			panic(fmt.Sprintf("core: pe %d: bad coalesced pack in dispatch: %v", p.MyPe(), err))
+		}
+		buf := p.Alloc(len(seg) - HeaderSize)
+		copy(buf, seg)
+		off = next
 		p.dispatch(buf)
 	}
 }

@@ -355,3 +355,67 @@ func TestVectorSendOwnedBuffer(t *testing.T) {
 		t.Fatal("vector payload mangled")
 	}
 }
+
+func TestPackSegRejectsMalformed(t *testing.T) {
+	// A well-formed one-segment pack, then mutilations of it.
+	msg := MakeMsg(3, []byte("payload"))
+	pack := make([]byte, HeaderSize, HeaderSize+4+len(msg))
+	pack = binary.LittleEndian.AppendUint32(pack, uint32(len(msg)))
+	pack = append(pack, msg...)
+
+	if seg, next, err := packSeg(pack, HeaderSize); err != nil || next != len(pack) || len(seg) != len(msg) {
+		t.Fatalf("valid pack: seg=%d next=%d err=%v", len(seg), next, err)
+	}
+	cases := map[string][]byte{
+		"truncated prefix":  pack[:HeaderSize+2],
+		"truncated payload": pack[:len(pack)-3],
+		"oversized length": func() []byte {
+			b := append([]byte(nil), pack...)
+			binary.LittleEndian.PutUint32(b[HeaderSize:], 1<<30)
+			return b
+		}(),
+		"sub-header length": func() []byte {
+			b := append([]byte(nil), pack...)
+			binary.LittleEndian.PutUint32(b[HeaderSize:], uint32(HeaderSize-1))
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, _, err := packSeg(data, HeaderSize); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// FuzzUnpack drives the pack-segment walk with arbitrary bytes:
+// truncated, corrupt, or oversized packs must produce an error — never
+// a panic, an out-of-bounds segment, or a stuck loop.
+func FuzzUnpack(f *testing.F) {
+	mk := func(msgs ...[]byte) []byte {
+		pack := make([]byte, HeaderSize)
+		for _, m := range msgs {
+			pack = binary.LittleEndian.AppendUint32(pack, uint32(len(m)))
+			pack = append(pack, m...)
+		}
+		return pack
+	}
+	f.Add(mk(MakeMsg(1, []byte("a"))))
+	f.Add(mk(MakeMsg(1, []byte("a")), MakeMsg(2, []byte("bc")), MakeMsg(3, nil)))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize+4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for off := HeaderSize; off < len(data); {
+			seg, next, err := packSeg(data, off)
+			if err != nil {
+				return // the only acceptable outcome for malformed input
+			}
+			if next <= off || next > len(data) {
+				t.Fatalf("walk escaped bounds: off=%d next=%d len=%d", off, next, len(data))
+			}
+			if len(seg) < HeaderSize {
+				t.Fatalf("segment of %d bytes below the header size", len(seg))
+			}
+			off = next
+		}
+	})
+}

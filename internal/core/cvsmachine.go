@@ -3,16 +3,38 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"converse/internal/machine"
 	"converse/internal/metrics"
 )
 
+// Transport names for Config.Transport.
+const (
+	// TransportAuto (the empty string) selects the TCP network layer
+	// when the process runs inside a converserun job (CONVERSE_NET_*
+	// environment set by the launcher) and the in-process simulated
+	// multicomputer otherwise. Programs need no source changes to run
+	// under either substrate.
+	TransportAuto = ""
+	// TransportSim forces the in-process simulated multicomputer even
+	// inside a converserun job (used by benchmarks to measure the
+	// in-process baseline next to the wire).
+	TransportSim = "sim"
+	// TransportTCP requires the TCP network layer; NewMachine panics if
+	// the process is not part of a converserun job.
+	TransportTCP = "tcp"
+)
+
 // Config parameterizes a Converse machine.
 type Config struct {
 	// PEs is the number of processors; must be >= 1.
 	PEs int
+	// Transport selects the machine substrate: TransportAuto (default),
+	// TransportSim, or TransportTCP. Under TCP each processor is an OS
+	// process connected over the internal/mnet machine layer.
+	Transport string
 	// Model prices communication in virtual microseconds (see
 	// internal/netmodel). If it also implements ConverseCosts, the
 	// Converse software overheads are charged too. Nil means all
@@ -35,23 +57,45 @@ type Config struct {
 	Coalesce CoalesceConfig
 }
 
-// Machine is a Converse machine: a simulated multicomputer with one
-// Converse runtime instance (Proc) per processor. It is the Go
-// counterpart of the ConverseInit/ConverseExit bracket — New builds and
-// initializes all components, Run coordinates startup and termination.
+// Machine is a Converse machine: one Converse runtime instance (Proc)
+// per processor on some machine substrate. On the simulated
+// multicomputer all processors live in this process; on a network
+// substrate this process holds exactly one of them and the rest are
+// peer OS processes. It is the Go counterpart of the
+// ConverseInit/ConverseExit bracket — New builds and initializes all
+// components, Run coordinates startup and termination.
 type Machine struct {
-	m     *machine.Machine
-	procs []*Proc
+	m     *machine.Machine // simulated substrate; nil under net
+	net   NetSubstrate     // network substrate; nil under sim
+	npes  int
+	wdog  time.Duration
+	procs []*Proc // all PEs under sim; just the local PE under net
 }
 
-// NewMachine creates a Converse machine.
+// NewMachine creates a Converse machine on the substrate selected by
+// Config.Transport (see TransportAuto).
 func NewMachine(cfg Config) *Machine {
 	if cfg.Metrics != nil && cfg.Metrics.NumPEs() != cfg.PEs {
 		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
 			cfg.Metrics.NumPEs(), cfg.PEs))
 	}
+	switch cfg.Transport {
+	case TransportAuto:
+		if netInJob() {
+			return newNetMachine(cfg)
+		}
+	case TransportSim:
+	case TransportTCP:
+		if !netInJob() {
+			panic("core: Transport \"tcp\" outside a converserun job (no CONVERSE_NET_* environment); start the program with cmd/converserun")
+		}
+		return newNetMachine(cfg)
+	default:
+		panic(fmt.Sprintf("core: unknown Transport %q (want %q, %q or %q)",
+			cfg.Transport, TransportAuto, TransportSim, TransportTCP))
+	}
 	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
-	cm := &Machine{m: m}
+	cm := &Machine{m: m, npes: cfg.PEs}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
 		cm.procs[i] = newProc(m.PE(i), cfg.Coalesce)
@@ -65,13 +109,54 @@ func NewMachine(cfg Config) *Machine {
 	return cm
 }
 
+// NewMachineOn creates a Converse machine on an external substrate: the
+// local processor is sub (one OS process of a multi-process machine),
+// and Run coordinates with the peers through the substrate's lifecycle.
+// Most callers use NewMachine with Config.Transport instead; this
+// constructor is the seam tests and alternative launchers plug into.
+func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
+	if cfg.Metrics != nil && cfg.Metrics.NumPEs() != cfg.PEs {
+		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
+			cfg.Metrics.NumPEs(), cfg.PEs))
+	}
+	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog}
+	p := newProc(sub, cfg.Coalesce)
+	// Tracer and metrics factories are indexed by PE; surplus nodes
+	// (rank >= PEs) hold no processor of this machine, so they get
+	// neither.
+	if local := sub.ID(); sub.Active() && local < cfg.PEs {
+		if cfg.Tracer != nil {
+			p.SetTracer(cfg.Tracer(local))
+		}
+		if cfg.Metrics != nil {
+			p.SetMetrics(cfg.Metrics.PE(local))
+		}
+	}
+	cm.procs = []*Proc{p}
+	return cm
+}
+
 // NumPes reports the machine size.
-func (cm *Machine) NumPes() int { return len(cm.procs) }
+func (cm *Machine) NumPes() int { return cm.npes }
 
 // Proc returns the Converse runtime instance of processor pe. It is
 // intended for pre-Run setup and post-Run inspection; during Run each
-// processor must use only its own Proc.
-func (cm *Machine) Proc(pe int) *Proc { return cm.procs[pe] }
+// processor must use only its own Proc. On a network substrate only the
+// local processor is addressable.
+func (cm *Machine) Proc(pe int) *Proc {
+	if cm.net != nil {
+		if pe != cm.net.ID() {
+			panic(fmt.Sprintf("core: Proc(%d) on network node %d: only the local processor lives in this process", pe, cm.net.ID()))
+		}
+		return cm.procs[0]
+	}
+	return cm.procs[pe]
+}
+
+// LocalProc returns this process's Converse runtime instance: processor
+// 0 under the simulated substrate (a convention for single-process
+// inspection), the one local processor under a network substrate.
+func (cm *Machine) LocalProc() *Proc { return cm.procs[0] }
 
 // Machine exposes the underlying simulated multicomputer.
 func (cm *Machine) Machine() *machine.Machine { return cm.m }
@@ -93,17 +178,36 @@ func (cm *Machine) RegisterHandler(h Handler) int {
 	return idx
 }
 
-// SetConsole redirects the machine's atomic standard output/error.
-func (cm *Machine) SetConsole(out, errw io.Writer) { cm.m.SetConsole(out, errw) }
+// SetConsole redirects the machine's atomic standard output/error. On a
+// network substrate console output is relayed to the launcher and this
+// call is a no-op.
+func (cm *Machine) SetConsole(out, errw io.Writer) {
+	if cm.m != nil {
+		cm.m.SetConsole(out, errw)
+	}
+}
 
-// SetInput redirects the machine's standard input.
-func (cm *Machine) SetInput(r io.Reader) { cm.m.SetInput(r) }
+// SetInput redirects the machine's standard input (simulated substrate
+// only).
+func (cm *Machine) SetInput(r io.Reader) {
+	if cm.m != nil {
+		cm.m.SetInput(r)
+	}
+}
 
 // Run starts the program: one driver per processor executing start with
 // that processor's Proc, returning when all have finished (or with an
 // error on panic or watchdog expiry). No Converse call may be made after
 // Run returns, except for inspection of Procs.
+//
+// On a network substrate, "all" spans OS processes: Run executes start
+// on the local processor (never on a surplus node), then holds the node
+// in the job's termination barrier until every peer's driver has also
+// returned, so no process tears down links a peer still needs.
 func (cm *Machine) Run(start func(p *Proc)) error {
+	if cm.net != nil {
+		return cm.runNet(start)
+	}
 	return cm.m.Run(func(pe *machine.PE) {
 		p := cm.procs[pe.ID()]
 		start(p)
@@ -113,5 +217,67 @@ func (cm *Machine) Run(start func(p *Proc)) error {
 	})
 }
 
+// runNet is Run on a network substrate: go-barrier, local driver with
+// panic recovery, watchdog, asynchronous failure, termination barrier.
+func (cm *Machine) runNet(start func(p *Proc)) error {
+	sub := cm.net
+	if err := sub.Start(); err != nil {
+		sub.Fail(err)
+		return err
+	}
+	done := make(chan error, 1)
+	if sub.Active() {
+		p := cm.procs[0]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 16<<10)
+					n := runtime.Stack(buf, false)
+					done <- fmt.Errorf("core: node %d panicked: %v\n%s", sub.ID(), r, buf[:n])
+				}
+			}()
+			start(p)
+			p.flushAll()
+			done <- nil
+		}()
+	} else {
+		done <- nil // surplus node: no driver to run
+	}
+
+	var timeout <-chan time.Time
+	if cm.wdog > 0 {
+		t := time.NewTimer(cm.wdog)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	var runErr error
+	select {
+	case err := <-done:
+		runErr = err
+	case err := <-sub.Failure():
+		// A peer died or the launcher vanished. Unblock the local
+		// driver and fail fast; do not wait for it (it may be wedged in
+		// user code, and the job is already lost).
+		sub.Stop()
+		runErr = err
+	case <-timeout:
+		sub.Stop()
+		runErr = fmt.Errorf("core: watchdog expired after %v (likely distributed deadlock: %s)",
+			cm.wdog, sub.DescribeBlocked())
+	}
+	if runErr != nil {
+		sub.Fail(runErr)
+		return runErr
+	}
+	return sub.Finish()
+}
+
 // Stop aborts the machine, unblocking all processors.
-func (cm *Machine) Stop() { cm.m.Stop() }
+func (cm *Machine) Stop() {
+	if cm.net != nil {
+		cm.net.Stop()
+		return
+	}
+	cm.m.Stop()
+}

@@ -1,0 +1,33 @@
+package core
+
+// The binding between the core and the TCP network machine layer
+// (internal/mnet). This is deliberately the only file in the core that
+// knows mnet exists: everything else consumes the Substrate interface,
+// mirroring how Converse ports swap machine layers under an unchanged
+// core.
+
+import (
+	"fmt"
+
+	"converse/internal/mnet"
+)
+
+// netInJob reports whether this process was spawned by converserun
+// (the CONVERSE_NET_* environment is set).
+func netInJob() bool { return mnet.InJob() }
+
+// newNetMachine joins the surrounding converserun job and builds the
+// local node's Converse machine on the TCP substrate. Failures here are
+// unrecoverable configuration or rendezvous errors; per the machine
+// layer's failure model they abort the process loudly rather than limp.
+func newNetMachine(cfg Config) *Machine {
+	node, err := mnet.JoinFromEnv(cfg.PEs)
+	if err != nil {
+		panic(fmt.Sprintf("core: joining converserun job: %v", err))
+	}
+	cm := NewMachineOn(node, cfg)
+	if cfg.Metrics != nil && node.Active() && node.ID() < cfg.PEs {
+		node.SetMetrics(cfg.Metrics.PE(node.ID()))
+	}
+	return cm
+}

@@ -72,7 +72,7 @@ type TraceEvent struct {
 // those documented as cross-PE, none currently) must be called only from
 // its PE's driver goroutine or a thread hand-off chain rooted there.
 type Proc struct {
-	pe    *machine.PE
+	pe    Substrate
 	costs ConverseCosts // nil when the model prices no Converse costs
 
 	handlers []Handler
@@ -134,12 +134,12 @@ type ownedBuf struct {
 	seq     uint64
 }
 
-func newProc(pe *machine.PE, co CoalesceConfig) *Proc {
+func newProc(pe Substrate, co CoalesceConfig) *Proc {
 	p := &Proc{pe: pe, co: co.normalized(), ext: make(map[string]any)}
-	if cc, ok := pe.Machine().Model().(ConverseCosts); ok {
+	if cc, ok := pe.Model().(ConverseCosts); ok {
 		p.costs = cc
 	}
-	if uc, ok := pe.Machine().Model().(CoalesceCosts); ok {
+	if uc, ok := pe.Model().(CoalesceCosts); ok {
 		p.unpackOv = uc.UnpackOverhead()
 	}
 	// Built-in handlers come first, uniformly on every processor, so
@@ -155,8 +155,10 @@ func (p *Proc) MyPe() int { return p.pe.ID() }
 // NumPes returns the machine size (CmiNumPe).
 func (p *Proc) NumPes() int { return p.pe.NumPEs() }
 
-// PE exposes the underlying machine-level processing element.
-func (p *Proc) PE() *machine.PE { return p.pe }
+// PE exposes the underlying machine-level substrate: the simulated
+// processing element (*machine.PE) or the network node (*mnet.Node),
+// behind the narrow interface the core consumes.
+func (p *Proc) PE() Substrate { return p.pe }
 
 // Timer returns the current virtual time in seconds since startup
 // (CmiTimer; "usually has at least microsecond accuracy").
@@ -252,6 +254,24 @@ func (p *Proc) noteIdleStart() float64 {
 func (p *Proc) noteIdleEnd(from float64) {
 	if p.met != nil {
 		p.met.SchedIdle(p.pe.Clock() - from)
+	}
+}
+
+// NoteThreadsSuspended adjusts the substrate's count of suspended
+// thread objects, feeding the blocked-state diagnostics (the thread
+// layer calls it around suspend/resume). A no-op on substrates that do
+// not track block state.
+func (p *Proc) NoteThreadsSuspended(delta int) {
+	if n, ok := p.pe.(blockStateNoter); ok {
+		n.NoteThreadsSuspended(delta)
+	}
+}
+
+// NoteBarrierWaiters adjusts the substrate's count of threads blocked
+// at a synchronization barrier (called by csync.Barrier).
+func (p *Proc) NoteBarrierWaiters(delta int) {
+	if n, ok := p.pe.(blockStateNoter); ok {
+		n.NoteBarrierWaiters(delta)
 	}
 }
 

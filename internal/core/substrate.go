@@ -1,0 +1,91 @@
+package core
+
+import "converse/internal/machine"
+
+// Substrate is the narrow machine interface the Converse core actually
+// consumes — the seam the paper calls the only machine-dependent layer
+// (CMI/MMI). Everything above it (scheduler, handlers, threads,
+// language runtimes) is substrate-agnostic: the simulated multicomputer
+// (internal/machine.PE) and the TCP network layer (internal/mnet.Node)
+// both satisfy it, and a program switches between them purely by
+// configuration.
+//
+// The clock is in microseconds: virtual time under the simulated
+// machine, wall time since node start under a network substrate (where
+// Charge and AdvanceTo are no-ops, since real time advances itself).
+type Substrate interface {
+	// ID is the processor's logical number (CmiMyPe).
+	ID() int
+	// NumPEs is the machine size (CmiNumPe).
+	NumPEs() int
+	// Clock returns the current time in microseconds (CmiTimer).
+	Clock() float64
+	// Charge advances the clock by dt microseconds of modeled software
+	// cost (no-op on wall-clock substrates).
+	Charge(dt float64)
+	// AdvanceTo moves the clock forward to t if t is later than now
+	// (no-op on wall-clock substrates).
+	AdvanceTo(t float64)
+	// SendOwned transmits data to dst, taking ownership of the slice.
+	SendOwned(dst int, data []byte)
+	// TryRecvBatch fills out with up to len(out) inbound packets
+	// without blocking and returns the count.
+	TryRecvBatch(out []machine.Packet) int
+	// Recv blocks until a packet arrives; ok=false means the machine
+	// stopped while waiting.
+	Recv() (machine.Packet, bool)
+	// Model returns the communication cost model, or nil when
+	// communication is priced by the real world (network substrates) or
+	// free (functional mode).
+	Model() machine.CostModel
+	// Printf/Errorf perform atomic console writes (CmiPrintf/CmiError);
+	// on a network substrate they are relayed to the launcher.
+	Printf(format string, args ...any)
+	Errorf(format string, args ...any)
+	// Scanf/ReadLine perform atomic console reads (CmiScanf).
+	Scanf(format string, args ...any) (int, error)
+	ReadLine() (string, error)
+}
+
+// NetSubstrate extends Substrate with the job-level lifecycle of an
+// out-of-process machine layer: the rendezvous barriers around Run, and
+// asynchronous failure (a peer process died, the launcher vanished).
+// internal/mnet.Node implements it.
+type NetSubstrate interface {
+	Substrate
+	// Active reports whether this node is one of the machine's NumPEs
+	// processors. A job may hold more worker processes than the machine
+	// has PEs (converserun -np 4 running a 2-PE program); surplus nodes
+	// are inactive: they participate in the rendezvous barriers but
+	// never run the driver.
+	Active() bool
+	// Start completes the go-barrier: it returns once every node's mesh
+	// is fully connected, so the first user send cannot race an accept.
+	Start() error
+	// Finish runs the termination barrier: the node announces that its
+	// driver returned and blocks until every active node has done so,
+	// then tears down its links. Converse programs coordinate their own
+	// completion, so no node may close connections before all are done.
+	Finish() error
+	// Fail reports a local fatal error to the whole job; the launcher
+	// tears everything down. Converse is not fault-tolerant: the only
+	// job-level response to a failure is a fast, loud exit.
+	Fail(err error)
+	// Failure delivers at most one asynchronous job failure (peer death,
+	// heartbeat loss, launcher gone).
+	Failure() <-chan error
+	// Stop unblocks a driver waiting in Recv (ok=false), like
+	// machine.Machine.Stop.
+	Stop()
+	// DescribeBlocked reports the local node's block state in the
+	// machine layer's shared diagnostic format, for failure reports.
+	DescribeBlocked() string
+}
+
+// blockStateNoter is the optional substrate extension behind the
+// Proc.NoteThreadsSuspended/NoteBarrierWaiters hooks; both the
+// simulated PE and the network node implement it.
+type blockStateNoter interface {
+	NoteThreadsSuspended(delta int)
+	NoteBarrierWaiters(delta int)
+}

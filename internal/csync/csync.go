@@ -154,7 +154,10 @@ func (b *Barrier) Arrive() {
 		b.cond.Broadcast()
 		return
 	}
+	p := b.cond.rt.Proc()
+	p.NoteBarrierWaiters(1)
 	b.cond.Wait()
+	p.NoteBarrierWaiters(-1)
 }
 
 // Waiting reports how many threads are currently blocked at the barrier.

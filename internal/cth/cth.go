@@ -228,8 +228,10 @@ func (rt *Runtime) Suspend() {
 	if next == cur {
 		return // the strategy chose to keep running this thread
 	}
+	rt.p.NoteThreadsSuspended(1)
 	rt.handoff(next)
 	<-cur.token
+	rt.p.NoteThreadsSuspended(-1)
 	rt.checkPending()
 }
 

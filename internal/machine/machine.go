@@ -129,6 +129,10 @@ func (m *Machine) Run(start func(pe *PE)) error {
 	select {
 	case <-done:
 	case <-timeout:
+		// Snapshot the block states before Stop wakes the blocked
+		// receives (waking them clears their blocked-in-recv flag, which
+		// is the most important part of the diagnosis).
+		desc := m.describeBlocked()
 		m.Stop()
 		<-done
 		select {
@@ -136,7 +140,7 @@ func (m *Machine) Run(start func(pe *PE)) error {
 			return err
 		default:
 		}
-		return fmt.Errorf("machine: watchdog expired after %v (likely deadlock: %s)", m.watchdog, m.describeBlocked())
+		return fmt.Errorf("machine: watchdog expired after %v (likely deadlock: %s)", m.watchdog, desc)
 	}
 	select {
 	case err := <-errs:
@@ -171,15 +175,53 @@ func (m *Machine) Stopped() bool {
 	return m.stopped
 }
 
-// describeBlocked summarizes inbox states for watchdog diagnostics.
+// BlockState is a point-in-time summary of why one processing element
+// may not be making progress. It distinguishes a driver blocked in a
+// receive from one whose threads are all suspended or parked at a
+// barrier, which is the difference between "waiting for a message that
+// never comes" and "local synchronization bug".
+type BlockState struct {
+	RecvWait         bool // the driver is asleep inside Recv
+	InboxLen         int  // packets waiting, unconsumed
+	ThreadsSuspended int  // cth thread objects currently suspended
+	BarrierWaiters   int  // threads blocked at a csync barrier
+}
+
+// FormatBlockState renders one PE's block state in the shared
+// diagnostic format. The simulated machine's watchdog report and the
+// network machine layer's failure report (internal/mnet) both use it,
+// so a distributed hang reads the same as a local one.
+func FormatBlockState(label string, st BlockState) string {
+	s := label
+	if st.RecvWait {
+		s += " blocked-in-recv"
+	} else {
+		s += " running"
+	}
+	s += fmt.Sprintf(" inbox=%d", st.InboxLen)
+	if st.ThreadsSuspended > 0 {
+		s += fmt.Sprintf(" threads-suspended=%d", st.ThreadsSuspended)
+	}
+	if st.BarrierWaiters > 0 {
+		s += fmt.Sprintf(" barrier-waiters=%d", st.BarrierWaiters)
+	}
+	return s
+}
+
+// DescribeBlocked reports every PE's block state in one line, the
+// diagnostic attached to watchdog expiries.
+func (m *Machine) DescribeBlocked() string { return m.describeBlocked() }
+
+// describeBlocked summarizes per-PE block states for watchdog
+// diagnostics: whether each driver is asleep in a receive, its inbox
+// depth, and any suspended threads or barrier waiters.
 func (m *Machine) describeBlocked() string {
 	s := ""
 	for _, pe := range m.pes {
-		n := pe.InboxLen()
 		if s != "" {
 			s += ", "
 		}
-		s += fmt.Sprintf("pe%d inbox=%d", pe.id, n)
+		s += FormatBlockState(fmt.Sprintf("pe%d", pe.id), pe.BlockState())
 	}
 	return s
 }

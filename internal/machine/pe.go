@@ -78,6 +78,15 @@ type PE struct {
 	sent     uint64
 	received uint64
 	sentToMe atomic.Uint64 // updated by senders
+
+	// Block-state bookkeeping for deadlock diagnostics (describeBlocked
+	// and the network layer's failure reports). recvWait is set while the
+	// driver sleeps inside Recv; the two counters are maintained by the
+	// thread (cth) and synchronization (csync) layers through the
+	// NoteThreadsSuspended/NoteBarrierWaiters hooks.
+	recvWait       atomic.Bool
+	threadsSusp    atomic.Int64
+	barrierWaiters atomic.Int64
 }
 
 func newPE(m *Machine, id int) *PE {
@@ -91,6 +100,10 @@ func (pe *PE) ID() int { return pe.id }
 
 // Machine returns the owning machine.
 func (pe *PE) Machine() *Machine { return pe.m }
+
+// Model returns the machine's cost model (possibly nil). It is part of
+// the substrate interface internal/core consumes.
+func (pe *PE) Model() CostModel { return pe.m.model }
 
 // NumPEs reports the machine size (CmiNumPe).
 func (pe *PE) NumPEs() int { return len(pe.m.pes) }
@@ -265,7 +278,9 @@ func (pe *PE) Recv() (Packet, bool) {
 			pe.mu.Unlock()
 			return Packet{}, false
 		}
+		pe.recvWait.Store(true)
 		pe.cond.Wait()
+		pe.recvWait.Store(false)
 		pe.sleeping.Store(false)
 		pe.mu.Unlock()
 	}
@@ -289,3 +304,23 @@ func (pe *PE) InboxLen() int {
 
 // Stats reports the number of packets this PE has sent and received.
 func (pe *PE) Stats() (sent, received uint64) { return pe.sent, pe.received }
+
+// NoteThreadsSuspended adjusts the count of thread objects currently
+// suspended on this PE. The thread layer (cth) calls it around
+// suspend/resume so that blocked-state diagnostics can distinguish "all
+// threads parked" from a plain receive wait. Safe from any goroutine.
+func (pe *PE) NoteThreadsSuspended(delta int) { pe.threadsSusp.Add(int64(delta)) }
+
+// NoteBarrierWaiters adjusts the count of threads blocked at a
+// synchronization barrier on this PE (csync.Barrier.Arrive).
+func (pe *PE) NoteBarrierWaiters(delta int) { pe.barrierWaiters.Add(int64(delta)) }
+
+// BlockState summarizes why this PE might not be making progress.
+func (pe *PE) BlockState() BlockState {
+	return BlockState{
+		RecvWait:         pe.recvWait.Load(),
+		InboxLen:         pe.InboxLen(),
+		ThreadsSuspended: int(pe.threadsSusp.Load()),
+		BarrierWaiters:   int(pe.barrierWaiters.Load()),
+	}
+}

@@ -100,6 +100,16 @@ type PE struct {
 	recvMsgs  []atomic.Uint64
 	recvBytes []atomic.Uint64
 
+	// network machine layer (PR 3): wire-level traffic per peer link,
+	// below the message counters above (frames include coalesced packs
+	// and protocol overhead; a frame is one length-prefixed TCP write).
+	netTxFrames   []atomic.Uint64
+	netTxBytes    []atomic.Uint64
+	netRxFrames   []atomic.Uint64
+	netRxBytes    []atomic.Uint64
+	netReconnects atomic.Uint64
+	netStalls     atomic.Uint64 // sends that blocked on a full link queue
+
 	// handlers grows copy-on-write (only the owner PE grows it, on the
 	// first dispatch of each handler id) so lock-free readers and the
 	// dispatch hot path see a stable slice.
@@ -121,12 +131,16 @@ func New(numPEs int) *Registry {
 	r := &Registry{pes: make([]*PE, numPEs)}
 	for i := range r.pes {
 		pe := &PE{
-			id:        i,
-			numPEs:    numPEs,
-			sentMsgs:  make([]atomic.Uint64, numPEs),
-			sentBytes: make([]atomic.Uint64, numPEs),
-			recvMsgs:  make([]atomic.Uint64, numPEs),
-			recvBytes: make([]atomic.Uint64, numPEs),
+			id:          i,
+			numPEs:      numPEs,
+			sentMsgs:    make([]atomic.Uint64, numPEs),
+			sentBytes:   make([]atomic.Uint64, numPEs),
+			recvMsgs:    make([]atomic.Uint64, numPEs),
+			recvBytes:   make([]atomic.Uint64, numPEs),
+			netTxFrames: make([]atomic.Uint64, numPEs),
+			netTxBytes:  make([]atomic.Uint64, numPEs),
+			netRxFrames: make([]atomic.Uint64, numPEs),
+			netRxBytes:  make([]atomic.Uint64, numPEs),
 		}
 		empty := make([]*HandlerStats, 0)
 		pe.handlers.Store(&empty)
@@ -210,6 +224,33 @@ func (m *PE) CoalesceFlush() { m.coalescePacks.Add(1) }
 
 // CoalesceUnpacked records one message split out of an inbound pack.
 func (m *PE) CoalesceUnpacked() { m.coalesceUnpacked.Add(1) }
+
+// NetTx records one wire frame of n bytes written to peer's link. Peers
+// outside the registry's PE range (surplus converserun ranks carry
+// heartbeats but no machine traffic) are ignored.
+func (m *PE) NetTx(peer, n int) {
+	if peer < 0 || peer >= len(m.netTxFrames) {
+		return
+	}
+	m.netTxFrames[peer].Add(1)
+	m.netTxBytes[peer].Add(uint64(n))
+}
+
+// NetRx records one wire frame of n bytes read from peer's link.
+func (m *PE) NetRx(peer, n int) {
+	if peer < 0 || peer >= len(m.netRxFrames) {
+		return
+	}
+	m.netRxFrames[peer].Add(1)
+	m.netRxBytes[peer].Add(uint64(n))
+}
+
+// NetReconnect records one mesh dial retry during connection setup.
+func (m *PE) NetReconnect() { m.netReconnects.Add(1) }
+
+// NetStall records one send that found the peer's link queue full and
+// had to block (backpressure).
+func (m *PE) NetStall() { m.netStalls.Add(1) }
 
 // ThreadSwitch records one thread context switch.
 func (m *PE) ThreadSwitch() { m.threadSwitches.Add(1) }
@@ -302,6 +343,15 @@ type PESnapshot struct {
 	RecvMsgs  []uint64
 	RecvBytes []uint64
 
+	// Wire-level per-peer traffic on a network substrate (zero under
+	// the simulated machine).
+	NetTxFrames   []uint64
+	NetTxBytes    []uint64
+	NetRxFrames   []uint64
+	NetRxBytes    []uint64
+	NetReconnects uint64
+	NetStalls     uint64
+
 	Handlers []HandlerSnapshot // only handlers that ran
 }
 
@@ -362,6 +412,12 @@ func (r *Registry) Snapshot() Snapshot {
 			SentBytes:        loadAll(m.sentBytes),
 			RecvMsgs:         loadAll(m.recvMsgs),
 			RecvBytes:        loadAll(m.recvBytes),
+			NetTxFrames:      loadAll(m.netTxFrames),
+			NetTxBytes:       loadAll(m.netTxBytes),
+			NetRxFrames:      loadAll(m.netRxFrames),
+			NetRxBytes:       loadAll(m.netRxBytes),
+			NetReconnects:    m.netReconnects.Load(),
+			NetStalls:        m.netStalls.Load(),
 		}
 		for id, h := range *m.handlers.Load() {
 			if h == nil || h.count.Load() == 0 {

@@ -1,0 +1,120 @@
+package mnet_test
+
+// End-to-end: the full Converse core (handlers, scheduler, coalescing)
+// running on in-process mnet nodes through core.NewMachineOn — the same
+// seam converserun jobs use, without spawning processes.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/mnet"
+)
+
+func TestCoreMachineOnNet(t *testing.T) {
+	const pes = 3
+	const msgsPerPE = 200
+	addr, _ := mnet.StartTestJob(t, pes, time.Second)
+
+	var wg sync.WaitGroup
+	errs := make([]error, pes)
+	counts := make([]int, pes)
+	for rank := 0; rank < pes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			n, err := mnet.Join(mnet.Config{
+				Launcher: addr, Token: mnet.TestToken,
+				Rank: rank, NP: pes, PEs: pes, Round: 1,
+				Handshake: 10 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			// Coalescing on: PR 2's packs must survive the wire unchanged.
+			cm := core.NewMachineOn(n, core.Config{
+				PEs: pes, Watchdog: 30 * time.Second,
+				Coalesce: core.CoalesceConfig{Enabled: true},
+			})
+			var hCount, hStop int
+			hCount = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+				counts[rank]++
+				if counts[rank] == (pes-1)*msgsPerPE {
+					// All peers' traffic arrived: tell everyone to stop.
+					for dst := 0; dst < pes; dst++ {
+						p.SyncSend(dst, core.MakeMsg(hStop, nil))
+					}
+				}
+			})
+			stops := 0
+			hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+				if stops++; stops == pes {
+					p.ExitScheduler()
+				}
+			})
+			errs[rank] = cm.Run(func(p *core.Proc) {
+				for dst := 0; dst < pes; dst++ {
+					if dst == rank {
+						continue
+					}
+					for i := 0; i < msgsPerPE; i++ {
+						p.SyncSend(dst, core.MakeMsg(hCount, []byte(fmt.Sprintf("m%d", i))))
+					}
+				}
+				p.Scheduler(-1)
+			})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+	for rank, got := range counts {
+		if want := (pes - 1) * msgsPerPE; got != want {
+			t.Errorf("rank %d delivered %d messages, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestCoreRunNetPropagatesDriverPanic(t *testing.T) {
+	const pes = 2
+	addr, _ := mnet.StartTestJob(t, pes, time.Second)
+
+	var wg sync.WaitGroup
+	errs := make([]error, pes)
+	for rank := 0; rank < pes; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			n, err := mnet.Join(mnet.Config{
+				Launcher: addr, Token: mnet.TestToken,
+				Rank: rank, NP: pes, PEs: pes, Round: 1,
+				Handshake: 10 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			cm := core.NewMachineOn(n, core.Config{PEs: pes, Watchdog: 30 * time.Second})
+			errs[rank] = cm.Run(func(p *core.Proc) {
+				if p.MyPe() == 1 {
+					panic("driver exploded")
+				}
+				p.Scheduler(-1) // would wait forever without failure propagation
+			})
+		}(rank)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Error("panicking driver's Run returned nil")
+	}
+	if errs[0] == nil {
+		t.Error("peer of the panicking driver hung or returned nil; failure did not propagate")
+	}
+}

@@ -1,0 +1,35 @@
+package mnet
+
+import (
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestToken is the job token in-process test jobs use.
+const TestToken = "mnet-test-token"
+
+// StartTestJob runs a launcher control server without spawning worker
+// processes, so tests (including external ones driving internal/core)
+// can host several nodes of one job inside the test process. It returns
+// the control address and a channel delivering the job's first failure.
+func StartTestJob(t *testing.T, np int, hb time.Duration) (addr string, failCh <-chan error) {
+	t.Helper()
+	ls, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("binding test control port: %v", err)
+	}
+	s := &jobServer{
+		cfg:    LaunchConfig{NP: np, Heartbeat: hb, Stdout: os.Stdout, Stderr: os.Stderr},
+		token:  TestToken,
+		rounds: map[int]*round{},
+		failCh: make(chan error, 1),
+	}
+	go s.acceptLoop(ls)
+	t.Cleanup(func() {
+		s.done.Store(true)
+		ls.Close()
+	})
+	return ls.Addr().String(), s.failCh
+}

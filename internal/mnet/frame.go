@@ -1,0 +1,133 @@
+// Package mnet is the TCP network machine layer: the port of the
+// Converse machine interface where each node is an OS process and the
+// machine is a full mesh of TCP connections, started and supervised by a
+// charmrun-style launcher (Launch, used by cmd/converserun).
+//
+// The layering mirrors the paper's claim that the machine interface is
+// the only machine-dependent part of the system: internal/core consumes
+// the same narrow Substrate interface whether the machine is the
+// in-process simulated multicomputer (internal/machine) or this one, and
+// programs switch between them purely by configuration. Messages cross
+// the wire in the exact byte format the core already produces — the
+// 8-byte generalized-message header and PR 2's coalesced packs travel
+// unchanged, so the sim-vs-TCP delta measures only the wire.
+//
+// Failure model: Converse is not fault-tolerant. Any peer death,
+// handshake timeout, or heartbeat loss fails the whole job fast and
+// loudly; nothing here retries past connection setup or tries to limp.
+package mnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every frame is [u32 LE length][u8 kind][payload], where
+// length covers the kind byte and payload. Control payloads are JSON
+// (proto.go); data payloads are raw Converse message bytes.
+const (
+	frameHdrLen = 5
+	// maxFrame bounds the declared frame length (kind + payload), checked
+	// before any allocation so a corrupt or hostile header cannot balloon
+	// memory. 32 MiB comfortably exceeds any message the examples or
+	// benchmarks send.
+	maxFrame = 32 << 20
+)
+
+// kind tags a frame's role in the protocol.
+type kind uint8
+
+const (
+	// worker <-> launcher (control connection)
+	fHello   kind = iota + 1 // join a rendezvous round (helloMsg)
+	fTable                   // node table for the round (tableMsg)
+	fMeshOK                  // worker's mesh is fully connected (meshOKMsg)
+	fGo                      // all meshes connected, run the driver (goMsg)
+	fDone                    // worker's driver returned (doneMsg)
+	fRelease                 // all drivers returned, tear down (releaseMsg)
+	fConsole                 // CmiPrintf/CmiError output (consoleMsg)
+	fFail                    // fatal local error, kill the job (failMsg)
+	fPing                    // control-connection liveness
+
+	// worker <-> worker (mesh connection)
+	fPeerHello // identify a mesh connection (peerHelloMsg)
+	fData      // one machine packet (raw message bytes)
+	fHeartbeat // link liveness while idle
+)
+
+func (k kind) String() string {
+	switch k {
+	case fHello:
+		return "hello"
+	case fTable:
+		return "table"
+	case fMeshOK:
+		return "meshok"
+	case fGo:
+		return "go"
+	case fDone:
+		return "done"
+	case fRelease:
+		return "release"
+	case fConsole:
+		return "console"
+	case fFail:
+		return "fail"
+	case fPing:
+		return "ping"
+	case fPeerHello:
+		return "peerhello"
+	case fData:
+		return "data"
+	case fHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// writeFrame writes one frame. The caller provides any buffering and
+// serialization; writeFrame itself performs two Write calls.
+func writeFrame(w io.Writer, k kind, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("mnet: frame payload %d bytes exceeds limit %d", len(payload), maxFrame-1)
+	}
+	var hdr [frameHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(k)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its kind and payload. The payload
+// is freshly allocated and owned by the caller (data frames hand it
+// straight to the receive path, honoring the CMI buffer-ownership
+// rules). Truncated, corrupt, or oversized input yields an error —
+// never a panic, and never an allocation beyond maxFrame.
+func readFrame(r io.Reader) (kind, []byte, error) {
+	var hdr [frameHdrLen - 1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("mnet: frame length 0 (missing kind byte)")
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("mnet: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("mnet: truncated frame (want %d bytes): %w", n, err)
+	}
+	return kind(buf[0]), buf[1:], nil
+}

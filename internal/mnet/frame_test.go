@@ -1,0 +1,100 @@
+package mnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	kinds := []kind{fHello, fData, fHeartbeat, fConsole}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, kinds[i], p); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+	}
+	for i, p := range payloads {
+		k, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame %d: %v", i, err)
+		}
+		if k != kinds[i] {
+			t.Fatalf("frame %d: kind %v, want %v", i, k, kinds[i])
+		}
+		if !bytes.Equal(got, p) && !(len(got) == 0 && len(p) == 0) {
+			t.Fatalf("frame %d: payload %q, want %q", i, got, p)
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	// A header declaring a length beyond maxFrame must error before
+	// allocating the claimed amount.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(maxFrame+1))
+	_, _, err := readFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: err=%v, want limit error", err)
+	}
+	if err := writeFrame(io.Discard, fData, make([]byte, maxFrame)); err == nil {
+		t.Fatal("writeFrame accepted an oversized payload")
+	}
+}
+
+func TestFrameRejectsZeroLength(t *testing.T) {
+	_, _, err := readFrame(bytes.NewReader(make([]byte, 4)))
+	if err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, fData, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := readFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+// FuzzFrameDecode feeds the frame decoder arbitrary byte streams:
+// truncated, corrupt, or oversized input must produce an error — never
+// a panic, and never an allocation beyond the declared-length cap.
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(k kind, payload []byte) {
+		var buf bytes.Buffer
+		writeFrame(&buf, k, payload)
+		f.Add(buf.Bytes())
+	}
+	seed(fData, []byte("converse message bytes"))
+	seed(fHeartbeat, nil)
+	seed(fHello, []byte(`{"magic":"CONVERSE-MNET","version":1}`))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			k, payload, err := readFrame(r)
+			if err != nil {
+				return // errors are the expected outcome for garbage
+			}
+			if len(payload)+1 > maxFrame {
+				t.Fatalf("decoded payload of %d bytes past the %d cap", len(payload), maxFrame)
+			}
+			_ = k
+		}
+	})
+}

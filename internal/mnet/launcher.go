@@ -1,0 +1,404 @@
+package mnet
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LaunchConfig parameterizes a converserun job.
+type LaunchConfig struct {
+	// NP is the number of worker processes to start.
+	NP int
+	// Prog and Args name the worker binary and its arguments; every
+	// worker gets the same command line (SPMD), distinguished only by the
+	// rank environment.
+	Prog string
+	Args []string
+	// Timeout, if nonzero, kills the whole job after the given wall-clock
+	// time (a distributed watchdog for CI).
+	Timeout time.Duration
+	// Heartbeat overrides the job's liveness interval (default 1s).
+	Heartbeat time.Duration
+	// Stdout and Stderr receive forwarded console output and prefixed
+	// worker process output; they default to os.Stdout and os.Stderr.
+	Stdout, Stderr io.Writer
+}
+
+// Launch runs a converserun job to completion: start NP copies of the
+// worker binary, serve their rendezvous rounds, forward their console
+// output, and propagate failure. It returns nil only if every worker
+// process exits zero; the first failure of any kind — nonzero exit,
+// reported fatal error, lost control connection, heartbeat silence,
+// timeout — kills every worker and surfaces as the returned error.
+func Launch(cfg LaunchConfig) error {
+	if cfg.NP < 1 {
+		return fmt.Errorf("mnet: launch needs at least one worker, got -np %d", cfg.NP)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = defaultHeartbeat
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = os.Stdout
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	ls, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mnet: binding launcher control port: %w", err)
+	}
+	defer ls.Close()
+	token := newToken()
+	s := &jobServer{cfg: cfg, token: token, rounds: map[int]*round{}, failCh: make(chan error, 1)}
+	go s.acceptLoop(ls)
+
+	// Spawn the workers. Their stdout/stderr (Go panics, stray prints —
+	// CmiPrintf goes over the control connection instead) are forwarded
+	// line by line under a "[rank N]" prefix, like charmrun.
+	cmds := make([]*exec.Cmd, cfg.NP)
+	type procExit struct {
+		rank int
+		err  error
+	}
+	exitCh := make(chan procExit, cfg.NP)
+	for i := 0; i < cfg.NP; i++ {
+		cmd := exec.Command(cfg.Prog, cfg.Args...)
+		cmd.Env = append(os.Environ(),
+			EnvJob+"="+ls.Addr().String(),
+			fmt.Sprintf("%s=%d", EnvRank, i),
+			fmt.Sprintf("%s=%d", EnvNP, cfg.NP),
+			EnvToken+"="+token,
+			EnvHeartbeat+"="+cfg.Heartbeat.String(),
+		)
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			var stderr io.ReadCloser
+			if stderr, err = cmd.StderrPipe(); err == nil {
+				go s.forward(i, stdout, cfg.Stdout)
+				go s.forward(i, stderr, cfg.Stderr)
+				err = cmd.Start()
+			}
+		}
+		if err != nil {
+			s.fail(fmt.Errorf("mnet: starting worker rank %d: %w", i, err))
+			break
+		}
+		cmds[i] = cmd
+		go func(rank int, cmd *exec.Cmd) {
+			exitCh <- procExit{rank, cmd.Wait()}
+		}(i, cmd)
+	}
+
+	var timeoutCh <-chan time.Time
+	if cfg.Timeout > 0 {
+		t := time.NewTimer(cfg.Timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+
+	remaining := 0
+	for _, cmd := range cmds {
+		if cmd != nil {
+			remaining++
+		}
+	}
+	var jobErr error
+	select {
+	case jobErr = <-s.failCh:
+	default:
+	}
+	for remaining > 0 && jobErr == nil {
+		select {
+		case e := <-exitCh:
+			remaining--
+			if e.err != nil {
+				jobErr = fmt.Errorf("mnet: worker rank %d failed: %v", e.rank, e.err)
+			}
+		case jobErr = <-s.failCh:
+		case <-timeoutCh:
+			jobErr = fmt.Errorf("mnet: job exceeded timeout %v; state: %s", cfg.Timeout, s.describe())
+		}
+	}
+	s.done.Store(true)
+	if jobErr != nil {
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+		for remaining > 0 {
+			<-exitCh
+			remaining--
+		}
+	}
+	return jobErr
+}
+
+// newToken produces the job-unique token that guards every connection.
+func newToken() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// round is one rendezvous round's server-side state: a round begins when
+// the first worker says hello for its number and ends when every active
+// node has reported done and been released.
+type round struct {
+	num      int
+	pes      int
+	addrs    []string
+	conns    []net.Conn
+	hellos   int
+	meshoks  int
+	doneSet  map[int]bool
+	released bool
+}
+
+// jobServer is the launcher's control server (the charmrun side of the
+// protocol): it collects hellos, broadcasts node tables, runs the go and
+// release barriers, prints forwarded console output, and turns any
+// protocol irregularity into a job failure.
+type jobServer struct {
+	cfg    LaunchConfig
+	token  string
+	failCh chan error
+	fOnce  sync.Once
+	done   atomic.Bool
+
+	mu     sync.Mutex
+	rounds map[int]*round
+
+	outMu sync.Mutex
+}
+
+func (s *jobServer) fail(err error) {
+	s.fOnce.Do(func() { s.failCh <- err })
+}
+
+func (s *jobServer) acceptLoop(ls net.Listener) {
+	for {
+		conn, err := ls.Accept()
+		if err != nil {
+			return
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn serves one worker control connection. The rolling read
+// deadline is the worker-liveness detector: workers ping every heartbeat
+// interval, so heartbeatMissFactor intervals of silence mean the worker
+// is wedged and the job dies. A clean close is expected only after the
+// worker's round was released.
+func (s *jobServer) handleConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	allowance := time.Duration(heartbeatMissFactor) * s.cfg.Heartbeat
+	var rd *round
+	rank := -1
+	for {
+		conn.SetReadDeadline(time.Now().Add(allowance))
+		k, payload, err := readFrame(r)
+		if err != nil {
+			if s.done.Load() {
+				return
+			}
+			s.mu.Lock()
+			released := rd != nil && rd.released
+			s.mu.Unlock()
+			if released || rank < 0 {
+				return // normal post-release close, or a stray connection
+			}
+			if isTimeout(err) {
+				err = fmt.Errorf("no ping for %v (worker wedged)", allowance)
+			}
+			s.fail(fmt.Errorf("mnet: lost control connection to worker rank %d: %v", rank, err))
+			return
+		}
+		switch k {
+		case fHello:
+			var h helloMsg
+			if err := decodeJSON(k, payload, &h); err != nil {
+				s.fail(err)
+				return
+			}
+			if err := s.hello(conn, h); err != nil {
+				s.fail(err)
+				return
+			}
+			rank = h.Rank
+			s.mu.Lock()
+			rd = s.rounds[h.Round]
+			s.mu.Unlock()
+		case fMeshOK:
+			var m meshOKMsg
+			if err := decodeJSON(k, payload, &m); err != nil {
+				s.fail(err)
+				return
+			}
+			s.meshOK(m)
+		case fDone:
+			var d doneMsg
+			if err := decodeJSON(k, payload, &d); err != nil {
+				s.fail(err)
+				return
+			}
+			s.workerDone(d)
+		case fConsole:
+			var c consoleMsg
+			if err := decodeJSON(k, payload, &c); err != nil {
+				s.fail(err)
+				return
+			}
+			s.outMu.Lock()
+			if c.Err {
+				fmt.Fprint(s.cfg.Stderr, c.Text)
+			} else {
+				fmt.Fprint(s.cfg.Stdout, c.Text)
+			}
+			s.outMu.Unlock()
+		case fFail:
+			var f failMsg
+			if decodeJSON(k, payload, &f) == nil {
+				s.fail(fmt.Errorf("mnet: worker rank %d reports fatal error: %s", f.Rank, f.Text))
+			} else {
+				s.fail(fmt.Errorf("mnet: worker rank %d reports fatal error", rank))
+			}
+			return
+		case fPing:
+			// Receiving it already refreshed the deadline.
+		default:
+			s.fail(fmt.Errorf("mnet: unexpected %v frame from worker rank %d", k, rank))
+			return
+		}
+	}
+}
+
+// hello registers one worker in its rendezvous round; the NP-th hello
+// completes the round's membership and broadcasts the node table.
+func (s *jobServer) hello(conn net.Conn, h helloMsg) error {
+	if h.Magic != protoMagic || h.Version != protoVersion {
+		return fmt.Errorf("mnet: worker hello with magic %q version %d (launcher speaks %q version %d; mixed binaries?)",
+			h.Magic, h.Version, protoMagic, protoVersion)
+	}
+	if h.Token != s.token {
+		return fmt.Errorf("mnet: worker hello with wrong job token (stray connection?)")
+	}
+	if h.Rank < 0 || h.Rank >= s.cfg.NP {
+		return fmt.Errorf("mnet: worker hello with rank %d outside job of %d", h.Rank, s.cfg.NP)
+	}
+	if h.PEs < 1 || h.PEs > s.cfg.NP {
+		return fmt.Errorf("mnet: program builds a %d-PE machine but the job has only %d workers (raise converserun -np)",
+			h.PEs, s.cfg.NP)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.rounds[h.Round]
+	if rd == nil {
+		rd = &round{
+			num: h.Round, pes: h.PEs,
+			addrs:   make([]string, s.cfg.NP),
+			conns:   make([]net.Conn, s.cfg.NP),
+			doneSet: map[int]bool{},
+		}
+		s.rounds[h.Round] = rd
+	}
+	if h.PEs != rd.pes {
+		return fmt.Errorf("mnet: round %d: rank %d builds a %d-PE machine but rank others build %d (drifted SPMD program?)",
+			h.Round, h.Rank, h.PEs, rd.pes)
+	}
+	if rd.conns[h.Rank] != nil {
+		return fmt.Errorf("mnet: round %d: duplicate hello from rank %d", h.Round, h.Rank)
+	}
+	rd.conns[h.Rank] = conn
+	rd.addrs[h.Rank] = h.Addr
+	rd.hellos++
+	if rd.hellos == s.cfg.NP {
+		tbl := tableMsg{Round: rd.num, PEs: rd.pes, Addrs: rd.addrs}
+		for _, c := range rd.conns {
+			if err := writeJSONFrame(c, fTable, tbl); err != nil {
+				return fmt.Errorf("mnet: broadcasting node table: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// meshOK counts mesh completions; the NP-th releases the go barrier.
+func (s *jobServer) meshOK(m meshOKMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.rounds[m.Round]
+	if rd == nil {
+		return
+	}
+	rd.meshoks++
+	if rd.meshoks == s.cfg.NP {
+		for _, c := range rd.conns {
+			if c != nil {
+				writeJSONFrame(c, fGo, goMsg{Round: rd.num})
+			}
+		}
+	}
+}
+
+// workerDone records an active node's completed driver; when all of the
+// round's PEs are done, every worker (surplus included) is released.
+func (s *jobServer) workerDone(d doneMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rd := s.rounds[d.Round]
+	if rd == nil || rd.released {
+		return
+	}
+	if d.Rank < rd.pes {
+		rd.doneSet[d.Rank] = true
+	}
+	if len(rd.doneSet) == rd.pes {
+		rd.released = true
+		for _, c := range rd.conns {
+			if c != nil {
+				writeJSONFrame(c, fRelease, releaseMsg{Round: rd.num})
+			}
+		}
+	}
+}
+
+// describe summarizes the rounds' progress for timeout reports.
+func (s *jobServer) describe() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rounds) == 0 {
+		return "no worker reached the rendezvous"
+	}
+	out := ""
+	for _, rd := range s.rounds {
+		if out != "" {
+			out += "; "
+		}
+		out += fmt.Sprintf("round %d (%d PEs): %d/%d hellos, %d/%d meshok, %d/%d done",
+			rd.num, rd.pes, rd.hellos, s.cfg.NP, rd.meshoks, s.cfg.NP, len(rd.doneSet), rd.pes)
+	}
+	return out
+}
+
+// forward copies one worker stream line by line under a rank prefix.
+func (s *jobServer) forward(rank int, from io.Reader, to io.Writer) {
+	sc := bufio.NewScanner(from)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		s.outMu.Lock()
+		fmt.Fprintf(to, "[rank %d] %s\n", rank, sc.Text())
+		s.outMu.Unlock()
+	}
+}

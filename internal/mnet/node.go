@@ -1,0 +1,642 @@
+package mnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"converse/internal/machine"
+	"converse/internal/metrics"
+)
+
+// Config describes one worker node's place in a converserun job. Most
+// programs never build it by hand: JoinFromEnv reads the launcher's
+// environment. Tests construct it directly to run nodes in-process.
+type Config struct {
+	// Launcher is the control-server address (host:port).
+	Launcher string
+	// Token is the job-unique token; mismatched connections are rejected.
+	Token string
+	// Rank is this worker's rank in [0, NP).
+	Rank int
+	// NP is the worker-process count of the job.
+	NP int
+	// PEs is the processor count of the machine being built this round.
+	// It must not exceed NP; ranks >= PEs become inactive surplus nodes.
+	PEs int
+	// Round overrides the rendezvous round number. Zero (the norm) takes
+	// the next number from the process-wide counter — correct because a
+	// real worker process holds one node at a time. Tests that run
+	// several nodes of one machine inside a single process must assign
+	// the shared round themselves.
+	Round int
+	// Heartbeat is the link liveness interval (default 1s). A link silent
+	// for heartbeatMissFactor intervals fails the job.
+	Heartbeat time.Duration
+	// Handshake bounds rendezvous and mesh connection setup (default 30s).
+	Handshake time.Duration
+}
+
+// roundCounter numbers this process's rendezvous rounds. Each
+// Join is one round; the launcher matches rounds across workers by
+// number, which is how a program building machines in sequence
+// (examples/quickstart) stays in lockstep without any shared state.
+var roundCounter atomic.Int64
+
+// Node is one Converse node of a multi-process machine: this process's
+// endpoint of the TCP machine layer. It satisfies internal/core's
+// Substrate and NetSubstrate interfaces — the same seam the simulated
+// machine.PE plugs into.
+type Node struct {
+	cfg   Config
+	round int
+	epoch time.Time
+
+	ctrl   net.Conn
+	ctrlMu sync.Mutex // serializes control-frame writes
+
+	ls net.Listener // mesh listener
+
+	// Rendezvous state, fed by the control reader goroutine.
+	tableCh   chan tableMsg
+	goCh      chan goMsg
+	releaseCh chan releaseMsg
+
+	// Mesh state.
+	peersMu    sync.Mutex
+	tableAddrs []string    // mesh addresses indexed by rank (from fTable)
+	peers      []*peerLink // indexed by rank; nil at own rank
+	meshCount  int
+	meshReady  chan struct{}
+
+	// Inbox: packets delivered by link readers, drained by the local
+	// scheduler through TryRecvBatch/Recv.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []machine.Packet
+	head    int
+	stopped bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	closing  atomic.Bool // winding down: peer link loss is expected
+	torn     atomic.Bool // teardown done: control-connection loss too
+	failCh   chan error
+	failOnce sync.Once
+
+	met atomic.Pointer[metrics.PE]
+
+	// Block-state bookkeeping for DescribeBlocked (shared diagnostic
+	// format with the simulated machine).
+	recvWait       atomic.Bool
+	threadsSusp    atomic.Int64
+	barrierWaiters atomic.Int64
+}
+
+// Join performs the node's half of the rendezvous for one round: bind
+// the mesh listener, connect to the launcher, announce ourselves, and
+// wait for the node table. The mesh itself is wired in Start.
+func Join(cfg Config) (*Node, error) {
+	if cfg.Rank < 0 || cfg.Rank >= cfg.NP {
+		return nil, fmt.Errorf("mnet: rank %d outside job of %d workers", cfg.Rank, cfg.NP)
+	}
+	if cfg.PEs < 1 || cfg.PEs > cfg.NP {
+		return nil, fmt.Errorf("mnet: machine of %d PEs does not fit a job of %d workers (converserun -np must be >= PEs)", cfg.PEs, cfg.NP)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = defaultHeartbeat
+	}
+	if cfg.Handshake <= 0 {
+		cfg.Handshake = defaultHandshake
+	}
+	rnd := cfg.Round
+	if rnd == 0 {
+		rnd = int(roundCounter.Add(1))
+	}
+	n := &Node{
+		cfg:       cfg,
+		round:     rnd,
+		epoch:     time.Now(),
+		tableCh:   make(chan tableMsg, 1),
+		goCh:      make(chan goMsg, 1),
+		releaseCh: make(chan releaseMsg, 1),
+		peers:     make([]*peerLink, cfg.NP),
+		meshReady: make(chan struct{}),
+		stopCh:    make(chan struct{}),
+		failCh:    make(chan error, 1),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	deadline := time.Now().Add(cfg.Handshake)
+
+	ls, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mnet: binding mesh listener: %w", err)
+	}
+	n.ls = ls
+
+	ctrl, err := dialPeer(n, cfg.Launcher, deadline)
+	if err != nil {
+		ls.Close()
+		return nil, fmt.Errorf("mnet: connecting to launcher %s: %w", cfg.Launcher, err)
+	}
+	n.ctrl = ctrl
+	go n.ctrlReadLoop()
+	go n.pingLoop()
+	go n.acceptLoop()
+
+	hello := helloMsg{
+		Magic: protoMagic, Version: protoVersion, Token: cfg.Token,
+		Round: n.round, Rank: cfg.Rank, PEs: cfg.PEs, Addr: ls.Addr().String(),
+	}
+	if err := n.writeCtrl(fHello, hello); err != nil {
+		n.teardown()
+		return nil, fmt.Errorf("mnet: sending hello: %w", err)
+	}
+	select {
+	case tbl := <-n.tableCh:
+		if tbl.Round != n.round || len(tbl.Addrs) != cfg.NP {
+			n.teardown()
+			return nil, fmt.Errorf("mnet: node table for round %d with %d addrs, want round %d with %d",
+				tbl.Round, len(tbl.Addrs), n.round, cfg.NP)
+		}
+		n.setTable(tbl)
+	case err := <-n.failCh:
+		n.teardown()
+		return nil, err
+	case <-time.After(time.Until(deadline)):
+		n.teardown()
+		return nil, fmt.Errorf("mnet: rank %d: no node table within %v (are all %d workers up?)",
+			cfg.Rank, cfg.Handshake, cfg.NP)
+	}
+	return n, nil
+}
+
+// setTable records the round's node table; dialing happens in Start.
+func (n *Node) setTable(tbl tableMsg) {
+	n.peersMu.Lock()
+	n.tableAddrs = tbl.Addrs
+	n.peersMu.Unlock()
+}
+
+// --- identity and clocks (Substrate) --------------------------------
+
+// ID returns this node's processor number. In the network machine each
+// process holds exactly one PE, so rank and PE coincide.
+func (n *Node) ID() int { return n.cfg.Rank }
+
+// NumPEs returns the machine size of this round.
+func (n *Node) NumPEs() int { return n.cfg.PEs }
+
+// Active reports whether this node is one of the machine's PEs (ranks
+// beyond PEs are surplus: they hold the job together but run no driver).
+func (n *Node) Active() bool { return n.cfg.Rank < n.cfg.PEs }
+
+// Clock returns wall-clock microseconds since this node joined. The
+// network machine runs on real time; cost models and virtual-time
+// charging do not apply.
+func (n *Node) Clock() float64 { return float64(time.Since(n.epoch)) / 1e3 }
+
+// Charge is a no-op: real time advances itself.
+func (n *Node) Charge(dt float64) {}
+
+// AdvanceTo is a no-op: real time advances itself.
+func (n *Node) AdvanceTo(t float64) {}
+
+// Model returns nil: communication is priced by the actual network.
+func (n *Node) Model() machine.CostModel { return nil }
+
+// SetMetrics attaches a per-PE metrics registry; per-peer wire counters
+// (frames, bytes, reconnects, stalls) record into it.
+func (n *Node) SetMetrics(m *metrics.PE) { n.met.Store(m) }
+
+func (n *Node) heartbeat() time.Duration { return n.cfg.Heartbeat }
+
+func (n *Node) noteTx(peer, bytes int) {
+	if m := n.met.Load(); m != nil {
+		m.NetTx(peer, bytes)
+	}
+}
+
+func (n *Node) noteRx(peer, bytes int) {
+	if m := n.met.Load(); m != nil {
+		m.NetRx(peer, bytes)
+	}
+}
+
+func (n *Node) noteStall() {
+	if m := n.met.Load(); m != nil {
+		m.NetStall()
+	}
+}
+
+func (n *Node) noteReconnect() {
+	if m := n.met.Load(); m != nil {
+		m.NetReconnect()
+	}
+}
+
+// --- mesh setup ------------------------------------------------------
+
+// Start wires the full mesh and completes the go-barrier: rank i dials
+// every lower rank and accepts from every higher one, reports mesh-ok to
+// the launcher, and blocks until the launcher's go — so when Start
+// returns, every link of every node is up and the first user send cannot
+// race an accept.
+func (n *Node) Start() error {
+	deadline := time.Now().Add(n.cfg.Handshake)
+	n.peersMu.Lock()
+	addrs := n.tableAddrs
+	n.peersMu.Unlock()
+	for j := 0; j < n.cfg.Rank; j++ {
+		conn, err := dialPeer(n, addrs[j], deadline)
+		if err != nil {
+			n.Fail(err)
+			return err
+		}
+		if err := writeJSONFrame(conn, fPeerHello, peerHelloMsg{
+			Token: n.cfg.Token, Round: n.round, From: n.cfg.Rank,
+		}); err != nil {
+			conn.Close()
+			err = fmt.Errorf("mnet: rank %d: peer hello to rank %d: %w", n.cfg.Rank, j, err)
+			n.Fail(err)
+			return err
+		}
+		if err := n.register(j, conn); err != nil {
+			n.Fail(err)
+			return err
+		}
+	}
+	if n.cfg.NP == 1 {
+		close(n.meshReady)
+	}
+	select {
+	case <-n.meshReady:
+	case err := <-n.failCh:
+		return err
+	case <-time.After(time.Until(deadline)):
+		err := fmt.Errorf("mnet: rank %d: mesh incomplete after %v (%d/%d links)",
+			n.cfg.Rank, n.cfg.Handshake, n.linkCount(), n.cfg.NP-1)
+		n.Fail(err)
+		return err
+	}
+	if err := n.writeCtrl(fMeshOK, meshOKMsg{Round: n.round, Rank: n.cfg.Rank}); err != nil {
+		n.Fail(err)
+		return err
+	}
+	select {
+	case <-n.goCh:
+		return nil
+	case err := <-n.failCh:
+		return err
+	case <-time.After(time.Until(deadline)):
+		err := fmt.Errorf("mnet: rank %d: no go from launcher within %v", n.cfg.Rank, n.cfg.Handshake)
+		n.Fail(err)
+		return err
+	}
+}
+
+// register installs the link to rank j and starts its goroutines; the
+// mesh is ready when all NP-1 links are up.
+func (n *Node) register(j int, conn net.Conn) error {
+	n.peersMu.Lock()
+	if j < 0 || j >= n.cfg.NP || j == n.cfg.Rank {
+		n.peersMu.Unlock()
+		conn.Close()
+		return fmt.Errorf("mnet: rank %d: mesh connection claims invalid rank %d", n.cfg.Rank, j)
+	}
+	if n.peers[j] != nil {
+		n.peersMu.Unlock()
+		conn.Close()
+		return fmt.Errorf("mnet: rank %d: duplicate mesh connection from rank %d", n.cfg.Rank, j)
+	}
+	pl := newPeerLink(n, j, conn)
+	n.peers[j] = pl
+	n.meshCount++
+	ready := n.meshCount == n.cfg.NP-1
+	n.peersMu.Unlock()
+	pl.start()
+	if ready {
+		close(n.meshReady)
+	}
+	return nil
+}
+
+func (n *Node) linkCount() int {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	return n.meshCount
+}
+
+// acceptLoop admits mesh connections from higher-ranked peers.
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.ls.Accept()
+		if err != nil {
+			return // listener closed during teardown
+		}
+		go n.handleAccept(conn)
+	}
+}
+
+func (n *Node) handleAccept(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(n.cfg.Handshake))
+	k, payload, err := readFrame(conn)
+	if err != nil || k != fPeerHello {
+		conn.Close()
+		return
+	}
+	var ph peerHelloMsg
+	if decodeJSON(k, payload, &ph) != nil ||
+		ph.Token != n.cfg.Token || ph.Round != n.round || ph.From <= n.cfg.Rank {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if err := n.register(ph.From, conn); err != nil {
+		n.Fail(err)
+	}
+}
+
+// --- data path (Substrate) ------------------------------------------
+
+// SendOwned transmits data to processor dst, taking ownership of the
+// slice. Local sends loop straight back into the inbox; remote sends
+// enqueue on the peer's link (blocking under backpressure).
+func (n *Node) SendOwned(dst int, data []byte) {
+	if dst == n.cfg.Rank {
+		n.deliver(dst, data)
+		return
+	}
+	n.peersMu.Lock()
+	pl := n.peers[dst]
+	n.peersMu.Unlock()
+	if pl == nil {
+		n.Fail(fmt.Errorf("mnet: rank %d: send to rank %d before mesh setup (machine.Run not started?)",
+			n.cfg.Rank, dst))
+		return
+	}
+	pl.send(data)
+}
+
+// deliver appends one inbound packet to the inbox and wakes the
+// scheduler if it is blocked in Recv.
+func (n *Node) deliver(src int, data []byte) {
+	pkt := machine.Packet{Src: src, Dst: n.cfg.Rank, Data: data, Arrive: n.Clock()}
+	n.mu.Lock()
+	n.inbox = append(n.inbox, pkt)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// TryRecvBatch fills out with up to len(out) pending packets without
+// blocking and returns the count.
+func (n *Node) TryRecvBatch(out []machine.Packet) int {
+	n.mu.Lock()
+	k := copy(out, n.inbox[n.head:])
+	n.advanceHead(k)
+	n.mu.Unlock()
+	return k
+}
+
+// Recv blocks until a packet arrives; ok=false means the node stopped.
+func (n *Node) Recv() (machine.Packet, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.head == len(n.inbox) && !n.stopped {
+		n.recvWait.Store(true)
+		n.cond.Wait()
+		n.recvWait.Store(false)
+	}
+	if n.head < len(n.inbox) {
+		pkt := n.inbox[n.head]
+		n.advanceHead(1)
+		return pkt, true
+	}
+	return machine.Packet{}, false
+}
+
+// advanceHead consumes k packets, compacting the backing slice once the
+// dead prefix dominates. Callers hold n.mu.
+func (n *Node) advanceHead(k int) {
+	n.head += k
+	if n.head == len(n.inbox) {
+		n.inbox = n.inbox[:0]
+		n.head = 0
+	} else if n.head > 64 && n.head > len(n.inbox)/2 {
+		n.inbox = append(n.inbox[:0], n.inbox[n.head:]...)
+		n.head = 0
+	}
+}
+
+// InboxLen reports the number of packets waiting in the inbox.
+func (n *Node) InboxLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.inbox) - n.head
+}
+
+// --- console (Substrate) --------------------------------------------
+
+// Printf relays an atomic formatted write to the launcher's standard
+// output (CmiPrintf forwarding, as charmrun does).
+func (n *Node) Printf(format string, args ...any) { n.console(false, fmt.Sprintf(format, args...)) }
+
+// Errorf relays an atomic formatted write to the launcher's standard
+// error.
+func (n *Node) Errorf(format string, args ...any) { n.console(true, fmt.Sprintf(format, args...)) }
+
+func (n *Node) console(isErr bool, text string) {
+	err := n.writeCtrl(fConsole, consoleMsg{Rank: n.cfg.Rank, Err: isErr, Text: text})
+	if err != nil {
+		// Control connection gone (teardown or launcher death): fall back
+		// to the local streams so the output is not lost.
+		if isErr {
+			fmt.Fprint(os.Stderr, text)
+		} else {
+			fmt.Fprint(os.Stdout, text)
+		}
+	}
+}
+
+// Scanf is unavailable on the network machine: workers have no usable
+// standard input under the launcher.
+func (n *Node) Scanf(format string, args ...any) (int, error) {
+	return 0, fmt.Errorf("mnet: CmiScanf is not supported under converserun (workers have no console input)")
+}
+
+// ReadLine is unavailable on the network machine (see Scanf).
+func (n *Node) ReadLine() (string, error) {
+	return "", fmt.Errorf("mnet: console input is not supported under converserun")
+}
+
+// --- control connection ---------------------------------------------
+
+func (n *Node) writeCtrl(k kind, msg any) error {
+	n.ctrlMu.Lock()
+	defer n.ctrlMu.Unlock()
+	return writeJSONFrame(n.ctrl, k, msg)
+}
+
+// ctrlReadLoop dispatches launcher frames to the rendezvous channels.
+// Losing the control connection while the job runs means the launcher
+// died; the only sane response is to fail with it.
+func (n *Node) ctrlReadLoop() {
+	r := bufio.NewReader(n.ctrl)
+	for {
+		k, payload, err := readFrame(r)
+		if err != nil {
+			if !n.torn.Load() {
+				n.Fail(fmt.Errorf("mnet: rank %d: launcher connection lost: %v", n.cfg.Rank, err))
+			}
+			return
+		}
+		switch k {
+		case fTable:
+			var tbl tableMsg
+			if err := decodeJSON(k, payload, &tbl); err != nil {
+				n.Fail(err)
+				return
+			}
+			n.tableCh <- tbl
+		case fGo:
+			var g goMsg
+			if err := decodeJSON(k, payload, &g); err != nil {
+				n.Fail(err)
+				return
+			}
+			n.goCh <- g
+		case fRelease:
+			var rel releaseMsg
+			if err := decodeJSON(k, payload, &rel); err != nil {
+				n.Fail(err)
+				return
+			}
+			n.releaseCh <- rel
+		default:
+			n.Fail(fmt.Errorf("mnet: rank %d: unexpected %v frame from launcher", n.cfg.Rank, k))
+			return
+		}
+	}
+}
+
+// pingLoop keeps the control connection demonstrably alive so the
+// launcher can distinguish a slow worker from a dead one.
+func (n *Node) pingLoop() {
+	ticker := time.NewTicker(n.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if n.writeCtrl(fPing, struct{}{}) != nil {
+				return
+			}
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// --- lifecycle (NetSubstrate) ---------------------------------------
+
+// Finish runs the termination barrier: announce that the local driver
+// returned, wait for the launcher's release (sent once every active
+// node is done), then tear down. No node closes links a peer might
+// still need.
+func (n *Node) Finish() error {
+	// From here on, peer link loss is expected rather than fatal: peers
+	// that receive the release first close their connections while ours
+	// is still in flight. Real peer death during the done-wait is still
+	// caught — by the launcher, which watches the processes themselves.
+	n.closing.Store(true)
+	if err := n.writeCtrl(fDone, doneMsg{Round: n.round, Rank: n.cfg.Rank}); err != nil {
+		err = fmt.Errorf("mnet: rank %d: reporting done: %w", n.cfg.Rank, err)
+		n.Fail(err)
+		return err
+	}
+	select {
+	case <-n.releaseCh:
+		n.teardown()
+		return nil
+	case err := <-n.failCh:
+		n.teardown()
+		return err
+	}
+}
+
+// Fail reports a fatal local error to the whole job. The first call
+// wins: it surfaces on Failure, tells the launcher (which kills every
+// worker), and stops the local node. Converse is not fault-tolerant —
+// the job's only response to failure is a fast, loud exit.
+func (n *Node) Fail(err error) {
+	if err == nil {
+		return
+	}
+	n.failOnce.Do(func() {
+		n.failCh <- err
+		n.writeCtrl(fFail, failMsg{Rank: n.cfg.Rank, Text: err.Error()})
+		n.Stop()
+	})
+}
+
+// Failure delivers at most one asynchronous job failure.
+func (n *Node) Failure() <-chan error { return n.failCh }
+
+// Stop unblocks the scheduler (Recv returns ok=false) and halts link
+// writers. It does not tear down connections; Finish and Fail do.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		n.mu.Lock()
+		n.stopped = true
+		n.mu.Unlock()
+		n.cond.Broadcast()
+		close(n.stopCh)
+	})
+}
+
+// teardown closes every connection and the listener. closing suppresses
+// the link-loss failure reports that the closes would otherwise trigger.
+func (n *Node) teardown() {
+	n.closing.Store(true)
+	n.torn.Store(true)
+	n.Stop()
+	n.peersMu.Lock()
+	for _, pl := range n.peers {
+		if pl != nil {
+			pl.conn.Close()
+		}
+	}
+	n.peersMu.Unlock()
+	if n.ls != nil {
+		n.ls.Close()
+	}
+	if n.ctrl != nil {
+		n.ctrl.Close()
+	}
+}
+
+// --- diagnostics -----------------------------------------------------
+
+// NoteThreadsSuspended adjusts the count of suspended thread objects
+// (blockStateNoter; called via core.Proc by the thread layer).
+func (n *Node) NoteThreadsSuspended(delta int) { n.threadsSusp.Add(int64(delta)) }
+
+// NoteBarrierWaiters adjusts the count of threads blocked at a barrier
+// (blockStateNoter; called via core.Proc by csync).
+func (n *Node) NoteBarrierWaiters(delta int) { n.barrierWaiters.Add(int64(delta)) }
+
+// DescribeBlocked reports why this node's PE is blocked, in the machine
+// layer's shared diagnostic format — the same report machine.Machine
+// produces for simulated PEs, reused verbatim in mnet failure output.
+func (n *Node) DescribeBlocked() string {
+	st := machine.BlockState{
+		RecvWait:         n.recvWait.Load(),
+		InboxLen:         n.InboxLen(),
+		ThreadsSuspended: int(n.threadsSusp.Load()),
+		BarrierWaiters:   int(n.barrierWaiters.Load()),
+	}
+	return machine.FormatBlockState(fmt.Sprintf("rank%d(pe%d)", n.cfg.Rank, n.cfg.Rank), st)
+}

@@ -1,0 +1,299 @@
+package mnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"converse/internal/machine"
+	"converse/internal/metrics"
+)
+
+// joinAll joins np in-process nodes to one round of a test job, each in
+// its own goroutine like real workers.
+func joinAll(t *testing.T, addr string, np, pes, rnd int, hb time.Duration) []*Node {
+	t.Helper()
+	nodes := make([]*Node, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for i := 0; i < np; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nodes[i], errs[i] = Join(Config{
+				Launcher: addr, Token: TestToken,
+				Rank: i, NP: np, PEs: pes, Round: rnd,
+				Heartbeat: hb, Handshake: 10 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", i, err)
+		}
+	}
+	return nodes
+}
+
+// startAll completes the mesh go-barrier on every node.
+func startAll(t *testing.T, nodes []*Node) {
+	t.Helper()
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.Start()
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d start: %v", i, err)
+		}
+	}
+}
+
+// finishAll runs the termination barrier on every node.
+func finishAll(t *testing.T, nodes []*Node) {
+	t.Helper()
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.Finish()
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d finish: %v", i, err)
+		}
+	}
+}
+
+func TestNodesExchangeData(t *testing.T) {
+	const np = 3
+	addr, _ := StartTestJob(t, np, time.Second)
+	nodes := joinAll(t, addr, np, np, 1, time.Second)
+	startAll(t, nodes)
+
+	reg := metrics.New(np)
+	for i, n := range nodes {
+		n.SetMetrics(reg.PE(i))
+	}
+
+	// Every node sends one message to every peer (and itself: loopback).
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			for j := 0; j < np; j++ {
+				n.SendOwned(j, []byte(fmt.Sprintf("from %d to %d", i, j)))
+			}
+			seen := map[int]bool{}
+			for len(seen) < np {
+				pkt, ok := n.Recv()
+				if !ok {
+					t.Errorf("rank %d: node stopped before all messages arrived", i)
+					return
+				}
+				want := fmt.Sprintf("from %d to %d", pkt.Src, i)
+				if string(pkt.Data) != want {
+					t.Errorf("rank %d: got %q from %d, want %q", i, pkt.Data, pkt.Src, want)
+				}
+				if seen[pkt.Src] {
+					t.Errorf("rank %d: duplicate message from %d", i, pkt.Src)
+				}
+				seen[pkt.Src] = true
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	finishAll(t, nodes)
+
+	// Remote traffic must show up in the wire counters; loopback must not.
+	snap := reg.Snapshot()
+	for i := range nodes {
+		s := snap.PEs[i]
+		for j := 0; j < np; j++ {
+			if j == i {
+				if s.NetTxFrames[j] != 0 {
+					t.Errorf("rank %d: %d loopback frames counted as wire traffic", i, s.NetTxFrames[j])
+				}
+				continue
+			}
+			if s.NetTxFrames[j] == 0 || s.NetTxBytes[j] == 0 {
+				t.Errorf("rank %d: no wire frames recorded to peer %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTryRecvBatchDrainsInbox(t *testing.T) {
+	const np = 2
+	addr, _ := StartTestJob(t, np, time.Second)
+	nodes := joinAll(t, addr, np, np, 1, time.Second)
+	startAll(t, nodes)
+
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		nodes[0].SendOwned(1, []byte{byte(i)})
+	}
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	var buf [8]machine.Packet
+	for got < msgs && time.Now().Before(deadline) {
+		k := nodes[1].TryRecvBatch(buf[:])
+		for _, pkt := range buf[:k] {
+			if pkt.Data[0] != byte(got) {
+				t.Fatalf("message %d arrived out of order (got payload %d)", got, pkt.Data[0])
+			}
+			got++
+		}
+		if k == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got != msgs {
+		t.Fatalf("drained %d messages, want %d", got, msgs)
+	}
+	finishAll(t, nodes)
+}
+
+func TestSurplusRanksHoldTheJob(t *testing.T) {
+	// converserun -np 3 running a 2-PE machine: rank 2 is surplus. It
+	// joins the rendezvous and the barriers but is not active.
+	const np, pes = 3, 2
+	addr, _ := StartTestJob(t, np, time.Second)
+	nodes := joinAll(t, addr, np, pes, 1, time.Second)
+	startAll(t, nodes)
+
+	if !nodes[0].Active() || !nodes[1].Active() {
+		t.Fatal("ranks below PEs must be active")
+	}
+	if nodes[2].Active() {
+		t.Fatal("rank 2 of a 2-PE machine must be surplus")
+	}
+	nodes[0].SendOwned(1, []byte("hi"))
+	if pkt, ok := nodes[1].Recv(); !ok || string(pkt.Data) != "hi" {
+		t.Fatalf("active pair exchange failed: %v %q", ok, pkt.Data)
+	}
+	// The release barrier needs only the PEs' dones, but frees all np.
+	finishAll(t, nodes)
+}
+
+func TestSequentialRounds(t *testing.T) {
+	// A program building two machines in sequence (examples/quickstart):
+	// round 1 uses all ranks, round 2 only a subset, matched by number.
+	const np = 3
+	addr, _ := StartTestJob(t, np, time.Second)
+	for rnd := 1; rnd <= 2; rnd++ {
+		pes := np
+		if rnd == 2 {
+			pes = 2
+		}
+		nodes := joinAll(t, addr, np, pes, rnd, time.Second)
+		startAll(t, nodes)
+		nodes[0].SendOwned(pes-1, []byte("round"))
+		if pkt, ok := nodes[pes-1].Recv(); !ok || string(pkt.Data) != "round" {
+			t.Fatalf("round %d exchange failed: %v %q", rnd, ok, pkt.Data)
+		}
+		finishAll(t, nodes)
+	}
+}
+
+func TestPeerDeathFailsJobFast(t *testing.T) {
+	const np = 3
+	hb := 100 * time.Millisecond
+	addr, _ := StartTestJob(t, np, hb)
+	nodes := joinAll(t, addr, np, np, 1, hb)
+	startAll(t, nodes)
+
+	// Simulate rank 2's process dying mid-run: its sockets close without
+	// any protocol goodbye.
+	dead := nodes[2]
+	dead.peersMu.Lock()
+	for _, pl := range dead.peers {
+		if pl != nil {
+			pl.conn.Close()
+		}
+	}
+	dead.peersMu.Unlock()
+	dead.ctrl.Close()
+
+	// Survivors must observe the failure within the heartbeat allowance
+	// (EOF makes it near-immediate).
+	limit := time.Duration(heartbeatMissFactor)*hb + 2*time.Second
+	for _, n := range nodes[:2] {
+		select {
+		case err := <-n.Failure():
+			if !strings.Contains(err.Error(), "link to peer 2") {
+				t.Errorf("rank %d failure = %v, want peer-2 link loss", n.ID(), err)
+			}
+			if _, ok := n.Recv(); ok {
+				t.Errorf("rank %d: Recv still delivering after failure", n.ID())
+			}
+		case <-time.After(limit):
+			t.Fatalf("rank %d did not observe peer death within %v", n.ID(), limit)
+		}
+	}
+}
+
+func TestDescribeBlocked(t *testing.T) {
+	const np = 2
+	addr, _ := StartTestJob(t, np, time.Second)
+	nodes := joinAll(t, addr, np, np, 1, time.Second)
+	startAll(t, nodes)
+
+	n := nodes[0]
+	recvReturned := make(chan struct{})
+	go func() {
+		n.Recv()
+		close(recvReturned)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(n.DescribeBlocked(), "blocked-in-recv") {
+		if time.Now().After(deadline) {
+			t.Fatalf("blocked node never reported blocked-in-recv: %q", n.DescribeBlocked())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.NoteThreadsSuspended(2)
+	n.NoteBarrierWaiters(1)
+	d := n.DescribeBlocked()
+	for _, want := range []string{"rank0(pe0)", "threads-suspended=2", "barrier-waiters=1", "inbox=0"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("DescribeBlocked() = %q, missing %q", d, want)
+		}
+	}
+	nodes[1].SendOwned(0, []byte("unblock"))
+	<-recvReturned
+	finishAll(t, nodes)
+}
+
+func TestJoinValidation(t *testing.T) {
+	if _, err := Join(Config{Rank: 2, NP: 2, PEs: 2}); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := Join(Config{Rank: 0, NP: 2, PEs: 3}); err == nil {
+		t.Error("machine larger than the job accepted")
+	}
+}
+
+func TestConsoleInputUnavailable(t *testing.T) {
+	n := &Node{}
+	if _, err := n.Scanf("%d", nil); err == nil {
+		t.Error("Scanf should fail on the network machine")
+	}
+	if _, err := n.ReadLine(); err == nil {
+		t.Error("ReadLine should fail on the network machine")
+	}
+}

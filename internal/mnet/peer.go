@@ -1,0 +1,193 @@
+package mnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// linkQueueCap is the per-peer outbound queue depth. A full queue makes
+// SendOwned block (counted as a backpressure stall) — the wire analogue
+// of the simulated machine's bounded packet ring.
+const linkQueueCap = 1024
+
+// peerLink is one mesh connection to a peer worker. A dedicated writer
+// goroutine drains the outbound queue into a buffered writer and flushes
+// only when the queue goes momentarily empty, so bursts of small
+// messages coalesce into few TCP writes; a dedicated reader goroutine
+// delivers inbound data frames to the node's inbox and doubles as the
+// peer-death detector (EOF, or silence past the heartbeat allowance).
+type peerLink struct {
+	n    *Node
+	rank int
+	conn net.Conn
+	out  chan []byte
+}
+
+func newPeerLink(n *Node, rank int, conn net.Conn) *peerLink {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are already batched by the writer's flush-on-idle; let
+		// them hit the wire when flushed.
+		tc.SetNoDelay(true)
+	}
+	return &peerLink{n: n, rank: rank, conn: conn, out: make(chan []byte, linkQueueCap)}
+}
+
+// start launches the link's reader and writer goroutines.
+func (pl *peerLink) start() {
+	go pl.writeLoop()
+	go pl.readLoop()
+}
+
+// send queues data for transmission, blocking when the link is
+// backlogged. It never blocks past node teardown.
+func (pl *peerLink) send(data []byte) {
+	select {
+	case pl.out <- data:
+		return
+	default:
+	}
+	// Queue full: backpressure. Block, but stay interruptible so a
+	// stopped node cannot wedge its driver.
+	pl.n.noteStall()
+	select {
+	case pl.out <- data:
+	case <-pl.n.stopCh:
+	}
+}
+
+// writeLoop drains the outbound queue. Write coalescing falls out of the
+// two-level loop: frames are staged into the bufio.Writer while more
+// sends are immediately available, and the buffer is flushed the moment
+// the queue goes empty — the scheduler-idle flush of the machine layer.
+// Idle links carry a heartbeat every interval so the peer's reader can
+// tell "quiet" from "dead".
+func (pl *peerLink) writeLoop() {
+	w := bufio.NewWriterSize(pl.conn, 64<<10)
+	hb := pl.n.heartbeat()
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	lastTx := time.Now()
+
+	fail := func(err error) {
+		if pl.n.closing.Load() {
+			return
+		}
+		pl.n.Fail(fmt.Errorf("mnet: rank %d: writing to peer %d: %w", pl.n.cfg.Rank, pl.rank, err))
+	}
+	for {
+		select {
+		case data := <-pl.out:
+			for {
+				if err := writeFrame(w, fData, data); err != nil {
+					fail(err)
+					return
+				}
+				pl.n.noteTx(pl.rank, frameHdrLen+len(data))
+				select {
+				case data = <-pl.out:
+					continue
+				default:
+				}
+				break
+			}
+			if err := w.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			lastTx = time.Now()
+		case <-ticker.C:
+			if time.Since(lastTx) < hb {
+				continue
+			}
+			if err := writeFrame(w, fHeartbeat, nil); err != nil {
+				fail(err)
+				return
+			}
+			if err := w.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			pl.n.noteTx(pl.rank, frameHdrLen)
+			lastTx = time.Now()
+		case <-pl.n.stopCh:
+			w.Flush()
+			return
+		}
+	}
+}
+
+// readLoop receives frames from the peer. The rolling read deadline of
+// heartbeatMissFactor intervals is the failure detector: a live peer
+// always produces either data or heartbeats within one interval, so a
+// deadline miss means the peer is dead or wedged and the job must die
+// with it. An EOF while the job is running means the peer's process
+// exited — the fastest death signal of all.
+func (pl *peerLink) readLoop() {
+	r := bufio.NewReaderSize(pl.conn, 64<<10)
+	allowance := time.Duration(heartbeatMissFactor) * pl.n.heartbeat()
+	for {
+		pl.conn.SetReadDeadline(time.Now().Add(allowance))
+		k, payload, err := readFrame(r)
+		if err != nil {
+			if pl.n.closing.Load() {
+				return
+			}
+			switch {
+			case err == io.EOF || err == io.ErrUnexpectedEOF:
+				err = fmt.Errorf("peer process exited (connection closed)")
+			case isTimeout(err):
+				err = fmt.Errorf("no traffic for %v (peer wedged or network dead)", allowance)
+			}
+			pl.n.Fail(fmt.Errorf("mnet: rank %d: link to peer %d lost: %v", pl.n.cfg.Rank, pl.rank, err))
+			return
+		}
+		pl.n.noteRx(pl.rank, frameHdrLen+len(payload))
+		switch k {
+		case fData:
+			pl.n.deliver(pl.rank, payload)
+		case fHeartbeat:
+			// Nothing to do: receiving it already reset the deadline.
+		default:
+			pl.n.Fail(fmt.Errorf("mnet: rank %d: unexpected %v frame on mesh link from peer %d",
+				pl.n.cfg.Rank, k, pl.rank))
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	if ok {
+		return ne.Timeout()
+	}
+	if unwrapped, ok := err.(interface{ Unwrap() error }); ok {
+		return isTimeout(unwrapped.Unwrap())
+	}
+	return false
+}
+
+// dialPeer connects to addr with exponential backoff (10ms doubling to a
+// 500ms cap) until the handshake deadline: during job startup peers bind
+// their listeners at slightly different times, so early refusals are
+// expected and retried; past the deadline the job fails loudly.
+func dialPeer(n *Node, addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 10 * time.Millisecond
+	const backoffCap = 500 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("mnet: dialing peer %s: handshake deadline exceeded: %w", addr, err)
+		}
+		n.noteReconnect()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}

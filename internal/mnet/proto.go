@@ -1,0 +1,170 @@
+package mnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+)
+
+// protoMagic and protoVersion identify the rendezvous protocol. Every
+// hello carries both; a mismatch (stale binary, stray connection) kills
+// the job immediately rather than producing wire garbage later.
+const (
+	protoMagic   = "CONVERSE-MNET"
+	protoVersion = 1
+)
+
+// Environment variables through which the launcher passes job
+// coordinates to worker processes. The presence of EnvJob is what makes
+// core's TransportAuto pick the TCP substrate.
+const (
+	// EnvJob is the launcher's control address (host:port).
+	EnvJob = "CONVERSE_NET_JOB"
+	// EnvRank is this worker's rank in [0, NP).
+	EnvRank = "CONVERSE_NET_RANK"
+	// EnvNP is the worker-process count (converserun -np).
+	EnvNP = "CONVERSE_NET_NP"
+	// EnvToken is the job-unique token; connections presenting a
+	// different token are rejected.
+	EnvToken = "CONVERSE_NET_MAGIC"
+	// EnvHeartbeat carries the launcher's liveness interval (a Go
+	// duration string) so workers and launcher agree on it.
+	EnvHeartbeat = "CONVERSE_NET_HEARTBEAT"
+)
+
+// Protocol timing defaults; Config can override them (tests shrink the
+// heartbeat to exercise failure detection quickly).
+const (
+	defaultHeartbeat = 1 * time.Second
+	defaultHandshake = 30 * time.Second
+	// heartbeatMissFactor: a link silent for this many heartbeat
+	// intervals is declared dead.
+	heartbeatMissFactor = 3
+)
+
+// Control-frame payloads. JSON keeps the rendezvous path debuggable;
+// only data frames are on the performance path.
+
+type helloMsg struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Token   string `json:"token"`
+	Round   int    `json:"round"`
+	Rank    int    `json:"rank"`
+	PEs     int    `json:"pes"`
+	Addr    string `json:"addr"` // this worker's mesh listen address
+}
+
+type tableMsg struct {
+	Round int      `json:"round"`
+	PEs   int      `json:"pes"`
+	Addrs []string `json:"addrs"` // mesh addresses indexed by rank
+}
+
+type meshOKMsg struct {
+	Round int `json:"round"`
+	Rank  int `json:"rank"`
+}
+
+type goMsg struct {
+	Round int `json:"round"`
+}
+
+type doneMsg struct {
+	Round int `json:"round"`
+	Rank  int `json:"rank"`
+}
+
+type releaseMsg struct {
+	Round int `json:"round"`
+}
+
+type consoleMsg struct {
+	Rank int    `json:"rank"`
+	Err  bool   `json:"err"`
+	Text string `json:"text"`
+}
+
+type failMsg struct {
+	Rank int    `json:"rank"`
+	Text string `json:"text"`
+}
+
+type peerHelloMsg struct {
+	Token string `json:"token"`
+	Round int    `json:"round"`
+	From  int    `json:"from"`
+}
+
+// writeJSONFrame marshals msg and writes it as one frame of kind k.
+func writeJSONFrame(w io.Writer, k kind, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("mnet: encoding %v frame: %w", k, err)
+	}
+	return writeFrame(w, k, payload)
+}
+
+func decodeJSON(k kind, payload []byte, into any) error {
+	if err := json.Unmarshal(payload, into); err != nil {
+		return fmt.Errorf("mnet: decoding %v frame: %w", k, err)
+	}
+	return nil
+}
+
+// InJob reports whether this process was started by the converserun
+// launcher (the job environment is present).
+func InJob() bool { return os.Getenv(EnvJob) != "" }
+
+// Rank returns this process's job rank, or 0 outside a job.
+func Rank() int {
+	r, _ := strconv.Atoi(os.Getenv(EnvRank))
+	return r
+}
+
+// envConfig builds a node Config from the launcher-provided environment.
+func envConfig(pes int) (Config, error) {
+	job := os.Getenv(EnvJob)
+	if job == "" {
+		return Config{}, fmt.Errorf("mnet: %s not set (not inside a converserun job)", EnvJob)
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return Config{}, fmt.Errorf("mnet: bad %s: %w", EnvRank, err)
+	}
+	np, err := strconv.Atoi(os.Getenv(EnvNP))
+	if err != nil {
+		return Config{}, fmt.Errorf("mnet: bad %s: %w", EnvNP, err)
+	}
+	cfg := Config{
+		Launcher: job,
+		Token:    os.Getenv(EnvToken),
+		Rank:     rank,
+		NP:       np,
+		PEs:      pes,
+	}
+	if hb := os.Getenv(EnvHeartbeat); hb != "" {
+		d, err := time.ParseDuration(hb)
+		if err != nil {
+			return Config{}, fmt.Errorf("mnet: bad %s: %w", EnvHeartbeat, err)
+		}
+		cfg.Heartbeat = d
+	}
+	return cfg, nil
+}
+
+// JoinFromEnv joins the surrounding converserun job for a machine of pes
+// processors, using the coordinates the launcher placed in the
+// environment. Each call is one rendezvous round: a program that builds
+// several machines in sequence (examples/quickstart) joins once per
+// machine, and the launcher matches rounds across workers by number.
+func JoinFromEnv(pes int) (*Node, error) {
+	cfg, err := envConfig(pes)
+	if err != nil {
+		return nil, err
+	}
+	return Join(cfg)
+}

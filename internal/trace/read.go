@@ -17,6 +17,7 @@ import (
 // Parsed is a trace read back from the standard textual format.
 type Parsed struct {
 	PEs    int
+	Clock  Clock             // timebase the trace was stamped with
 	Events []core.TraceEvent // in file order (WriteText writes the merged stream)
 	Schema *Schema
 }
@@ -67,6 +68,13 @@ func ReadText(r io.Reader) (*Parsed, error) {
 // comments are ignored.
 func (p *Parsed) parseHeader(line string, nameToKind map[string]core.EventKind) error {
 	if n, err := fmt.Sscanf(line, "# converse trace, %d pes", &p.PEs); n == 1 && err == nil {
+		return nil
+	}
+	var clk string
+	if n, _ := fmt.Sscanf(line, "# clock %s", &clk); n == 1 {
+		if clk == "wall" {
+			p.Clock = ClockWall
+		}
 		return nil
 	}
 	var k int

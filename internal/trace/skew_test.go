@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"converse/internal/core"
+)
+
+// TestMergeCausalClockSkew: under wall clocks (network machine), node
+// clocks are independent, so a receive can be stamped before its
+// matching send. The merge must clamp it after the send and keep the
+// output time sorted, without mutating the caller's streams.
+func TestMergeCausalClockSkew(t *testing.T) {
+	// PE 0's clock runs ~100µs ahead of PE 1's: its send at T=100
+	// arrives "at" T=40 on PE 1, whose next local event is at T=45.
+	pe0 := []core.TraceEvent{
+		{Kind: core.EvSend, T: 100, PE: 0, Dst: 1, Size: 8},
+		{Kind: core.EvBegin, T: 120, PE: 0, Handler: 1},
+	}
+	pe1 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 40, PE: 1, Src: 0, Size: 8},
+		{Kind: core.EvBegin, T: 45, PE: 1, Handler: 1},
+	}
+	pe0Orig := append([]core.TraceEvent(nil), pe0...)
+	pe1Orig := append([]core.TraceEvent(nil), pe1...)
+
+	out := MergeCausal([][]core.TraceEvent{pe0, pe1})
+	if len(out) != 4 {
+		t.Fatalf("merged %d events, want 4", len(out))
+	}
+	// Time sorted.
+	for i := 1; i < len(out); i++ {
+		if out[i].T < out[i-1].T {
+			t.Fatalf("output not time sorted at %d: %v after %v", i, out[i].T, out[i-1].T)
+		}
+	}
+	// The receive is clamped to its send's time and ordered after it.
+	sendAt, recvAt := -1, -1
+	for i, e := range out {
+		switch e.Kind {
+		case core.EvSend:
+			sendAt = i
+		case core.EvRecv:
+			recvAt = i
+			if e.T < 100 {
+				t.Errorf("receive at T=%v, want clamped to >= 100 (its send's time)", e.T)
+			}
+		case core.EvBegin:
+			if e.PE == 1 && e.T < 100 {
+				t.Errorf("pe1 event after the receive at T=%v, want monotonicity restored (>= 100)", e.T)
+			}
+		}
+	}
+	if sendAt == -1 || recvAt == -1 || recvAt < sendAt {
+		t.Errorf("send at %d, recv at %d: receive must follow its send", sendAt, recvAt)
+	}
+	// Caller's streams untouched.
+	for i := range pe0 {
+		if pe0[i] != pe0Orig[i] {
+			t.Errorf("caller's pe0 stream mutated at %d", i)
+		}
+	}
+	for i := range pe1 {
+		if pe1[i] != pe1Orig[i] {
+			t.Errorf("caller's pe1 stream mutated at %d", i)
+		}
+	}
+}
+
+// TestMergeCausalVirtualUnchanged: under virtual time the clamp is a
+// no-op and causally fine streams merge exactly as before.
+func TestMergeCausalVirtualUnchanged(t *testing.T) {
+	pe0 := []core.TraceEvent{
+		{Kind: core.EvSend, T: 10, PE: 0, Dst: 1},
+		{Kind: core.EvSend, T: 20, PE: 0, Dst: 1},
+	}
+	pe1 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 15, PE: 1, Src: 0},
+		{Kind: core.EvRecv, T: 25, PE: 1, Src: 0},
+	}
+	out := MergeCausal([][]core.TraceEvent{pe0, pe1})
+	wantT := []float64{10, 15, 20, 25}
+	for i, e := range out {
+		if e.T != wantT[i] {
+			t.Fatalf("event %d at T=%v, want %v (skew clamp must not disturb sane traces)", i, e.T, wantT[i])
+		}
+	}
+}
+
+func TestWriteTextClockHeader(t *testing.T) {
+	c := NewCollector(1)
+	if c.Clock() != ClockVirtual {
+		t.Fatalf("default clock %v, want virtual", c.Clock())
+	}
+	c.SetClock(ClockWall)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# clock wall") {
+		t.Fatalf("WriteText output missing clock header:\n%s", buf.String())
+	}
+	p, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock != ClockWall {
+		t.Fatalf("ReadText clock %v, want wall", p.Clock)
+	}
+}

@@ -197,11 +197,32 @@ func (s *Schema) Kinds() []KindDef {
 	return out
 }
 
+// Clock identifies the timebase of a trace's timestamps.
+type Clock uint8
+
+const (
+	// ClockVirtual: simulated virtual microseconds (the default; the
+	// in-process machine's modeled time).
+	ClockVirtual Clock = iota
+	// ClockWall: wall-clock microseconds since each node's start (the
+	// network machine layer, where every node has its own real clock and
+	// cross-node timestamps may be skewed — see MergeCausal).
+	ClockWall
+)
+
+func (c Clock) String() string {
+	if c == ClockWall {
+		return "wall"
+	}
+	return "virtual"
+}
+
 // Collector owns the per-processor trace buffers of one machine and the
 // shared schema. Pass Collector.Tracer as core.Config.Tracer.
 type Collector struct {
 	bufs   []*Buffer
 	schema *Schema
+	clock  Clock
 }
 
 // NewCollector builds a collector for a machine of pes processors.
@@ -216,6 +237,13 @@ func NewCollector(pes int) *Collector {
 
 // Schema returns the collector's (shared) schema.
 func (c *Collector) Schema() *Schema { return c.schema }
+
+// SetClock records the timebase the machine stamped events with
+// (ClockVirtual by default; use ClockWall under the TCP machine layer).
+func (c *Collector) SetClock(clk Clock) { c.clock = clk }
+
+// Clock reports the trace's timebase.
+func (c *Collector) Clock() Clock { return c.clock }
 
 // Tracer returns processor pe's tracer; it has the signature
 // core.Config.Tracer expects.
@@ -239,16 +267,25 @@ func (c *Collector) Merged() []core.TraceEvent {
 }
 
 // MergeCausal performs the global merge of per-PE event streams by
-// virtual time with a causal refinement. Each stream must be
-// nondecreasing in T (per-PE virtual clocks are monotonic). A k-way
-// merge picks the earliest head; among heads tied in time, a receive
-// whose matching send has not yet been emitted is deferred — its
-// sender's head necessarily carries an equal-or-earlier timestamp, so
-// progress is guaranteed and the output stays time sorted. Receives
-// with no recorded send (a tracer attached mid-run) fall back to plain
-// time order.
+// time with a causal refinement. Each stream must be nondecreasing in T
+// (per-PE clocks are monotonic). A k-way merge picks the earliest head;
+// among heads tied in time, a receive whose matching send has not yet
+// been emitted is deferred — its sender's head necessarily carries an
+// equal-or-earlier timestamp, so progress is guaranteed and the output
+// stays time sorted. Receives with no recorded send (a tracer attached
+// mid-run) fall back to plain time order.
+//
+// Under wall clocks (ClockWall), each node stamps with its own real
+// clock, so a receive can carry a timestamp before its matching send. A
+// skew-correcting pre-pass restores causal sanity: each receive's T is
+// clamped to at least its matching send's T (the k-th receive on a link
+// matches the k-th send — both substrates deliver per-pair FIFO), and
+// each stream's monotonicity is re-established after clamping. The
+// caller's streams are never mutated; clamped events are copies. Under
+// virtual time the clamp is a no-op by construction.
 func MergeCausal(streams [][]core.TraceEvent) []core.TraceEvent {
 	type link struct{ src, dst int }
+	streams = clampSkew(streams)
 	idx := make([]int, len(streams))
 	total := 0
 	for _, s := range streams {
@@ -292,6 +329,60 @@ func MergeCausal(streams [][]core.TraceEvent) []core.TraceEvent {
 			recvsOut[link{e.Src, e.PE}]++
 		}
 		out = append(out, e)
+	}
+	return out
+}
+
+// clampSkew is MergeCausal's wall-clock pre-pass: raise every receive's
+// timestamp to at least its matching send's, then restore per-stream
+// monotonicity. Streams that need no correction are passed through
+// unchanged (and unallocated); corrected streams are copies.
+func clampSkew(streams [][]core.TraceEvent) [][]core.TraceEvent {
+	type link struct{ src, dst int }
+	// Per-link FIFO of send timestamps, in emission order (per-stream
+	// order is per-link send order).
+	sends := make(map[link][]float64)
+	for _, s := range streams {
+		for _, e := range s {
+			if e.Kind == core.EvSend {
+				l := link{e.PE, e.Dst}
+				sends[l] = append(sends[l], e.T)
+			}
+		}
+	}
+	taken := make(map[link]int) // receives matched so far per link
+	// The outer slice is shallow-copied up front (it is small); the
+	// event slices themselves are copied only if a correction hits them.
+	out := append([][]core.TraceEvent(nil), streams...)
+	copied := make([]bool, len(streams))
+	for i, s := range streams {
+		floor := 0.0
+		if len(s) > 0 {
+			floor = s[0].T
+		}
+		for j, e := range s {
+			t := e.T
+			if e.Kind == core.EvRecv {
+				l := link{e.Src, e.PE}
+				if k := taken[l]; k < len(sends[l]) {
+					taken[l] = k + 1
+					if st := sends[l][k]; st > t {
+						t = st
+					}
+				}
+			}
+			if t < floor {
+				t = floor
+			}
+			floor = t
+			if t != e.T {
+				if !copied[i] {
+					out[i] = append([]core.TraceEvent(nil), s...)
+					copied[i] = true
+				}
+				out[i][j].T = t
+			}
+		}
 	}
 	return out
 }
@@ -370,6 +461,9 @@ func (c *Collector) Summarize() Summary {
 //	t=<us> pe=<n> <kind-name> src=<n> dst=<n> size=<n> handler=<n> aux=<n>
 func (c *Collector) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# converse trace, %d pes\n", len(c.bufs)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# clock %s\n", c.clock); err != nil {
 		return err
 	}
 	for _, kd := range c.schema.Kinds() {

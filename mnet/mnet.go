@@ -1,0 +1,22 @@
+// Package mnet re-exports the TCP network machine layer: the launcher
+// side used by cmd/converserun (Launch) and the job-environment probes
+// programs use to self-launch or adapt output (InJob, Rank). The worker
+// side needs no explicit API — core.NewMachine detects the launcher's
+// environment and joins the job on its own. See converse/internal/mnet
+// for the protocol.
+package mnet
+
+import "converse/internal/mnet"
+
+// LaunchConfig parameterizes a converserun job.
+type LaunchConfig = mnet.LaunchConfig
+
+// Launch runs a job of NP worker processes to completion; see
+// internal/mnet.Launch.
+func Launch(cfg LaunchConfig) error { return mnet.Launch(cfg) }
+
+// InJob reports whether this process was started by converserun.
+func InJob() bool { return mnet.InJob() }
+
+// Rank returns this process's job rank, or 0 outside a job.
+func Rank() int { return mnet.Rank() }

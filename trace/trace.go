@@ -40,6 +40,16 @@ type ChromeEvent = trace.ChromeEvent
 // Parsed is a text trace parsed back into events.
 type Parsed = trace.Parsed
 
+// Clock identifies the timebase a trace was stamped with.
+type Clock = trace.Clock
+
+// Clock values: virtual (simulated) time, or wall-clock time as used by
+// the network machine layer, where per-node clocks may be skewed.
+const (
+	ClockVirtual = trace.ClockVirtual
+	ClockWall    = trace.ClockWall
+)
+
 // Summary aggregates a trace into per-PE totals.
 type Summary = trace.Summary
 

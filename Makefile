@@ -8,13 +8,17 @@
 #   make bench         comm fast-path benchmarks; writes BENCH_comm.json
 #   make net-smoke     multi-process smoke: jacobi + quickstart + commbench
 #                      under converserun -np 4 on real TCP sockets
+#   make chaos-smoke   reliability gate: jacobi under a fault plan must
+#                      converge byte-identically with the retry policy,
+#                      and die fast under failfast
+#   make bench-faults  throughput-vs-loss sweep; writes BENCH_faults.json
 #   make ci            tier1 + race gates + overhead + smokes
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench commbench-smoke net-smoke
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke
 
-ci: tier1 race machine-race overhead commbench-smoke net-smoke
+ci: tier1 race machine-race overhead commbench-smoke net-smoke chaos-smoke
 
 tier1: vet build test
 
@@ -76,3 +80,36 @@ net-smoke:
 	$$tmp/converserun -np 4 -timeout 120s $$tmp/quickstart && \
 	$$tmp/commbench -transport tcp -pes 4 -smoke -o /dev/null && \
 	echo 'net-smoke: jacobi + quickstart + commbench ok under converserun -np 4'
+
+# Chaos gate: jacobi -np 4 under a 1% drop plan plus a scripted mid-run
+# link kill must (a) exit 0 under the retry policy, (b) produce output
+# byte-identical to a fault-free run once the reliability summary and
+# the nondeterministic monitor count are filtered out, and (c) report
+# nonzero retransmit and recovery counters proving the faults actually
+# bit. A failfast leg with the same link kill must exit nonzero. Hard
+# timeouts turn a distributed hang into a CI failure.
+chaos-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	$(GO) build -o $$tmp/jacobi ./examples/jacobi && \
+	$$tmp/converserun -np 4 -timeout 120s $$tmp/jacobi -perpe 8 > $$tmp/clean.out && \
+	$$tmp/converserun -np 4 -timeout 120s -heartbeat 50ms -failure retry \
+		-faults 'seed=7,drop=0.01,killlink=1-0@120' \
+		$$tmp/jacobi -perpe 8 > $$tmp/chaos.out && \
+	grep -v -e '\[reliability\]' -e 'monitor' $$tmp/clean.out | sort > $$tmp/clean.cmp && \
+	grep -v -e '\[reliability\]' -e 'monitor' $$tmp/chaos.out | sort > $$tmp/chaos.cmp && \
+	cmp $$tmp/clean.cmp $$tmp/chaos.cmp && \
+	grep -q 'retransmits=[1-9]' $$tmp/chaos.out && \
+	grep -q -e 'recoveries=[1-9]' -e 'link_downs=[1-9]' $$tmp/chaos.out && \
+	if $$tmp/converserun -np 4 -timeout 60s -heartbeat 250ms \
+		-faults 'seed=7,killlink=1-0@120' \
+		$$tmp/jacobi -perpe 8 > $$tmp/failfast.out 2>&1; then \
+		echo 'FAIL: failfast survived a scripted link kill'; \
+		cat $$tmp/failfast.out; exit 1; \
+	fi && \
+	echo 'chaos-smoke: retry converged byte-identically under faults; failfast died as required'
+
+# Throughput-vs-loss sweep on the TCP transport under the retry policy;
+# writes BENCH_faults.json (the table EXPERIMENTS.md quotes).
+bench-faults:
+	$(GO) run ./cmd/commbench -transport tcp -faults sweep

@@ -11,10 +11,17 @@
 // directly it launches itself as a converserun job; under converserun
 // it joins the job it finds.
 //
+// With -transport tcp -faults it measures the reliability sub-layer:
+// -faults takes a fault plan (internal/faultnet grammar) applied under
+// the retry policy, or the word "sweep" to run the fan-in at a range of
+// frame-drop rates (0, 0.1%, 1%, 5%) and write BENCH_faults.json — the
+// throughput-vs-loss curve of the ack/retransmit machinery.
+//
 // Usage:
 //
 //	commbench [-o BENCH_comm.json] [-pes 8] [-msgs 400] [-size 64] [-smoke]
 //	commbench -transport tcp [-o BENCH_net.json] [-pes 4] [-msgs 400] [-size 64] [-smoke]
+//	commbench -transport tcp -faults sweep [-o BENCH_faults.json] [-smoke]
 package main
 
 import (
@@ -71,6 +78,7 @@ func main() {
 	size := flag.Int("size", 64, "message size in bytes")
 	rounds := flag.Int("rounds", 200, "ping-pong rounds")
 	smoke := flag.Bool("smoke", false, "small, fast run for CI (skips wall-clock allocs)")
+	faults := flag.String("faults", "", `with -transport tcp: a fault plan run under the retry policy, or "sweep" for the drop-rate sweep (BENCH_faults.json)`)
 	flag.Parse()
 
 	if *smoke {
@@ -79,12 +87,22 @@ func main() {
 
 	switch *transport {
 	case "tcp":
+		if *faults == "sweep" {
+			if *out == "" {
+				*out = "BENCH_faults.json"
+			}
+			faultMain(*out, *pes, *msgs, *size)
+			return
+		}
 		if *out == "" {
 			*out = "BENCH_net.json"
 		}
-		netMain(*out, *pes, *msgs, *size, *rounds)
+		netMain(*out, *pes, *msgs, *size, *rounds, *faults)
 		return
 	case "sim":
+		if *faults != "" {
+			log.Fatalf("commbench: -faults needs -transport tcp (the sim substrate has no reliability layer to measure)")
+		}
 	default:
 		log.Fatalf("commbench: unknown -transport %q (want sim or tcp)", *transport)
 	}
@@ -182,7 +200,7 @@ type netReport struct {
 // the TCP measurements (each machine is one rendezvous round, so the
 // creation order below must be identical on all ranks) and rank 0
 // additionally runs the in-process sim baselines and writes the report.
-func netMain(out string, pes, msgs, size, rounds int) {
+func netMain(out string, pes, msgs, size, rounds int, faults string) {
 	if pes < 2 {
 		log.Fatalf("commbench: -transport tcp needs -pes >= 2, have %d", pes)
 	}
@@ -229,6 +247,12 @@ func netMain(out string, pes, msgs, size, rounds int) {
 	}
 
 	tcpCfg := converse.Config{Transport: converse.TransportTCP, Watchdog: wdog}
+	if faults != "" {
+		// A fault plan only makes sense with the reliability layer on:
+		// under fail-fast the first injected drop would kill the job.
+		tcpCfg.FailurePolicy = converse.FailRetry
+		tcpCfg.Faults = faults
+	}
 	tcpCfg.PEs = 2
 	tcpPP, err := bench.NetPingPong(tcpCfg, size, rounds)
 	if err != nil {
@@ -264,4 +288,95 @@ func netMain(out string, pes, msgs, size, rounds int) {
 			p.Transport, pes, msgs, size, p.Coalesced, p.ElapsedUs, p.MsgsPerMs)
 	}
 	fmt.Printf("tcp/sim ping-pong overhead: %.1fx\n", r.PingPongTCPOverhead)
+}
+
+// --- -faults sweep: throughput vs injected frame loss ---
+
+type faultPoint struct {
+	DropRate  float64 `json:"drop_rate"`
+	Plan      string  `json:"plan"`
+	ElapsedUs float64 `json:"elapsed_us"`
+	MsgsPerMs float64 `json:"msgs_per_ms"`
+	// SlowdownX is this point's elapsed time over the clean (0% drop)
+	// run's: what the retransmit machinery costs at this loss rate.
+	SlowdownX float64 `json:"slowdown_vs_clean"`
+}
+
+type faultReport struct {
+	NP        int          `json:"np"`
+	PEs       int          `json:"pes"`
+	MsgsPerPE int          `json:"msgs_per_pe"`
+	MsgSize   int          `json:"msg_size"`
+	Policy    string       `json:"policy"`
+	Points    []faultPoint `json:"points"`
+}
+
+// faultDropRates is the sweep: clean baseline, then loss rates spanning
+// "background noise" to "badly degraded network".
+var faultDropRates = []float64{0, 0.001, 0.01, 0.05}
+
+// faultMain runs the fan-in at each drop rate under the retry policy.
+// Every rank runs every point (one rendezvous round per machine, same
+// order everywhere); rank 0 writes the report.
+func faultMain(out string, pes, msgs, size int) {
+	if pes < 2 {
+		log.Fatalf("commbench: -faults sweep needs -pes >= 2, have %d", pes)
+	}
+	if !mnet.InJob() {
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := mnet.Launch(mnet.LaunchConfig{
+			NP: pes, Prog: exe, Args: os.Args[1:], Timeout: 10 * time.Minute,
+			FailurePolicy: mnet.FailRetry,
+			// A tight heartbeat keeps the retransmit timeout (hb/2) small,
+			// so the sweep measures steady-loss throughput rather than
+			// tail-drop RTO stalls of the 1s default.
+			Heartbeat: 50 * time.Millisecond,
+		}); err != nil {
+			log.Fatalf("commbench: fault sweep job failed after %v: %v", time.Since(start).Round(time.Millisecond), err)
+		}
+		return
+	}
+
+	const wdog = 2 * time.Minute
+	r := faultReport{NP: pes, PEs: pes, MsgsPerPE: msgs, MsgSize: size, Policy: "retry"}
+	var clean float64
+	for _, rate := range faultDropRates {
+		plan := ""
+		if rate > 0 {
+			plan = fmt.Sprintf("seed=7,drop=%g", rate)
+		}
+		cfg := converse.Config{
+			Transport:     converse.TransportTCP,
+			Watchdog:      wdog,
+			PEs:           pes,
+			FailurePolicy: converse.FailRetry,
+			Faults:        plan,
+		}
+		el, tput, err := bench.NetFanIn(cfg, msgs, size)
+		if err != nil {
+			log.Fatalf("commbench: fan-in at drop=%g: %v", rate, err)
+		}
+		if rate == 0 {
+			clean = el
+		}
+		slow := 0.0
+		if clean > 0 {
+			slow = el / clean
+		}
+		r.Points = append(r.Points, faultPoint{
+			DropRate: rate, Plan: plan, ElapsedUs: el, MsgsPerMs: tput, SlowdownX: slow,
+		})
+	}
+	if mnet.Rank() != 0 {
+		return
+	}
+	writeJSON(out, &r)
+	for _, p := range r.Points {
+		fmt.Printf("drop=%-6g fan-in %dx%dx%dB  %10.0f us  %8.1f msgs/ms  %5.2fx vs clean\n",
+			p.DropRate, pes, msgs, size, p.ElapsedUs, p.MsgsPerMs, p.SlowdownX)
+	}
 }

@@ -28,6 +28,9 @@ func main() {
 	hosts := flag.String("hosts", "", "reserved: remote host list (only local jobs are supported so far)")
 	timeout := flag.Duration("timeout", 0, "kill the whole job after this wall-clock time (0 = no limit)")
 	heartbeat := flag.Duration("heartbeat", 0, "worker liveness interval (default 1s)")
+	failure := flag.String("failure", "", "failure policy: failfast (default; first link fault kills the job) or retry (reliable links: ack/retransmit, reconnection, peer-down notification)")
+	recovery := flag.Duration("recovery", 0, "under -failure retry, how long a lost link may take to recover before its peer is declared dead (default 8 heartbeats)")
+	faults := flag.String("faults", "", `fault-injection plan applied by every worker to outbound data frames, e.g. "seed=7,drop=1%,killlink=1-0@120" (see internal/faultnet)`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: converserun [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -48,11 +51,14 @@ func main() {
 
 	start := time.Now()
 	err := mnet.Launch(mnet.LaunchConfig{
-		NP:        *np,
-		Prog:      flag.Arg(0),
-		Args:      flag.Args()[1:],
-		Timeout:   *timeout,
-		Heartbeat: *heartbeat,
+		NP:             *np,
+		Prog:           flag.Arg(0),
+		Args:           flag.Args()[1:],
+		Timeout:        *timeout,
+		Heartbeat:      *heartbeat,
+		FailurePolicy:  *failure,
+		RecoveryWindow: *recovery,
+		Faults:         *faults,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converserun: job failed after %v: %v\n", time.Since(start).Round(time.Millisecond), err)

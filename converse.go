@@ -123,6 +123,17 @@ const (
 	TransportTCP  = core.TransportTCP
 )
 
+// Failure policies for Config.FailurePolicy on the TCP network
+// substrate: FailFast (the default) kills the whole job on the first
+// link fault; FailRetry turns on the reliability sub-layer (checksums,
+// acks, retransmission, session-resuming reconnection) and converts an
+// unrecovered link into a peer-down notification delivered through
+// Proc.NotifyPeerDown.
+const (
+	FailFast  = core.FailFast
+	FailRetry = core.FailRetry
+)
+
 // NewMachine creates a Converse machine.
 func NewMachine(cfg Config) *Machine { return core.NewMachine(cfg) }
 

@@ -35,11 +35,16 @@ import (
 
 const (
 	pes      = 4
-	perPE    = 32 // interior points per processor
-	tol      = 1e-5
 	maxIters = 100000
 	leftT    = 0.0   // fixed boundary temperature, left end
 	rightT   = 100.0 // fixed boundary temperature, right end
+)
+
+// perPE and tol are set from flags: problem size and convergence
+// tolerance (the chaos-smoke CI gate shrinks the run with -perpe).
+var (
+	perPE = 32
+	tol   = 1e-5
 )
 
 const (
@@ -55,7 +60,12 @@ func bytes64(v float64) []byte { return binary.LittleEndian.AppendUint64(nil, ma
 func main() {
 	traceJSON := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto)")
 	traceText := flag.String("tracetext", "", "write the run's trace in the standard text format (cmd/traceview -in)")
+	flag.IntVar(&perPE, "perpe", perPE, "interior points per processor")
+	flag.Float64Var(&tol, "tol", tol, "convergence tolerance on the residual")
 	flag.Parse()
+	if perPE < 1 {
+		log.Fatalf("jacobi: -perpe must be >= 1, got %d", perPE)
+	}
 
 	cfg := converse.Config{PEs: pes, Watchdog: 120 * time.Second}
 	var col *trace.Collector

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"converse/internal/faultnet"
 	"converse/internal/machine"
 	"converse/internal/metrics"
 )
@@ -25,6 +26,23 @@ const (
 	// TransportTCP requires the TCP network layer; NewMachine panics if
 	// the process is not part of a converserun job.
 	TransportTCP = "tcp"
+)
+
+// Failure policies for Config.FailurePolicy (network substrate). The
+// strings equal internal/mnet's FailFast/FailRetry — asserted by a core
+// test — because netmachine.go is deliberately the only core file that
+// may import mnet.
+const (
+	// FailFast (the default) kills the whole job on the first link
+	// fault — the paper's fail-stop posture.
+	FailFast = "failfast"
+	// FailRetry turns on the machine layer's reliability sub-layer:
+	// checksummed, sequenced, acked frames; retransmission; and
+	// session-resuming reconnection inside Config.RecoveryWindow. A peer
+	// whose link stays down past the window is declared dead through the
+	// peer-down notification path (Proc.NotifyPeerDown) instead of
+	// killing the job.
+	FailRetry = "retry"
 )
 
 // Config parameterizes a Converse machine.
@@ -55,6 +73,22 @@ type Config struct {
 	// Coalesce tunes sender-side small-message coalescing (see
 	// CoalesceConfig). The zero value leaves coalescing off.
 	Coalesce CoalesceConfig
+	// FailurePolicy selects the network substrate's reaction to link
+	// faults: FailFast (the default) or FailRetry. It overrides the
+	// launcher-provided policy (converserun -failure) when set, and is
+	// ignored by the simulated substrate, which has no wire to fail.
+	FailurePolicy string
+	// RecoveryWindow bounds how long a lost link may stay down under
+	// FailRetry before its peer is declared dead. Zero means the machine
+	// layer's default (a small multiple of the heartbeat).
+	RecoveryWindow time.Duration
+	// Faults is a fault-injection plan in the internal/faultnet grammar
+	// (e.g. "seed=7,drop=1%,killlink=1-0@120"); empty means no
+	// injection. Under the TCP substrate faults hit outbound data frames
+	// *below* the reliability layer, so FailRetry must repair them;
+	// under the simulated substrate packets are faulted directly — there
+	// is no reliability layer, so the program itself feels the loss.
+	Faults string
 }
 
 // Machine is a Converse machine: one Converse runtime instance (Proc)
@@ -94,11 +128,19 @@ func NewMachine(cfg Config) *Machine {
 		panic(fmt.Sprintf("core: unknown Transport %q (want %q, %q or %q)",
 			cfg.Transport, TransportAuto, TransportSim, TransportTCP))
 	}
+	plan, err := faultnet.Parse(cfg.Faults)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
 	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
 	cm := &Machine{m: m, npes: cfg.PEs}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
-		cm.procs[i] = newProc(m.PE(i), cfg.Coalesce)
+		var sub Substrate = m.PE(i)
+		if in := faultnet.New(plan, i); in != nil {
+			sub = faultnet.WrapSim(m.PE(i), in)
+		}
+		cm.procs[i] = newProc(sub, cfg.Coalesce)
 		if cfg.Tracer != nil {
 			cm.procs[i].SetTracer(cfg.Tracer(i))
 		}
@@ -121,6 +163,15 @@ func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
 	}
 	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog}
 	p := newProc(sub, cfg.Coalesce)
+	// A substrate that can declare peers dead (mnet under FailRetry)
+	// reports through the generalized-message path: the notification is
+	// posted to the local built-in peer-down handler, so user callbacks
+	// (Proc.NotifyPeerDown) always run in scheduler context.
+	if n, ok := sub.(peerDownNotifier); ok {
+		n.SetPeerDownHandler(func(pe int, reason string) {
+			sub.SendOwned(sub.ID(), makePeerDownMsg(p.peerDownHandler, pe, reason))
+		})
+	}
 	// Tracer and metrics factories are indexed by PE; surplus nodes
 	// (rank >= PEs) hold no processor of this machine, so they get
 	// neither.

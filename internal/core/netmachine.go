@@ -21,7 +21,23 @@ func netInJob() bool { return mnet.InJob() }
 // unrecoverable configuration or rendezvous errors; per the machine
 // layer's failure model they abort the process loudly rather than limp.
 func newNetMachine(cfg Config) *Machine {
-	node, err := mnet.JoinFromEnv(cfg.PEs)
+	ncfg, err := mnet.EnvJobConfig(cfg.PEs)
+	if err != nil {
+		panic(fmt.Sprintf("core: joining converserun job: %v", err))
+	}
+	// Program-level Config wins over the launcher environment, so a
+	// program that hard-codes a failure policy or fault plan behaves the
+	// same under any launcher invocation.
+	if cfg.FailurePolicy != "" {
+		ncfg.FailurePolicy = cfg.FailurePolicy
+	}
+	if cfg.RecoveryWindow > 0 {
+		ncfg.RecoveryWindow = cfg.RecoveryWindow
+	}
+	if cfg.Faults != "" {
+		ncfg.Faults = cfg.Faults
+	}
+	node, err := mnet.Join(ncfg)
 	if err != nil {
 		panic(fmt.Sprintf("core: joining converserun job: %v", err))
 	}

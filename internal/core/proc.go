@@ -120,6 +120,13 @@ type Proc struct {
 	// forwarder (bcast.go), registered first on every processor.
 	treeBcastHandler int
 
+	// peerDownHandler is the built-in peer-death declaration handler
+	// (peerdown.go); deadPEs and peerDownFns are its processor-local
+	// state.
+	peerDownHandler int
+	deadPEs         map[int]bool
+	peerDownFns     []func(pe int, reason string)
+
 	// ext stores per-processor state for higher layers (thread runtime,
 	// language runtimes), keyed by package-chosen strings.
 	ext map[string]any
@@ -146,6 +153,7 @@ func newProc(pe Substrate, co CoalesceConfig) *Proc {
 	// user handler indices stay aligned machine-wide.
 	p.treeBcastHandler = p.RegisterHandler(onTreeBcast)
 	p.packHandler = p.RegisterHandler(onPack)
+	p.peerDownHandler = p.RegisterHandler(onPeerDown)
 	return p
 }
 

@@ -1,0 +1,216 @@
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector executes one rank's side of a fault plan. Each directed link
+// gets its own LinkInjector with an RNG seeded from (plan seed, rank,
+// peer), so the fault sequence a link experiences depends only on that
+// link's frame order — never on how concurrent links interleave.
+type Injector struct {
+	plan  *Plan
+	rank  int
+	total atomic.Uint64 // data frames staged across all links (crash clock)
+	start atomic.Int64  // machine start, unix nanos (partition clock)
+
+	mu    sync.Mutex
+	links map[int]*LinkInjector
+
+	// Counters, readable via Stats while the run is live.
+	drops, dups, corrupts, holds, kills, stalls, delays, crashes atomic.Uint64
+}
+
+// New builds the injector for one rank of the plan. A nil or empty plan
+// yields a nil injector, which every consumer treats as "no faults".
+func New(plan *Plan, rank int) *Injector {
+	if plan == nil || plan.Empty() {
+		return nil
+	}
+	return &Injector{plan: plan, rank: rank, links: make(map[int]*LinkInjector)}
+}
+
+// Plan returns the plan this injector executes.
+func (in *Injector) Plan() *Plan { return in.plan }
+
+// StartClock marks the machine start; partition windows are measured
+// from here. Idempotent.
+func (in *Injector) StartClock() {
+	in.start.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// Link returns the injector for this rank's link to peer, creating it
+// on first use.
+func (in *Injector) Link(peer int) *LinkInjector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	li := in.links[peer]
+	if li == nil {
+		seed := in.plan.Seed ^ int64(in.rank+1)<<40 ^ int64(peer+1)<<20
+		li = &LinkInjector{in: in, peer: peer, rng: rand.New(rand.NewSource(seed))}
+		for _, ev := range in.plan.Kills {
+			if ev.From == in.rank && ev.To == peer {
+				li.kills = append(li.kills, ev)
+			}
+		}
+		for _, ev := range in.plan.Stalls {
+			if ev.From == in.rank && ev.To == peer {
+				li.stalls = append(li.stalls, ev)
+			}
+		}
+		in.links[peer] = li
+	}
+	return li
+}
+
+// partitioned reports whether the link rank→peer is inside the plan's
+// partition window right now.
+func (in *Injector) partitioned(peer int) bool {
+	part := in.plan.Part
+	if part == nil {
+		return false
+	}
+	start := in.start.Load()
+	if start == 0 {
+		return false
+	}
+	since := time.Duration(time.Now().UnixNano() - start)
+	if since < part.After || since >= part.After+part.For {
+		return false
+	}
+	return (inGroup(part.GroupA, in.rank) && inGroup(part.GroupB, peer)) ||
+		(inGroup(part.GroupB, in.rank) && inGroup(part.GroupA, peer))
+}
+
+func inGroup(g []int, r int) bool {
+	for _, v := range g {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+// crashDue reports whether staging the n-th total frame trips a
+// scripted crash of this rank.
+func (in *Injector) crashDue(n uint64) bool {
+	for _, ev := range in.plan.Crashes {
+		if ev.Rank == in.rank && n == ev.AtFrame {
+			in.crashes.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Stats is a snapshot of the injector's fault counters.
+type Stats struct {
+	Frames, Drops, Dups, Corrupts, Holds, Kills, Stalls, Delays, Crashes uint64
+}
+
+// Stats returns the counters accumulated so far.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Frames: in.total.Load(), Drops: in.drops.Load(), Dups: in.dups.Load(),
+		Corrupts: in.corrupts.Load(), Holds: in.holds.Load(), Kills: in.kills.Load(),
+		Stalls: in.stalls.Load(), Delays: in.delays.Load(), Crashes: in.crashes.Load(),
+	}
+}
+
+// TxFault is the injector's verdict on one outbound data frame.
+type TxFault struct {
+	Drop    bool // frame vanishes on the wire
+	Dup     bool // frame is transmitted twice
+	Corrupt bool // one payload bit is flipped in transit
+	Hold    bool // frame is held and emitted after its successor (reorder)
+	Kill    bool // the link dies now (scripted)
+	Crash   bool // this rank dies now (scripted)
+
+	CorruptBit int           // which bit to flip when Corrupt
+	Delay      time.Duration // added transmission latency
+}
+
+// LinkInjector decides the fate of one directed link's frames. Calls
+// are cheap (one mutex, a few RNG draws) and deterministic in the
+// link's frame sequence.
+type LinkInjector struct {
+	in   *Injector
+	peer int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	frames uint64
+	kills  []LinkEvent
+	stalls []LinkEvent
+}
+
+// Tx draws the fault verdict for the link's next outbound data frame.
+func (li *LinkInjector) Tx() TxFault {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	li.frames++
+	total := li.in.total.Add(1)
+
+	var f TxFault
+	if li.in.crashDue(total) {
+		f.Crash = true
+		return f
+	}
+	for i, ev := range li.kills {
+		if li.frames == ev.AtFrame {
+			li.kills = append(li.kills[:i], li.kills[i+1:]...)
+			li.in.kills.Add(1)
+			f.Kill = true
+			return f
+		}
+	}
+	for i, ev := range li.stalls {
+		if li.frames == ev.AtFrame {
+			li.stalls = append(li.stalls[:i], li.stalls[i+1:]...)
+			li.in.stalls.Add(1)
+			f.Delay += ev.Dur
+			break
+		}
+	}
+	p := li.in.plan
+	if li.in.partitioned(li.peer) {
+		li.in.drops.Add(1)
+		f.Drop = true
+		return f
+	}
+	if p.Drop > 0 && li.rng.Float64() < p.Drop {
+		li.in.drops.Add(1)
+		f.Drop = true
+		return f
+	}
+	if p.Corrupt > 0 && li.rng.Float64() < p.Corrupt {
+		li.in.corrupts.Add(1)
+		f.Corrupt = true
+		f.CorruptBit = li.rng.Intn(1 << 20)
+	}
+	if p.Dup > 0 && li.rng.Float64() < p.Dup {
+		li.in.dups.Add(1)
+		f.Dup = true
+	}
+	if p.Reorder > 0 && li.rng.Float64() < p.Reorder {
+		li.in.holds.Add(1)
+		f.Hold = true
+	}
+	if p.Delay > 0 || p.Jitter > 0 {
+		d := p.Delay
+		if p.Jitter > 0 {
+			d += time.Duration(li.rng.Int63n(int64(p.Jitter) + 1))
+		}
+		if d > 0 {
+			li.in.delays.Add(1)
+			f.Delay += d
+		}
+	}
+	return f
+}

@@ -30,7 +30,12 @@ type Balancer struct {
 	hSeed   int
 	hStatus int
 
-	deposited, rooted, forwarded uint64
+	// dead marks processors the machine layer has declared dead
+	// (FailRetry recovery exhausted); route steers seeds around them so
+	// work re-homes onto survivors instead of vanishing into a void.
+	dead map[int]bool
+
+	deposited, rooted, forwarded, rehomed uint64
 }
 
 // Policy decides where seeds go. Implementations are per-processor
@@ -56,11 +61,37 @@ const maxHops = 8
 
 // New creates the processor's balancer with the given policy.
 func New(p *core.Proc, pol Policy) *Balancer {
-	b := &Balancer{p: p, pol: pol}
+	b := &Balancer{p: p, pol: pol, dead: make(map[int]bool)}
 	b.hSeed = p.RegisterHandler(b.onSeed)
 	b.hStatus = p.RegisterHandler(b.onStatus)
+	p.NotifyPeerDown(func(pe int, reason string) { b.NotePeerDown(pe) })
 	pol.Setup(b)
 	return b
+}
+
+// NotePeerDown marks a processor dead: the balancer stops routing seeds
+// to it and re-homes any placement decision that names it. Wired
+// automatically to the core's peer-down notification (FailRetry); tests
+// and alternative failure detectors may call it directly.
+func (b *Balancer) NotePeerDown(pe int) {
+	if pe == b.p.MyPe() {
+		return // the local processor cannot be dead from its own view
+	}
+	b.dead[pe] = true
+}
+
+// nextLive returns dst if it is live, else the nearest live processor
+// scanning upward with wraparound. The local processor is always live,
+// so the scan terminates.
+func (b *Balancer) nextLive(dst int) int {
+	pes := b.p.NumPes()
+	for i := 0; i < pes; i++ {
+		c := (dst + i) % pes
+		if c == b.p.MyPe() || !b.dead[c] {
+			return c
+		}
+	}
+	return b.p.MyPe()
 }
 
 // Proc returns the balancer's processor.
@@ -86,6 +117,12 @@ func (b *Balancer) route(seed []byte, hops int) {
 	dst := b.p.MyPe()
 	if hops < maxHops {
 		dst = b.pol.Place(b, hops)
+	}
+	if b.dead[dst] {
+		// The policy named a dead processor (its view may lag): re-home
+		// the seed on the nearest survivor.
+		dst = b.nextLive(dst)
+		b.rehomed++
 	}
 	if dst == b.p.MyPe() {
 		b.rooted++
@@ -142,6 +179,10 @@ func (b *Balancer) Load() int { return b.p.QueueLen() }
 func (b *Balancer) Stats() (deposited, rooted, forwarded uint64) {
 	return b.deposited, b.rooted, b.forwarded
 }
+
+// Rehomed reports how many placement decisions named a dead processor
+// and were redirected to a survivor.
+func (b *Balancer) Rehomed() uint64 { return b.rehomed }
 
 // --- Random ---
 

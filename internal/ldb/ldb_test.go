@@ -182,3 +182,69 @@ func TestPolicyNames(t *testing.T) {
 		names[pol.Name()] = true
 	}
 }
+
+func TestDeadPeerRehomesSeeds(t *testing.T) {
+	// Declare PE 1 dead on every surviving balancer before depositing
+	// (a dead PE deposits nothing itself): no seed may execute there,
+	// and placements that named it must count as rehomed.
+	const pes, perPE = 4, 30
+	cm := core.NewMachine(core.Config{PEs: pes, Watchdog: 20 * time.Second})
+	total := int64((pes - 1) * perPE)
+	executed := make([]int64, pes)
+	var acks int64
+	var hWork, hAck, hStop int
+	hWork = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		executed[p.MyPe()]++
+		p.SyncSendAndFree(0, core.NewMsg(hAck, 0))
+	})
+	hAck = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		if atomic.AddInt64(&acks, 1) == total {
+			p.SyncBroadcastAllAndFree(core.NewMsg(hStop, 0))
+		}
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		p.ExitScheduler()
+	})
+	var rehomed int64
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, NewSpray())
+		b.NotePeerDown(1)
+		if p.MyPe() != 1 {
+			for i := 0; i < perPE; i++ {
+				b.Deposit(core.NewMsg(hWork, 8))
+			}
+		}
+		p.Scheduler(-1)
+		atomic.AddInt64(&rehomed, int64(b.Rehomed()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed[1] != 0 {
+		t.Errorf("dead PE 1 executed %d seeds", executed[1])
+	}
+	var sum int64
+	for _, n := range executed {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("executed %d seeds, want %d (re-homing lost work)", sum, total)
+	}
+	if rehomed == 0 {
+		t.Error("spray over a dead PE recorded no rehomed placements")
+	}
+}
+
+func TestNotePeerDownIgnoresSelf(t *testing.T) {
+	cm := core.NewMachine(core.Config{PEs: 2, Watchdog: 10 * time.Second})
+	err := cm.Run(func(p *core.Proc) {
+		b := New(p, NewSpray())
+		b.NotePeerDown(p.MyPe())
+		if b.dead[p.MyPe()] {
+			t.Errorf("pe %d marked itself dead", p.MyPe())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

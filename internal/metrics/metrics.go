@@ -110,6 +110,15 @@ type PE struct {
 	netReconnects atomic.Uint64
 	netStalls     atomic.Uint64 // sends that blocked on a full link queue
 
+	// Reliability sub-layer counters (FailRetry only; all stay zero
+	// under fail-fast or the simulated machine).
+	netRetransmits atomic.Uint64   // data frames re-sent (NACK, RTO, or resume replay)
+	netDupDrops    atomic.Uint64   // already-delivered frames discarded by seq
+	netCrcErrors   atomic.Uint64   // frames whose checksum failed to verify
+	netLinkDowns   atomic.Uint64   // established mesh links lost mid-run
+	netRecoveries  atomic.Uint64   // links that came back inside the recovery window
+	netWireErrs    []atomic.Uint64 // per-peer classified wire write/read errors
+
 	// handlers grows copy-on-write (only the owner PE grows it, on the
 	// first dispatch of each handler id) so lock-free readers and the
 	// dispatch hot path see a stable slice.
@@ -141,6 +150,7 @@ func New(numPEs int) *Registry {
 			netTxBytes:  make([]atomic.Uint64, numPEs),
 			netRxFrames: make([]atomic.Uint64, numPEs),
 			netRxBytes:  make([]atomic.Uint64, numPEs),
+			netWireErrs: make([]atomic.Uint64, numPEs),
 		}
 		empty := make([]*HandlerStats, 0)
 		pe.handlers.Store(&empty)
@@ -252,6 +262,34 @@ func (m *PE) NetReconnect() { m.netReconnects.Add(1) }
 // had to block (backpressure).
 func (m *PE) NetStall() { m.netStalls.Add(1) }
 
+// NetRetransmit records one data frame re-sent by the reliability layer
+// (NACK-triggered, retransmit-timeout, or resume replay).
+func (m *PE) NetRetransmit() { m.netRetransmits.Add(1) }
+
+// NetDupDrop records one inbound data frame discarded because its
+// sequence number had already been delivered.
+func (m *PE) NetDupDrop() { m.netDupDrops.Add(1) }
+
+// NetCrcError records one inbound frame whose checksum failed to verify.
+func (m *PE) NetCrcError() { m.netCrcErrors.Add(1) }
+
+// NetLinkDown records one established mesh link lost mid-run.
+func (m *PE) NetLinkDown() { m.netLinkDowns.Add(1) }
+
+// NetRecovered records one lost link that resumed inside the recovery
+// window.
+func (m *PE) NetRecovered() { m.netRecoveries.Add(1) }
+
+// NetWireErr records one classified wire-level I/O error (short write,
+// broken pipe, reset, timeout, ...) on peer's link. Out-of-range peers
+// (surplus converserun ranks) are ignored, matching NetTx.
+func (m *PE) NetWireErr(peer int) {
+	if peer < 0 || peer >= len(m.netWireErrs) {
+		return
+	}
+	m.netWireErrs[peer].Add(1)
+}
+
 // ThreadSwitch records one thread context switch.
 func (m *PE) ThreadSwitch() { m.threadSwitches.Add(1) }
 
@@ -352,6 +390,14 @@ type PESnapshot struct {
 	NetReconnects uint64
 	NetStalls     uint64
 
+	// Reliability sub-layer aggregates (nonzero only under FailRetry).
+	NetRetransmits uint64
+	NetDupDrops    uint64
+	NetCrcErrors   uint64
+	NetLinkDowns   uint64
+	NetRecoveries  uint64
+	NetWireErrs    []uint64 // per-peer classified wire I/O errors
+
 	Handlers []HandlerSnapshot // only handlers that ran
 }
 
@@ -418,6 +464,12 @@ func (r *Registry) Snapshot() Snapshot {
 			NetRxBytes:       loadAll(m.netRxBytes),
 			NetReconnects:    m.netReconnects.Load(),
 			NetStalls:        m.netStalls.Load(),
+			NetRetransmits:   m.netRetransmits.Load(),
+			NetDupDrops:      m.netDupDrops.Load(),
+			NetCrcErrors:     m.netCrcErrors.Load(),
+			NetLinkDowns:     m.netLinkDowns.Load(),
+			NetRecoveries:    m.netRecoveries.Load(),
+			NetWireErrs:      loadAll(m.netWireErrs),
 		}
 		for id, h := range *m.handlers.Load() {
 			if h == nil || h.count.Load() == 0 {

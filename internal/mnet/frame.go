@@ -12,28 +12,55 @@
 // 8-byte generalized-message header and PR 2's coalesced packs travel
 // unchanged, so the sim-vs-TCP delta measures only the wire.
 //
-// Failure model: Converse is not fault-tolerant. Any peer death,
-// handshake timeout, or heartbeat loss fails the whole job fast and
-// loudly; nothing here retries past connection setup or tries to limp.
+// Failure model: fail-fast by default — any peer death, handshake
+// timeout, heartbeat loss, checksum error, or sequence gap kills the
+// whole job loudly. Config.FailurePolicy = FailRetry turns on the
+// reliability sub-layer: every frame carries a CRC32C checksum and data
+// frames a per-link sequence number; senders keep unacked frames in a
+// bounded retransmit ring and replay them on NACK, retransmit timeout,
+// or session-resuming reconnection, so a transient fault becomes a
+// counted stall instead of job death. When a link stays down past the
+// recovery window the peer is declared dead through the peer-down
+// notification hook (SetPeerDownHandler) instead.
 package mnet
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Wire framing: every frame is [u32 LE length][u8 kind][payload], where
-// length covers the kind byte and payload. Control payloads are JSON
-// (proto.go); data payloads are raw Converse message bytes.
+// Wire framing, protocol version 2: every frame is
+//
+//	[u32 LE length][u8 kind][u32 LE crc32c][payload]
+//
+// where length covers the kind byte, the checksum, and the payload, and
+// the checksum (CRC32-Castagnoli) covers the kind byte and the payload.
+// Control payloads are JSON (proto.go); data payloads are a u64 LE
+// per-link sequence number followed by raw Converse message bytes.
 const (
-	frameHdrLen = 5
-	// maxFrame bounds the declared frame length (kind + payload), checked
-	// before any allocation so a corrupt or hostile header cannot balloon
-	// memory. 32 MiB comfortably exceeds any message the examples or
-	// benchmarks send.
+	frameHdrLen = 9
+	// dataSeqLen prefixes every data frame's payload: the per-link
+	// sequence number the reliability layer orders and acks by.
+	dataSeqLen = 8
+	// maxFrame bounds the declared frame length, checked before any
+	// allocation so a corrupt or hostile header cannot balloon memory.
+	// 32 MiB comfortably exceeds any message the examples or benchmarks
+	// send.
 	maxFrame = 32 << 20
 )
+
+// crcTab is the Castagnoli table (hardware-accelerated on amd64/arm64).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// errChecksum marks a frame whose checksum did not verify: the bytes
+// were damaged in transit. The stream framing itself (the length
+// prefix) is still intact, so under FailRetry the reader can skip the
+// damaged frame and request a replay.
+var errChecksum = errors.New("mnet: frame checksum mismatch")
 
 // kind tags a frame's role in the protocol.
 type kind uint8
@@ -51,9 +78,12 @@ const (
 	fPing                    // control-connection liveness
 
 	// worker <-> worker (mesh connection)
-	fPeerHello // identify a mesh connection (peerHelloMsg)
-	fData      // one machine packet (raw message bytes)
-	fHeartbeat // link liveness while idle
+	fPeerHello    // identify a mesh connection (peerHelloMsg)
+	fData         // one machine packet ([u64 seq][raw message bytes])
+	fHeartbeat    // link liveness while idle ([u64 cumulative ack])
+	fAck          // cumulative receive ack ([u64 last in-order seq])
+	fNack         // replay request ([u64 last in-order seq received])
+	fPeerHelloAck // session-resume accept (peerHelloAckMsg)
 )
 
 func (k kind) String() string {
@@ -82,42 +112,100 @@ func (k kind) String() string {
 		return "data"
 	case fHeartbeat:
 		return "heartbeat"
+	case fAck:
+		return "ack"
+	case fNack:
+		return "nack"
+	case fPeerHelloAck:
+		return "peerhelloack"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// writeFrame writes one frame. The caller provides any buffering and
-// serialization; writeFrame itself performs two Write calls.
-func writeFrame(w io.Writer, k kind, payload []byte) error {
-	if len(payload)+1 > maxFrame {
-		return fmt.Errorf("mnet: frame payload %d bytes exceeds limit %d", len(payload), maxFrame-1)
+// writeFrameParts writes one frame whose payload is the concatenation
+// of parts, computing the checksum incrementally so data frames need no
+// staging copy. The caller provides any buffering and serialization.
+func writeFrameParts(w io.Writer, k kind, parts ...[]byte) error {
+	psz := 0
+	for _, p := range parts {
+		psz += len(p)
+	}
+	if psz+frameHdrLen-4 > maxFrame {
+		return fmt.Errorf("mnet: frame payload %d bytes exceeds limit %d", psz, maxFrame-(frameHdrLen-4))
 	}
 	var hdr [frameHdrLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(psz+frameHdrLen-4))
 	hdr[4] = byte(k)
+	crc := crc32.Update(0, crcTab, hdr[4:5])
+	for _, p := range parts {
+		crc = crc32.Update(crc, crcTab, p)
+	}
+	binary.LittleEndian.PutUint32(hdr[5:9], crc)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if len(payload) == 0 {
-		return nil
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
 	}
-	_, err := w.Write(payload)
-	return err
+	return nil
+}
+
+// writeFrame writes one frame with a single payload slice.
+func writeFrame(w io.Writer, k kind, payload []byte) error {
+	return writeFrameParts(w, k, payload)
+}
+
+// writeDataFrame writes one sequenced data frame.
+func writeDataFrame(w io.Writer, seq uint64, data []byte) error {
+	var sb [dataSeqLen]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	return writeFrameParts(w, fData, sb[:], data)
+}
+
+// encodeDataFrame renders a whole data frame to a fresh buffer. The
+// fault injector corrupts the copy, leaving the retransmit ring's bytes
+// pristine.
+func encodeDataFrame(seq uint64, data []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(frameHdrLen + dataSeqLen + len(data))
+	var sb [dataSeqLen]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	writeFrameParts(&b, fData, sb[:], data)
+	return b.Bytes()
+}
+
+// flipBit flips one bit of an encoded frame, skipping the 4-byte length
+// prefix so the stream stays parseable and the checksum — not the
+// framer — reports the damage.
+func flipBit(frame []byte, bit int) {
+	if len(frame) <= 4 {
+		return
+	}
+	span := (len(frame) - 4) * 8
+	bit = ((bit % span) + span) % span
+	frame[4+bit/8] ^= 1 << (bit % 8)
 }
 
 // readFrame reads one frame, returning its kind and payload. The payload
 // is freshly allocated and owned by the caller (data frames hand it
 // straight to the receive path, honoring the CMI buffer-ownership
-// rules). Truncated, corrupt, or oversized input yields an error —
-// never a panic, and never an allocation beyond maxFrame.
+// rules). Truncated or oversized input yields an error; damaged bytes
+// yield an error wrapping errChecksum after the frame has been fully
+// consumed, so the caller may keep reading the stream. Never a panic,
+// and never an allocation beyond maxFrame.
 func readFrame(r io.Reader) (kind, []byte, error) {
-	var hdr [frameHdrLen - 1]byte
+	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n < 1 {
-		return 0, nil, fmt.Errorf("mnet: frame length 0 (missing kind byte)")
+	if n < frameHdrLen-4 {
+		return 0, nil, fmt.Errorf("mnet: frame length %d too short for kind and checksum", n)
 	}
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("mnet: frame length %d exceeds limit %d", n, maxFrame)
@@ -129,5 +217,12 @@ func readFrame(r io.Reader) (kind, []byte, error) {
 		}
 		return 0, nil, fmt.Errorf("mnet: truncated frame (want %d bytes): %w", n, err)
 	}
-	return kind(buf[0]), buf[1:], nil
+	k := kind(buf[0])
+	want := binary.LittleEndian.Uint32(buf[1:5])
+	got := crc32.Update(0, crcTab, buf[:1])
+	got = crc32.Update(got, crcTab, buf[5:])
+	if got != want {
+		return k, nil, fmt.Errorf("%w: %v frame of %d bytes (crc %08x, want %08x)", errChecksum, k, n, got, want)
+	}
+	return k, buf[5:], nil
 }

@@ -3,6 +3,7 @@ package mnet
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -80,10 +81,20 @@ func FuzzFrameDecode(f *testing.F) {
 	}
 	seed(fData, []byte("converse message bytes"))
 	seed(fHeartbeat, nil)
-	seed(fHello, []byte(`{"magic":"CONVERSE-MNET","version":1}`))
+	seed(fHello, []byte(`{"magic":"CONVERSE-MNET","version":2}`))
+	// Checksummed-header cases: a valid sequenced data frame, the same
+	// frame with one payload bit flipped (checksum must catch it), and a
+	// frame whose declared length covers the kind byte but not the
+	// 4-byte checksum.
+	df := encodeDataFrame(7, []byte("sequenced payload"))
+	f.Add(df)
+	flipped := append([]byte(nil), df...)
+	flipBit(flipped, 99)
+	f.Add(flipped)
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{255, 255, 255, 255, 1})
+	f.Add([]byte{1, 0, 0, 0, byte(fData)})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for {
@@ -97,4 +108,56 @@ func FuzzFrameDecode(f *testing.F) {
 			_ = k
 		}
 	})
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, fData, []byte("precious payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, fHeartbeat, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Flip every bit past the length prefix of the first frame in turn:
+	// each damaged stream must yield a checksum error for frame one and
+	// still decode frame two, because the framing survives the damage.
+	frameLen := 4 + int(binary.LittleEndian.Uint32(clean[:4]))
+	for bit := 0; bit < (frameLen-4)*8; bit++ {
+		damaged := append([]byte(nil), clean...)
+		flipBit(damaged[:frameLen], bit)
+		r := bytes.NewReader(damaged)
+		_, _, err := readFrame(r)
+		if !errors.Is(err, errChecksum) {
+			t.Fatalf("bit %d: err=%v, want errChecksum", bit, err)
+		}
+		k, pl, err := readFrame(r)
+		if err != nil || k != fHeartbeat || len(pl) != 8 {
+			t.Fatalf("bit %d: frame after damage: k=%v len=%d err=%v", bit, k, len(pl), err)
+		}
+	}
+}
+
+func TestDataFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte("one converse message")
+	if err := writeDataFrame(&buf, 42, msg); err != nil {
+		t.Fatal(err)
+	}
+	k, pl, err := readFrame(&buf)
+	if err != nil || k != fData {
+		t.Fatalf("k=%v err=%v", k, err)
+	}
+	if seq := binary.LittleEndian.Uint64(pl[:dataSeqLen]); seq != 42 {
+		t.Fatalf("seq=%d, want 42", seq)
+	}
+	if !bytes.Equal(pl[dataSeqLen:], msg) {
+		t.Fatalf("payload %q, want %q", pl[dataSeqLen:], msg)
+	}
+	// encodeDataFrame must render the identical bytes.
+	var buf2 bytes.Buffer
+	writeDataFrame(&buf2, 42, msg)
+	if enc := encodeDataFrame(42, msg); !bytes.Equal(enc, buf2.Bytes()) {
+		t.Fatal("encodeDataFrame and writeDataFrame disagree")
+	}
 }

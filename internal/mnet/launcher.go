@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"converse/internal/faultnet"
 )
 
 // LaunchConfig parameterizes a converserun job.
@@ -26,8 +28,19 @@ type LaunchConfig struct {
 	// Timeout, if nonzero, kills the whole job after the given wall-clock
 	// time (a distributed watchdog for CI).
 	Timeout time.Duration
-	// Heartbeat overrides the job's liveness interval (default 1s).
+	// Heartbeat overrides the job's liveness interval (default 1s,
+	// minimum 10ms).
 	Heartbeat time.Duration
+	// FailurePolicy is the job-wide failure policy (FailFast/FailRetry)
+	// passed to every worker. Under FailRetry the launcher also tolerates
+	// individual worker death: surviving ranks run on, and the job exits
+	// nonzero at the end with a degraded-completion report.
+	FailurePolicy string
+	// RecoveryWindow overrides the workers' link recovery window.
+	RecoveryWindow time.Duration
+	// Faults is a fault-injection plan (internal/faultnet grammar)
+	// passed to every worker.
+	Faults string
 	// Stdout and Stderr receive forwarded console output and prefixed
 	// worker process output; they default to os.Stdout and os.Stderr.
 	Stdout, Stderr io.Writer
@@ -43,8 +56,21 @@ func Launch(cfg LaunchConfig) error {
 	if cfg.NP < 1 {
 		return fmt.Errorf("mnet: launch needs at least one worker, got -np %d", cfg.NP)
 	}
+	if cfg.Heartbeat != 0 && cfg.Heartbeat < minHeartbeat {
+		return fmt.Errorf("mnet: heartbeat %v below the %v minimum (liveness detection would be pure noise)",
+			cfg.Heartbeat, minHeartbeat)
+	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = defaultHeartbeat
+	}
+	switch cfg.FailurePolicy {
+	case "", FailFast, FailRetry:
+	default:
+		return fmt.Errorf("mnet: unknown failure policy %q (want %q or %q)",
+			cfg.FailurePolicy, FailFast, FailRetry)
+	}
+	if _, err := faultnet.Parse(cfg.Faults); err != nil {
+		return err
 	}
 	if cfg.Stdout == nil {
 		cfg.Stdout = os.Stdout
@@ -79,12 +105,23 @@ func Launch(cfg LaunchConfig) error {
 			EnvToken+"="+token,
 			EnvHeartbeat+"="+cfg.Heartbeat.String(),
 		)
+		if cfg.FailurePolicy != "" {
+			cmd.Env = append(cmd.Env, EnvFailure+"="+cfg.FailurePolicy)
+		}
+		if cfg.RecoveryWindow > 0 {
+			cmd.Env = append(cmd.Env, EnvRecovery+"="+cfg.RecoveryWindow.String())
+		}
+		if cfg.Faults != "" {
+			cmd.Env = append(cmd.Env, EnvFaults+"="+cfg.Faults)
+		}
+		pipes := new(sync.WaitGroup)
 		stdout, err := cmd.StdoutPipe()
 		if err == nil {
 			var stderr io.ReadCloser
 			if stderr, err = cmd.StderrPipe(); err == nil {
-				go s.forward(i, stdout, cfg.Stdout)
-				go s.forward(i, stderr, cfg.Stderr)
+				pipes.Add(2)
+				go func() { defer pipes.Done(); s.forward(i, stdout, cfg.Stdout) }()
+				go func() { defer pipes.Done(); s.forward(i, stderr, cfg.Stderr) }()
 				err = cmd.Start()
 			}
 		}
@@ -93,9 +130,12 @@ func Launch(cfg LaunchConfig) error {
 			break
 		}
 		cmds[i] = cmd
-		go func(rank int, cmd *exec.Cmd) {
+		go func(rank int, cmd *exec.Cmd, pipes *sync.WaitGroup) {
+			// Drain both pipes before Wait: Wait closes them, and output
+			// still in flight when the process exits would be lost.
+			pipes.Wait()
 			exitCh <- procExit{rank, cmd.Wait()}
-		}(i, cmd)
+		}(i, cmd, pipes)
 	}
 
 	var timeoutCh <-chan time.Time
@@ -112,6 +152,7 @@ func Launch(cfg LaunchConfig) error {
 		}
 	}
 	var jobErr error
+	var deadRanks []int
 	select {
 	case jobErr = <-s.failCh:
 	default:
@@ -121,12 +162,26 @@ func Launch(cfg LaunchConfig) error {
 		case e := <-exitCh:
 			remaining--
 			if e.err != nil {
+				// Under FailRetry a single worker's death degrades the job
+				// instead of killing it: surviving ranks get their links'
+				// recovery windows and peer-down notifications, and the
+				// job reports the loss only at the end.
+				if cfg.FailurePolicy == FailRetry && remaining > 0 {
+					deadRanks = append(deadRanks, e.rank)
+					s.markDead(e.rank)
+					fmt.Fprintf(cfg.Stderr, "converserun: worker rank %d died (%v); continuing under retry policy\n",
+						e.rank, e.err)
+					continue
+				}
 				jobErr = fmt.Errorf("mnet: worker rank %d failed: %v", e.rank, e.err)
 			}
 		case jobErr = <-s.failCh:
 		case <-timeoutCh:
 			jobErr = fmt.Errorf("mnet: job exceeded timeout %v; state: %s", cfg.Timeout, s.describe())
 		}
+	}
+	if jobErr == nil && len(deadRanks) > 0 {
+		jobErr = fmt.Errorf("mnet: job finished degraded: ranks %v died mid-run", deadRanks)
 	}
 	s.done.Store(true)
 	if jobErr != nil {
@@ -139,6 +194,18 @@ func Launch(cfg LaunchConfig) error {
 			<-exitCh
 			remaining--
 		}
+	}
+	// Drain the control readers before returning: the workers have
+	// exited, so every control connection is at EOF, but a reader
+	// goroutine may still be parsing the final console frames — returning
+	// now would truncate the job's output. Bounded, in case a connection
+	// is wedged rather than closed.
+	ls.Close()
+	drained := make(chan struct{})
+	go func() { s.connWg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(2 * time.Second):
 	}
 	return jobErr
 }
@@ -178,6 +245,10 @@ type jobServer struct {
 	mu     sync.Mutex
 	rounds map[int]*round
 
+	// connWg tracks live control-connection readers so Launch can wait
+	// for their final console frames before returning.
+	connWg sync.WaitGroup
+
 	outMu sync.Mutex
 }
 
@@ -191,7 +262,8 @@ func (s *jobServer) acceptLoop(ls net.Listener) {
 		if err != nil {
 			return
 		}
-		go s.handleConn(conn)
+		s.connWg.Add(1)
+		go func() { defer s.connWg.Done(); s.handleConn(conn) }()
 	}
 }
 
@@ -221,6 +293,12 @@ func (s *jobServer) handleConn(conn net.Conn) {
 			}
 			if isTimeout(err) {
 				err = fmt.Errorf("no ping for %v (worker wedged)", allowance)
+			}
+			if s.cfg.FailurePolicy == FailRetry {
+				// Worker death is degraded completion, not job death; the
+				// process-exit path in Launch records and reports it.
+				s.markDead(rank)
+				return
 			}
 			s.fail(fmt.Errorf("mnet: lost control connection to worker rank %d: %v", rank, err))
 			return
@@ -369,6 +447,28 @@ func (s *jobServer) workerDone(d doneMsg) {
 		for _, c := range rd.conns {
 			if c != nil {
 				writeJSONFrame(c, fRelease, releaseMsg{Round: rd.num})
+			}
+		}
+	}
+}
+
+// markDead treats a dead rank as done in every round (retry policy):
+// the release barrier must not wait forever on a rank that can never
+// report, or every survivor would hang in Finish until the timeout.
+func (s *jobServer) markDead(rank int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rd := range s.rounds {
+		if rd.released || rank >= rd.pes {
+			continue
+		}
+		rd.doneSet[rank] = true
+		if len(rd.doneSet) == rd.pes {
+			rd.released = true
+			for _, c := range rd.conns {
+				if c != nil {
+					writeJSONFrame(c, fRelease, releaseMsg{Round: rd.num})
+				}
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"converse/internal/faultnet"
 	"converse/internal/machine"
 	"converse/internal/metrics"
 )
@@ -34,11 +35,24 @@ type Config struct {
 	// several nodes of one machine inside a single process must assign
 	// the shared round themselves.
 	Round int
-	// Heartbeat is the link liveness interval (default 1s). A link silent
-	// for heartbeatMissFactor intervals fails the job.
+	// Heartbeat is the link liveness interval (default 1s, minimum
+	// 10ms). A link silent for heartbeatMissFactor intervals fails the
+	// job (FailFast) or enters recovery (FailRetry).
 	Heartbeat time.Duration
-	// Handshake bounds rendezvous and mesh connection setup (default 30s).
+	// Handshake bounds rendezvous and mesh connection setup (default
+	// 30s). It must exceed Heartbeat or the liveness contract is
+	// un-keepable during setup.
 	Handshake time.Duration
+	// FailurePolicy selects the node's reaction to mesh-link faults:
+	// FailFast (default) or FailRetry (see the package comment).
+	FailurePolicy string
+	// RecoveryWindow bounds link recovery under FailRetry (default
+	// defaultRecoveryFactor heartbeats). A link still down when it
+	// closes triggers the peer-down notification.
+	RecoveryWindow time.Duration
+	// Faults, when non-empty, is a fault-injection plan (internal/
+	// faultnet grammar) applied to this node's outbound data frames.
+	Faults string
 }
 
 // roundCounter numbers this process's rendezvous rounds. Each
@@ -90,6 +104,26 @@ type Node struct {
 
 	met atomic.Pointer[metrics.PE]
 
+	// Fault injection (nil without a plan) and the scripted-crash hook
+	// tests install in place of os.Exit.
+	inj     *faultnet.Injector
+	crashFn func()
+
+	// Peer-down notification (FailRetry): invoked from a link goroutine
+	// when a peer's recovery window closes. Without a handler, peer
+	// death falls back to failing the job.
+	peerDownMu sync.Mutex
+	peerDownFn func(pe int, reason string)
+
+	// Reliability counters (also mirrored into metrics when attached);
+	// Finish prints them in the greppable summary line.
+	relRetrans   atomic.Uint64
+	relDupDrop   atomic.Uint64
+	relCrcErr    atomic.Uint64
+	relLinkDown  atomic.Uint64
+	relRecovered atomic.Uint64
+	relWireErr   atomic.Uint64
+
 	// Block-state bookkeeping for DescribeBlocked (shared diagnostic
 	// format with the simulated machine).
 	recvWait       atomic.Bool
@@ -107,11 +141,34 @@ func Join(cfg Config) (*Node, error) {
 	if cfg.PEs < 1 || cfg.PEs > cfg.NP {
 		return nil, fmt.Errorf("mnet: machine of %d PEs does not fit a job of %d workers (converserun -np must be >= PEs)", cfg.PEs, cfg.NP)
 	}
+	if cfg.Heartbeat != 0 && cfg.Heartbeat < minHeartbeat {
+		return nil, fmt.Errorf("mnet: heartbeat %v below the %v minimum (liveness detection would be pure noise)",
+			cfg.Heartbeat, minHeartbeat)
+	}
 	if cfg.Heartbeat <= 0 {
 		cfg.Heartbeat = defaultHeartbeat
 	}
 	if cfg.Handshake <= 0 {
 		cfg.Handshake = defaultHandshake
+	}
+	if cfg.Handshake <= cfg.Heartbeat {
+		return nil, fmt.Errorf("mnet: handshake timeout %v must exceed the heartbeat %v (setup would be declared dead before it can finish)",
+			cfg.Handshake, cfg.Heartbeat)
+	}
+	switch cfg.FailurePolicy {
+	case "":
+		cfg.FailurePolicy = FailFast
+	case FailFast, FailRetry:
+	default:
+		return nil, fmt.Errorf("mnet: unknown failure policy %q (want %q or %q)",
+			cfg.FailurePolicy, FailFast, FailRetry)
+	}
+	if cfg.RecoveryWindow <= 0 {
+		cfg.RecoveryWindow = defaultRecoveryFactor * cfg.Heartbeat
+	}
+	plan, err := faultnet.Parse(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("mnet: bad fault plan: %w", err)
 	}
 	rnd := cfg.Round
 	if rnd == 0 {
@@ -128,6 +185,7 @@ func Join(cfg Config) (*Node, error) {
 		meshReady: make(chan struct{}),
 		stopCh:    make(chan struct{}),
 		failCh:    make(chan error, 1),
+		inj:       faultnet.New(plan, cfg.Rank),
 	}
 	n.cond = sync.NewCond(&n.mu)
 	deadline := time.Now().Add(cfg.Handshake)
@@ -215,6 +273,57 @@ func (n *Node) SetMetrics(m *metrics.PE) { n.met.Store(m) }
 
 func (n *Node) heartbeat() time.Duration { return n.cfg.Heartbeat }
 
+// rel reports whether the reliability sub-layer is on.
+func (n *Node) rel() bool { return n.cfg.FailurePolicy == FailRetry }
+
+// recoveryWindow bounds one link-recovery attempt under FailRetry.
+func (n *Node) recoveryWindow() time.Duration { return n.cfg.RecoveryWindow }
+
+// rto is the retransmit timeout: how long an unacked frame may sit in
+// the ring before the sender replays it unprompted. Half a heartbeat
+// keeps tail-drop stalls well inside the liveness allowance; the floor
+// avoids spurious replays under aggressive test heartbeats.
+func (n *Node) rto() time.Duration {
+	r := n.cfg.Heartbeat / 2
+	if r < 20*time.Millisecond {
+		r = 20 * time.Millisecond
+	}
+	return r
+}
+
+// SetPeerDownHandler registers the hook invoked (from a link
+// supervisor goroutine) when a peer is declared down under FailRetry.
+// Without a handler, peer death fails the job like FailFast would.
+func (n *Node) SetPeerDownHandler(f func(pe int, reason string)) {
+	n.peerDownMu.Lock()
+	n.peerDownFn = f
+	n.peerDownMu.Unlock()
+}
+
+// peerDown escalates an unrecovered link: notify the registered
+// handler, or fail the job when nobody is listening.
+func (n *Node) peerDown(peer int, reason string) {
+	n.peerDownMu.Lock()
+	f := n.peerDownFn
+	n.peerDownMu.Unlock()
+	if f != nil {
+		f(peer, reason)
+		return
+	}
+	n.Fail(fmt.Errorf("mnet: rank %d: peer %d down: %s", n.cfg.Rank, peer, reason))
+}
+
+// scriptedCrash executes a fault plan's crash= event: tests install a
+// hook via export_test; real workers exit hard, exactly like a kill.
+func (n *Node) scriptedCrash() {
+	if f := n.crashFn; f != nil {
+		f()
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mnet: rank %d: crashing on fault-plan script\n", n.cfg.Rank)
+	os.Exit(3)
+}
+
 func (n *Node) noteTx(peer, bytes int) {
 	if m := n.met.Load(); m != nil {
 		m.NetTx(peer, bytes)
@@ -236,6 +345,51 @@ func (n *Node) noteStall() {
 func (n *Node) noteReconnect() {
 	if m := n.met.Load(); m != nil {
 		m.NetReconnect()
+	}
+}
+
+func (n *Node) noteRetransmit(peer int) {
+	n.relRetrans.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetRetransmit()
+	}
+}
+
+func (n *Node) noteDupDrop(peer int) {
+	n.relDupDrop.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetDupDrop()
+	}
+}
+
+func (n *Node) noteCrcError(peer int) {
+	n.relCrcErr.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetCrcError()
+	}
+}
+
+func (n *Node) noteLinkDown(peer int) {
+	n.relLinkDown.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetLinkDown()
+	}
+}
+
+func (n *Node) noteRecovered(peer int) {
+	n.relRecovered.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetRecovered()
+	}
+}
+
+func (n *Node) noteWireErr(peer int) {
+	if n.closing.Load() {
+		return // teardown closes connections; those errors are expected
+	}
+	n.relWireErr.Add(1)
+	if m := n.met.Load(); m != nil {
+		m.NetWireErr(peer)
 	}
 }
 
@@ -289,6 +443,9 @@ func (n *Node) Start() error {
 	}
 	select {
 	case <-n.goCh:
+		if n.inj != nil {
+			n.inj.StartClock()
+		}
 		return nil
 	case err := <-n.failCh:
 		return err
@@ -314,6 +471,9 @@ func (n *Node) register(j int, conn net.Conn) error {
 		return fmt.Errorf("mnet: rank %d: duplicate mesh connection from rank %d", n.cfg.Rank, j)
 	}
 	pl := newPeerLink(n, j, conn)
+	if j < len(n.tableAddrs) {
+		pl.addr = n.tableAddrs[j] // recovery redial target
+	}
 	n.peers[j] = pl
 	n.meshCount++
 	ready := n.meshCount == n.cfg.NP-1
@@ -351,7 +511,34 @@ func (n *Node) handleAccept(conn net.Conn) {
 	}
 	var ph peerHelloMsg
 	if decodeJSON(k, payload, &ph) != nil ||
-		ph.Token != n.cfg.Token || ph.Round != n.round || ph.From <= n.cfg.Rank {
+		ph.Token != n.cfg.Token || ph.Round != n.round {
+		conn.Close()
+		return
+	}
+	if ph.Resume {
+		// Session-resuming reconnect of an established link: answer with
+		// our cumulative ack and hand the connection to the recovering
+		// link's supervisor. Only meaningful under FailRetry, and only on
+		// links where the peer is the dialing side.
+		n.peersMu.Lock()
+		var pl *peerLink
+		if ph.From >= 0 && ph.From < len(n.peers) {
+			pl = n.peers[ph.From]
+		}
+		n.peersMu.Unlock()
+		if pl == nil || !n.rel() || pl.dialer {
+			conn.Close()
+			return
+		}
+		if writeJSONFrame(conn, fPeerHelloAck, peerHelloAckMsg{Ack: pl.rxDelivered.Load()}) != nil {
+			conn.Close()
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		pl.offerConn(conn, ph.Ack)
+		return
+	}
+	if ph.From <= n.cfg.Rank {
 		conn.Close()
 		return
 	}
@@ -559,6 +746,19 @@ func (n *Node) Finish() error {
 	}
 	select {
 	case <-n.releaseCh:
+		// Reliability summary: one greppable line per rank (chaos-smoke
+		// asserts on it), printed through the console relay while the
+		// control connection is still up. It must come after the release
+		// barrier, not before the done report: a rank whose driver
+		// returns as soon as its sends are queued (fan-in senders) would
+		// otherwise print counters the write loop hasn't earned yet —
+		// the release only arrives once every rank is done, so by now
+		// all deliveries and retransmits have settled.
+		if n.rel() {
+			n.Printf("[reliability] rank %d: retransmits=%d dup_drops=%d crc_errors=%d link_downs=%d recoveries=%d wire_errors=%d injected=%+v\n",
+				n.cfg.Rank, n.relRetrans.Load(), n.relDupDrop.Load(), n.relCrcErr.Load(),
+				n.relLinkDown.Load(), n.relRecovered.Load(), n.relWireErr.Load(), n.inj.Stats())
+		}
 		n.teardown()
 		return nil
 	case err := <-n.failCh:
@@ -606,7 +806,7 @@ func (n *Node) teardown() {
 	n.peersMu.Lock()
 	for _, pl := range n.peers {
 		if pl != nil {
-			pl.conn.Close()
+			pl.closeConn()
 		}
 	}
 	n.peersMu.Unlock()

@@ -2,28 +2,96 @@ package mnet
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
+
+	"converse/internal/faultnet"
 )
 
-// linkQueueCap is the per-peer outbound queue depth. A full queue makes
-// SendOwned block (counted as a backpressure stall) — the wire analogue
-// of the simulated machine's bounded packet ring.
-const linkQueueCap = 1024
+const (
+	// linkQueueCap is the per-peer outbound queue depth. A full queue
+	// makes SendOwned block (counted as a backpressure stall) — the wire
+	// analogue of the simulated machine's bounded packet ring.
+	linkQueueCap = 1024
+	// ringCap bounds the retransmit ring: the frames sent but not yet
+	// cumulatively acked by the peer. A full ring pauses new traffic
+	// (backpressure) while acks, NACK replays, and heartbeats keep
+	// flowing, so a lossy link degrades instead of ballooning memory.
+	ringCap = 1024
+)
 
-// peerLink is one mesh connection to a peer worker. A dedicated writer
-// goroutine drains the outbound queue into a buffered writer and flushes
-// only when the queue goes momentarily empty, so bursts of small
-// messages coalesce into few TCP writes; a dedicated reader goroutine
-// delivers inbound data frames to the node's inbox and doubles as the
-// peer-death detector (EOF, or silence past the heartbeat allowance).
+// relFrame is one staged data frame: its per-link sequence number, the
+// message bytes, and the time of its most recent transmission (the
+// retransmit-timeout clock).
+type relFrame struct {
+	seq  uint64
+	data []byte
+	sent time.Time
+}
+
+// offeredConn is a replacement connection handed to a recovering link
+// by handleAccept, carrying the redialing peer's cumulative ack.
+type offeredConn struct {
+	conn net.Conn
+	ack  uint64
+}
+
+// peerLink is one mesh link to a peer worker, potentially spanning
+// several TCP connections over its life. A supervisor goroutine (run)
+// owns the current connection and restarts the per-session writer and
+// reader around faults; under FailFast the first session error kills
+// the job, preserving the original fail-stop behavior.
+//
+// The writer goroutine is the only one that touches the connection's
+// write side: acks and NACKs requested by the reader arrive over kick
+// channels, never as direct writes, so a control frame can never tear
+// through the middle of a buffered data frame.
 type peerLink struct {
 	n    *Node
 	rank int
-	conn net.Conn
 	out  chan []byte
+
+	rel    bool   // reliability on (FailRetry)
+	dialer bool   // this side dials (and redials) the connection
+	addr   string // peer's mesh address, for recovery redials
+
+	inj *faultnet.LinkInjector // nil when no fault plan
+
+	connMu sync.Mutex
+	conn   net.Conn
+
+	connCh chan offeredConn // acceptor side: replacement conns
+
+	// Sender reliability state.
+	relMu   sync.Mutex
+	txSeq   uint64     // last staged sequence number
+	txAcked uint64     // highest cumulative ack received from the peer
+	ring    []relFrame // staged-but-unacked frames, ascending seq
+
+	// Receiver reliability state: the last in-order sequence delivered.
+	rxDelivered atomic.Uint64
+
+	// writeLoop kicks. All lossy with capacity 1: a pending kick already
+	// covers any number of triggers behind it.
+	ackKick    chan struct{}
+	nackKick   chan struct{}
+	remoteNack chan uint64
+	spaceCh    chan struct{}
+
+	held *relFrame // reorder-injection stash (writeLoop only)
+
+	jitterRng *rand.Rand // recovery-redial backoff jitter
+
+	dead atomic.Bool // peer declared down; sends are dropped
 }
 
 func newPeerLink(n *Node, rank int, conn net.Conn) *peerLink {
@@ -32,18 +100,37 @@ func newPeerLink(n *Node, rank int, conn net.Conn) *peerLink {
 		// them hit the wire when flushed.
 		tc.SetNoDelay(true)
 	}
-	return &peerLink{n: n, rank: rank, conn: conn, out: make(chan []byte, linkQueueCap)}
+	pl := &peerLink{
+		n: n, rank: rank, conn: conn,
+		out:        make(chan []byte, linkQueueCap),
+		rel:        n.rel(),
+		dialer:     n.cfg.Rank > rank,
+		connCh:     make(chan offeredConn, 1),
+		ackKick:    make(chan struct{}, 1),
+		nackKick:   make(chan struct{}, 1),
+		remoteNack: make(chan uint64, 1),
+		spaceCh:    make(chan struct{}, 1),
+		jitterRng:  rand.New(rand.NewSource(dialSeed(n.cfg.Rank, fmt.Sprintf("peer:%d", rank)))),
+	}
+	if n.inj != nil {
+		pl.inj = n.inj.Link(rank)
+	}
+	return pl
 }
 
-// start launches the link's reader and writer goroutines.
+// start launches the link's supervisor goroutine.
 func (pl *peerLink) start() {
-	go pl.writeLoop()
-	go pl.readLoop()
+	go pl.run()
 }
 
 // send queues data for transmission, blocking when the link is
-// backlogged. It never blocks past node teardown.
+// backlogged. It never blocks past node teardown. Sends to a peer
+// declared down are silently dropped — the peer-down notification
+// already told the upper layers to stop addressing it.
 func (pl *peerLink) send(data []byte) {
+	if pl.dead.Load() {
+		return
+	}
 	select {
 	case pl.out <- data:
 		return
@@ -58,34 +145,223 @@ func (pl *peerLink) send(data []byte) {
 	}
 }
 
-// writeLoop drains the outbound queue. Write coalescing falls out of the
-// two-level loop: frames are staged into the bufio.Writer while more
-// sends are immediately available, and the buffer is flushed the moment
-// the queue goes empty — the scheduler-idle flush of the machine layer.
-// Idle links carry a heartbeat every interval so the peer's reader can
-// tell "quiet" from "dead".
-func (pl *peerLink) writeLoop() {
-	w := bufio.NewWriterSize(pl.conn, 64<<10)
-	hb := pl.n.heartbeat()
-	ticker := time.NewTicker(hb)
-	defer ticker.Stop()
-	lastTx := time.Now()
+// run supervises the link across connection sessions. Each iteration
+// runs one session (a writer and a reader on the current connection)
+// until it errors or the node stops; under FailRetry a session error
+// starts bounded recovery — reestablish the connection, exchange
+// cumulative acks, replay the unacked tail — and only an exhausted
+// recovery window escalates to the peer-down notification.
+func (pl *peerLink) run() {
+	for {
+		pl.connMu.Lock()
+		conn := pl.conn
+		pl.connMu.Unlock()
 
-	fail := func(err error) {
-		if pl.n.closing.Load() {
+		errCh := make(chan error, 2)
+		stop := make(chan struct{})
+		replay := pl.unacked()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); pl.writeLoop(conn, replay, stop, errCh) }()
+		go func() { defer wg.Done(); pl.readLoop(conn, stop, errCh) }()
+
+		var err error
+		stopped := false
+		select {
+		case err = <-errCh:
+		case <-pl.n.stopCh:
+			stopped = true
+		}
+		close(stop)
+		conn.SetDeadline(time.Now()) // kick blocked I/O loose before Close
+		conn.Close()
+		wg.Wait()
+
+		if stopped || pl.n.closing.Load() {
 			return
 		}
-		pl.n.Fail(fmt.Errorf("mnet: rank %d: writing to peer %d: %w", pl.n.cfg.Rank, pl.rank, err))
+		if !pl.rel {
+			pl.n.Fail(fmt.Errorf("mnet: rank %d: link to peer %d lost: %v", pl.n.cfg.Rank, pl.rank, err))
+			return
+		}
+		pl.n.noteLinkDown(pl.rank)
+		nc, peerAck, rerr := pl.reestablish()
+		if rerr != nil {
+			if errors.Is(rerr, errLinkStopped) || pl.n.closing.Load() {
+				return
+			}
+			pl.dead.Store(true)
+			pl.n.peerDown(pl.rank, fmt.Sprintf("link lost (%v); not recovered within %v: %v",
+				err, pl.n.recoveryWindow(), rerr))
+			return
+		}
+		pl.resume(nc, peerAck)
+		pl.n.noteRecovered(pl.rank)
 	}
-	for {
+}
+
+// unacked snapshots the retransmit ring for session-start replay.
+func (pl *peerLink) unacked() []relFrame {
+	if !pl.rel {
+		return nil
+	}
+	pl.relMu.Lock()
+	defer pl.relMu.Unlock()
+	return append([]relFrame(nil), pl.ring...)
+}
+
+// resume installs a replacement connection, pruning frames the peer's
+// resume ack confirms it already delivered.
+func (pl *peerLink) resume(nc net.Conn, peerAck uint64) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pl.ackSeq(peerAck)
+	pl.connMu.Lock()
+	pl.conn = nc
+	pl.connMu.Unlock()
+}
+
+// closeConn closes the current session's connection (teardown path).
+func (pl *peerLink) closeConn() {
+	pl.connMu.Lock()
+	if pl.conn != nil {
+		pl.conn.Close()
+	}
+	pl.connMu.Unlock()
+}
+
+// ackSeq advances the cumulative ack and prunes the retransmit ring,
+// waking a writer blocked on a full ring.
+func (pl *peerLink) ackSeq(a uint64) {
+	pl.relMu.Lock()
+	if a <= pl.txAcked {
+		pl.relMu.Unlock()
+		return
+	}
+	pl.txAcked = a
+	drop := 0
+	for drop < len(pl.ring) && pl.ring[drop].seq <= a {
+		drop++
+	}
+	if drop > 0 {
+		pl.ring = append(pl.ring[:0], pl.ring[drop:]...)
+	}
+	pl.relMu.Unlock()
+	pl.kick(pl.spaceCh)
+}
+
+// stage assigns the next sequence number and, under FailRetry, parks
+// the frame in the retransmit ring until the peer acks it.
+func (pl *peerLink) stage(data []byte) relFrame {
+	pl.relMu.Lock()
+	pl.txSeq++
+	f := relFrame{seq: pl.txSeq, data: data, sent: time.Now()}
+	if pl.rel {
+		pl.ring = append(pl.ring, f)
+	}
+	pl.relMu.Unlock()
+	return f
+}
+
+func (pl *peerLink) ringFull() bool {
+	if !pl.rel {
+		return false
+	}
+	pl.relMu.Lock()
+	defer pl.relMu.Unlock()
+	return len(pl.ring) >= ringCap
+}
+
+// kick delivers a lossy wake-up.
+func (pl *peerLink) kick(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop drains the outbound queue into one session's connection.
+// Write coalescing falls out of the two-level loop: frames are staged
+// into the bufio.Writer while more sends are immediately available, and
+// the buffer is flushed the moment the queue goes empty — the
+// scheduler-idle flush of the machine layer. Idle links carry a
+// heartbeat every interval (piggybacking the cumulative ack) so the
+// peer's reader can tell "quiet" from "dead".
+func (pl *peerLink) writeLoop(conn net.Conn, replay []relFrame, stop <-chan struct{}, errCh chan<- error) {
+	w := bufio.NewWriterSize(conn, 64<<10)
+	fail := func(err error) {
+		pl.n.noteWireErr(pl.rank)
 		select {
-		case data := <-pl.out:
-			for {
-				if err := writeFrame(w, fData, data); err != nil {
+		case errCh <- fmt.Errorf("write failed (%s): %v", classifyLinkErr(err), err):
+		default:
+		}
+	}
+	if len(replay) > 0 {
+		for _, f := range replay {
+			if err := pl.writeData(w, f, true); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	hb := pl.n.heartbeat()
+	tick := hb / 2
+	if tick <= 0 {
+		tick = hb
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	lastTx := time.Now()
+	for {
+		if pl.ringFull() {
+			// Sender window exhausted: accept no new frames, but keep
+			// servicing acks, replay requests, and heartbeats — blocking
+			// those here would deadlock both sides of a lossy link.
+			select {
+			case <-pl.spaceCh:
+			case <-pl.ackKick:
+				if err := pl.writeCum(w, fAck); err != nil {
 					fail(err)
 					return
 				}
-				pl.n.noteTx(pl.rank, frameHdrLen+len(data))
+				lastTx = time.Now()
+			case <-pl.nackKick:
+				if err := pl.writeCum(w, fNack); err != nil {
+					fail(err)
+					return
+				}
+				lastTx = time.Now()
+			case from := <-pl.remoteNack:
+				if err := pl.retransmit(w, from); err != nil {
+					fail(err)
+					return
+				}
+				lastTx = time.Now()
+			case <-ticker.C:
+				if err := pl.onTick(w, &lastTx, hb); err != nil {
+					fail(err)
+					return
+				}
+			case <-stop:
+				return
+			}
+			continue
+		}
+		select {
+		case data := <-pl.out:
+			for {
+				if err := pl.writeData(w, pl.stage(data), false); err != nil {
+					fail(err)
+					return
+				}
+				if pl.ringFull() {
+					break
+				}
 				select {
 				case data = <-pl.out:
 					continue
@@ -93,68 +369,433 @@ func (pl *peerLink) writeLoop() {
 				}
 				break
 			}
+			if err := pl.writeHeld(w); err != nil {
+				fail(err)
+				return
+			}
 			if err := w.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			lastTx = time.Now()
+		case <-pl.ackKick:
+			if err := pl.writeCum(w, fAck); err != nil {
+				fail(err)
+				return
+			}
+			lastTx = time.Now()
+		case <-pl.nackKick:
+			if err := pl.writeCum(w, fNack); err != nil {
+				fail(err)
+				return
+			}
+			lastTx = time.Now()
+		case from := <-pl.remoteNack:
+			if err := pl.retransmit(w, from); err != nil {
 				fail(err)
 				return
 			}
 			lastTx = time.Now()
 		case <-ticker.C:
-			if time.Since(lastTx) < hb {
-				continue
-			}
-			if err := writeFrame(w, fHeartbeat, nil); err != nil {
+			if err := pl.onTick(w, &lastTx, hb); err != nil {
 				fail(err)
 				return
 			}
-			if err := w.Flush(); err != nil {
-				fail(err)
-				return
-			}
-			pl.n.noteTx(pl.rank, frameHdrLen)
-			lastTx = time.Now()
-		case <-pl.n.stopCh:
+		case <-stop:
 			w.Flush()
 			return
 		}
 	}
 }
 
-// readLoop receives frames from the peer. The rolling read deadline of
+// onTick services the writer's timer: retransmit-timeout recovery first
+// (a dropped tail frame with no traffic behind it produces no NACK, so
+// the sender must notice the silence itself), then idle heartbeats.
+func (pl *peerLink) onTick(w *bufio.Writer, lastTx *time.Time, hb time.Duration) error {
+	if pl.rel {
+		if from, due := pl.rtoDue(); due {
+			if err := pl.retransmit(w, from); err != nil {
+				return err
+			}
+			*lastTx = time.Now()
+			return nil
+		}
+	}
+	if time.Since(*lastTx) < hb {
+		return nil
+	}
+	var ab [8]byte
+	binary.LittleEndian.PutUint64(ab[:], pl.rxDelivered.Load())
+	if err := writeFrameParts(w, fHeartbeat, ab[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	pl.n.noteTx(pl.rank, frameHdrLen+8)
+	*lastTx = time.Now()
+	return nil
+}
+
+// rtoDue reports whether the oldest unacked frame has outlived the
+// retransmit timeout and, if so, the cumulative ack to replay from.
+func (pl *peerLink) rtoDue() (uint64, bool) {
+	rto := pl.n.rto()
+	pl.relMu.Lock()
+	defer pl.relMu.Unlock()
+	if len(pl.ring) == 0 || time.Since(pl.ring[0].sent) < rto {
+		return 0, false
+	}
+	return pl.txAcked, true
+}
+
+// retransmit replays every ring frame above the cumulative ack `from`,
+// restamping their transmission times. The receiver's sequence check
+// discards any duplicates.
+func (pl *peerLink) retransmit(w *bufio.Writer, from uint64) error {
+	pl.relMu.Lock()
+	var frames []relFrame
+	now := time.Now()
+	for i := range pl.ring {
+		if pl.ring[i].seq > from {
+			pl.ring[i].sent = now
+			frames = append(frames, pl.ring[i])
+		}
+	}
+	pl.relMu.Unlock()
+	for _, f := range frames {
+		if err := pl.writeData(w, f, true); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// writeCum writes one cumulative-ack-bearing control frame (fAck or
+// fNack) and flushes it.
+func (pl *peerLink) writeCum(w *bufio.Writer, k kind) error {
+	var ab [8]byte
+	binary.LittleEndian.PutUint64(ab[:], pl.rxDelivered.Load())
+	if err := writeFrameParts(w, k, ab[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	pl.n.noteTx(pl.rank, frameHdrLen+8)
+	return nil
+}
+
+// writeData writes one sequenced data frame, applying the fault plan
+// when one is loaded. Injection happens here — below the retransmit
+// ring — so an injected drop or corruption is repaired by the
+// reliability layer under FailRetry and detected fatally under
+// FailFast, exactly like a real wire fault.
+func (pl *peerLink) writeData(w *bufio.Writer, f relFrame, isReplay bool) error {
+	if isReplay {
+		pl.n.noteRetransmit(pl.rank)
+	}
+	if pl.inj != nil {
+		fault := pl.inj.Tx()
+		if fault.Crash {
+			pl.n.scriptedCrash()
+		}
+		if fault.Delay > 0 {
+			// Stalls block the writer with the frame unsent; the bytes
+			// already buffered still go out first.
+			w.Flush()
+			time.Sleep(fault.Delay)
+		}
+		if fault.Kill {
+			w.Flush()
+			return fmt.Errorf("scripted link kill (fault plan)")
+		}
+		if fault.Hold && pl.held == nil && !isReplay {
+			held := f
+			pl.held = &held
+			return nil
+		}
+		if fault.Drop {
+			// The frame stays in the retransmit ring; under FailFast the
+			// receiver's sequence gap kills the job instead.
+			return nil
+		}
+		if fault.Corrupt {
+			buf := encodeDataFrame(f.seq, f.data)
+			flipBit(buf, fault.CorruptBit)
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			pl.n.noteTx(pl.rank, len(buf))
+			return pl.writeHeld(w)
+		}
+		if fault.Dup {
+			if err := writeDataFrame(w, f.seq, f.data); err != nil {
+				return err
+			}
+			pl.n.noteTx(pl.rank, frameHdrLen+dataSeqLen+len(f.data))
+		}
+	}
+	if err := writeDataFrame(w, f.seq, f.data); err != nil {
+		return err
+	}
+	pl.n.noteTx(pl.rank, frameHdrLen+dataSeqLen+len(f.data))
+	return pl.writeHeld(w)
+}
+
+// writeHeld releases a reorder-injected frame after its successor.
+func (pl *peerLink) writeHeld(w *bufio.Writer) error {
+	if pl.held == nil {
+		return nil
+	}
+	h := *pl.held
+	pl.held = nil
+	if err := writeDataFrame(w, h.seq, h.data); err != nil {
+		return err
+	}
+	pl.n.noteTx(pl.rank, frameHdrLen+dataSeqLen+len(h.data))
+	return nil
+}
+
+// readLoop receives one session's frames. The rolling read deadline of
 // heartbeatMissFactor intervals is the failure detector: a live peer
 // always produces either data or heartbeats within one interval, so a
-// deadline miss means the peer is dead or wedged and the job must die
-// with it. An EOF while the job is running means the peer's process
-// exited — the fastest death signal of all.
-func (pl *peerLink) readLoop() {
-	r := bufio.NewReaderSize(pl.conn, 64<<10)
+// deadline miss means the peer is dead or wedged. An EOF while the job
+// is running means the peer's process exited — the fastest death
+// signal of all.
+//
+// Under FailRetry the sequence numbers drive exactly-once in-order
+// delivery: in-order frames are delivered and (on stream idle) acked;
+// duplicates are counted and dropped; a gap or checksum error requests
+// a replay via NACK instead of killing anything.
+func (pl *peerLink) readLoop(conn net.Conn, stop <-chan struct{}, errCh chan<- error) {
+	r := bufio.NewReaderSize(conn, 64<<10)
 	allowance := time.Duration(heartbeatMissFactor) * pl.n.heartbeat()
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	lastNacked := ^uint64(0)
 	for {
-		pl.conn.SetReadDeadline(time.Now().Add(allowance))
+		conn.SetReadDeadline(time.Now().Add(allowance))
 		k, payload, err := readFrame(r)
 		if err != nil {
+			select {
+			case <-stop:
+				return
+			default:
+			}
 			if pl.n.closing.Load() {
 				return
 			}
+			if errors.Is(err, errChecksum) {
+				pl.n.noteCrcError(pl.rank)
+				if pl.rel {
+					// The frame was consumed and the length framing is
+					// intact: skip the damage and request a replay.
+					pl.kick(pl.nackKick)
+					continue
+				}
+				fail(fmt.Errorf("%v", err))
+				return
+			}
 			switch {
-			case err == io.EOF || err == io.ErrUnexpectedEOF:
-				err = fmt.Errorf("peer process exited (connection closed)")
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				err = errors.New("peer process exited (connection closed)")
 			case isTimeout(err):
 				err = fmt.Errorf("no traffic for %v (peer wedged or network dead)", allowance)
+			default:
+				pl.n.noteWireErr(pl.rank)
+				err = fmt.Errorf("read failed (%s): %v", classifyLinkErr(err), err)
 			}
-			pl.n.Fail(fmt.Errorf("mnet: rank %d: link to peer %d lost: %v", pl.n.cfg.Rank, pl.rank, err))
+			fail(err)
 			return
 		}
 		pl.n.noteRx(pl.rank, frameHdrLen+len(payload))
 		switch k {
 		case fData:
-			pl.n.deliver(pl.rank, payload)
-		case fHeartbeat:
-			// Nothing to do: receiving it already reset the deadline.
+			if len(payload) < dataSeqLen {
+				fail(fmt.Errorf("malformed data frame (%d bytes, no sequence number)", len(payload)))
+				return
+			}
+			seq := binary.LittleEndian.Uint64(payload[:dataSeqLen])
+			cur := pl.rxDelivered.Load()
+			switch {
+			case seq <= cur:
+				// Replay overlap (or injected duplicate): already
+				// delivered, drop it.
+				pl.n.noteDupDrop(pl.rank)
+			case seq == cur+1:
+				pl.rxDelivered.Store(seq)
+				pl.n.deliver(pl.rank, payload[dataSeqLen:])
+				if pl.rel && r.Buffered() == 0 {
+					pl.kick(pl.ackKick)
+				}
+			default:
+				// Sequence gap: frames vanished on the wire.
+				if !pl.rel {
+					fail(fmt.Errorf("sequence gap (got frame %d, want %d: frames lost on the wire)", seq, cur+1))
+					return
+				}
+				// NACK once per stuck position; if the replay is lost
+				// too, the sender's retransmit timeout recovers.
+				if cur != lastNacked {
+					pl.kick(pl.nackKick)
+					lastNacked = cur
+				}
+			}
+		case fAck, fHeartbeat:
+			if pl.rel && len(payload) >= 8 {
+				pl.ackSeq(binary.LittleEndian.Uint64(payload[:8]))
+			}
+		case fNack:
+			if pl.rel && len(payload) >= 8 {
+				v := binary.LittleEndian.Uint64(payload[:8])
+				select {
+				case pl.remoteNack <- v:
+				default:
+				}
+			}
 		default:
-			pl.n.Fail(fmt.Errorf("mnet: rank %d: unexpected %v frame on mesh link from peer %d",
-				pl.n.cfg.Rank, k, pl.rank))
+			fail(fmt.Errorf("unexpected %v frame on mesh link", k))
 			return
 		}
+	}
+}
+
+// errLinkStopped marks recovery abandoned because the node stopped.
+var errLinkStopped = errors.New("node stopped during link recovery")
+
+// reestablish obtains a replacement connection within the recovery
+// window: the dialing side redials the peer's mesh address, the
+// accepting side waits for handleAccept to deliver the peer's redial.
+// It returns the new connection and the peer's cumulative receive ack.
+func (pl *peerLink) reestablish() (net.Conn, uint64, error) {
+	window := pl.n.recoveryWindow()
+	deadline := time.Now().Add(window)
+	if pl.dialer {
+		return pl.redial(deadline)
+	}
+	remain := time.Until(deadline)
+	if remain <= 0 {
+		remain = time.Millisecond
+	}
+	t := time.NewTimer(remain)
+	defer t.Stop()
+	select {
+	case oc := <-pl.connCh:
+		pl.n.noteReconnect()
+		return oc.conn, oc.ack, nil
+	case <-t.C:
+		return nil, 0, fmt.Errorf("peer %d did not redial within %v", pl.rank, window)
+	case <-pl.n.stopCh:
+		return nil, 0, errLinkStopped
+	}
+}
+
+// redial reconnects to the peer's mesh listener with jittered
+// exponential backoff. Recovery starts at 1ms (the listener was up
+// moments ago) rather than dialPeer's cold-start 10ms.
+func (pl *peerLink) redial(deadline time.Time) (net.Conn, uint64, error) {
+	backoff := time.Millisecond
+	const backoffCap = 250 * time.Millisecond
+	lastErr := errors.New("recovery window exhausted before the first dial")
+	for {
+		select {
+		case <-pl.n.stopCh:
+			return nil, 0, errLinkStopped
+		default:
+		}
+		if !time.Now().Before(deadline) {
+			return nil, 0, lastErr
+		}
+		conn, err := net.DialTimeout("tcp", pl.addr, time.Until(deadline))
+		if err == nil {
+			var ack uint64
+			if ack, err = pl.resumeHello(conn); err == nil {
+				pl.n.noteReconnect()
+				return conn, ack, nil
+			}
+			conn.Close()
+		}
+		lastErr = err
+		time.Sleep(withJitter(backoff, pl.jitterRng))
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
+}
+
+// resumeHello runs the session-resume handshake on a fresh connection:
+// present the round, rank, and our cumulative receive ack; the peer
+// answers with its own ack so both sides prune their rings and replay
+// only the tail the other never delivered.
+func (pl *peerLink) resumeHello(conn net.Conn) (uint64, error) {
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+	err := writeJSONFrame(conn, fPeerHello, peerHelloMsg{
+		Token: pl.n.cfg.Token, Round: pl.n.round, From: pl.n.cfg.Rank,
+		Resume: true, Ack: pl.rxDelivered.Load(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	k, payload, err := readFrame(conn)
+	if err != nil {
+		return 0, err
+	}
+	if k != fPeerHelloAck {
+		return 0, fmt.Errorf("unexpected %v frame answering session resume", k)
+	}
+	var ack peerHelloAckMsg
+	if err := decodeJSON(k, payload, &ack); err != nil {
+		return 0, err
+	}
+	return ack.Ack, nil
+}
+
+// offerConn hands a replacement connection to the recovering link,
+// displacing any staler offer already waiting.
+func (pl *peerLink) offerConn(conn net.Conn, ack uint64) {
+	for {
+		select {
+		case pl.connCh <- offeredConn{conn, ack}:
+			return
+		default:
+		}
+		select {
+		case old := <-pl.connCh:
+			old.conn.Close()
+		default:
+		}
+	}
+}
+
+// classifyLinkErr names a link I/O error's failure mode, so metrics and
+// failure reports distinguish a half-written frame (short write: the
+// kernel accepted part of a frame before the link died, which matters
+// for session resume) from clean closes, resets, and timeouts, instead
+// of folding everything into "peer dead".
+func classifyLinkErr(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, errChecksum):
+		return "checksum"
+	case errors.Is(err, io.ErrShortWrite):
+		return "short-write"
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return "eof"
+	case errors.Is(err, syscall.EPIPE):
+		return "broken-pipe"
+	case errors.Is(err, syscall.ECONNRESET):
+		return "connection-reset"
+	case isTimeout(err):
+		return "timeout"
+	default:
+		return "io-error"
 	}
 }
 
@@ -169,13 +810,32 @@ func isTimeout(err error) bool {
 	return false
 }
 
-// dialPeer connects to addr with exponential backoff (10ms doubling to a
-// 500ms cap) until the handshake deadline: during job startup peers bind
-// their listeners at slightly different times, so early refusals are
-// expected and retried; past the deadline the job fails loudly.
+// withJitter spreads d by a uniform random extra of up to d/2 so a full
+// mesh of ranks retrying in lockstep desynchronizes; the seeded rng
+// keeps test runs deterministic.
+func withJitter(d time.Duration, rng *rand.Rand) time.Duration {
+	if rng == nil || d <= 0 {
+		return d
+	}
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// dialSeed derives a per-(rank, target) jitter seed.
+func dialSeed(rank int, addr string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, addr)
+	return int64(h.Sum64()) ^ int64(rank+1)<<32
+}
+
+// dialPeer connects to addr with jittered exponential backoff (10ms
+// doubling to a 500ms cap) until the handshake deadline: during job
+// startup peers bind their listeners at slightly different times, so
+// early refusals are expected and retried; past the deadline the job
+// fails loudly.
 func dialPeer(n *Node, addr string, deadline time.Time) (net.Conn, error) {
 	backoff := 10 * time.Millisecond
 	const backoffCap = 500 * time.Millisecond
+	rng := rand.New(rand.NewSource(dialSeed(n.cfg.Rank, addr)))
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
@@ -185,7 +845,7 @@ func dialPeer(n *Node, addr string, deadline time.Time) (net.Conn, error) {
 			return nil, fmt.Errorf("mnet: dialing peer %s: handshake deadline exceeded: %w", addr, err)
 		}
 		n.noteReconnect()
-		time.Sleep(backoff)
+		time.Sleep(withJitter(backoff, rng))
 		if backoff *= 2; backoff > backoffCap {
 			backoff = backoffCap
 		}

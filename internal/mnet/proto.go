@@ -13,8 +13,23 @@ import (
 // hello carries both; a mismatch (stale binary, stray connection) kills
 // the job immediately rather than producing wire garbage later.
 const (
-	protoMagic   = "CONVERSE-MNET"
-	protoVersion = 1
+	protoMagic = "CONVERSE-MNET"
+	// protoVersion 2: checksummed frame header (CRC32C), sequenced data
+	// frames, ack/nack kinds, and the session-resume peer hello.
+	protoVersion = 2
+)
+
+// Failure policies (Config.FailurePolicy, converserun -failure).
+const (
+	// FailFast (the default) kills the whole job on the first link
+	// fault — the paper's fail-stop posture.
+	FailFast = "failfast"
+	// FailRetry turns on the reliability sub-layer: checksummed,
+	// sequenced, acked frames; NACK/timeout retransmission; and
+	// session-resuming reconnection within Config.RecoveryWindow. A link
+	// that stays down past the window declares the peer dead through the
+	// peer-down notification hook.
+	FailRetry = "retry"
 )
 
 // Environment variables through which the launcher passes job
@@ -33,6 +48,14 @@ const (
 	// EnvHeartbeat carries the launcher's liveness interval (a Go
 	// duration string) so workers and launcher agree on it.
 	EnvHeartbeat = "CONVERSE_NET_HEARTBEAT"
+	// EnvFailure carries the job's failure policy (FailFast/FailRetry).
+	EnvFailure = "CONVERSE_NET_FAILURE"
+	// EnvRecovery carries the link recovery window (a Go duration
+	// string) used under FailRetry.
+	EnvRecovery = "CONVERSE_NET_RECOVERY"
+	// EnvFaults carries the fault-injection plan (internal/faultnet
+	// grammar) each worker applies to its outbound data frames.
+	EnvFaults = "CONVERSE_NET_FAULTS"
 )
 
 // Protocol timing defaults; Config can override them (tests shrink the
@@ -40,9 +63,17 @@ const (
 const (
 	defaultHeartbeat = 1 * time.Second
 	defaultHandshake = 30 * time.Second
+	// minHeartbeat is the smallest accepted liveness interval: below it
+	// scheduling noise alone outruns the heartbeat and the failure
+	// detector produces nothing but false positives.
+	minHeartbeat = 10 * time.Millisecond
 	// heartbeatMissFactor: a link silent for this many heartbeat
 	// intervals is declared dead.
 	heartbeatMissFactor = 3
+	// defaultRecoveryFactor: under FailRetry a lost link gets
+	// defaultRecoveryFactor heartbeat intervals to come back before the
+	// peer is declared dead (Config.RecoveryWindow overrides).
+	defaultRecoveryFactor = 8
 )
 
 // Control-frame payloads. JSON keeps the rendezvous path debuggable;
@@ -97,6 +128,17 @@ type peerHelloMsg struct {
 	Token string `json:"token"`
 	Round int    `json:"round"`
 	From  int    `json:"from"`
+	// Resume marks a session-resuming reconnect of an established link
+	// (FailRetry); Ack carries the dialer's cumulative receive ack so
+	// the acceptor can prune its retransmit ring and replay the rest.
+	Resume bool   `json:"resume,omitempty"`
+	Ack    uint64 `json:"ack,omitempty"`
+}
+
+// peerHelloAckMsg answers a resuming peer hello with the acceptor's own
+// cumulative receive ack.
+type peerHelloAckMsg struct {
+	Ack uint64 `json:"ack"`
 }
 
 // writeJSONFrame marshals msg and writes it as one frame of kind k.
@@ -153,8 +195,23 @@ func envConfig(pes int) (Config, error) {
 		}
 		cfg.Heartbeat = d
 	}
+	cfg.FailurePolicy = os.Getenv(EnvFailure)
+	if rw := os.Getenv(EnvRecovery); rw != "" {
+		d, err := time.ParseDuration(rw)
+		if err != nil {
+			return Config{}, fmt.Errorf("mnet: bad %s: %w", EnvRecovery, err)
+		}
+		cfg.RecoveryWindow = d
+	}
+	cfg.Faults = os.Getenv(EnvFaults)
 	return cfg, nil
 }
+
+// EnvJobConfig builds a node Config for a machine of pes processors
+// from the launcher-provided environment without joining, so callers
+// (internal/core) can override fields — failure policy, recovery
+// window, fault plan — before Join.
+func EnvJobConfig(pes int) (Config, error) { return envConfig(pes) }
 
 // JoinFromEnv joins the surrounding converserun job for a machine of pes
 // processors, using the coordinates the launcher placed in the

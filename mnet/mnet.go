@@ -11,6 +11,14 @@ import "converse/internal/mnet"
 // LaunchConfig parameterizes a converserun job.
 type LaunchConfig = mnet.LaunchConfig
 
+// Failure policies for LaunchConfig.FailurePolicy (converserun
+// -failure): fail-fast kills the job on the first link fault, retry
+// turns on the reliability sub-layer and rides transient faults out.
+const (
+	FailFast  = mnet.FailFast
+	FailRetry = mnet.FailRetry
+)
+
 // Launch runs a job of NP worker processes to completion; see
 // internal/mnet.Launch.
 func Launch(cfg LaunchConfig) error { return mnet.Launch(cfg) }

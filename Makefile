@@ -12,13 +12,18 @@
 #                      converge byte-identically with the retry policy,
 #                      and die fast under failfast
 #   make bench-faults  throughput-vs-loss sweep; writes BENCH_faults.json
-#   make ci            tier1 + race gates + overhead + smokes
+#   make lint          converselint (msgownership, handlerreg,
+#                      blockinhandler, noallocinhot) over the whole
+#                      repo, via go vet -vettool
+#   make msgcheck-test full test suite with the dynamic ownership
+#                      checker compiled in (-tags msgcheck)
+#   make ci            tier1 + race gates + overhead + lint + msgcheck + smokes
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke lint msgcheck-test
 
-ci: tier1 race machine-race overhead commbench-smoke net-smoke chaos-smoke
+ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke
 
 tier1: vet build test
 
@@ -33,6 +38,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Static ownership/handler checks: build converselint and run it the
+# way editors and CI caches like best — as a go vet tool. Findings exit
+# nonzero. `go run ./cmd/converselint ./...` is the cache-free
+# standalone equivalent.
+lint:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/converselint ./cmd/converselint && \
+	$(GO) vet -vettool=$$tmp/converselint ./... && \
+	echo 'lint: msgownership handlerreg blockinhandler noallocinhot clean'
+
+# Dynamic ownership checks: the whole suite with the msgcheck runtime
+# checker compiled in (poisoned pools, generation stamps, checked
+# accessors). Catches use-after-transfer the static analyzer cannot see.
+msgcheck-test:
+	$(GO) test -tags msgcheck ./...
 
 # The MPSC inbox ring is the one lock-free structure in the tree; gate
 # it separately so a failure names the layer directly.

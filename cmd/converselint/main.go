@@ -1,0 +1,221 @@
+// Converselint checks Converse programs for violations of the
+// runtime's message-ownership and handler invariants. It bundles four
+// analyzers:
+//
+//	msgownership    no use of a message buffer after a Transfer send or free
+//	handlerreg      handler indices come from Register*, not integer literals
+//	blockinhandler  no blocking operations inside message handlers
+//	noallocinhot    //converse:hotpath functions stay allocation-free
+//
+// Run it standalone over package patterns:
+//
+//	converselint ./...
+//	converselint -c msgownership,handlerreg ./examples/...
+//
+// or as a go vet tool, which applies it package-by-package with go
+// vet's caching and test-variant handling:
+//
+//	go vet -vettool=$(command -v converselint) ./...
+//
+// A finding can be suppressed by the preceding (or trailing) comment
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// where the justification is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"converse/internal/lint"
+	"converse/internal/lint/load"
+)
+
+func main() {
+	// The go vet protocol probes the tool before use: -V=full must
+	// print an identifying version line (it becomes part of go vet's
+	// cache key) and -flags must list the tool's analyzer flags.
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			// The line must parse as "name version ver [buildID=id]";
+			// hashing our own executable makes go vet's result cache
+			// invalidate whenever the tool is rebuilt.
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetUnit(os.Args[1]))
+	}
+	os.Exit(standalone())
+}
+
+// selfID hashes the running executable for the -V=full build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:16])
+}
+
+// standalone loads whole package patterns through the go tool and
+// lints them all.
+func standalone() int {
+	var (
+		checks  = flag.String("c", "", "comma-separated analyzers to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dirFlag = flag.String("C", ".", "change to this directory before loading packages")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: converselint [-c analyzers] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return 0
+	}
+	if *checks != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+			return 1
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages(*dirFlag, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", pkg.ImportPath, e)
+			found++
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+			found++
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package unit (x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit lints one package unit described by a go vet .cfg file.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "converselint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist even
+	// though converselint exports no facts.
+	if cfg.VetxOutput != "" {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+			return 1
+		}
+		gob.NewEncoder(f).Encode([]string(nil))
+		f.Close()
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	exports := map[string]string{}
+	for path, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[path] = file
+		}
+	}
+	pkg, err := load.Unit(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", cfg.ImportPath, e)
+		}
+		return 1
+	}
+	diags, err := lint.Run(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

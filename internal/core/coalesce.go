@@ -84,6 +84,8 @@ func (p *Proc) coalescable(msg []byte) bool {
 
 // stageMsg copies msg into dst's pack, flushing first when the pack is
 // out of room and after when the batch window fills.
+//
+//converse:hotpath
 func (p *Proc) stageMsg(dst int, msg []byte) {
 	if p.stage == nil {
 		p.stage = make([]pack, p.NumPes())
@@ -112,6 +114,8 @@ func (p *Proc) stageMsg(dst int, msg []byte) {
 }
 
 // flushPeer transmits dst's staged pack, if any, as one packet.
+//
+//converse:hotpath
 func (p *Proc) flushPeer(dst int) {
 	if p.stage == nil {
 		return
@@ -123,6 +127,7 @@ func (p *Proc) flushPeer(dst int) {
 	buf, n, count := pk.buf, pk.n, pk.count
 	pk.buf, pk.n, pk.count = nil, 0, 0
 	p.staged -= count
+	mcSend(buf)
 	p.pe.SendOwned(dst, buf[:n])
 	if p.met != nil {
 		p.met.CoalesceFlush()
@@ -199,6 +204,10 @@ func (p *Proc) recvNetBlock() (netMsg, bool) {
 // unchanged for coalesced and direct messages alike.
 func (p *Proc) ingest(pkt machine.Packet) {
 	data := pkt.Data
+	// Adopt before the first header read: under msgcheck a transferred
+	// buffer arrives retired by the sender's mcSend, and ownership
+	// passes to this processor here.
+	mcAdopt(data)
 	if len(data) >= HeaderSize && HandlerOf(data) == p.packHandler {
 		p.unpack(data, pkt.Src)
 		return
@@ -213,6 +222,8 @@ func (p *Proc) ingest(pkt machine.Packet) {
 // allocation (the segment aliases the pack; FuzzUnpack exercises this).
 // It is a plain function rather than a closure-based iterator so the
 // unpack path stays allocation-free in the steady state.
+//
+//converse:hotpath
 func packSeg(data []byte, off int) (seg []byte, next int, err error) {
 	if off+4 > len(data) {
 		return nil, 0, fmt.Errorf("truncated length prefix at offset %d of %d", off, len(data))

@@ -46,7 +46,10 @@ func MakeMsg(handler int, payload []byte) []byte {
 
 // SetHandler stores the handler index in a message's header
 // (CmiSetHandler).
+//
+//converse:hotpath
 func SetHandler(msg []byte, handler int) {
+	mcCheck(msg)
 	if len(msg) < HeaderSize {
 		panic(fmt.Sprintf("core: message of %d bytes is smaller than the %d-byte header", len(msg), HeaderSize))
 	}
@@ -54,7 +57,10 @@ func SetHandler(msg []byte, handler int) {
 }
 
 // HandlerOf extracts the handler index from a message's header.
+//
+//converse:hotpath
 func HandlerOf(msg []byte) int {
+	mcCheck(msg)
 	if len(msg) < HeaderSize {
 		panic(fmt.Sprintf("core: message of %d bytes is smaller than the %d-byte header", len(msg), HeaderSize))
 	}
@@ -72,13 +78,19 @@ const immediateBit = 1 << 31
 // not interpret these bits; language runtimes use them freely — for
 // example to distinguish "fresh from the network" from "replayed from
 // the scheduler queue" without registering a second handler.
+//
+//converse:hotpath
 func SetFlags(msg []byte, flags uint32) {
+	mcCheck(msg)
 	imm := binary.LittleEndian.Uint32(msg[4:8]) & immediateBit
 	binary.LittleEndian.PutUint32(msg[4:8], flags&^immediateBit|imm)
 }
 
 // FlagsOf returns the language-owned part of the message's flags word.
+//
+//converse:hotpath
 func FlagsOf(msg []byte) uint32 {
+	mcCheck(msg)
 	return binary.LittleEndian.Uint32(msg[4:8]) &^ immediateBit
 }
 
@@ -91,12 +103,23 @@ func FlagsOf(msg []byte) uint32 {
 // "Preemptive messages (interrupt messages) will be investigated in the
 // future" — this is that facility, as it later appeared in Converse.)
 func SetImmediate(msg []byte) {
+	mcCheck(msg)
 	msg[7] |= 0x80 // high bit of the little-endian flags word
 }
 
 // IsImmediate reports whether msg is marked immediate.
-func IsImmediate(msg []byte) bool { return msg[7]&0x80 != 0 }
+//
+//converse:hotpath
+func IsImmediate(msg []byte) bool {
+	mcCheck(msg)
+	return msg[7]&0x80 != 0
+}
 
 // Payload returns the message body after the header. The slice aliases
 // msg; writes are visible to other holders of the message.
-func Payload(msg []byte) []byte { return msg[HeaderSize:] }
+//
+//converse:hotpath
+func Payload(msg []byte) []byte {
+	mcCheck(msg)
+	return msg[HeaderSize:]
+}

@@ -55,6 +55,8 @@ func recycleClass(c int) int {
 // capacity, reusing recycled buffers when possible (the CMI buffer
 // pool). The returned message has its handler field zeroed; the caller
 // must SetHandler it. Contents beyond the header are unspecified.
+//
+//converse:hotpath
 func (p *Proc) Alloc(payloadLen int) []byte {
 	want := HeaderSize + payloadLen
 	ci := allocClass(want)
@@ -68,6 +70,10 @@ func (p *Proc) Alloc(payloadLen int) []byte {
 				buf := cls[n-1][:want]
 				cls[n-1] = nil
 				p.pool.classes[c] = cls[:n-1]
+				// Stamp before the header writes below: the buffer is
+				// still in the freed state until mcStamp revives it.
+				mcStamp(buf)
+				//lint:ignore handlerreg Alloc hands out messages with the handler field deliberately zeroed; the caller must SetHandler a registered index before sending.
 				SetHandler(buf, 0)
 				SetFlags(buf, 0)
 				p.notePoolHit()
@@ -77,20 +83,27 @@ func (p *Proc) Alloc(payloadLen int) []byte {
 		p.notePoolMiss()
 		// Miss: allocate at full class capacity so the buffer recycles
 		// back into the same class it serves.
-		return make([]byte, poolClassSizes[ci])[:want]
+		buf := make([]byte, poolClassSizes[ci])[:want]
+		mcStamp(buf)
+		return buf
 	}
 	p.notePoolMiss()
-	return NewMsg(0, payloadLen)
+	//lint:ignore handlerreg the oversized-allocation path also returns an unset (zero) handler field for the caller to fill in.
+	msg := NewMsg(0, payloadLen)
+	mcStamp(msg)
+	return msg
 }
 
 // recycle returns a buffer to the pool, dropping it when its class is
 // full or it is too small to ever serve an allocation.
+//
+//converse:hotpath
 func (p *Proc) recycle(buf []byte) {
 	ci := recycleClass(cap(buf))
-	if ci < 0 {
-		return
-	}
-	if len(p.pool.classes[ci]) < poolClassCap {
+	pooled := ci >= 0 && len(p.pool.classes[ci]) < poolClassCap
+	mcFree(buf, pooled)
+	if pooled {
+		//lint:ignore noallocinhot the class backing array doubles a few times up to poolClassCap then reuses capacity; steady state appends allocation-free
 		p.pool.classes[ci] = append(p.pool.classes[ci], buf[:cap(buf)])
 	}
 }

@@ -310,10 +310,13 @@ func (p *Proc) dispatchNet(msg []byte, src int) {
 // protocol: if the handler does not grab the buffer, the CMI reclaims it
 // for reuse. Dispatches nest (a handler may invoke the scheduler), so
 // in-flight buffers are kept on a stack.
+//
+//converse:hotpath
 func (p *Proc) dispatch(msg []byte) {
 	id := HandlerOf(msg)
 	h := p.HandlerFunc(id)
 	p.ownSeq++
+	//lint:ignore noallocinhot the dispatch stack grows to the nesting depth once and reuses capacity thereafter
 	p.dispStack = append(p.dispStack, ownedBuf{msg: msg, seq: p.ownSeq})
 	var t0 float64
 	if p.met != nil {

@@ -60,14 +60,19 @@ func (p *Proc) Send(dst int, msg []byte, opts ...SendOpt) {
 	switch {
 	case dst >= 0:
 		p.send(dst, msg, transfer)
-	case dst == bcastOthers:
+	case dst == bcastOthers, dst == bcastAll:
+		// Broadcasts go through the same validation as the
+		// point-to-point site, up front: a bad header must panic here
+		// identically for every destination form, before any copy is
+		// staged or the buffer is recycled — not only if some per-peer
+		// send happens to run (a 1-PE BroadcastOthers sends nothing).
+		p.checkSend(p.MyPe(), msg)
 		p.broadcastCopies(msg)
-		if transfer {
+		if dst == bcastAll {
+			p.send(p.MyPe(), msg, transfer)
+		} else if transfer {
 			p.recycle(msg)
 		}
-	case dst == bcastAll:
-		p.broadcastCopies(msg)
-		p.send(p.MyPe(), msg, transfer)
 	default:
 		panic(fmt.Sprintf("core: pe %d: Send to invalid destination %d", p.MyPe(), dst))
 	}
@@ -77,6 +82,8 @@ func (p *Proc) Send(dst int, msg []byte, opts ...SendOpt) {
 // validate, charge and record, then either stage into the coalescing
 // pack (which copies, so the original can be recycled right away under
 // Transfer) or hand the packet to the machine layer.
+//
+//converse:hotpath
 func (p *Proc) send(dst int, msg []byte, transfer bool) {
 	p.checkSend(dst, msg)
 	p.chargeSend()
@@ -100,13 +107,17 @@ func (p *Proc) send(dst int, msg []byte, transfer bool) {
 		copy(buf, msg)
 		msg = buf
 	}
+	// Retire before the handoff: once SendOwned returns, the
+	// destination processor may already own the backing array.
+	mcSend(msg)
 	p.pe.SendOwned(dst, msg)
 }
 
 // broadcastCopies sends a copy of msg to every processor but this one.
-// The broadcast involves only the sender: it is not a barrier.
+// The broadcast involves only the sender: it is not a barrier. Every
+// caller (Send's broadcast arms, AsyncBroadcast*) has already run
+// checkSend, and each per-peer send validates again.
 func (p *Proc) broadcastCopies(msg []byte) {
-	p.checkSend(0, msg)
 	for dst := 0; dst < p.NumPes(); dst++ {
 		if dst != p.MyPe() {
 			p.send(dst, msg, false)
@@ -248,6 +259,8 @@ func (p *Proc) VectorSend(dst int, handler int, pieces ...[]byte) *CommHandle {
 // checkSend validates a message before transmission: it must be at
 // least a header, carry a handler index some processor has registered,
 // and go to a processor that exists.
+//
+//converse:hotpath
 func (p *Proc) checkSend(dst int, msg []byte) {
 	if len(msg) < HeaderSize {
 		panic(fmt.Sprintf("core: pe %d: send of %d-byte message, smaller than the %d-byte header", p.MyPe(), len(msg), HeaderSize))

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -248,6 +249,40 @@ func TestSendShortMessagePanics(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("short send did not error")
+	}
+}
+
+// TestBroadcastValidationParity: every destination form of Send runs
+// the same checkSend validation, so an unregistered handler index is
+// rejected identically for point-to-point sends and for both broadcast
+// sentinels — including the degenerate 1-PE BroadcastOthers, where no
+// per-peer send ever runs to catch it late.
+func TestBroadcastValidationParity(t *testing.T) {
+	badMsg := func() []byte {
+		msg := make([]byte, HeaderSize)
+		SetHandler(msg, 9999) // never registered
+		return msg
+	}
+	sends := map[string]func(p *Proc){
+		"p2p":                  func(p *Proc) { p.SyncSend(0, badMsg()) },
+		"broadcast-others":     func(p *Proc) { p.SyncBroadcast(badMsg()) },
+		"broadcast-all":        func(p *Proc) { p.SyncBroadcastAll(badMsg()) },
+		"broadcast-all-free":   func(p *Proc) { p.SyncBroadcastAllAndFree(badMsg()) },
+		"send-others-transfer": func(p *Proc) { p.Send(BroadcastOthers, badMsg(), Transfer) },
+	}
+	for _, pes := range []int{1, 2} {
+		for name, send := range sends {
+			cm := newTestMachine(pes)
+			cm.RegisterHandler(func(p *Proc, msg []byte) {})
+			err := cm.Run(func(p *Proc) {
+				if p.MyPe() == 0 {
+					send(p)
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), "handler index") {
+				t.Errorf("%d PEs, %s: err = %v, want unregistered-handler panic", pes, name, err)
+			}
+		}
 	}
 }
 

@@ -158,6 +158,7 @@ func (rt *Runtime) Resume(t *Thread) {
 // on its own token (or exits): once the token is sent (or the goroutine
 // started), t runs concurrently with whatever instructions remain in the
 // caller.
+//converse:hotpath
 func (rt *Runtime) handoff(t *Thread) {
 	rt.current = t
 	rt.switches++
@@ -167,6 +168,7 @@ func (rt *Runtime) handoff(t *Thread) {
 	}
 	if !t.started {
 		t.started = true
+		//lint:ignore noallocinhot a thread's goroutine starts exactly once, on its first resume; every later switch reuses it via the token channel
 		go t.body()
 		return
 	}
@@ -218,6 +220,8 @@ func (rt *Runtime) checkPending() {
 // main context if the pool is empty. Control returns when somebody
 // resumes this thread again. Suspending the main context is an error —
 // the scheduler is the fallback target, it cannot itself wait.
+//
+//converse:hotpath
 func (rt *Runtime) Suspend() {
 	cur := rt.current
 	if cur == rt.main {
@@ -261,6 +265,8 @@ func (rt *Runtime) Awaken(t *Thread) {
 // Yield awakens the current thread and immediately suspends it
 // (CthYield): control may pass to other ready threads and will normally
 // come back.
+//
+//converse:hotpath
 func (rt *Runtime) Yield() {
 	rt.Awaken(rt.current)
 	rt.Suspend()

@@ -1,0 +1,58 @@
+// Package analysis is a self-contained, stdlib-only core for writing
+// static analyzers, API-compatible with the subset of
+// golang.org/x/tools/go/analysis that converselint needs. The container
+// this repo builds in has no module proxy access, so rather than
+// vendoring x/tools we keep the same shapes (Analyzer, Pass,
+// Diagnostic) on a tiny local implementation; should x/tools become
+// available, the analyzers port by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: its name, documentation, and
+// per-package entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation. The first line is the
+	// summary shown in usage listings.
+	Doc string
+
+	// Run applies the analyzer to a single package and reports
+	// diagnostics through pass.Report. The returned value is ignored by
+	// the converselint driver (kept for x/tools signature parity).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass provides one analyzer run with a single type-checked package and
+// a sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it; analyzers
+	// should use Reportf for convenience.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,118 @@
+// Package analysistest runs converselint analyzers over testdata
+// packages and checks their diagnostics against expectations embedded
+// in the sources, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	p.SyncSendAndFree(1, msg)
+//	_ = msg[0] // want `used after ownership transfer`
+//
+// A `// want` comment holds one or more backquoted regular expressions,
+// each of which must match a diagnostic reported on that line; every
+// diagnostic must in turn be expected. Testdata packages live inside
+// the module (under testdata/, which go build wildcards skip), so they
+// type-check against the real converse packages.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"converse/internal/lint"
+	"converse/internal/lint/analysis"
+	"converse/internal/lint/load"
+)
+
+// wantRe extracts the backquoted patterns of a // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the package in dir and applies the analyzers, failing t on
+// any mismatch between reported and expected diagnostics. It returns
+// the diagnostics for further inspection.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors in %s: %v", dir, pkg.TypeErrors)
+	}
+	diags, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported",
+				k.file, k.line, re)
+		}
+	}
+	return diags
+}
+
+// MustFind asserts that at least one diagnostic message matches the
+// pattern — used to pin down that a corpus really exercises a rule.
+func MustFind(t *testing.T, diags []lint.Diagnostic, pattern string) {
+	t.Helper()
+	re := regexp.MustCompile(pattern)
+	for _, d := range diags {
+		if re.MatchString(d.Message) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic matches %q in:\n%s", pattern, diagList(diags))
+}
+
+func diagList(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if b.Len() == 0 {
+		return "  (no diagnostics)"
+	}
+	return b.String()
+}

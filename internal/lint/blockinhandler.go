@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"converse/internal/lint/analysis"
+)
+
+// BlockInHandler reports blocking operations inside registered message
+// handlers — the classic message-driven deadlock. A handler runs to
+// completion on the scheduler's stack: if it blocks waiting for another
+// message (unbounded Scheduler(-1) re-entry, GetSpecificMsg, ServeUntil,
+// Scanf) or suspends on a csync primitive without a thread context, the
+// processor can never dispatch the message that would unblock it.
+// Blocking belongs on cth threads; code inside a nested function
+// literal (a thread body, a callback) is therefore not flagged unless
+// it is invoked immediately.
+var BlockInHandler = &analysis.Analyzer{
+	Name: "blockinhandler",
+	Doc: "report blocking calls inside registered message handlers\n\n" +
+		"Flags, directly inside a function registered with Register*:\n" +
+		"Scheduler with a negative (blocking) count, GetSpecificMsg,\n" +
+		"ServeUntil, Scanf, and csync Lock.Lock/Cond.Wait/Barrier.Arrive.\n" +
+		"The analysis is intraprocedural: handlers are function literals or\n" +
+		"same-package functions passed to a Register* call.",
+	Run: runBlockInHandler,
+}
+
+func runBlockInHandler(pass *analysis.Pass) (any, error) {
+	// Pass 1: collect handler bodies — function literals passed to
+	// Register* calls, and same-package named functions so passed.
+	named := map[*types.Func]bool{}
+	var lits []*ast.FuncLit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegisterCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch arg := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					lits = append(lits, arg)
+				case *ast.Ident:
+					if fn, ok := pass.TypesInfo.Uses[arg].(*types.Func); ok {
+						named[fn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, lit := range lits {
+		checkHandlerBody(pass, lit.Body)
+	}
+	if len(named) > 0 {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && named[fn] {
+					checkHandlerBody(pass, fd.Body)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isRegisterCall reports whether call registers a message handler: a
+// call to a function or method whose name starts with "Register",
+// defined in a converse package.
+func isRegisterCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || len(fn.Name()) < len("Register") || fn.Name()[:len("Register")] != "Register" {
+		return false
+	}
+	path := pkgPathOf(fn)
+	return path == facadePath || len(path) > len(facadePath) && path[:len(facadePath)+1] == facadePath+"/"
+}
+
+// checkHandlerBody walks one handler body, skipping nested function
+// literals (thread bodies, callbacks) unless immediately invoked.
+func checkHandlerBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// An immediately-invoked literal runs on the handler's
+			// stack: descend into it.
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, walk)
+				for _, arg := range n.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+			if what := blockingCall(pass.TypesInfo, n); what != "" {
+				pass.Reportf(n.Pos(),
+					"%s inside a message handler blocks the scheduler: the handler can never receive the message it is waiting for (run it on a cth thread instead)",
+					what)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// blockingCall classifies a call that can block the processor, or
+// returns "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
+	switch {
+	case isProcMethod(fn, "Scheduler") && len(call.Args) == 1:
+		if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+			if v, ok := constant.Int64Val(tv.Value); ok && v < 0 {
+				return "Scheduler with a negative count (blocking re-entry)"
+			}
+		}
+	case isProcMethod(fn, "GetSpecificMsg"):
+		return "blocking receive GetSpecificMsg"
+	case isProcMethod(fn, "ServeUntil"):
+		return "blocking wait ServeUntil"
+	case isProcMethod(fn, "Scanf"):
+		return "blocking console read Scanf"
+	case isMethod(fn, csyncPath, "Lock", "Lock"):
+		return "csync Lock.Lock (thread suspension)"
+	case isMethod(fn, csyncPath, "Cond", "Wait"):
+		return "csync Cond.Wait (thread suspension)"
+	case isMethod(fn, csyncPath, "Barrier", "Arrive"):
+		return "csync Barrier.Arrive (thread suspension)"
+	}
+	return ""
+}

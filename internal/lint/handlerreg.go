@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"converse/internal/lint/analysis"
+)
+
+// HandlerReg enforces the handler-registration discipline: a handler
+// index is only meaningful after RegisterHandler returned it on this
+// processor, so production code must not wire raw integer literals
+// into the handler slot of a message. Literal indices silently break
+// the moment registration order changes (and the core registers its
+// own handlers first, so "0" is never a user handler). _test.go files
+// are exempt: tests legitimately build synthetic headers.
+var HandlerReg = &analysis.Analyzer{
+	Name: "handlerreg",
+	Doc: "report raw integer literals used as handler indices\n\n" +
+		"Handler indices must originate from a Register* call on the same\n" +
+		"Proc; a literal in NewMsg/MakeMsg/SetHandler/VectorSend/\n" +
+		"HandlerFunc/GetSpecificMsg/ScanfAsync is reported, as is index\n" +
+		"arithmetic involving a literal (h+1 assumes a registration order\n" +
+		"no API guarantees).",
+	Run: runHandlerReg,
+}
+
+func runHandlerReg(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg, site := handlerIndexArg(pass.TypesInfo, call)
+			if arg == nil {
+				return true
+			}
+			if lit := literalIndex(pass.TypesInfo, arg); lit != nil {
+				pass.Reportf(lit.Pos(),
+					"raw integer literal as handler index in %s: indices are only valid after RegisterHandler returns them",
+					site)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// handlerIndexArg returns the expression occupying the handler-index
+// slot of a core-API call, with the call's name for the diagnostic.
+func handlerIndexArg(info *types.Info, call *ast.CallExpr) (ast.Expr, string) {
+	fn := calleeOf(info, call)
+	switch {
+	case (isCoreMsgFunc(fn, "NewMsg") || isCoreMsgFunc(fn, "MakeMsg")) && len(call.Args) == 2:
+		return call.Args[0], fn.Name()
+	case isCoreMsgFunc(fn, "SetHandler") && len(call.Args) == 2:
+		return call.Args[1], "SetHandler"
+	case isProcMethod(fn, "VectorSend") && len(call.Args) >= 2:
+		return call.Args[1], "VectorSend"
+	case isProcMethod(fn, "HandlerFunc") && len(call.Args) == 1:
+		return call.Args[0], "HandlerFunc"
+	case isProcMethod(fn, "GetSpecificMsg") && len(call.Args) == 1:
+		return call.Args[0], "GetSpecificMsg"
+	case isProcMethod(fn, "ScanfAsync") && len(call.Args) == 1:
+		return call.Args[0], "ScanfAsync"
+	}
+	return nil, ""
+}
+
+// literalIndex reports the offending node when an expression is a raw
+// integer literal or arithmetic involving one (h+1): both hardwire a
+// registration order the API does not promise. Named constants and
+// plain variables pass — the analysis cannot see where a variable came
+// from across functions, so it only flags what is certainly not a
+// Register* result.
+func literalIndex(info *types.Info, e ast.Expr) ast.Node {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return x
+	case *ast.UnaryExpr:
+		return literalIndex(info, x.X)
+	case *ast.BinaryExpr:
+		if lit := literalIndex(info, x.X); lit != nil {
+			return lit
+		}
+		return literalIndex(info, x.Y)
+	case *ast.CallExpr:
+		// A conversion like int(3) still wraps a literal.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return literalIndex(info, x.Args[0])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package lint implements converselint: static analyzers that enforce
+// the Converse runtime's message-ownership and handler invariants at
+// compile time. The buffer-ownership protocol ("the runtime owns the
+// message after a Transfer send; the caller may not touch it") and the
+// handler-index registration discipline are performance-critical and
+// easy to violate silently — a reused pooled buffer turns a
+// use-after-send into cross-message data corruption rather than a
+// crash — so they are held by tooling, not discipline:
+//
+//   - msgownership: no read, write, or re-send of a message buffer
+//     after ownership was transferred to the runtime
+//   - handlerreg: handler indices originate from Register* calls, not
+//     integer literals
+//   - blockinhandler: no blocking operations inside message handlers
+//   - noallocinhot: functions marked //converse:hotpath stay free of
+//     the syntactic allocation sources the 0 allocs/op gates measure
+//
+// The runtime complement is the msgcheck build tag in internal/core,
+// which catches dynamically what escapes the static analysis.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"converse/internal/lint/analysis"
+	"converse/internal/lint/load"
+)
+
+// Analyzers returns the full converselint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MsgOwnership,
+		HandlerReg,
+		BlockInHandler,
+		NoAllocInHot,
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the unknown
+// one.
+func ByName(names []string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies the analyzers to one loaded package, honoring
+// //lint:ignore directives, and returns the surviving diagnostics
+// sorted by position.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	ignores := collectIgnores(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.match(name, pos) {
+				return
+			}
+			out = append(out, Diagnostic{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// ignoreSet records //lint:ignore directives: an entry at line L
+// suppresses matching diagnostics on line L (trailing comment) and
+// line L+1 (directive on its own line above the flagged statement).
+type ignoreSet map[string]map[int][]string // filename -> line -> analyzer names
+
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment in the package for directives of
+// the form
+//
+//	//lint:ignore analyzername justification...
+//
+// The justification is mandatory; a bare directive is not honored (so
+// silencing a finding always costs an explanation in the source).
+func collectIgnores(pkg *load.Package) ignoreSet {
+	s := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no justification: not honored
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if s[pos.Filename] == nil {
+					s[pos.Filename] = map[int][]string{}
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					s[pos.Filename][pos.Line] = append(s[pos.Filename][pos.Line], name)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// isTestFile reports whether the file containing pos is a _test.go
+// file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcDocHas reports whether a function's doc comment contains the
+// given directive line (e.g. "//converse:hotpath").
+func funcDocHas(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

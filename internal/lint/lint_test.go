@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"converse/internal/lint"
+	"converse/internal/lint/analysistest"
+)
+
+// testdata returns the corpus directory for one analyzer.
+func testdata(t *testing.T, name string) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	return filepath.Join(filepath.Dir(self), "testdata", "src", name)
+}
+
+func TestMsgOwnership(t *testing.T) {
+	diags := analysistest.Run(t, testdata(t, "msgownership"), lint.MsgOwnership)
+	// The acceptance gate: the corpus must actually exercise the rule.
+	analysistest.MustFind(t, diags, `used after ownership transfer \(SyncSendAndFree`)
+	analysistest.MustFind(t, diags, `used after ownership transfer \(Send\(\.\.\., Transfer\)`)
+	analysistest.MustFind(t, diags, `used after ownership transfer \(SyncBroadcastAllAndFree`)
+}
+
+func TestHandlerReg(t *testing.T) {
+	diags := analysistest.Run(t, testdata(t, "handlerreg"), lint.HandlerReg)
+	analysistest.MustFind(t, diags, `raw integer literal as handler index`)
+}
+
+func TestBlockInHandler(t *testing.T) {
+	diags := analysistest.Run(t, testdata(t, "blockinhandler"), lint.BlockInHandler)
+	analysistest.MustFind(t, diags, `Scheduler with a negative count`)
+	analysistest.MustFind(t, diags, `blocking receive GetSpecificMsg`)
+	analysistest.MustFind(t, diags, `csync Lock\.Lock`)
+}
+
+func TestNoAllocInHot(t *testing.T) {
+	diags := analysistest.Run(t, testdata(t, "noallocinhot"), lint.NoAllocInHot)
+	analysistest.MustFind(t, diags, `append growth`)
+	analysistest.MustFind(t, diags, `map creation`)
+	analysistest.MustFind(t, diags, `heap-escaping composite literal`)
+}
+
+// TestSuiteRegistry pins the analyzer set: four analyzers, stable
+// names (the Makefile lint target and //lint:ignore directives depend
+// on them).
+func TestSuiteRegistry(t *testing.T) {
+	want := []string{"msgownership", "handlerreg", "blockinhandler", "noallocinhot"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+	}
+	if _, err := lint.ByName([]string{"msgownership"}); err != nil {
+		t.Errorf("ByName(msgownership): %v", err)
+	}
+	if _, err := lint.ByName([]string{"nonsense"}); err == nil {
+		t.Errorf("ByName(nonsense) should fail")
+	}
+}

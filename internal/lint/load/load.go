@@ -1,0 +1,222 @@
+// Package load turns Go package patterns into parsed, type-checked
+// units ready for analysis, using only the standard library and the go
+// tool itself: `go list -export` compiles dependencies and hands back
+// gc export data, which go/importer reads natively. This replaces
+// golang.org/x/tools/go/packages (unavailable in the build container)
+// for the subset converselint needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit: a package's compiled
+// sources plus, for in-package units, its _test.go files.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir         string
+	ImportPath  string
+	Name        string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	XTestGoFiles []string
+	Standard    bool
+	DepOnly     bool
+	ForTest     string
+	Incomplete  bool
+}
+
+// Packages loads every unit matching the given go-list patterns,
+// rooted at dir (the module directory). Each matched package yields an
+// in-package unit (GoFiles + TestGoFiles) and, when present, an
+// external test unit (XTestGoFiles as package foo_test).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	raw, err := golist(dir, true, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data by import path. Test-carrying variants ("p [p.test]")
+	// are recompilations of p that include its _test.go files; when one
+	// exists it supersedes the plain export so that in-package test
+	// symbols resolve (and it is a superset of the plain API, so using
+	// it everywhere keeps type identity consistent).
+	exports := map[string]string{}
+	variant := map[string]string{}
+	var targets []listPkg
+	for _, p := range raw {
+		path, isVariant := splitVariant(p.ImportPath)
+		if p.Export != "" {
+			if isVariant {
+				variant[path] = p.Export
+			} else if _, ok := exports[path]; !ok {
+				exports[path] = p.Export
+			}
+		}
+		if p.DepOnly || p.Standard || isVariant || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	for path, exp := range variant {
+		exports[path] = exp
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+
+	var out []*Package
+	for _, t := range targets {
+		files := append(append([]string{}, t.GoFiles...), t.TestGoFiles...)
+		unit, err := check(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unit)
+		if len(t.XTestGoFiles) > 0 {
+			xunit, err := check(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xunit)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// Dir loads the single package in dir (all its .go files, tests
+// included), type-checked against the enclosing module. It is the
+// analysistest entry point, so deliberate diagnostics in the sources
+// are fine as long as the files still type-check.
+func Dir(dir string) (*Package, error) {
+	pkgs, err := Packages(dir, ".")
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("load: no package in %s", dir)
+	}
+	return pkgs[0], nil
+}
+
+// Unit type-checks one pre-resolved unit: the given files as package
+// importPath, with imports satisfied from the given map of import path
+// to gc export-data file. This is the go vet -vettool entry point,
+// where the go command has already planned the build.
+func Unit(importPath, dir string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	return check(fset, newImporter(fset, exports), importPath, dir, goFiles)
+}
+
+// golist runs the go tool and decodes its JSON package stream.
+func golist(dir string, withTests bool, patterns ...string) ([]listPkg, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if withTests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,ForTest,Incomplete")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// splitVariant strips a test-variant suffix: "p [q.test]" -> "p", true.
+func splitVariant(importPath string) (string, bool) {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i], true
+	}
+	return importPath, false
+}
+
+// newImporter builds a gc-export-data importer over the go list output.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses and type-checks one unit.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	unit := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { unit.TypeErrors = append(unit.TypeErrors, err) },
+	}
+	unit.Pkg, _ = conf.Check(importPath, fset, files, unit.Info)
+	return unit, nil
+}

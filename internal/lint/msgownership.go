@@ -1,0 +1,477 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"converse/internal/lint/analysis"
+)
+
+// MsgOwnership enforces the CMI buffer-ownership protocol at the send
+// site: once a message buffer has been handed to the runtime — via
+// Send(dst, msg, converse.Transfer), SyncSendAndFree,
+// SyncBroadcastAllAndFree, or (inside the core) recycle — the caller
+// may not read, write, or re-send it. A violation does not crash: the
+// pooled buffer is reused for a future message, so the stale access
+// silently corrupts someone else's data. The analysis is flow-sensitive
+// within each function and follows aliases created by plain
+// assignments, slicing, and Payload().
+var MsgOwnership = &analysis.Analyzer{
+	Name: "msgownership",
+	Doc: "report uses of a message buffer after its ownership was transferred to the runtime\n\n" +
+		"After Send(dst, msg, Transfer), SyncSendAndFree(dst, msg) or\n" +
+		"SyncBroadcastAllAndFree(msg) the runtime owns msg and recycles it\n" +
+		"through the message pool; any later use of msg (or an alias of it)\n" +
+		"in the same function is reported.",
+	Run: runMsgOwnership,
+}
+
+// transferSite records where a buffer's ownership left the caller.
+type transferSite struct {
+	what string // e.g. "SyncSendAndFree"
+	pos  token.Pos
+}
+
+// owState is the per-program-point ownership state: each tracked local
+// variable maps to an alias cell, and a cell is either live or poisoned
+// by a transfer site.
+type owState struct {
+	cellOf map[*types.Var]int
+	poison map[int]*transferSite
+	next   *int
+}
+
+func newOwState() *owState {
+	n := 0
+	return &owState{cellOf: map[*types.Var]int{}, poison: map[int]*transferSite{}, next: &n}
+}
+
+func (st *owState) clone() *owState {
+	c := &owState{cellOf: make(map[*types.Var]int, len(st.cellOf)),
+		poison: make(map[int]*transferSite, len(st.poison)), next: st.next}
+	for k, v := range st.cellOf {
+		c.cellOf[k] = v
+	}
+	for k, v := range st.poison {
+		c.poison[k] = v
+	}
+	return c
+}
+
+// cell returns v's alias cell, creating a fresh live one on first use.
+func (st *owState) cell(v *types.Var) int {
+	if c, ok := st.cellOf[v]; ok {
+		return c
+	}
+	*st.next++
+	st.cellOf[v] = *st.next
+	return *st.next
+}
+
+// rebind points v at a brand-new live cell (it was reassigned).
+func (st *owState) rebind(v *types.Var) {
+	*st.next++
+	st.cellOf[v] = *st.next
+}
+
+func (st *owState) poisoned(v *types.Var) *transferSite {
+	c, ok := st.cellOf[v]
+	if !ok {
+		return nil
+	}
+	return st.poison[c]
+}
+
+// merge folds a branch state back into st: any variable the branch
+// poisoned is poisoned here too (the branch may have executed).
+func (st *owState) merge(branch *owState) {
+	for v := range st.cellOf {
+		if site := branch.poisoned(v); site != nil {
+			st.poison[st.cell(v)] = site
+		}
+	}
+	// Variables first tracked inside the branch that are still in scope
+	// here (declared earlier, merely untouched before the branch).
+	for v, c := range branch.cellOf {
+		if _, ok := st.cellOf[v]; !ok {
+			if site := branch.poison[c]; site != nil {
+				st.poison[st.cell(v)] = site
+			}
+		}
+	}
+}
+
+type owAnalysis struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool
+}
+
+func runMsgOwnership(pass *analysis.Pass) (any, error) {
+	a := &owAnalysis{pass: pass, reported: map[token.Pos]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.block(newOwState(), fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// block executes a statement list, reporting whether control cannot
+// flow past it (return / panic / branch).
+func (a *owAnalysis) block(st *owState, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if a.stmt(st, s) {
+			return true // the rest is unreachable; do not analyze it
+		}
+	}
+	return false
+}
+
+func (a *owAnalysis) stmt(st *owState, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		a.uses(st, s.X)
+		a.effects(st, s.X)
+		return isPanicCall(a.pass.TypesInfo, s.X)
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			a.uses(st, r)
+			a.effects(st, r)
+		}
+		for _, l := range s.Lhs {
+			if localVar(a.pass.TypesInfo, l) == nil {
+				a.uses(st, l) // msg[0] = x, s.f = x: the base is a use
+			}
+		}
+		// Rebind plain-identifier targets. With a 1:1 assignment shape
+		// the new value may alias a tracked buffer; anything else gets
+		// a fresh live cell.
+		for i, l := range s.Lhs {
+			v := localVar(a.pass.TypesInfo, l)
+			if v == nil {
+				continue
+			}
+			if len(s.Lhs) == len(s.Rhs) {
+				if src := a.aliasSource(st, s.Rhs[i]); src != nil {
+					st.cellOf[v] = st.cell(src)
+					continue
+				}
+			}
+			st.rebind(v)
+		}
+		return false
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, r := range vs.Values {
+				a.uses(st, r)
+				a.effects(st, r)
+			}
+			for i, name := range vs.Names {
+				v, _ := a.pass.TypesInfo.Defs[name].(*types.Var)
+				if v == nil {
+					continue
+				}
+				if len(vs.Values) == len(vs.Names) {
+					if src := a.aliasSource(st, vs.Values[i]); src != nil {
+						st.cellOf[v] = st.cell(src)
+						continue
+					}
+				}
+				st.rebind(v)
+			}
+		}
+		return false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(st, s.Init)
+		}
+		a.uses(st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := a.block(thenSt, s.Body)
+		elseTerm := false
+		var elseSt *owState
+		if s.Else != nil {
+			elseSt = st.clone()
+			elseTerm = a.stmt(elseSt, s.Else)
+		}
+		if !thenTerm {
+			st.merge(thenSt)
+		}
+		if elseSt != nil && !elseTerm {
+			st.merge(elseSt)
+		}
+		return thenTerm && s.Else != nil && elseTerm
+
+	case *ast.BlockStmt:
+		inner := st.clone()
+		term := a.block(inner, s)
+		if !term {
+			st.merge(inner)
+		}
+		return term
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(st, s.Init)
+		}
+		if s.Cond != nil {
+			a.uses(st, s.Cond)
+		}
+		// Two passes: the second starts from the first's exit state, so
+		// a transfer at the bottom of the loop poisons a use at the top
+		// of the next iteration (the loop-carried use-after-send).
+		body := st.clone()
+		a.block(body, s.Body)
+		if s.Post != nil {
+			a.stmt(body, s.Post)
+		}
+		if s.Cond != nil {
+			a.uses(body, s.Cond)
+		}
+		a.block(body, s.Body)
+		st.merge(body)
+		return false
+
+	case *ast.RangeStmt:
+		a.uses(st, s.X)
+		body := st.clone()
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if kv == nil {
+				continue
+			}
+			if v := localVar(a.pass.TypesInfo, kv); v != nil {
+				body.rebind(v)
+			}
+		}
+		a.block(body, s.Body)
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if kv == nil {
+				continue
+			}
+			if v := localVar(a.pass.TypesInfo, kv); v != nil {
+				body.rebind(v)
+			}
+		}
+		a.block(body, s.Body)
+		st.merge(body)
+		return false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return a.branchy(st, s)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.uses(st, r)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+
+	case *ast.DeferStmt:
+		a.uses(st, s.Call)
+		return false
+	case *ast.GoStmt:
+		a.uses(st, s.Call)
+		return false
+
+	case *ast.LabeledStmt:
+		return a.stmt(st, s.Stmt)
+
+	case *ast.IncDecStmt:
+		a.uses(st, s.X)
+		return false
+	case *ast.SendStmt:
+		a.uses(st, s.Chan)
+		a.uses(st, s.Value)
+		return false
+	}
+	return false
+}
+
+// branchy handles switch/type-switch/select: every clause body runs on
+// its own clone and merges back.
+func (a *owAnalysis) branchy(st *owState, s ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(st, s.Init)
+		}
+		if s.Tag != nil {
+			a.uses(st, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.stmt(st, s.Init)
+		}
+		a.stmt(st, s.Assign)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	// Clauses are alternatives: each runs on its own clone of the entry
+	// state, and only after all are analyzed do the surviving exits
+	// merge back (a poison in case 1 must not leak into case 2).
+	var exits []*owState
+	for _, clause := range body.List {
+		cl := st.clone()
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				a.uses(st, e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				a.stmt(cl, c.Comm)
+			}
+			list = c.Body
+		}
+		term := false
+		for _, cs := range list {
+			if a.stmt(cl, cs) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			exits = append(exits, cl)
+		}
+	}
+	for _, cl := range exits {
+		st.merge(cl)
+	}
+	return false
+}
+
+// uses reports every reference to a poisoned buffer inside e. Function
+// literals are analyzed in place on a clone of the current state (their
+// bodies see the captured variables) without leaking effects out.
+func (a *owAnalysis) uses(st *owState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.block(st.clone(), n.Body)
+			return false
+		case *ast.Ident:
+			v, _ := a.pass.TypesInfo.Uses[n].(*types.Var)
+			if v == nil || v.IsField() {
+				return true
+			}
+			if site := st.poisoned(v); site != nil && !a.reported[n.Pos()] {
+				a.reported[n.Pos()] = true
+				a.pass.Reportf(n.Pos(),
+					"message buffer %q used after ownership transfer (%s at %s)",
+					n.Name, site.what, a.pass.Fset.Position(site.pos))
+			}
+		}
+		return true
+	})
+}
+
+// effects applies ownership transfers performed by calls inside e.
+func (a *owAnalysis) effects(st *owState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed by uses; effects stay local to it
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what, msgArg := transferCall(a.pass.TypesInfo, call)
+		if msgArg == nil {
+			return true
+		}
+		if v := a.bufferBase(msgArg); v != nil {
+			st.poison[st.cell(v)] = &transferSite{what: what, pos: call.Pos()}
+		}
+		return true
+	})
+}
+
+// transferCall reports whether call hands a message buffer to the
+// runtime, returning a description and the buffer argument.
+func transferCall(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	fn := calleeOf(info, call)
+	switch {
+	case isProcMethod(fn, "Send") && len(call.Args) >= 3 && hasTransferOpt(info, call.Args[2:]):
+		return "Send(..., Transfer)", call.Args[1]
+	case isProcMethod(fn, "SyncSendAndFree") && len(call.Args) == 2:
+		return "SyncSendAndFree", call.Args[1]
+	case isProcMethod(fn, "SyncBroadcastAllAndFree") && len(call.Args) == 1:
+		return "SyncBroadcastAllAndFree", call.Args[0]
+	case isProcMethod(fn, "recycle") && len(call.Args) == 1:
+		return "recycle", call.Args[0]
+	}
+	return "", nil
+}
+
+// bufferBase resolves the local variable at the root of a buffer
+// expression: msg, (msg), msg[4:].
+func (a *owAnalysis) bufferBase(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return localVar(a.pass.TypesInfo, e)
+		}
+	}
+}
+
+// aliasSource resolves the tracked variable an assigned value aliases:
+// plain copies (b := msg), reslices (b := msg[4:]) and Payload(msg).
+func (a *owAnalysis) aliasSource(st *owState, rhs ast.Expr) *types.Var {
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return localVar(a.pass.TypesInfo, rhs)
+	case *ast.SliceExpr:
+		return a.aliasSource(st, x.X)
+	case *ast.CallExpr:
+		fn := calleeOf(a.pass.TypesInfo, x)
+		if isCoreMsgFunc(fn, "Payload") && len(x.Args) == 1 {
+			return a.aliasSource(st, x.Args[0])
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"converse/internal/lint/analysis"
+)
+
+// NoAllocInHot turns the "0 allocs/op" bench gates (the Makefile
+// overhead target) into a compile-time check: a function annotated
+//
+//	//converse:hotpath
+//
+// in its doc comment must not contain the syntactic allocation sources
+// that would show up there — heap-escaping composite literals (&T{...},
+// slice and map literals), append growth, or map/chan creation. The
+// check covers the annotated function's own body only; callees are
+// gated by their own annotations (or by the benchmarks).
+var NoAllocInHot = &analysis.Analyzer{
+	Name: "noallocinhot",
+	Doc: "report allocation sources in functions marked //converse:hotpath\n\n" +
+		"Flags &composite{...}, slice/map literals, append, make(map/chan)\n" +
+		"and new(T) inside annotated functions. Intentional, amortized\n" +
+		"allocations (a pool refill, a slice that reuses capacity in steady\n" +
+		"state) carry a //lint:ignore noallocinhot justification.",
+	Run: runNoAllocInHot,
+}
+
+func runNoAllocInHot(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcDocHas(fd.Doc, "//converse:hotpath") {
+				continue
+			}
+			checkHotBody(pass, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkHotBody(pass *analysis.Pass, fname string, body *ast.BlockStmt) {
+	report := func(pos interface{ Pos() token.Pos }, what string) {
+		pass.Reportf(pos.Pos(), "%s in hot-path function %s (marked //converse:hotpath)", what, fname)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "closure allocation")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "heap-escaping composite literal (&T{...})")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch typeOf(pass.TypesInfo, n).(type) {
+			case *types.Slice:
+				report(n, "slice literal allocation")
+			case *types.Map:
+				report(n, "map literal allocation")
+			}
+		case *ast.CallExpr:
+			switch builtinName(pass.TypesInfo, n) {
+			case "append":
+				report(n, "append growth")
+			case "new":
+				report(n, "new(T) allocation")
+			case "make":
+				switch typeOf(pass.TypesInfo, n).(type) {
+				case *types.Map:
+					report(n, "map creation")
+				case *types.Chan:
+					report(n, "channel creation")
+				}
+			}
+		case *ast.GoStmt:
+			report(n, "goroutine launch")
+		}
+		return true
+	})
+}
+
+// typeOf returns the underlying type of e, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -1,0 +1,67 @@
+package msgownership
+
+import "converse"
+
+// The negative corpus: ownership-correct code the analyzer must not
+// flag.
+
+func plainSendKeepsOwnership(p *converse.Proc, h int) {
+	msg := converse.NewMsg(h, 8)
+	p.SyncSend(1, msg)
+	msg[8] = 1 // fine: SyncSend copies, the caller keeps the buffer
+	p.SyncSend(2, msg)
+}
+
+func sendWithoutTransferOpt(p *converse.Proc, h int) {
+	msg := converse.NewMsg(h, 8)
+	p.Send(1, msg)
+	_ = msg[0]
+	p.Send(converse.BroadcastOthers, msg)
+	_ = msg[0]
+}
+
+func reallocationClearsPoison(p *converse.Proc, h int) {
+	msg := p.Alloc(8)
+	converse.SetHandler(msg, h)
+	p.SyncSendAndFree(1, msg)
+	msg = p.Alloc(8) // rebinding makes msg a fresh, live buffer
+	converse.SetHandler(msg, h)
+	_ = msg[0]
+	p.SyncSendAndFree(1, msg)
+}
+
+func transferThenReturnEarly(p *converse.Proc, h int, done bool) {
+	msg := converse.NewMsg(h, 8)
+	if done {
+		p.SyncSendAndFree(1, msg)
+		return
+	}
+	msg[8] = 1 // fine: the transferring branch returned
+	p.SyncSendAndFree(1, msg)
+}
+
+func freshBufferEachIteration(p *converse.Proc, h int) {
+	for i := 0; i < 4; i++ {
+		msg := p.Alloc(8)
+		converse.SetHandler(msg, h)
+		p.SyncSendAndFree(1, msg)
+	}
+}
+
+func switchCasesAreAlternatives(p *converse.Proc, h, dst int) {
+	msg := converse.NewMsg(h, 8)
+	switch {
+	case dst >= 0:
+		p.SyncSendAndFree(dst, msg)
+	case dst == converse.BroadcastOthers:
+		p.SyncBroadcastAllAndFree(msg) // a poison here must not leak into the case above
+	}
+}
+
+func asyncSendKeepsOwnership(p *converse.Proc, h int) {
+	msg := converse.NewMsg(h, 8)
+	hnd := p.AsyncSend(1, msg)
+	for !p.IsSent(hnd) {
+	}
+	_ = msg[0] // fine: AsyncSend buffers stay caller-owned
+}

@@ -1,0 +1,57 @@
+// Package noallocinhot is the converselint corpus for the hot-path
+// allocation analyzer.
+package noallocinhot
+
+type stats struct {
+	n     int
+	names []string
+}
+
+// addEscaping is on the hot path and allocates: every category the
+// analyzer knows must fire.
+//
+//converse:hotpath
+func addEscaping(s *stats) *stats {
+	extra := &stats{n: 1}           // want `heap-escaping composite literal \(&T\{\.\.\.\}\) in hot-path function addEscaping`
+	ids := []int{1, 2, 3}           // want `slice literal allocation in hot-path function addEscaping`
+	byName := map[string]int{"": 0} // want `map literal allocation in hot-path function addEscaping`
+	s.names = append(s.names, "x")  // want `append growth in hot-path function addEscaping`
+	m := make(map[int]int)          // want `map creation in hot-path function addEscaping`
+	c := make(chan int)             // want `channel creation in hot-path function addEscaping`
+	q := new(stats)                 // want `new\(T\) allocation in hot-path function addEscaping`
+	go func() {}()                  // want `goroutine launch in hot-path function addEscaping` `closure allocation in hot-path function addEscaping`
+	_, _, _, _, _ = extra, ids, byName, m, c
+	return q
+}
+
+// hotAndClean stays within the rules: value composites, slice make,
+// arithmetic, calls.
+//
+//converse:hotpath
+func hotAndClean(s *stats, buf []byte) int {
+	local := stats{n: s.n}
+	scratch := make([]byte, 0, 64)
+	_ = scratch
+	for _, b := range buf {
+		local.n += int(b)
+	}
+	return local.n
+}
+
+// hotWithJustifiedAllocation shows the sanctioned escape hatch: the
+// allocation is deliberate and amortized, and says why.
+//
+//converse:hotpath
+func hotWithJustifiedAllocation(s *stats, name string) {
+	//lint:ignore noallocinhot the slice doubles a few times then reuses capacity; steady state performs no allocation
+	s.names = append(s.names, name)
+}
+
+// coldFunctionsAllocateFreely is not annotated, so nothing is flagged.
+func coldFunctionsAllocateFreely() []*stats {
+	out := []*stats{}
+	for i := 0; i < 4; i++ {
+		out = append(out, &stats{n: i})
+	}
+	return out
+}

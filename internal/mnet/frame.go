@@ -125,6 +125,8 @@ func (k kind) String() string {
 // writeFrameParts writes one frame whose payload is the concatenation
 // of parts, computing the checksum incrementally so data frames need no
 // staging copy. The caller provides any buffering and serialization.
+//
+//converse:hotpath
 func writeFrameParts(w io.Writer, k kind, parts ...[]byte) error {
 	psz := 0
 	for _, p := range parts {
@@ -161,6 +163,8 @@ func writeFrame(w io.Writer, k kind, payload []byte) error {
 }
 
 // writeDataFrame writes one sequenced data frame.
+//
+//converse:hotpath
 func writeDataFrame(w io.Writer, seq uint64, data []byte) error {
 	var sb [dataSeqLen]byte
 	binary.LittleEndian.PutUint64(sb[:], seq)

@@ -12,6 +12,10 @@
 #                      converge byte-identically with the retry policy,
 #                      and die fast under failfast
 #   make bench-faults  throughput-vs-loss sweep; writes BENCH_faults.json
+#   make monitor-smoke live-introspection gate: jacobi -np 4 with
+#                      converserun -monitor, scraped with conversetop
+#                      (tables, JSON, and a CPU capture)
+#   make profile       the 8..256-PE scale ladder; writes BENCH_scale.json
 #   make lint          converselint (msgownership, handlerreg,
 #                      blockinhandler, noallocinhot) over the whole
 #                      repo, via go vet -vettool
@@ -21,9 +25,9 @@
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke lint msgcheck-test
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke monitor-smoke profile lint msgcheck-test
 
-ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke
+ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke monitor-smoke
 
 tier1: vet build test
 
@@ -63,10 +67,12 @@ machine-race:
 # Overhead gate: run the zero-overhead-when-off benchmarks and fail if
 # any reports a nonzero allocation count. BenchmarkDispatchOff,
 # BenchmarkNullTracerOverhead and BenchmarkMetricsEnabled cover the full
-# dispatch path; BenchmarkMetricsDisabled covers the raw hooks.
+# dispatch path; BenchmarkMetricsDisabled covers the raw hooks;
+# BenchmarkMonitorIdle proves a live but unpolled monitor endpoint is
+# invisible to the scheduler.
 overhead:
 	@out=$$($(GO) test ./internal/core/ -run '^$$' \
-		-bench 'DispatchOff|NullTracerOverhead|MetricsEnabled|MetricsDisabled' \
+		-bench 'DispatchOff|NullTracerOverhead|MetricsEnabled|MetricsDisabled|MonitorIdle' \
 		-benchmem -benchtime 200000x); \
 	echo "$$out"; \
 	if echo "$$out" | grep -E ' [1-9][0-9]* allocs/op'; then \
@@ -134,3 +140,51 @@ chaos-smoke:
 # writes BENCH_faults.json (the table EXPERIMENTS.md quotes).
 bench-faults:
 	$(GO) run ./cmd/commbench -transport tcp -faults sweep
+
+# Live-introspection gate: jacobi as a 4-rank TCP job held open by
+# -minwall, its mesh monitor scraped three ways with conversetop — the
+# JSON snapshot must be well-formed and cover all 4 PEs, the rendered
+# table must show 4 PE rows, and a CPU capture through the same socket
+# must parse as a pprof profile (conversetop validates it before
+# reporting). The job itself must still exit 0 afterwards.
+monitor-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	{ $(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	  $(GO) build -o $$tmp/jacobi ./examples/jacobi && \
+	  $(GO) build -o $$tmp/conversetop ./cmd/conversetop; } || exit 1; \
+	( $$tmp/converserun -np 4 -timeout 120s -monitor 127.0.0.1:0 \
+		$$tmp/jacobi -perpe 8 -minwall 15s > $$tmp/job.out 2>&1; \
+		echo $$? > $$tmp/job.rc ) & \
+	jobpid=$$!; \
+	addr=; tok=; \
+	for i in $$(seq 1 200); do \
+		set -- $$(sed -n 's/^converserun: monitor on \(.*\) token \(.*\)$$/\1 \2/p' $$tmp/job.out); \
+		addr=$$1; tok=$$2; [ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo 'FAIL: converserun never printed the monitor address'; \
+		cat $$tmp/job.out; exit 1; \
+	fi; \
+	$$tmp/conversetop -connect $$addr -token $$tok -once -json > $$tmp/snap.json && \
+	grep -q '"schema": "converse-ccs/1"' $$tmp/snap.json && \
+	grep -q '"num_pes": 4' $$tmp/snap.json && \
+	grep -q '"metrics"' $$tmp/snap.json && \
+	test $$(grep -c '"pe":' $$tmp/snap.json) -eq 4 && \
+	$$tmp/conversetop -connect $$addr -token $$tok -once > $$tmp/top.out && \
+	grep -q 'converse mesh: 4 PEs, 4 reachable' $$tmp/top.out && \
+	$$tmp/conversetop -connect $$addr -token $$tok \
+		-pprof cpu -seconds 1 -rank 0 -o $$tmp/cpu.pprof > $$tmp/prof.out && \
+	grep -q 'cpu profile:' $$tmp/prof.out && \
+	test -s $$tmp/cpu.pprof && \
+	wait $$jobpid ; \
+	if [ "$$(cat $$tmp/job.rc)" != 0 ]; then \
+		echo 'FAIL: monitored jacobi job exited nonzero'; \
+		cat $$tmp/job.out; exit 1; \
+	fi; \
+	echo 'monitor-smoke: snapshot + table + cpu capture ok against a live 4-rank mesh'
+
+# The 8..256-PE scale ladder on the simulated substrate, with CPU and
+# heap captures pulled through a live ccs monitor socket at every
+# point; writes BENCH_scale.json (the table EXPERIMENTS.md quotes).
+profile:
+	$(GO) run ./cmd/commbench -scale -o BENCH_scale.json

@@ -86,3 +86,20 @@ func NetPingPong(cfg core.Config, size, rounds int) (float64, error) {
 func NetFanIn(cfg core.Config, msgs, size int) (elapsedUs, msgsPerMs float64, err error) {
 	return bench.NetFanIn(cfg, msgs, size)
 }
+
+// ScalePEs is the default processor ladder for the scale profile
+// (commbench -scale, BENCH_scale.json).
+var ScalePEs = bench.ScalePEs
+
+// ScalePoint is one row of the scale profile.
+type ScalePoint = bench.ScalePoint
+
+// ScaleOptions parameterizes ScaleSweep.
+type ScaleOptions = bench.ScaleOptions
+
+// ScaleSweep runs the 8→256-PE ladder on the simulated substrate,
+// capturing CPU and heap profiles through a live ccs monitor socket at
+// each point.
+func ScaleSweep(peList []int, opt ScaleOptions) ([]ScalePoint, error) {
+	return bench.ScaleSweep(peList, opt)
+}

@@ -1,0 +1,70 @@
+// Package ccs re-exports the live introspection plane: per-process
+// monitor endpoints (opened by converse.Machine.StartMonitor or
+// automatically under converserun -monitor), the client functions that
+// read them (used by cmd/conversetop), the launcher-side aggregator,
+// and the minimal pprof reader. See converse/internal/ccs for the
+// protocol and design.
+package ccs
+
+import (
+	"io"
+
+	"converse/internal/ccs"
+)
+
+// Monitor is a running per-process introspection endpoint.
+type Monitor = ccs.Monitor
+
+// Config parameterizes a Monitor endpoint.
+type Config = ccs.Config
+
+// Source is one observable processor (implemented by the core).
+type Source = ccs.Source
+
+// Snapshot is a mesh- or process-wide monitor snapshot.
+type Snapshot = ccs.Snapshot
+
+// PEView is one processor's entry in a Snapshot.
+type PEView = ccs.PEView
+
+// SchedState is a doorbell-published scheduler view.
+type SchedState = ccs.SchedState
+
+// Aggregate is the launcher-side monitor mux.
+type Aggregate = ccs.Aggregate
+
+// Profile is a decoded pprof capture; ProfSample is one sample.
+type (
+	Profile    = ccs.Profile
+	ProfSample = ccs.ProfSample
+)
+
+// Profile kinds for FetchProfile.
+const (
+	ProfileCPU  = ccs.ProfileCPU
+	ProfileHeap = ccs.ProfileHeap
+)
+
+// SchemaV1 is the current Snapshot.Schema value.
+const SchemaV1 = ccs.SchemaV1
+
+// NewMonitor opens an endpoint and serves it until Close.
+func NewMonitor(cfg Config) (*Monitor, error) { return ccs.NewMonitor(cfg) }
+
+// Fetch requests a snapshot from the monitor endpoint at addr.
+func Fetch(addr, token string) (*Snapshot, error) { return ccs.Fetch(addr, token) }
+
+// FetchProfile requests one pprof capture and writes the raw bytes to
+// w; see internal/ccs.FetchProfile.
+func FetchProfile(addr, token, profile string, seconds float64, rank int, w io.Writer) error {
+	return ccs.FetchProfile(addr, token, profile, seconds, rank, w)
+}
+
+// ServeAggregate opens a mesh-wide monitor socket fanning out to the
+// per-rank endpoints reported by backends.
+func ServeAggregate(addr, token string, backends func() map[int]string) (*Aggregate, error) {
+	return ccs.ServeAggregate(addr, token, backends)
+}
+
+// ParseProfile decodes a pprof capture (gzipped or raw proto).
+func ParseProfile(data []byte) (*Profile, error) { return ccs.ParseProfile(data) }

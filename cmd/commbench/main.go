@@ -17,11 +17,18 @@
 // frame-drop rates (0, 0.1%, 1%, 5%) and write BENCH_faults.json — the
 // throughput-vs-loss curve of the ack/retransmit machinery.
 //
+// With -scale it runs the 8→256-PE ladder on the simulated substrate
+// and writes BENCH_scale.json: ping-pong latency and fan-in throughput
+// per processor count, plus the scheduler-loop CPU share and live heap
+// from pprof captures pulled through a ccs monitor socket (-pes is
+// ignored; the ladder is fixed).
+//
 // Usage:
 //
 //	commbench [-o BENCH_comm.json] [-pes 8] [-msgs 400] [-size 64] [-smoke]
 //	commbench -transport tcp [-o BENCH_net.json] [-pes 4] [-msgs 400] [-size 64] [-smoke]
 //	commbench -transport tcp -faults sweep [-o BENCH_faults.json] [-smoke]
+//	commbench -scale [-o BENCH_scale.json] [-msgs 200] [-size 64] [-smoke]
 package main
 
 import (
@@ -73,16 +80,27 @@ type report struct {
 func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_comm.json or BENCH_net.json)")
 	transport := flag.String("transport", "sim", "machine layer to measure: sim (virtual-time fast path) or tcp (wall-clock sim-vs-tcp)")
-	pes := flag.Int("pes", 8, "processors in the fan-in pattern")
+	pes := flag.Int("pes", 8, "processors in the fan-in pattern (>= 2: one receiver plus at least one sender)")
 	msgs := flag.Int("msgs", 400, "messages per sending PE")
 	size := flag.Int("size", 64, "message size in bytes")
 	rounds := flag.Int("rounds", 200, "ping-pong rounds")
 	smoke := flag.Bool("smoke", false, "small, fast run for CI (skips wall-clock allocs)")
 	faults := flag.String("faults", "", `with -transport tcp: a fault plan run under the retry policy, or "sweep" for the drop-rate sweep (BENCH_faults.json)`)
+	scale := flag.Bool("scale", false, "run the 8..256-PE scale ladder on the sim substrate (BENCH_scale.json)")
 	flag.Parse()
 
+	if *pes < 2 {
+		log.Fatalf("commbench: -pes %d: the fan-in pattern needs at least 2 processors (one receiver, one sender)", *pes)
+	}
 	if *smoke {
 		*msgs, *rounds = 50, 20
+	}
+	if *scale {
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		scaleMain(*out, *msgs, *size, *rounds, *smoke)
+		return
 	}
 
 	switch *transport {
@@ -379,4 +397,38 @@ func faultMain(out string, pes, msgs, size int) {
 		fmt.Printf("drop=%-6g fan-in %dx%dx%dB  %10.0f us  %8.1f msgs/ms  %5.2fx vs clean\n",
 			p.DropRate, pes, msgs, size, p.ElapsedUs, p.MsgsPerMs, p.SlowdownX)
 	}
+}
+
+// --- -scale: the 8..256-PE ladder (BENCH_scale.json) ---
+
+type scaleReport struct {
+	MsgsPerPE      int                `json:"msgs_per_pe"`
+	MsgSize        int                `json:"msg_size"`
+	Rounds         int                `json:"pingpong_rounds"`
+	ProfileSeconds float64            `json:"profile_seconds"`
+	Points         []bench.ScalePoint `json:"points"`
+}
+
+// scaleMain runs the ladder on the in-process simulated substrate; CPU
+// and heap captures per point go through a live ccs monitor socket.
+func scaleMain(out string, msgs, size, rounds int, smoke bool) {
+	opt := bench.ScaleOptions{
+		Msgs: msgs, Size: size, Rounds: rounds,
+		ProfileSeconds: 1.3,
+		Log:            os.Stdout,
+	}
+	ladder := bench.ScalePEs
+	if smoke {
+		// CI variant: two small points, sub-second captures.
+		ladder = []int{4, 8}
+		opt.ProfileSeconds = 0.3
+	}
+	points, err := bench.ScaleSweep(ladder, opt)
+	if err != nil {
+		log.Fatalf("commbench: %v", err)
+	}
+	writeJSON(out, &scaleReport{
+		MsgsPerPE: opt.Msgs, MsgSize: opt.Size, Rounds: opt.Rounds,
+		ProfileSeconds: opt.ProfileSeconds, Points: points,
+	})
 }

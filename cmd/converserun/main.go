@@ -31,6 +31,7 @@ func main() {
 	failure := flag.String("failure", "", "failure policy: failfast (default; first link fault kills the job) or retry (reliable links: ack/retransmit, reconnection, peer-down notification)")
 	recovery := flag.Duration("recovery", 0, "under -failure retry, how long a lost link may take to recover before its peer is declared dead (default 8 heartbeats)")
 	faults := flag.String("faults", "", `fault-injection plan applied by every worker to outbound data frames, e.g. "seed=7,drop=1%,killlink=1-0@120" (see internal/faultnet)`)
+	monitor := flag.String("monitor", "", `serve a mesh-wide live-introspection socket on this address (e.g. "127.0.0.1:0"); poll it with conversetop`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: converserun [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -59,6 +60,7 @@ func main() {
 		FailurePolicy:  *failure,
 		RecoveryWindow: *recovery,
 		Faults:         *faults,
+		Monitor:        *monitor,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converserun: job failed after %v: %v\n", time.Since(start).Round(time.Millisecond), err)

@@ -60,6 +60,7 @@ func bytes64(v float64) []byte { return binary.LittleEndian.AppendUint64(nil, ma
 func main() {
 	traceJSON := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto)")
 	traceText := flag.String("tracetext", "", "write the run's trace in the standard text format (cmd/traceview -in)")
+	minwall := flag.Duration("minwall", 0, "keep iterating at least this long even after convergence (gives monitors something to watch)")
 	flag.IntVar(&perPE, "perpe", perPE, "interior points per processor")
 	flag.Float64Var(&tol, "tol", tol, "convergence tolerance on the residual")
 	flag.Parse()
@@ -104,8 +105,14 @@ func main() {
 			u[perPE+1] = rightT
 		}
 
-		converged := false
-		for it := 0; it < maxIters && !converged; it++ {
+		// Loop exit is decided by PE0 alone and carried on the tagConv
+		// broadcast: convergence past any -minwall floor, or the
+		// iteration cap. Ranks deciding independently (own clock, own
+		// counter) could disagree near the boundaries and deadlock the
+		// halo exchange.
+		stop := false
+		start := time.Now()
+		for it := 0; !stop; it++ {
 			// Halo exchange with neighbors (SPM explicit regime).
 			if me > 0 {
 				s.Send(me-1, tagRight, bytes64(u[1]))
@@ -138,15 +145,18 @@ func main() {
 			if me != 0 {
 				s.Send(0, tagDelta, bytes64(delta))
 				d, _, _ := s.Recv(tagConv)
-				converged = d[0] == 1
+				stop = d[0] == 1
 			} else {
 				for i := 1; i < pes; i++ {
 					d, _, _ := s.Recv(tagDelta)
 					delta = math.Max(delta, f64(d))
 				}
-				converged = delta < tol
+				// The iteration cap yields to an unexpired -minwall
+				// floor: the floor is a wall-clock bound, so lifting
+				// the cap cannot run away.
+				stop = (delta < tol || it+1 >= maxIters) && time.Since(start) >= *minwall
 				flag := []byte{0}
-				if converged {
+				if stop {
 					flag[0] = 1
 				}
 				s.Broadcast(tagConv, flag)

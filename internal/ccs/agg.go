@@ -1,0 +1,188 @@
+package ccs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"converse/internal/wire"
+)
+
+// Aggregate is the launcher-side monitor mux (converserun -monitor): it
+// serves one socket that re-exports a mesh-wide view assembled from
+// every rank's per-process endpoint. Snapshots fan out to all known
+// backends concurrently and merge; profile requests are proxied to the
+// requested rank's endpoint frame-by-frame.
+type Aggregate struct {
+	token string
+	ln    net.Listener
+	// backends reports the current rank -> endpoint address map; the
+	// launcher updates it as workers report in, so the aggregate is
+	// valid from the first reported rank onward.
+	backends func() map[int]string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeAggregate opens the mesh-wide monitor socket on addr. backends
+// must be safe for concurrent calls.
+func ServeAggregate(addr, token string, backends func() map[int]string) (*Aggregate, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ccs: listen %s: %w", addr, err)
+	}
+	a := &Aggregate{token: token, ln: ln, backends: backends}
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr is the aggregate's actual listen address.
+func (a *Aggregate) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the aggregate socket.
+func (a *Aggregate) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	return a.ln.Close()
+}
+
+func (a *Aggregate) acceptLoop() {
+	for {
+		c, err := a.ln.Accept()
+		if err != nil {
+			a.mu.Lock()
+			done := a.closed
+			a.mu.Unlock()
+			if done {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		go a.serveConn(c)
+	}
+}
+
+func (a *Aggregate) serveConn(c net.Conn) {
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(ioTimeout))
+	k, payload, err := wire.ReadFrame(c)
+	if err != nil {
+		return
+	}
+	if k != kReq {
+		writeErr(c, fmt.Sprintf("ccs: unexpected frame kind %d, want request", k))
+		return
+	}
+	var req reqMsg
+	if err := json.Unmarshal(payload, &req); err != nil {
+		writeErr(c, fmt.Sprintf("ccs: bad request: %v", err))
+		return
+	}
+	if a.token != "" && req.Token != a.token {
+		writeErr(c, "ccs: bad token")
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	switch req.Op {
+	case OpSnapshot:
+		snap := a.snapshot()
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			writeErr(c, fmt.Sprintf("ccs: encoding snapshot: %v", err))
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(ioTimeout))
+		wire.WriteFrame(c, kSnap, payload)
+	case OpProfile:
+		a.proxyProfile(c, req)
+	default:
+		writeErr(c, fmt.Sprintf("ccs: unknown op %q", req.Op))
+	}
+}
+
+// snapshot fans out to every known backend and merges the per-rank
+// views into one mesh-wide Snapshot sorted by PE. Unreachable ranks are
+// listed in Missing rather than failing the whole view: a wedged or
+// dying worker is exactly when you want the rest of the picture.
+func (a *Aggregate) snapshot() *Snapshot {
+	be := a.backends()
+	ranks := make([]int, 0, len(be))
+	for r := range be {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+
+	out := &Snapshot{Schema: SchemaV1, UnixNanos: time.Now().UnixNano()}
+	views := make([]*Snapshot, len(ranks))
+	var wg sync.WaitGroup
+	for i, r := range ranks {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			snap, err := Fetch(be[r], a.token)
+			if err == nil {
+				views[i] = snap
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range ranks {
+		v := views[i]
+		if v == nil {
+			out.Missing = append(out.Missing, r)
+			continue
+		}
+		if v.NumPEs > out.NumPEs {
+			out.NumPEs = v.NumPEs
+		}
+		for _, pe := range v.PEs {
+			pe.Rank = r
+			out.PEs = append(out.PEs, pe)
+		}
+	}
+	sort.Slice(out.PEs, func(i, j int) bool { return out.PEs[i].PE < out.PEs[j].PE })
+	return out
+}
+
+// proxyProfile forwards a profile request to the requested rank's
+// endpoint and relays the response frames verbatim.
+func (a *Aggregate) proxyProfile(c net.Conn, req reqMsg) {
+	be := a.backends()
+	addr, ok := be[req.Rank]
+	if !ok {
+		writeErr(c, fmt.Sprintf("ccs: no monitor endpoint known for rank %d", req.Rank))
+		return
+	}
+	up, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		writeErr(c, fmt.Sprintf("ccs: dialing rank %d monitor: %v", req.Rank, err))
+		return
+	}
+	defer up.Close()
+	if err := sendReq(up, req); err != nil {
+		writeErr(c, err.Error())
+		return
+	}
+	wait := ioTimeout + time.Duration(req.Seconds*float64(time.Second))
+	for {
+		up.SetReadDeadline(time.Now().Add(wait))
+		k, payload, err := wire.ReadFrame(up)
+		if err != nil {
+			writeErr(c, fmt.Sprintf("ccs: relaying from rank %d: %v", req.Rank, err))
+			return
+		}
+		c.SetWriteDeadline(time.Now().Add(ioTimeout))
+		if err := wire.WriteFrame(c, k, payload); err != nil {
+			return
+		}
+		if k == kProfEnd || k == kErr {
+			return
+		}
+	}
+}

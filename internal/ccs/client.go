@@ -1,0 +1,94 @@
+package ccs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"converse/internal/wire"
+)
+
+// dialTimeout bounds connecting to an endpoint.
+const dialTimeout = 5 * time.Second
+
+// Fetch requests a snapshot from the monitor endpoint at addr.
+func Fetch(addr, token string) (*Snapshot, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("ccs: dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	if err := sendReq(c, reqMsg{Token: token, Op: OpSnapshot}); err != nil {
+		return nil, err
+	}
+	c.SetReadDeadline(time.Now().Add(ioTimeout))
+	k, payload, err := wire.ReadFrame(c)
+	if err != nil {
+		return nil, fmt.Errorf("ccs: reading snapshot from %s: %w", addr, err)
+	}
+	switch k {
+	case kSnap:
+		var snap Snapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return nil, fmt.Errorf("ccs: decoding snapshot: %w", err)
+		}
+		return &snap, nil
+	case kErr:
+		return nil, decodeErr(payload)
+	default:
+		return nil, fmt.Errorf("ccs: unexpected frame kind %d, want snapshot", k)
+	}
+}
+
+// FetchProfile requests one pprof capture (ProfileCPU or ProfileHeap)
+// from the endpoint at addr and writes the raw pprof bytes to w.
+// seconds sizes a CPU capture window (0 = server default); rank routes
+// through an aggregator to one rank's process (pass 0 for a per-process
+// endpoint).
+func FetchProfile(addr, token, profile string, seconds float64, rank int, w io.Writer) error {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("ccs: dial %s: %w", addr, err)
+	}
+	defer c.Close()
+	req := reqMsg{Token: token, Op: OpProfile, Profile: profile, Seconds: seconds, Rank: rank}
+	if err := sendReq(c, req); err != nil {
+		return err
+	}
+	// A CPU capture takes its whole window before the first chunk
+	// arrives; size the read deadline for it.
+	wait := ioTimeout + time.Duration(seconds*float64(time.Second))
+	for {
+		c.SetReadDeadline(time.Now().Add(wait))
+		k, payload, err := wire.ReadFrame(c)
+		if err != nil {
+			return fmt.Errorf("ccs: reading profile from %s: %w", addr, err)
+		}
+		switch k {
+		case kProfChunk:
+			if _, err := w.Write(payload); err != nil {
+				return err
+			}
+		case kProfEnd:
+			return nil
+		case kErr:
+			return decodeErr(payload)
+		default:
+			return fmt.Errorf("ccs: unexpected frame kind %d in profile stream", k)
+		}
+	}
+}
+
+func sendReq(c net.Conn, req reqMsg) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("ccs: encoding request: %w", err)
+	}
+	c.SetWriteDeadline(time.Now().Add(ioTimeout))
+	if err := wire.WriteFrame(c, kReq, payload); err != nil {
+		return fmt.Errorf("ccs: sending request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package ccs
+
+// A minimal pprof protobuf reader. The profiles the monitor streams
+// back are protocol-buffer encoded (gzipped profile.proto); the repo is
+// stdlib-only, so this file walks the wire format by hand — just the
+// fields the tooling needs: samples, their values, and the function
+// names on each stack. conversetop and the scale sweep use it to
+// validate captures end-to-end and to compute the scheduler-loop CPU
+// share for BENCH_scale.json.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Profile is a decoded pprof capture.
+type Profile struct {
+	// SampleTypes names each value column, "type/unit" (e.g.
+	// "cpu/nanoseconds", "inuse_space/bytes").
+	SampleTypes []string
+	// Samples hold one value per sample type and the sampled call
+	// stack as function names, leaf first.
+	Samples []ProfSample
+
+	TimeNanos     int64
+	DurationNanos int64
+}
+
+// ProfSample is one sample: a call stack and its value columns.
+type ProfSample struct {
+	Stack  []string
+	Values []int64
+}
+
+// Total sums value column col over all samples.
+func (p *Profile) Total(col int) int64 {
+	var t int64
+	for _, s := range p.Samples {
+		if col < len(s.Values) {
+			t += s.Values[col]
+		}
+	}
+	return t
+}
+
+// Share returns the fraction of the profile's last value column (CPU
+// nanoseconds for CPU captures) attributed to samples whose stack
+// contains a function matching any of the given substrings. Matching
+// anywhere in the stack makes it a cumulative share.
+func (p *Profile) Share(substrs ...string) float64 {
+	if len(p.SampleTypes) == 0 {
+		return 0
+	}
+	col := len(p.SampleTypes) - 1
+	total := p.Total(col)
+	if total == 0 {
+		return 0
+	}
+	var matched int64
+sample:
+	for _, s := range p.Samples {
+		if col >= len(s.Values) {
+			continue
+		}
+		for _, fn := range s.Stack {
+			for _, sub := range substrs {
+				if strings.Contains(fn, sub) {
+					matched += s.Values[col]
+					continue sample
+				}
+			}
+		}
+	}
+	return float64(matched) / float64(total)
+}
+
+// ParseProfile decodes a pprof capture (gzipped or raw proto).
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("ccs: profile gzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("ccs: profile gunzip: %w", err)
+		}
+		data = raw
+	}
+	var (
+		strTab              []string
+		funcName            = map[uint64]uint64{}   // function id -> name string index
+		locFuncs            = map[uint64][]uint64{} // location id -> function ids, leaf first
+		rawSmpls            []rawSample
+		valTypes            []rawValType
+		timeNanos, durNanos int64
+	)
+	err := walkFields(data, func(tag uint64, wt int, v uint64, b []byte) error {
+		switch tag {
+		case 1: // sample_type
+			vt, err := parseValType(b)
+			if err != nil {
+				return err
+			}
+			valTypes = append(valTypes, vt)
+		case 2: // sample
+			s, err := parseSample(b)
+			if err != nil {
+				return err
+			}
+			rawSmpls = append(rawSmpls, s)
+		case 4: // location
+			id, fns, err := parseLocation(b)
+			if err != nil {
+				return err
+			}
+			locFuncs[id] = fns
+		case 5: // function
+			id, name, err := parseFunction(b)
+			if err != nil {
+				return err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(b))
+		case 9: // time_nanos
+			timeNanos = int64(v)
+		case 10: // duration_nanos
+			durNanos = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccs: malformed profile: %w", err)
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strTab)) {
+			return strTab[i]
+		}
+		return ""
+	}
+	p := &Profile{TimeNanos: timeNanos, DurationNanos: durNanos}
+	for _, vt := range valTypes {
+		p.SampleTypes = append(p.SampleTypes, str(vt.typ)+"/"+str(vt.unit))
+	}
+	for _, rs := range rawSmpls {
+		s := ProfSample{Values: rs.values}
+		for _, loc := range rs.locs {
+			for _, fid := range locFuncs[loc] {
+				s.Stack = append(s.Stack, str(funcName[fid]))
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, errors.New("ccs: profile has no sample types")
+	}
+	return p, nil
+}
+
+type rawValType struct{ typ, unit uint64 }
+
+type rawSample struct {
+	locs   []uint64
+	values []int64
+}
+
+// walkFields iterates a protobuf message's fields. For varint fields
+// fn gets the value in v; for length-delimited fields the bytes in b.
+func walkFields(data []byte, fn func(tag uint64, wt int, v uint64, b []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return errors.New("bad field key")
+		}
+		data = data[n:]
+		tag, wt := key>>3, int(key&7)
+		switch wt {
+		case 0: // varint
+			v, n := uvarint(data)
+			if n <= 0 {
+				return errors.New("bad varint")
+			}
+			data = data[n:]
+			if err := fn(tag, wt, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(data) < 8 {
+				return errors.New("short fixed64")
+			}
+			if err := fn(tag, wt, 0, nil); err != nil {
+				return err
+			}
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return errors.New("bad length-delimited field")
+			}
+			if err := fn(tag, wt, 0, data[n:n+int(l)]); err != nil {
+				return err
+			}
+			data = data[n+int(l):]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return errors.New("short fixed32")
+			}
+			if err := fn(tag, wt, 0, nil); err != nil {
+				return err
+			}
+			data = data[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d", wt)
+		}
+	}
+	return nil
+}
+
+func parseValType(b []byte) (rawValType, error) {
+	var vt rawValType
+	err := walkFields(b, func(tag uint64, wt int, v uint64, _ []byte) error {
+		switch tag {
+		case 1:
+			vt.typ = v
+		case 2:
+			vt.unit = v
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	err := walkFields(b, func(tag uint64, wt int, v uint64, b []byte) error {
+		switch tag {
+		case 1: // location_id (packed or not)
+			if wt == 2 {
+				return eachUvarint(b, func(u uint64) { s.locs = append(s.locs, u) })
+			}
+			s.locs = append(s.locs, v)
+		case 2: // value (packed or not)
+			if wt == 2 {
+				return eachUvarint(b, func(u uint64) { s.values = append(s.values, int64(u)) })
+			}
+			s.values = append(s.values, int64(v))
+		}
+		return nil
+	})
+	return s, err
+}
+
+func parseLocation(b []byte) (id uint64, fns []uint64, err error) {
+	err = walkFields(b, func(tag uint64, wt int, v uint64, b []byte) error {
+		switch tag {
+		case 1:
+			id = v
+		case 4: // line
+			return walkFields(b, func(tag uint64, wt int, v uint64, _ []byte) error {
+				if tag == 1 {
+					fns = append(fns, v)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	return id, fns, err
+}
+
+func parseFunction(b []byte) (id, name uint64, err error) {
+	err = walkFields(b, func(tag uint64, wt int, v uint64, _ []byte) error {
+		switch tag {
+		case 1:
+			id = v
+		case 2:
+			name = v
+		}
+		return nil
+	})
+	return id, name, err
+}
+
+func eachUvarint(b []byte, fn func(uint64)) error {
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			return errors.New("bad packed varint")
+		}
+		fn(v)
+		b = b[n:]
+	}
+	return nil
+}
+
+// uvarint decodes one base-128 varint; pprof encodes negative int64s
+// as 10-byte two's-complement varints, which this handles by wrapping.
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, -1
+		}
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}

@@ -103,7 +103,8 @@ type Machine struct {
 	net   NetSubstrate     // network substrate; nil under sim
 	npes  int
 	wdog  time.Duration
-	procs []*Proc // all PEs under sim; just the local PE under net
+	procs []*Proc           // all PEs under sim; just the local PE under net
+	met   *metrics.Registry // Config.Metrics, for the monitor endpoint
 }
 
 // NewMachine creates a Converse machine on the substrate selected by
@@ -133,7 +134,7 @@ func NewMachine(cfg Config) *Machine {
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
-	cm := &Machine{m: m, npes: cfg.PEs}
+	cm := &Machine{m: m, npes: cfg.PEs, met: cfg.Metrics}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
 		var sub Substrate = m.PE(i)
@@ -161,7 +162,7 @@ func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
 		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
 			cfg.Metrics.NumPEs(), cfg.PEs))
 	}
-	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog}
+	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog, met: cfg.Metrics}
 	p := newProc(sub, cfg.Coalesce)
 	// A substrate that can declare peers dead (mnet under FailRetry)
 	// reports through the generalized-message path: the notification is

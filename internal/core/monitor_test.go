@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"converse/internal/metrics"
+)
+
+// TestProbeSchedStateFresh: a serving scheduler answers its doorbell
+// with a fresh, consistent view; repeated probes advance the sequence.
+func TestProbeSchedStateFresh(t *testing.T) {
+	cm := NewMachine(Config{PEs: 2})
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- cm.Run(func(p *Proc) {
+			p.ServeUntil(func() bool { return stop.Load() })
+		})
+	}()
+	st1, ok := cm.Proc(0).ProbeSchedState(time.Second)
+	if !ok {
+		t.Fatalf("probe of an idle serving scheduler timed out (state %+v)", st1)
+	}
+	st2, ok := cm.Proc(0).ProbeSchedState(time.Second)
+	if !ok || st2.Seq <= st1.Seq {
+		t.Errorf("second probe: ok=%v seq %d after %d, want fresh and advancing", ok, st2.Seq, st1.Seq)
+	}
+	if st1.QueueLen != 0 || st1.DispatchDepth != 0 {
+		t.Errorf("idle scheduler state %+v, want empty queue at depth 0", st1)
+	}
+	stop.Store(true)
+	cm.Proc(0).ProbeSchedState(time.Second)
+	cm.Proc(1).ProbeSchedState(time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbeSchedStateNotRunning: with no driver to answer, the probe
+// must time out and say so rather than block or fabricate freshness.
+func TestProbeSchedStateNotRunning(t *testing.T) {
+	cm := NewMachine(Config{PEs: 1})
+	st, ok := cm.Proc(0).ProbeSchedState(20 * time.Millisecond)
+	if ok {
+		t.Fatalf("probe of a never-started scheduler reported fresh state %+v", st)
+	}
+	if st.Seq != 0 {
+		t.Errorf("seq = %d before any doorbell publish, want 0", st.Seq)
+	}
+}
+
+// TestSnapshotUnderLoadRace is the regression test for the snapshot
+// tearing fix: metrics snapshots and scheduler-state probes hammered
+// from foreign goroutines while the machine runs flat out. Under -race
+// this proves the doorbell path reads no driver-local state off-thread
+// and the registry snapshot touches only atomic cells.
+func TestSnapshotUnderLoadRace(t *testing.T) {
+	const (
+		pes     = 4
+		msgs    = 2000
+		probers = 3
+	)
+	reg := metrics.New(pes)
+	cm := NewMachine(Config{PEs: pes, Metrics: reg})
+	var recv atomic.Uint64
+	var bounce int
+	bounce = cm.RegisterHandler(func(p *Proc, msg []byte) {
+		recv.Add(1)
+		if n := recv.Load(); n < pes*msgs {
+			fwd := p.Alloc(8)
+			SetHandler(fwd, bounce)
+			p.SyncSendAndFree((p.MyPe()+1)%pes, fwd)
+		}
+	})
+
+	runDone := make(chan error, 1)
+	var stopProbes atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < probers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Cycle over every PE: beyond hammering the doorbell, the
+			// probes' injected messages are what wake idle-blocked
+			// schedulers to re-check their exit predicate.
+			for i := g; !stopProbes.Load(); i++ {
+				p := cm.Proc(i % pes)
+				p.ProbeSchedState(50 * time.Millisecond)
+				snap := reg.Snapshot()
+				if len(snap.PEs) != pes {
+					t.Errorf("snapshot covers %d PEs, want %d", len(snap.PEs), pes)
+					return
+				}
+			}
+		}(g)
+	}
+
+	go func() {
+		runDone <- cm.Run(func(p *Proc) {
+			// Seed a few concurrent bounce chains per PE, then serve
+			// until the machine-wide count is reached.
+			for i := 0; i < 4; i++ {
+				msg := NewMsg(bounce, 8-HeaderSize)
+				p.SyncSend((p.MyPe()+1)%pes, msg)
+			}
+			p.ServeUntil(func() bool { return recv.Load() >= pes*msgs })
+		})
+	}()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	stopProbes.Store(true)
+	wg.Wait()
+
+	// The counters the handlers bumped must all be visible.
+	snap := reg.Snapshot()
+	var dispatched uint64
+	for _, pe := range snap.PEs {
+		dispatched += pe.Dispatches
+	}
+	if dispatched < pes*msgs {
+		t.Errorf("snapshot shows %d dispatches, want >= %d", dispatched, pes*msgs)
+	}
+}

@@ -8,7 +8,10 @@ package core
 
 import (
 	"fmt"
+	"os"
 
+	"converse/internal/ccs"
+	"converse/internal/metrics"
 	"converse/internal/mnet"
 )
 
@@ -37,6 +40,12 @@ func newNetMachine(cfg Config) *Machine {
 	if cfg.Faults != "" {
 		ncfg.Faults = cfg.Faults
 	}
+	monitor := os.Getenv(mnet.EnvMonitor) != ""
+	if monitor && cfg.Metrics == nil {
+		// The launcher asked for live introspection; give the snapshot
+		// something to show even when the program attached no registry.
+		cfg.Metrics = metrics.New(cfg.PEs)
+	}
 	node, err := mnet.Join(ncfg)
 	if err != nil {
 		panic(fmt.Sprintf("core: joining converserun job: %v", err))
@@ -45,5 +54,34 @@ func newNetMachine(cfg Config) *Machine {
 	if cfg.Metrics != nil && node.Active() && node.ID() < cfg.PEs {
 		node.SetMetrics(cfg.Metrics.PE(node.ID()))
 	}
+	if monitor && node.Active() && node.ID() < cfg.PEs {
+		startNetMonitor(cm, node, ncfg.Token)
+	}
 	return cm
+}
+
+// netMonitor is the current rendezvous round's introspection endpoint.
+// A program that builds machines in sequence (examples/quickstart)
+// joins once per machine; each join replaces the previous endpoint so
+// the launcher's aggregator always reaches the live machine.
+var netMonitor *ccs.Monitor
+
+// startNetMonitor opens this worker's local introspection endpoint on
+// an ephemeral port and reports its address to the launcher, which
+// aggregates all ranks behind converserun -monitor.
+func startNetMonitor(cm *Machine, node *mnet.Node, token string) {
+	if netMonitor != nil {
+		netMonitor.Close()
+		netMonitor = nil
+	}
+	mon, err := cm.StartMonitor("127.0.0.1:0", token)
+	if err != nil {
+		// Introspection is an observer, never a reason to kill the job.
+		fmt.Fprintf(os.Stderr, "core: monitor endpoint: %v\n", err)
+		return
+	}
+	netMonitor = mon
+	if err := node.ReportMonitor(mon.Addr()); err != nil {
+		fmt.Fprintf(os.Stderr, "core: reporting monitor address: %v\n", err)
+	}
 }

@@ -70,6 +70,36 @@ func BenchmarkMetricsEnabled(b *testing.B) {
 	})
 }
 
+// BenchmarkMonitorIdle proves the introspection plane costs the send/
+// dispatch path nothing while no probe is in flight: a live monitor
+// endpoint is attached (metrics registry and all), nobody polls it,
+// and the hot loop must stay allocation-free. The doorbell handler only
+// runs when rung, so an idle monitor is invisible to the scheduler.
+func BenchmarkMonitorIdle(b *testing.B) {
+	cfg := Config{PEs: 1, Watchdog: 5 * time.Minute, Metrics: metrics.New(1)}
+	cm := NewMachine(cfg)
+	mon, err := cm.StartMonitor("127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {})
+	err = cm.Run(func(p *Proc) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			msg := p.Alloc(0)
+			SetHandler(msg, h)
+			p.Enqueue(msg)
+			p.ScheduleUntilIdle()
+		}
+		b.StopTimer()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkMetricsDisabled measures the raw instrumentation hooks on a
 // Proc with no registry attached: each must compile down to a nil check
 // (sub-5ns, zero allocations).

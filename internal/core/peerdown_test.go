@@ -71,14 +71,13 @@ func TestPeerDownMsgRoundTrip(t *testing.T) {
 }
 
 // TestBuiltinHandlerIndicesAligned guards the machine-wide handler
-// alignment invariant after adding the third built-in: the first
-// user-registered handler must get the same index on every processor
-// and on a fresh proc that index must be 3 (tree bcast, pack,
-// peer-down come first).
+// alignment invariant: the first user-registered handler must get the
+// same index on every processor and on a fresh proc that index must be
+// 4 (tree bcast, pack, peer-down, doorbell come first).
 func TestBuiltinHandlerIndicesAligned(t *testing.T) {
 	cm := NewMachine(Config{PEs: 3})
 	idx := cm.RegisterHandler(func(*Proc, []byte) {})
-	if idx != 3 {
-		t.Fatalf("first user handler index = %d, want 3 (after the three built-ins)", idx)
+	if idx != 4 {
+		t.Fatalf("first user handler index = %d, want 4 (after the four built-ins)", idx)
 	}
 }

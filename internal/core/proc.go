@@ -132,6 +132,12 @@ type Proc struct {
 	ext map[string]any
 
 	nIdle uint64 // times the scheduler found nothing to do (stats)
+
+	// bell is the monitor doorbell (monitor.go): bellHandler is the
+	// built-in handler that publishes scheduler state into the atomic
+	// cells; ProbeSchedState rings it from foreign goroutines.
+	bellHandler int
+	bell        bellState
 }
 
 // ownedBuf is one CMI-owned message buffer awaiting grab-or-recycle.
@@ -154,6 +160,8 @@ func newProc(pe Substrate, co CoalesceConfig) *Proc {
 	p.treeBcastHandler = p.RegisterHandler(onTreeBcast)
 	p.packHandler = p.RegisterHandler(onPack)
 	p.peerDownHandler = p.RegisterHandler(onPeerDown)
+	p.bellHandler = p.RegisterHandler(onDoorbell)
+	p.bell.done = make(chan struct{}, 1)
 	return p
 }
 

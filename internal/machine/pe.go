@@ -156,6 +156,16 @@ func (pe *PE) SendOwned(dst int, data []byte) {
 	pe.m.pes[dst].deliver(Packet{Src: pe.id, Dst: dst, Data: data, Arrive: arrive})
 }
 
+// Inject publishes a message straight to this PE's own inbound queue.
+// Unlike SendOwned it may be called from any goroutine: it touches no
+// driver-owned state (no clock charge, no network model), so foreign
+// observers — the monitor doorbell in internal/core — can ring a PE
+// without racing its driver. The packet arrives immediately (Arrive 0
+// is never ahead of the receiver's clock).
+func (pe *PE) Inject(data []byte) {
+	pe.deliver(Packet{Src: pe.id, Dst: pe.id, Data: data, Arrive: 0})
+}
+
 // deliver publishes a packet to this PE's inbound queue and wakes the
 // receiver if it is blocked. The lock-free ring is the fast path; while
 // any packet sits in overflow, all senders take the overflow path so a

@@ -27,40 +27,32 @@ package mnet
 import (
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
+
+	"converse/internal/wire"
 )
 
-// Wire framing, protocol version 2: every frame is
-//
-//	[u32 LE length][u8 kind][u32 LE crc32c][payload]
-//
-// where length covers the kind byte, the checksum, and the payload, and
-// the checksum (CRC32-Castagnoli) covers the kind byte and the payload.
-// Control payloads are JSON (proto.go); data payloads are a u64 LE
-// per-link sequence number followed by raw Converse message bytes.
+// Wire framing, protocol version 2 (see internal/wire for the byte
+// layout, shared with the monitor endpoints in internal/ccs): every
+// frame is [u32 LE length][u8 kind][u32 LE crc32c][payload]. Control
+// payloads are JSON (proto.go); data payloads are a u64 LE per-link
+// sequence number followed by raw Converse message bytes.
 const (
-	frameHdrLen = 9
+	frameHdrLen = wire.HdrLen
 	// dataSeqLen prefixes every data frame's payload: the per-link
 	// sequence number the reliability layer orders and acks by.
 	dataSeqLen = 8
 	// maxFrame bounds the declared frame length, checked before any
 	// allocation so a corrupt or hostile header cannot balloon memory.
-	// 32 MiB comfortably exceeds any message the examples or benchmarks
-	// send.
-	maxFrame = 32 << 20
+	maxFrame = wire.MaxFrame
 )
-
-// crcTab is the Castagnoli table (hardware-accelerated on amd64/arm64).
-var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
 // errChecksum marks a frame whose checksum did not verify: the bytes
 // were damaged in transit. The stream framing itself (the length
 // prefix) is still intact, so under FailRetry the reader can skip the
 // damaged frame and request a replay.
-var errChecksum = errors.New("mnet: frame checksum mismatch")
+var errChecksum = wire.ErrChecksum
 
 // kind tags a frame's role in the protocol.
 type kind uint8
@@ -84,6 +76,10 @@ const (
 	fAck          // cumulative receive ack ([u64 last in-order seq])
 	fNack         // replay request ([u64 last in-order seq received])
 	fPeerHelloAck // session-resume accept (peerHelloAckMsg)
+
+	// worker -> launcher (control connection, appended in protocol v2
+	// so earlier kinds keep their byte values)
+	fMonitorAddr // worker's monitor endpoint address (monitorAddrMsg)
 )
 
 func (k kind) String() string {
@@ -118,6 +114,8 @@ func (k kind) String() string {
 		return "nack"
 	case fPeerHelloAck:
 		return "peerhelloack"
+	case fMonitorAddr:
+		return "monitoraddr"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -128,33 +126,7 @@ func (k kind) String() string {
 //
 //converse:hotpath
 func writeFrameParts(w io.Writer, k kind, parts ...[]byte) error {
-	psz := 0
-	for _, p := range parts {
-		psz += len(p)
-	}
-	if psz+frameHdrLen-4 > maxFrame {
-		return fmt.Errorf("mnet: frame payload %d bytes exceeds limit %d", psz, maxFrame-(frameHdrLen-4))
-	}
-	var hdr [frameHdrLen]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(psz+frameHdrLen-4))
-	hdr[4] = byte(k)
-	crc := crc32.Update(0, crcTab, hdr[4:5])
-	for _, p := range parts {
-		crc = crc32.Update(crc, crcTab, p)
-	}
-	binary.LittleEndian.PutUint32(hdr[5:9], crc)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	for _, p := range parts {
-		if len(p) == 0 {
-			continue
-		}
-		if _, err := w.Write(p); err != nil {
-			return err
-		}
-	}
-	return nil
+	return wire.WriteFrame(w, byte(k), parts...)
 }
 
 // writeFrame writes one frame with a single payload slice.
@@ -203,30 +175,9 @@ func flipBit(frame []byte, bit int) {
 // consumed, so the caller may keep reading the stream. Never a panic,
 // and never an allocation beyond maxFrame.
 func readFrame(r io.Reader) (kind, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+	k, payload, err := wire.ReadFrame(r)
+	if err != nil {
+		return kind(k), nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n < frameHdrLen-4 {
-		return 0, nil, fmt.Errorf("mnet: frame length %d too short for kind and checksum", n)
-	}
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("mnet: frame length %d exceeds limit %d", n, maxFrame)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return 0, nil, fmt.Errorf("mnet: truncated frame (want %d bytes): %w", n, err)
-	}
-	k := kind(buf[0])
-	want := binary.LittleEndian.Uint32(buf[1:5])
-	got := crc32.Update(0, crcTab, buf[:1])
-	got = crc32.Update(got, crcTab, buf[5:])
-	if got != want {
-		return k, nil, fmt.Errorf("%w: %v frame of %d bytes (crc %08x, want %08x)", errChecksum, k, n, got, want)
-	}
-	return k, buf[5:], nil
+	return kind(k), payload, nil
 }

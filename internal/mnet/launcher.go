@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"converse/internal/ccs"
 	"converse/internal/faultnet"
 )
 
@@ -41,6 +42,11 @@ type LaunchConfig struct {
 	// Faults is a fault-injection plan (internal/faultnet grammar)
 	// passed to every worker.
 	Faults string
+	// Monitor, if non-empty, opens the mesh-wide live-introspection
+	// socket on this address (converserun -monitor): each worker starts
+	// a local ccs endpoint and reports it; the launcher aggregates them
+	// all behind this one address and prints it once bound.
+	Monitor string
 	// Stdout and Stderr receive forwarded console output and prefixed
 	// worker process output; they default to os.Stdout and os.Stderr.
 	Stdout, Stderr io.Writer
@@ -84,8 +90,19 @@ func Launch(cfg LaunchConfig) error {
 	}
 	defer ls.Close()
 	token := newToken()
-	s := &jobServer{cfg: cfg, token: token, rounds: map[int]*round{}, failCh: make(chan error, 1)}
+	s := &jobServer{cfg: cfg, token: token, rounds: map[int]*round{}, failCh: make(chan error, 1),
+		monitors: map[int]string{}}
 	go s.acceptLoop(ls)
+	if cfg.Monitor != "" {
+		agg, err := ccs.ServeAggregate(cfg.Monitor, token, s.monitorMap)
+		if err != nil {
+			return fmt.Errorf("mnet: binding monitor socket: %w", err)
+		}
+		defer agg.Close()
+		// The token is printed so the operator can point conversetop
+		// -token at the socket; it only ever reaches the job's stdout.
+		fmt.Fprintf(cfg.Stdout, "converserun: monitor on %s token %s\n", agg.Addr(), token)
+	}
 
 	// Spawn the workers. Their stdout/stderr (Go panics, stray prints —
 	// CmiPrintf goes over the control connection instead) are forwarded
@@ -113,6 +130,9 @@ func Launch(cfg LaunchConfig) error {
 		}
 		if cfg.Faults != "" {
 			cmd.Env = append(cmd.Env, EnvFaults+"="+cfg.Faults)
+		}
+		if cfg.Monitor != "" {
+			cmd.Env = append(cmd.Env, EnvMonitor+"=1")
 		}
 		pipes := new(sync.WaitGroup)
 		stdout, err := cmd.StdoutPipe()
@@ -244,6 +264,9 @@ type jobServer struct {
 
 	mu     sync.Mutex
 	rounds map[int]*round
+	// monitors maps rank -> that worker's local ccs endpoint address
+	// (reported over the control connection when -monitor is set).
+	monitors map[int]string
 
 	// connWg tracks live control-connection readers so Launch can wait
 	// for their final console frames before returning.
@@ -353,6 +376,15 @@ func (s *jobServer) handleConn(conn net.Conn) {
 				s.fail(fmt.Errorf("mnet: worker rank %d reports fatal error", rank))
 			}
 			return
+		case fMonitorAddr:
+			var m monitorAddrMsg
+			if err := decodeJSON(k, payload, &m); err != nil {
+				s.fail(err)
+				return
+			}
+			s.mu.Lock()
+			s.monitors[m.Rank] = m.Addr
+			s.mu.Unlock()
 		case fPing:
 			// Receiving it already refreshed the deadline.
 		default:
@@ -488,6 +520,18 @@ func (s *jobServer) describe() string {
 		}
 		out += fmt.Sprintf("round %d (%d PEs): %d/%d hellos, %d/%d meshok, %d/%d done",
 			rd.num, rd.pes, rd.hellos, s.cfg.NP, rd.meshoks, s.cfg.NP, len(rd.doneSet), rd.pes)
+	}
+	return out
+}
+
+// monitorMap snapshots the rank -> monitor-endpoint map for the
+// aggregator.
+func (s *jobServer) monitorMap() map[int]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]string, len(s.monitors))
+	for r, a := range s.monitors {
+		out[r] = a
 	}
 	return out
 }

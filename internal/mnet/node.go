@@ -579,6 +579,20 @@ func (n *Node) deliver(src int, data []byte) {
 	n.cond.Signal()
 }
 
+// Inject publishes a message straight to this node's own inbox. Safe
+// from any goroutine (the inbox is mutex-protected): foreign observers
+// — the monitor doorbell in internal/core — ring the scheduler this
+// way without touching driver-owned state.
+func (n *Node) Inject(data []byte) {
+	n.deliver(n.cfg.Rank, data)
+}
+
+// ReportMonitor tells the launcher where this worker's introspection
+// endpoint listens, over the control connection.
+func (n *Node) ReportMonitor(addr string) error {
+	return n.writeCtrl(fMonitorAddr, monitorAddrMsg{Rank: n.cfg.Rank, Addr: addr})
+}
+
 // TryRecvBatch fills out with up to len(out) pending packets without
 // blocking and returns the count.
 func (n *Node) TryRecvBatch(out []machine.Packet) int {

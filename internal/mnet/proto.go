@@ -56,6 +56,10 @@ const (
 	// EnvFaults carries the fault-injection plan (internal/faultnet
 	// grammar) each worker applies to its outbound data frames.
 	EnvFaults = "CONVERSE_NET_FAULTS"
+	// EnvMonitor, when set (converserun -monitor), asks each worker to
+	// open a local introspection endpoint (internal/ccs) and report its
+	// address back to the launcher over the control connection.
+	EnvMonitor = "CONVERSE_NET_MONITOR"
 )
 
 // Protocol timing defaults; Config can override them (tests shrink the
@@ -139,6 +143,13 @@ type peerHelloMsg struct {
 // cumulative receive ack.
 type peerHelloAckMsg struct {
 	Ack uint64 `json:"ack"`
+}
+
+// monitorAddrMsg reports a worker's local monitor endpoint address so
+// the launcher's -monitor aggregator can reach it.
+type monitorAddrMsg struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
 }
 
 // writeJSONFrame marshals msg and writes it as one frame of kind k.

@@ -69,6 +69,146 @@ func TestMergeCausalClockSkew(t *testing.T) {
 	}
 }
 
+// TestMergeCausalClockSkewRelayChain: three ranks in a relay (0 sends
+// to 1, 1 to 2) with each clock lagging the previous. The clamp must
+// cascade: rank 1's send is dragged up to its clamped receive by
+// monotonicity, and rank 2's receive must then clamp against that
+// *clamped* send time, not the original stamp — otherwise the merged
+// output is no longer time sorted.
+func TestMergeCausalClockSkewRelayChain(t *testing.T) {
+	pe0 := []core.TraceEvent{
+		{Kind: core.EvSend, T: 100, PE: 0, Dst: 1, Size: 8},
+	}
+	pe1 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 40, PE: 1, Src: 0, Size: 8},
+		{Kind: core.EvSend, T: 45, PE: 1, Dst: 2, Size: 8},
+	}
+	pe2 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 20, PE: 2, Src: 1, Size: 8},
+		{Kind: core.EvBegin, T: 25, PE: 2, Handler: 1},
+	}
+	pe1Orig := append([]core.TraceEvent(nil), pe1...)
+	pe2Orig := append([]core.TraceEvent(nil), pe2...)
+
+	out := MergeCausal([][]core.TraceEvent{pe0, pe1, pe2})
+	if len(out) != 5 {
+		t.Fatalf("merged %d events, want 5", len(out))
+	}
+	assertTimeSorted(t, out)
+	assertRecvsFollowSends(t, out)
+	// Everything downstream of the T=100 send lives at or after it,
+	// including rank 2's events two hops away.
+	for _, e := range out {
+		if e.PE != 0 && e.T < 100 {
+			t.Errorf("pe %d %v at T=%v, want the clamp cascaded to >= 100", e.PE, e.Kind, e.T)
+		}
+	}
+	for i := range pe1 {
+		if pe1[i] != pe1Orig[i] {
+			t.Errorf("caller's pe1 stream mutated at %d", i)
+		}
+	}
+	for i := range pe2 {
+		if pe2[i] != pe2Orig[i] {
+			t.Errorf("caller's pe2 stream mutated at %d", i)
+		}
+	}
+}
+
+// TestMergeCausalClockSkewFourRanks: a three-hop cascade 0→1→2→3 with
+// two sends on the first link. Per-link k-th matching must clamp the
+// second receive to the second send, and the cascade must reach rank 3.
+func TestMergeCausalClockSkewFourRanks(t *testing.T) {
+	pe0 := []core.TraceEvent{
+		{Kind: core.EvSend, T: 200, PE: 0, Dst: 1, Size: 8},
+		{Kind: core.EvSend, T: 210, PE: 0, Dst: 1, Size: 8},
+	}
+	pe1 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 100, PE: 1, Src: 0, Size: 8},
+		{Kind: core.EvRecv, T: 105, PE: 1, Src: 0, Size: 8},
+		{Kind: core.EvSend, T: 110, PE: 1, Dst: 2, Size: 8},
+	}
+	pe2 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 50, PE: 2, Src: 1, Size: 8},
+		{Kind: core.EvSend, T: 55, PE: 2, Dst: 3, Size: 8},
+	}
+	pe3 := []core.TraceEvent{
+		{Kind: core.EvRecv, T: 10, PE: 3, Src: 2, Size: 8},
+		{Kind: core.EvBegin, T: 12, PE: 3, Handler: 1},
+	}
+	orig := [][]core.TraceEvent{
+		append([]core.TraceEvent(nil), pe0...),
+		append([]core.TraceEvent(nil), pe1...),
+		append([]core.TraceEvent(nil), pe2...),
+		append([]core.TraceEvent(nil), pe3...),
+	}
+	streams := [][]core.TraceEvent{pe0, pe1, pe2, pe3}
+
+	out := MergeCausal(streams)
+	if len(out) != 9 {
+		t.Fatalf("merged %d events, want 9", len(out))
+	}
+	assertTimeSorted(t, out)
+	assertRecvsFollowSends(t, out)
+	// k-th matching on link 0→1: the first receive clamps to the first
+	// send (T=200), the second to the second (T=210).
+	var recv01 []float64
+	for _, e := range out {
+		if e.Kind == core.EvRecv && e.Src == 0 && e.PE == 1 {
+			recv01 = append(recv01, e.T)
+		}
+	}
+	if len(recv01) != 2 || recv01[0] < 200 || recv01[1] < 210 {
+		t.Errorf("link 0->1 receives at %v, want k-th matching clamps to >= [200 210]", recv01)
+	}
+	// The second send (T=210) causally precedes rank 1's relay, so the
+	// whole downstream chain — ranks 2 and 3 included — lands at or
+	// after the point where rank 1 could have acted on it.
+	for _, e := range out {
+		if (e.PE == 2 || e.PE == 3) && e.T < 210 {
+			t.Errorf("pe %d %v at T=%v, want the three-hop cascade to reach >= 210", e.PE, e.Kind, e.T)
+		}
+	}
+	for pe, s := range streams {
+		for i := range s {
+			if s[i] != orig[pe][i] {
+				t.Errorf("caller's pe%d stream mutated at %d", pe, i)
+			}
+		}
+	}
+}
+
+// assertTimeSorted fails unless out is nondecreasing in T.
+func assertTimeSorted(t *testing.T, out []core.TraceEvent) {
+	t.Helper()
+	for i := 1; i < len(out); i++ {
+		if out[i].T < out[i-1].T {
+			t.Errorf("output not time sorted at %d: T=%v after T=%v", i, out[i].T, out[i-1].T)
+		}
+	}
+}
+
+// assertRecvsFollowSends fails if any receive is emitted before the
+// matching (per-link k-th) send.
+func assertRecvsFollowSends(t *testing.T, out []core.TraceEvent) {
+	t.Helper()
+	type link struct{ src, dst int }
+	sends := map[link]int{}
+	for i, e := range out {
+		switch e.Kind {
+		case core.EvSend:
+			sends[link{e.PE, e.Dst}]++
+		case core.EvRecv:
+			l := link{e.Src, e.PE}
+			if sends[l] == 0 {
+				t.Errorf("event %d: receive on link %d->%d before its send", i, e.Src, e.PE)
+			} else {
+				sends[l]--
+			}
+		}
+	}
+}
+
 // TestMergeCausalVirtualUnchanged: under virtual time the clamp is a
 // no-op and causally fine streams merge exactly as before.
 func TestMergeCausalVirtualUnchanged(t *testing.T) {

@@ -337,7 +337,28 @@ func MergeCausal(streams [][]core.TraceEvent) []core.TraceEvent {
 // timestamp to at least its matching send's, then restore per-stream
 // monotonicity. Streams that need no correction are passed through
 // unchanged (and unallocated); corrected streams are copies.
+//
+// Clamping a receive can drag the same stream's later sends forward
+// (monotonicity), which in turn must re-clamp *their* receives on other
+// streams — a relay chain 0→1→2 cascades. Each pass matches against the
+// previous pass's send times, so the clamp runs to a fixed point: times
+// only ever increase and are bounded by the maximum over each event's
+// causal chain, and every pass that changes anything propagates at
+// least one hop further along some chain, so the loop terminates within
+// the longest cross-stream chain's length.
 func clampSkew(streams [][]core.TraceEvent) [][]core.TraceEvent {
+	for {
+		out, changed := clampSkewPass(streams)
+		if !changed {
+			return out
+		}
+		streams = out
+	}
+}
+
+// clampSkewPass performs one clamp pass, matching receives against the
+// send timestamps as they currently stand in streams.
+func clampSkewPass(streams [][]core.TraceEvent) ([][]core.TraceEvent, bool) {
 	type link struct{ src, dst int }
 	// Per-link FIFO of send timestamps, in emission order (per-stream
 	// order is per-link send order).
@@ -355,6 +376,7 @@ func clampSkew(streams [][]core.TraceEvent) [][]core.TraceEvent {
 	// event slices themselves are copied only if a correction hits them.
 	out := append([][]core.TraceEvent(nil), streams...)
 	copied := make([]bool, len(streams))
+	changed := false
 	for i, s := range streams {
 		floor := 0.0
 		if len(s) > 0 {
@@ -381,10 +403,11 @@ func clampSkew(streams [][]core.TraceEvent) [][]core.TraceEvent {
 					copied[i] = true
 				}
 				out[i][j].T = t
+				changed = true
 			}
 		}
 	}
-	return out
+	return out, changed
 }
 
 // Summary aggregates a trace: per-kind counts, message totals and bytes.

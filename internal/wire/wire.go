@@ -1,0 +1,110 @@
+// Package wire is the checksummed frame format shared by the machine
+// layers that speak a byte stream: the TCP machine layer (internal/mnet)
+// and the live-introspection monitor endpoints (internal/ccs). Every
+// frame is
+//
+//	[u32 LE length][u8 kind][u32 LE crc32c][payload]
+//
+// where length covers the kind byte, the checksum, and the payload, and
+// the checksum (CRC32-Castagnoli) covers the kind byte and the payload.
+// The kind byte's meaning belongs to the caller: mnet and ccs each keep
+// their own enum over disjoint ranges so a monitor client that dials a
+// mesh port (or vice versa) fails loudly instead of misparsing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// HdrLen is the fixed frame header size: length, kind, checksum.
+	HdrLen = 9
+	// MaxFrame bounds the declared frame length, checked before any
+	// allocation so a corrupt or hostile header cannot balloon memory.
+	// 32 MiB comfortably exceeds any message the examples or benchmarks
+	// send, and any pprof capture the monitor streams.
+	MaxFrame = 32 << 20
+)
+
+// crcTab is the Castagnoli table (hardware-accelerated on amd64/arm64).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum marks a frame whose checksum did not verify: the bytes
+// were damaged in transit. The stream framing itself (the length
+// prefix) is still intact, so the reader may skip the damaged frame and
+// keep reading the stream.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// WriteFrame writes one frame whose payload is the concatenation of
+// parts, computing the checksum incrementally so data frames need no
+// staging copy. The caller provides any buffering and serialization.
+//
+//converse:hotpath
+func WriteFrame(w io.Writer, kind byte, parts ...[]byte) error {
+	psz := 0
+	for _, p := range parts {
+		psz += len(p)
+	}
+	if psz+HdrLen-4 > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", psz, MaxFrame-(HdrLen-4))
+	}
+	var hdr [HdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(psz+HdrLen-4))
+	hdr[4] = kind
+	crc := crc32.Update(0, crcTab, hdr[4:5])
+	for _, p := range parts {
+		crc = crc32.Update(crc, crcTab, p)
+	}
+	binary.LittleEndian.PutUint32(hdr[5:9], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, returning its kind and payload. The
+// payload is freshly allocated and owned by the caller. Truncated or
+// oversized input yields an error; damaged bytes yield an error
+// wrapping ErrChecksum after the frame has been fully consumed, so the
+// caller may keep reading the stream. Never a panic, and never an
+// allocation beyond MaxFrame.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < HdrLen-4 {
+		return 0, nil, fmt.Errorf("wire: frame length %d too short for kind and checksum", n)
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("wire: truncated frame (want %d bytes): %w", n, err)
+	}
+	k := buf[0]
+	want := binary.LittleEndian.Uint32(buf[1:5])
+	got := crc32.Update(0, crcTab, buf[:1])
+	got = crc32.Update(got, crcTab, buf[5:])
+	if got != want {
+		return k, nil, fmt.Errorf("%w: kind %d frame of %d bytes (crc %08x, want %08x)", ErrChecksum, k, n, got, want)
+	}
+	return k, buf[5:], nil
+}

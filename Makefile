@@ -12,6 +12,13 @@
 #                      converge byte-identically with the retry policy,
 #                      and die fast under failfast
 #   make bench-faults  throughput-vs-loss sweep; writes BENCH_faults.json
+#   make bench-collectives
+#                      flat-vs-tree broadcast sweep over node shapes;
+#                      writes BENCH_collectives.json
+#   make collectives-smoke
+#                      SMP-hybrid smoke: jacobi as a 4-node x 2-PE TCP
+#                      job (converserun -nodes/-ppn) plus the fast
+#                      collectives sweep
 #   make monitor-smoke live-introspection gate: jacobi -np 4 with
 #                      converserun -monitor, scraped with conversetop
 #                      (tables, JSON, and a CPU capture)
@@ -25,9 +32,9 @@
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults commbench-smoke net-smoke chaos-smoke monitor-smoke profile lint msgcheck-test
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults bench-collectives commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke profile lint msgcheck-test
 
-ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke monitor-smoke
+ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke
 
 tier1: vet build test
 
@@ -141,6 +148,25 @@ chaos-smoke:
 bench-faults:
 	$(GO) run ./cmd/commbench -transport tcp -faults sweep
 
+# Flat-vs-tree broadcast sweep across machine sizes and node shapes
+# (1/4/8 PEs per node) on the modeled sim substrate; writes
+# BENCH_collectives.json (the table EXPERIMENTS.md quotes). Virtual
+# time: the table is deterministic.
+bench-collectives:
+	$(GO) run ./cmd/commbench -collectives -o BENCH_collectives.json
+
+# SMP-hybrid smoke: the same jacobi binary as a 4-node x 2-PE TCP job
+# — 4 worker processes hosting 2 PEs each, intra-node traffic on the
+# in-memory path, inter-node on the wire — plus the fast collectives
+# sweep proving the flat-vs-tree harness end to end.
+collectives-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	$(GO) build -o $$tmp/jacobi ./examples/jacobi && \
+	$$tmp/converserun -np 8 -nodes 4 -ppn 2 -timeout 120s $$tmp/jacobi && \
+	$(GO) run ./cmd/commbench -collectives -smoke -o /dev/null && \
+	echo 'collectives-smoke: jacobi ok as 4 nodes x 2 PEs; flat-vs-tree sweep ok'
+
 # Live-introspection gate: jacobi as a 4-rank TCP job held open by
 # -minwall, its mesh monitor scraped three ways with conversetop — the
 # JSON snapshot must be well-formed and cover all 4 PEs, the rendered
@@ -186,5 +212,7 @@ monitor-smoke:
 # The 8..256-PE scale ladder on the simulated substrate, with CPU and
 # heap captures pulled through a live ccs monitor socket at every
 # point; writes BENCH_scale.json (the table EXPERIMENTS.md quotes).
-profile:
+# The collectives sweep rides along so one `make profile` refreshes
+# both scaling artifacts.
+profile: bench-collectives
 	$(GO) run ./cmd/commbench -scale -o BENCH_scale.json

@@ -17,6 +17,13 @@
 // frame-drop rates (0, 0.1%, 1%, 5%) and write BENCH_faults.json — the
 // throughput-vs-loss curve of the ack/retransmit machinery.
 //
+// With -collectives it measures the two-level topology-aware broadcast
+// tree against the flat per-peer send loop it replaced, on the modeled
+// simulated substrate (virtual time, deterministic), across machine
+// sizes and node shapes (1, 4 and 8 PEs per node), and writes
+// BENCH_collectives.json — the flat-vs-tree table EXPERIMENTS.md
+// quotes.
+//
 // With -scale it runs the 8→256-PE ladder on the simulated substrate
 // and writes BENCH_scale.json: ping-pong latency and fan-in throughput
 // per processor count, plus the scheduler-loop CPU share and live heap
@@ -28,6 +35,7 @@
 //	commbench [-o BENCH_comm.json] [-pes 8] [-msgs 400] [-size 64] [-smoke]
 //	commbench -transport tcp [-o BENCH_net.json] [-pes 4] [-msgs 400] [-size 64] [-smoke]
 //	commbench -transport tcp -faults sweep [-o BENCH_faults.json] [-smoke]
+//	commbench -collectives [-o BENCH_collectives.json] [-size 64] [-smoke]
 //	commbench -scale [-o BENCH_scale.json] [-msgs 200] [-size 64] [-smoke]
 package main
 
@@ -37,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	converse "converse"
@@ -87,6 +96,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "small, fast run for CI (skips wall-clock allocs)")
 	faults := flag.String("faults", "", `with -transport tcp: a fault plan run under the retry policy, or "sweep" for the drop-rate sweep (BENCH_faults.json)`)
 	scale := flag.Bool("scale", false, "run the 8..256-PE scale ladder on the sim substrate (BENCH_scale.json)")
+	collectives := flag.Bool("collectives", false, "run the flat-vs-tree broadcast sweep on the sim substrate (BENCH_collectives.json)")
 	flag.Parse()
 
 	if *pes < 2 {
@@ -94,6 +104,13 @@ func main() {
 	}
 	if *smoke {
 		*msgs, *rounds = 50, 20
+	}
+	if *collectives {
+		if *out == "" {
+			*out = "BENCH_collectives.json"
+		}
+		collectivesMain(*out, *size, *smoke)
+		return
 	}
 	if *scale {
 		if *out == "" {
@@ -431,4 +448,109 @@ func scaleMain(out string, msgs, size, rounds int, smoke bool) {
 		MsgsPerPE: opt.Msgs, MsgSize: opt.Size, Rounds: opt.Rounds,
 		ProfileSeconds: opt.ProfileSeconds, Points: points,
 	})
+}
+
+// --- -collectives: flat loop vs two-level tree (BENCH_collectives.json) ---
+
+type collectivePoint struct {
+	PEs   int `json:"pes"`
+	PPN   int `json:"ppn"`
+	Nodes int `json:"nodes"`
+	// FlatUs is the completion time (last PE's arrival, virtual us) of
+	// the pre-tree broadcast: one serial send per destination, all
+	// charged to the root. TreeUs is the same broadcast through the
+	// two-level spanning tree (binomial across nodes, flat fan-out
+	// within each node).
+	FlatUs  float64 `json:"flat_us"`
+	TreeUs  float64 `json:"tree_us"`
+	Speedup float64 `json:"speedup"`
+}
+
+type collectiveReport struct {
+	Machine string            `json:"machine"`
+	MsgSize int               `json:"msg_size"`
+	Points  []collectivePoint `json:"points"`
+}
+
+// collectiveLadder and collectiveShapes span the sweep: machine sizes
+// against PEs-per-node groupings (1 = the classic flat machine, 4 and 8
+// = SMP-style nodes where intra-node hops are pointer handoffs).
+var (
+	collectiveLadder = []int{8, 16, 32, 64, 128}
+	collectiveShapes = []int{1, 4, 8}
+)
+
+// broadcastCompletion measures one broadcast from PE 0 on a modeled
+// sim machine of pes processors grouped ppn to a node, and returns the
+// virtual time at which the last PE received its copy. Virtual time
+// makes the number deterministic: reruns produce the identical table.
+func broadcastCompletion(m *netmodel.Model, pes, ppn, size int, tree bool) float64 {
+	cfg := converse.Config{PEs: pes, Model: m, Watchdog: 2 * time.Minute}
+	if ppn > 1 {
+		sizes := make([]int, pes/ppn)
+		for i := range sizes {
+			sizes[i] = ppn
+		}
+		cfg.NodeSizes = sizes
+	}
+	cm := converse.NewMachine(cfg)
+	var last atomic.Int64 // max arrival time, fixed-point ns
+	h := cm.RegisterHandler(func(p *converse.Proc, msg []byte) {
+		now := int64(p.TimerUs() * 1000)
+		for {
+			old := last.Load()
+			if now <= old || last.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *converse.Proc) {
+		if p.MyPe() == 0 {
+			msg := converse.MakeMsg(h, make([]byte, size))
+			if tree {
+				p.Broadcast(msg, converse.ExcludeSelf)
+				p.Scheduler(pes) // serve relay traffic; returns at idle
+			} else {
+				for q := 1; q < pes; q++ {
+					p.SyncSend(q, msg)
+				}
+			}
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		log.Fatalf("commbench: broadcast pes=%d ppn=%d tree=%v: %v", pes, ppn, tree, err)
+	}
+	return float64(last.Load()) / 1000
+}
+
+// collectivesMain sweeps the flat-vs-tree broadcast over the ladder and
+// node shapes on the sim substrate.
+func collectivesMain(out string, size int, smoke bool) {
+	ladder := collectiveLadder
+	if smoke {
+		ladder = []int{8, 16}
+	}
+	model := netmodel.T3D()
+	r := collectiveReport{Machine: model.Name, MsgSize: size}
+	for _, ppn := range collectiveShapes {
+		for _, pes := range ladder {
+			if pes%ppn != 0 {
+				continue
+			}
+			flat := broadcastCompletion(model, pes, ppn, size, false)
+			tree := broadcastCompletion(model, pes, ppn, size, true)
+			r.Points = append(r.Points, collectivePoint{
+				PEs: pes, PPN: ppn, Nodes: pes / ppn,
+				FlatUs: flat, TreeUs: tree, Speedup: flat / tree,
+			})
+		}
+	}
+	writeJSON(out, &r)
+	for _, p := range r.Points {
+		fmt.Printf("bcast %3d PEs x %d/node (%2d nodes)  flat=%8.1fus  tree=%8.1fus  speedup=%.2fx\n",
+			p.PEs, p.PPN, p.Nodes, p.FlatUs, p.TreeUs, p.Speedup)
+	}
 }

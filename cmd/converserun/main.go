@@ -9,9 +9,16 @@
 // launcher passes the job coordinates through the environment, and
 // core.NewMachine joins the mesh automatically (Transport auto/tcp).
 //
+// By default each worker process hosts exactly one PE (the classic 1:1
+// rank↔PE mapping). The -nodes/-ppn flags group PEs onto SMP-style
+// nodes: -np 8 -ppn 2 starts 4 worker processes hosting 2 PEs each,
+// with intra-node messages moving by in-memory pointer handoff instead
+// of the wire.
+//
 // Usage:
 //
 //	converserun -np 4 ./jacobi -n 64 -iters 100
+//	converserun -np 8 -ppn 2 ./jacobi -n 64 -iters 100
 package main
 
 import (
@@ -24,7 +31,9 @@ import (
 )
 
 func main() {
-	np := flag.Int("np", 1, "number of worker processes to start")
+	np := flag.Int("np", 1, "number of processors (PEs) in the job")
+	nodes := flag.Int("nodes", 0, "number of worker processes (SMP nodes) to start; default -np/-ppn")
+	ppn := flag.Int("ppn", 0, "PEs hosted per worker process; default -np/-nodes (1 if neither is given)")
 	hosts := flag.String("hosts", "", "reserved: remote host list (only local jobs are supported so far)")
 	timeout := flag.Duration("timeout", 0, "kill the whole job after this wall-clock time (0 = no limit)")
 	heartbeat := flag.Duration("heartbeat", 0, "worker liveness interval (default 1s)")
@@ -45,14 +54,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *np < 1 {
-		fmt.Fprintf(os.Stderr, "converserun: -np must be >= 1, got %d\n", *np)
+	nNodes, nPPN, err := resolveTopology(*np, *nodes, *ppn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "converserun: %v\n", err)
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	err := mnet.Launch(mnet.LaunchConfig{
-		NP:             *np,
+	err = mnet.Launch(mnet.LaunchConfig{
+		NP:             nNodes,
+		PPN:            nPPN,
 		Prog:           flag.Arg(0),
 		Args:           flag.Args()[1:],
 		Timeout:        *timeout,
@@ -65,5 +76,37 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converserun: job failed after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
 		os.Exit(1)
+	}
+}
+
+// resolveTopology validates -np/-nodes/-ppn against each other up front
+// and derives the worker-process count and PEs-per-node. The invariant
+// is nodes × ppn = np; a flag left at zero is derived from the others
+// (neither given means the classic one PE per process).
+func resolveTopology(np, nodes, ppn int) (int, int, error) {
+	if np < 1 {
+		return 0, 0, fmt.Errorf("-np must be >= 1, got %d", np)
+	}
+	if nodes < 0 || ppn < 0 {
+		return 0, 0, fmt.Errorf("-nodes and -ppn must be positive (got -nodes %d -ppn %d)", nodes, ppn)
+	}
+	switch {
+	case nodes == 0 && ppn == 0:
+		return np, 1, nil
+	case nodes == 0:
+		if np%ppn != 0 {
+			return 0, 0, fmt.Errorf("-np %d is not divisible by -ppn %d; give -nodes explicitly for an asymmetric machine", np, ppn)
+		}
+		return np / ppn, ppn, nil
+	case ppn == 0:
+		if np%nodes != 0 {
+			return 0, 0, fmt.Errorf("-np %d is not divisible by -nodes %d; give -ppn explicitly for an asymmetric machine", np, nodes)
+		}
+		return nodes, np / nodes, nil
+	default:
+		if nodes*ppn != np {
+			return 0, 0, fmt.Errorf("-nodes %d x -ppn %d is %d PEs, but -np is %d", nodes, ppn, nodes*ppn, np)
+		}
+		return nodes, ppn, nil
 	}
 }

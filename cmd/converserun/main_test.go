@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveTopology(t *testing.T) {
+	cases := []struct {
+		name           string
+		np, nodes, ppn int
+		wantNodes      int
+		wantPPN        int
+		wantErr        string
+	}{
+		{name: "default flat", np: 4, wantNodes: 4, wantPPN: 1},
+		{name: "ppn alone", np: 8, ppn: 2, wantNodes: 4, wantPPN: 2},
+		{name: "nodes alone", np: 8, nodes: 2, wantNodes: 2, wantPPN: 4},
+		{name: "both consistent", np: 8, nodes: 4, ppn: 2, wantNodes: 4, wantPPN: 2},
+		{name: "single pe", np: 1, wantNodes: 1, wantPPN: 1},
+		{name: "all pes one node", np: 6, nodes: 1, wantNodes: 1, wantPPN: 6},
+
+		{name: "np zero", np: 0, wantErr: "-np must be >= 1"},
+		{name: "negative nodes", np: 4, nodes: -1, wantErr: "must be positive"},
+		{name: "ppn does not divide", np: 9, ppn: 2, wantErr: "not divisible by -ppn"},
+		{name: "nodes does not divide", np: 9, nodes: 2, wantErr: "not divisible by -nodes"},
+		{name: "both inconsistent", np: 8, nodes: 3, ppn: 2, wantErr: "-nodes 3 x -ppn 2 is 6 PEs, but -np is 8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nodes, ppn, err := resolveTopology(tc.np, tc.nodes, tc.ppn)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("resolveTopology(%d,%d,%d) = (%d,%d,nil), want error %q",
+						tc.np, tc.nodes, tc.ppn, nodes, ppn, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("resolveTopology(%d,%d,%d): %v", tc.np, tc.nodes, tc.ppn, err)
+			}
+			if nodes != tc.wantNodes || ppn != tc.wantPPN {
+				t.Fatalf("resolveTopology(%d,%d,%d) = (%d,%d), want (%d,%d)",
+					tc.np, tc.nodes, tc.ppn, nodes, ppn, tc.wantNodes, tc.wantPPN)
+			}
+		})
+	}
+}

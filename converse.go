@@ -41,6 +41,24 @@
 // coalesced into one packet when Config.Coalesce.Enabled is set;
 // delivery order per sender/receiver pair is preserved either way.
 //
+// # Nodes, topology and collectives
+//
+// A machine is a set of nodes, each hosting one or more processors —
+// the paper's CmiMyNode/CmiNumNodes family. Proc.MyNode, Proc.NumNodes,
+// Proc.NodeSize, Proc.NodeOf and Proc.NodeFirstPE expose the node×PE
+// map; the old flat-PE helpers (Proc.MyPe, Proc.NumPes) remain and
+// describe the same machine. Under the simulated substrate
+// Config.NodeSizes shapes the map (nil = one node per PE); under TCP it
+// comes from converserun -nodes/-ppn, and processors sharing a node
+// share one OS process, exchanging intra-node messages by in-memory
+// pointer handoff instead of the wire.
+//
+// Collectives are topology-aware: Proc.Broadcast, Proc.Reduce (with a
+// Combiner registered machine-wide via RegisterCombiner) and
+// Proc.Barrier all run on one two-level spanning tree — binomial across
+// nodes, then a flat fan-out inside each node. The Send sentinels
+// BroadcastOthers/BroadcastAll delegate to the same tree.
+//
 // # Quick start
 //
 //	cm := converse.NewMachine(converse.Config{PEs: 2})
@@ -102,6 +120,15 @@ type SendOpt = core.SendOpt
 // caller must not touch it afterwards, and the runtime recycles it
 // through the message pool.
 const Transfer = core.Transfer
+
+// ExcludeSelf makes Proc.Broadcast skip the calling processor (the
+// Send sentinel BroadcastOthers passes it for you).
+const ExcludeSelf = core.ExcludeSelf
+
+// Combiner merges two reduction contributions into one (Proc.Reduce);
+// it must be associative and commutative. Register combiners
+// machine-wide with Machine.RegisterCombiner before Run.
+type Combiner = core.Combiner
 
 // BroadcastOthers, passed as the destination to Proc.Send, delivers
 // the message to every processor except the sender; BroadcastAll

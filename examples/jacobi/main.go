@@ -30,11 +30,11 @@ import (
 
 	"converse"
 	"converse/lang/sm"
+	"converse/mnet"
 	"converse/trace"
 )
 
 const (
-	pes      = 4
 	maxIters = 100000
 	leftT    = 0.0   // fixed boundary temperature, left end
 	rightT   = 100.0 // fixed boundary temperature, right end
@@ -42,7 +42,10 @@ const (
 
 // perPE and tol are set from flags: problem size and convergence
 // tolerance (the chaos-smoke CI gate shrinks the run with -perpe).
+// pes follows the surrounding converserun job's topology (-np, or
+// -nodes × -ppn); standalone sim runs keep the default.
 var (
+	pes   = 4
 	perPE = 32
 	tol   = 1e-5
 )
@@ -66,6 +69,9 @@ func main() {
 	flag.Parse()
 	if perPE < 1 {
 		log.Fatalf("jacobi: -perpe must be >= 1, got %d", perPE)
+	}
+	if n := mnet.JobPEs(); n > 0 {
+		pes = n
 	}
 
 	cfg := converse.Config{PEs: pes, Watchdog: 120 * time.Second}

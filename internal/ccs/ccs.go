@@ -116,8 +116,12 @@ type Source interface {
 
 // PEView is one processor's entry in a Snapshot.
 type PEView struct {
-	PE    int        `json:"pe"`
-	Rank  int        `json:"rank"`
+	PE   int `json:"pe"`
+	Rank int `json:"rank"`
+	// Node is the PE's node in the machine's node×PE topology
+	// (CmiNodeOf); equal to Rank on classic 1-PE-per-node jobs. Sources
+	// that don't know their node report 0.
+	Node  int        `json:"node"`
 	Sched SchedState `json:"sched"`
 	// Fresh reports whether Sched was published in answer to this
 	// snapshot's doorbell ring (false = last known, possibly stale).
@@ -301,6 +305,12 @@ func (m *Monitor) snapshot() *Snapshot {
 				Fresh:    fresh,
 				Blocked:  src.Blocked(),
 				InboxLen: src.InboxLen(),
+			}
+			// Per-node grouping: sources that know their place in the
+			// node×PE topology (core's procSource) report it; plain
+			// test fakes fall back to node 0.
+			if ns, ok := src.(interface{ Node() int }); ok {
+				v.Node = ns.Node()
 			}
 			if reg != nil && v.PE >= 0 && v.PE < len(reg.PEs) {
 				pe := reg.PEs[v.PE]

@@ -95,7 +95,12 @@ func TestTreeBroadcastLogDepth(t *testing.T) {
 					p.SyncBroadcastTree(msg)
 					p.Scheduler(pes)
 				} else {
-					p.SyncBroadcast(msg)
+					// The pre-tree flat fan-out: one serial send per
+					// destination, all from the root (the baseline the
+					// two-level tree replaced).
+					for q := 1; q < pes; q++ {
+						p.SyncSend(q, msg)
+					}
 				}
 				return
 			}

@@ -294,14 +294,18 @@ func TestAsyncBroadcastLifecycle(t *testing.T) {
 	const pes = 4
 	cm := newTestMachine(pes)
 	counts := make([]int, pes)
-	var h, hStop int
+	var h int
 	h = cm.RegisterHandler(func(p *Proc, msg []byte) {
 		if string(Payload(msg)) != "fanout" {
 			t.Errorf("pe %d payload = %q", p.MyPe(), Payload(msg))
 		}
 		counts[p.MyPe()]++
+		// Exit on receipt: the broadcast travels the two-level tree, so a
+		// PE must not gate its exit on a p2p message that may outrun the
+		// tree relay. Relaying happens before local dispatch, so exiting
+		// here never strands a subtree.
+		p.ExitScheduler()
 	})
-	hStop = cm.RegisterHandler(func(p *Proc, msg []byte) { p.ExitScheduler() })
 	err := cm.Run(func(p *Proc) {
 		if p.MyPe() == 0 {
 			msg := MakeMsg(h, []byte("fanout"))
@@ -309,9 +313,9 @@ func TestAsyncBroadcastLifecycle(t *testing.T) {
 			for !p.IsSent(hdl) {
 			}
 			p.Release(hdl)
-			for dst := 1; dst < pes; dst++ {
-				p.Send(dst, MakeMsg(hStop, nil))
-			}
+			// Serve relay traffic until the machine drains (bounded
+			// steps: Scheduler returns at idle).
+			p.Scheduler(pes)
 			return
 		}
 		p.Scheduler(-1)

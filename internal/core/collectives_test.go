@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The two-level collectives (bcast.go, reduce.go) over explicit node
+// maps: correctness must not depend on the machine's nodes×PEs shape,
+// only the routing does.
+
+var nodeMaps = [][]int{
+	nil,             // flat: one node per PE
+	{1, 3, 4},       // asymmetric, the ISSUE's example
+	{4, 4},          // two symmetric SMP nodes
+	{8},             // everything on one node (pure intra-node fan-out)
+	{2, 1, 2, 1, 2}, // alternating
+}
+
+func pesOf(sizes []int) int {
+	if sizes == nil {
+		return 8
+	}
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	return n
+}
+
+func TestBroadcastAllNodeMapsAndRoots(t *testing.T) {
+	for _, sizes := range nodeMaps {
+		pes := pesOf(sizes)
+		for _, root := range []int{0, pes / 2, pes - 1} {
+			cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+			recv := make([]int64, pes)
+			h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+				atomic.AddInt64(&recv[p.MyPe()], 1)
+				if string(Payload(msg)) != "node-bcast" {
+					t.Errorf("sizes=%v root=%d pe=%d payload corrupted", sizes, root, p.MyPe())
+				}
+				p.ExitScheduler()
+			})
+			err := cm.Run(func(p *Proc) {
+				if p.MyPe() == root {
+					p.Broadcast(MakeMsg(h, []byte("node-bcast")))
+				}
+				p.Scheduler(-1)
+			})
+			if err != nil {
+				t.Fatalf("sizes=%v root=%d: %v", sizes, root, err)
+			}
+			for pe, n := range recv {
+				if n != 1 {
+					t.Errorf("sizes=%v root=%d: pe %d received %d copies, want 1", sizes, root, pe, n)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastExcludeSelfOnNodeMap(t *testing.T) {
+	const root = 5 // node 2 of {1,3,4}, not a representative
+	sizes := []int{1, 3, 4}
+	pes := pesOf(sizes)
+	cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+	recv := make([]int64, pes)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		atomic.AddInt64(&recv[p.MyPe()], 1)
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == root {
+			p.Broadcast(MakeMsg(h, nil), ExcludeSelf)
+			p.Scheduler(pes) // serve relay traffic; returns at idle
+			return
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range recv {
+		want := int64(1)
+		if pe == root {
+			want = 0
+		}
+		if n != want {
+			t.Errorf("pe %d received %d copies, want %d", pe, n, want)
+		}
+	}
+}
+
+// TestReduceSumOverNodeMaps: every PE contributes its rank+1; the
+// merged sum must arrive exactly once, on PE 0, whatever the node map.
+func TestReduceSumOverNodeMaps(t *testing.T) {
+	for _, sizes := range nodeMaps {
+		pes := pesOf(sizes)
+		cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+		sum := cm.RegisterCombiner(func(a, b []byte) []byte {
+			binary.LittleEndian.PutUint64(a, binary.LittleEndian.Uint64(a)+binary.LittleEndian.Uint64(b))
+			return a
+		})
+		var got atomic.Int64
+		var hDone, hStop int
+		hDone = cm.RegisterHandler(func(p *Proc, msg []byte) {
+			got.Store(int64(binary.LittleEndian.Uint64(Payload(msg))))
+			p.Broadcast(MakeMsg(hStop, nil))
+		})
+		hStop = cm.RegisterHandler(func(p *Proc, msg []byte) { p.ExitScheduler() })
+		err := cm.Run(func(p *Proc) {
+			msg := NewMsg(hDone, 8)
+			binary.LittleEndian.PutUint64(Payload(msg), uint64(p.MyPe()+1))
+			p.Reduce(sum, msg, Transfer)
+			p.Scheduler(-1)
+		})
+		if err != nil {
+			t.Fatalf("sizes=%v: %v", sizes, err)
+		}
+		want := int64(pes * (pes + 1) / 2)
+		if got.Load() != want {
+			t.Errorf("sizes=%v: reduced sum = %d, want %d", sizes, got.Load(), want)
+		}
+	}
+}
+
+// TestReduceSequencesMatchByCallOrder: back-to-back reductions with
+// different data must not cross-merge even though their envelopes are
+// in flight concurrently.
+func TestReduceSequencesMatchByCallOrder(t *testing.T) {
+	sizes := []int{1, 3, 4}
+	pes := pesOf(sizes)
+	const rounds = 5
+	cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+	max := cm.RegisterCombiner(func(a, b []byte) []byte {
+		if binary.LittleEndian.Uint64(b) > binary.LittleEndian.Uint64(a) {
+			return b
+		}
+		return a
+	})
+	var results []uint64
+	var hDone, hStop int
+	hDone = cm.RegisterHandler(func(p *Proc, msg []byte) {
+		results = append(results, binary.LittleEndian.Uint64(Payload(msg)))
+		if len(results) == rounds {
+			p.Broadcast(MakeMsg(hStop, nil))
+		}
+	})
+	hStop = cm.RegisterHandler(func(p *Proc, msg []byte) { p.ExitScheduler() })
+	err := cm.Run(func(p *Proc) {
+		for r := 0; r < rounds; r++ {
+			msg := NewMsg(hDone, 8)
+			// Max over PEs of 1000*(r+1)+pe: distinct per round.
+			binary.LittleEndian.PutUint64(Payload(msg), uint64(1000*(r+1)+p.MyPe()))
+			p.Reduce(max, msg, Transfer)
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != rounds {
+		t.Fatalf("PE 0 saw %d reduction results, want %d", len(results), rounds)
+	}
+	for r, got := range results {
+		if want := uint64(1000*(r+1) + pes - 1); got != want {
+			t.Errorf("round %d: max = %d, want %d", r, got, want)
+		}
+	}
+}
+
+// TestBarrierSeparatesRounds: no processor may leave barrier k before
+// every processor has entered it, on any node map.
+func TestBarrierSeparatesRounds(t *testing.T) {
+	for _, sizes := range [][]int{nil, {1, 3, 4}, {4, 4}} {
+		pes := pesOf(sizes)
+		const rounds = 3
+		cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+		var entered [rounds]atomic.Int64
+		err := cm.Run(func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				entered[r].Add(1)
+				p.Barrier()
+				if got := entered[r].Load(); got != int64(pes) {
+					t.Errorf("sizes=%v: pe %d left barrier %d with %d/%d entered", sizes, p.MyPe(), r, got, pes)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("sizes=%v: %v", sizes, err)
+		}
+	}
+}
+
+// TestSendSentinelsUseTree: the BroadcastOthers/BroadcastAll sentinels
+// must deliver over the same tree implementation (one copy everywhere)
+// on an explicit node map.
+func TestSendSentinelsUseTree(t *testing.T) {
+	sizes := []int{2, 3, 3}
+	pes := pesOf(sizes)
+	cm := NewMachine(Config{PEs: pes, NodeSizes: sizes, Watchdog: 15 * time.Second})
+	recv := make([]int64, pes)
+	h := cm.RegisterHandler(func(p *Proc, msg []byte) {
+		atomic.AddInt64(&recv[p.MyPe()], 1)
+		p.ExitScheduler()
+	})
+	err := cm.Run(func(p *Proc) {
+		if p.MyPe() == 3 {
+			p.Send(BroadcastAll, MakeMsg(h, nil), Transfer)
+		}
+		p.Scheduler(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, n := range recv {
+		if n != 1 {
+			t.Errorf("pe %d received %d copies, want 1", pe, n)
+		}
+	}
+}

@@ -49,6 +49,13 @@ const (
 type Config struct {
 	// PEs is the number of processors; must be >= 1.
 	PEs int
+	// NodeSizes, when non-nil, groups the PEs into nodes — NodeSizes[g]
+	// PEs on node g, numbered contiguously, summing to PEs — so the
+	// simulated substrate presents any nodes×PEs topology for in-process
+	// testing (see machine.Config.NodeSizes). Nil means the flat map:
+	// one node per PE. Ignored by the TCP substrate, whose node map
+	// comes from the launcher (-nodes/-ppn).
+	NodeSizes []int
 	// Transport selects the machine substrate: TransportAuto (default),
 	// TransportSim, or TransportTCP. Under TCP each processor is an OS
 	// process connected over the internal/mnet machine layer.
@@ -103,7 +110,7 @@ type Machine struct {
 	net   NetSubstrate     // network substrate; nil under sim
 	npes  int
 	wdog  time.Duration
-	procs []*Proc           // all PEs under sim; just the local PE under net
+	procs []*Proc           // all PEs under sim; this process's PEs under net
 	met   *metrics.Registry // Config.Metrics, for the monitor endpoint
 }
 
@@ -133,7 +140,7 @@ func NewMachine(cfg Config) *Machine {
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
-	m := machine.New(machine.Config{PEs: cfg.PEs, Model: cfg.Model, Watchdog: cfg.Watchdog})
+	m := machine.New(machine.Config{PEs: cfg.PEs, NodeSizes: cfg.NodeSizes, Model: cfg.Model, Watchdog: cfg.Watchdog})
 	cm := &Machine{m: m, npes: cfg.PEs, met: cfg.Metrics}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
@@ -152,39 +159,68 @@ func NewMachine(cfg Config) *Machine {
 	return cm
 }
 
+// multiPESubstrate is the optional capability of a network substrate
+// whose process hosts more than one of the machine's processors
+// (SMP-style node: mnet with -ppn > 1). LocalPE's result must satisfy
+// Substrate; the return type is any because the machine layers cannot
+// import core to name the interface.
+type multiPESubstrate interface {
+	LocalPEs() int
+	LocalPE(i int) any
+}
+
 // NewMachineOn creates a Converse machine on an external substrate: the
-// local processor is sub (one OS process of a multi-process machine),
-// and Run coordinates with the peers through the substrate's lifecycle.
-// Most callers use NewMachine with Config.Transport instead; this
-// constructor is the seam tests and alternative launchers plug into.
+// local node is sub (one OS process of a multi-process machine, hosting
+// one or more PEs), and Run coordinates with the peers through the
+// substrate's lifecycle. Most callers use NewMachine with
+// Config.Transport instead; this constructor is the seam tests and
+// alternative launchers plug into.
 func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
 	if cfg.Metrics != nil && cfg.Metrics.NumPEs() != cfg.PEs {
 		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
 			cfg.Metrics.NumPEs(), cfg.PEs))
 	}
 	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog, met: cfg.Metrics}
-	p := newProc(sub, cfg.Coalesce)
+	// A node substrate exposes one Substrate per local PE; build one
+	// runtime instance on each. Plain single-PE substrates (tests,
+	// surplus ranks with no local PEs) get one instance on sub itself.
+	if mp, ok := sub.(multiPESubstrate); ok && mp.LocalPEs() > 0 {
+		for i := 0; i < mp.LocalPEs(); i++ {
+			s, ok := mp.LocalPE(i).(Substrate)
+			if !ok {
+				panic(fmt.Sprintf("core: substrate's LocalPE(%d) does not satisfy core.Substrate", i))
+			}
+			cm.procs = append(cm.procs, newProc(s, cfg.Coalesce))
+		}
+	} else {
+		cm.procs = []*Proc{newProc(sub, cfg.Coalesce)}
+	}
 	// A substrate that can declare peers dead (mnet under FailRetry)
 	// reports through the generalized-message path: the notification is
-	// posted to the local built-in peer-down handler, so user callbacks
-	// (Proc.NotifyPeerDown) always run in scheduler context.
+	// posted to each local PE's built-in peer-down handler, so user
+	// callbacks (Proc.NotifyPeerDown) always run in scheduler context.
 	if n, ok := sub.(peerDownNotifier); ok {
 		n.SetPeerDownHandler(func(pe int, reason string) {
-			sub.SendOwned(sub.ID(), makePeerDownMsg(p.peerDownHandler, pe, reason))
+			for _, p := range cm.procs {
+				p.pe.SendOwned(p.pe.ID(), makePeerDownMsg(p.peerDownHandler, pe, reason))
+			}
 		})
 	}
 	// Tracer and metrics factories are indexed by PE; surplus nodes
-	// (rank >= PEs) hold no processor of this machine, so they get
-	// neither.
-	if local := sub.ID(); sub.Active() && local < cfg.PEs {
-		if cfg.Tracer != nil {
-			p.SetTracer(cfg.Tracer(local))
-		}
-		if cfg.Metrics != nil {
-			p.SetMetrics(cfg.Metrics.PE(local))
+	// (rank >= node count) hold no processor of this machine, so they
+	// get neither.
+	if sub.Active() {
+		for _, p := range cm.procs {
+			if local := p.pe.ID(); local < cfg.PEs {
+				if cfg.Tracer != nil {
+					p.SetTracer(cfg.Tracer(local))
+				}
+				if cfg.Metrics != nil {
+					p.SetMetrics(cfg.Metrics.PE(local))
+				}
+			}
 		}
 	}
-	cm.procs = []*Proc{p}
 	return cm
 }
 
@@ -194,13 +230,15 @@ func (cm *Machine) NumPes() int { return cm.npes }
 // Proc returns the Converse runtime instance of processor pe. It is
 // intended for pre-Run setup and post-Run inspection; during Run each
 // processor must use only its own Proc. On a network substrate only the
-// local processor is addressable.
+// processors hosted by this process are addressable.
 func (cm *Machine) Proc(pe int) *Proc {
 	if cm.net != nil {
-		if pe != cm.net.ID() {
-			panic(fmt.Sprintf("core: Proc(%d) on network node %d: only the local processor lives in this process", pe, cm.net.ID()))
+		for _, p := range cm.procs {
+			if p.pe.ID() == pe {
+				return p
+			}
 		}
-		return cm.procs[0]
+		panic(fmt.Sprintf("core: Proc(%d) on network node %d: only this process's local processors are addressable", pe, cm.net.Node()))
 	}
 	return cm.procs[pe]
 }
@@ -225,6 +263,22 @@ func (cm *Machine) RegisterHandler(h Handler) int {
 			idx = i
 		} else if i != idx {
 			panic("core: handler index mismatch across PEs; register machine-wide handlers before per-PE ones")
+		}
+	}
+	return idx
+}
+
+// RegisterCombiner registers a reduction combiner on every processor
+// (they all receive the same index) and returns that index. Like
+// RegisterHandler it must be called before Run.
+func (cm *Machine) RegisterCombiner(c Combiner) int {
+	idx := -1
+	for _, p := range cm.procs {
+		i := p.RegisterCombiner(c)
+		if idx == -1 {
+			idx = i
+		} else if i != idx {
+			panic("core: combiner index mismatch across PEs; register machine-wide combiners before per-PE ones")
 		}
 	}
 	return idx
@@ -269,31 +323,36 @@ func (cm *Machine) Run(start func(p *Proc)) error {
 	})
 }
 
-// runNet is Run on a network substrate: go-barrier, local driver with
-// panic recovery, watchdog, asynchronous failure, termination barrier.
+// runNet is Run on a network substrate: go-barrier, one local driver
+// per hosted PE with panic recovery, watchdog, asynchronous failure,
+// termination barrier.
 func (cm *Machine) runNet(start func(p *Proc)) error {
 	sub := cm.net
 	if err := sub.Start(); err != nil {
 		sub.Fail(err)
 		return err
 	}
-	done := make(chan error, 1)
+	done := make(chan error, len(cm.procs))
+	drivers := 0
 	if sub.Active() {
-		p := cm.procs[0]
-		go func() {
-			defer func() {
-				if r := recover(); r != nil {
-					buf := make([]byte, 16<<10)
-					n := runtime.Stack(buf, false)
-					done <- fmt.Errorf("core: node %d panicked: %v\n%s", sub.ID(), r, buf[:n])
-				}
-			}()
-			start(p)
-			p.flushAll()
-			done <- nil
-		}()
-	} else {
-		done <- nil // surplus node: no driver to run
+		// One driver goroutine per local PE: an SMP-style node hosts
+		// its PEs as concurrent schedulers sharing the process (and its
+		// zero-copy in-memory message path).
+		for _, p := range cm.procs {
+			drivers++
+			go func(p *Proc) {
+				defer func() {
+					if r := recover(); r != nil {
+						buf := make([]byte, 16<<10)
+						n := runtime.Stack(buf, false)
+						done <- fmt.Errorf("core: pe %d panicked: %v\n%s", p.pe.ID(), r, buf[:n])
+					}
+				}()
+				start(p)
+				p.flushAll()
+				done <- nil
+			}(p)
+		}
 	}
 
 	var timeout <-chan time.Time
@@ -304,19 +363,22 @@ func (cm *Machine) runNet(start func(p *Proc)) error {
 	}
 
 	var runErr error
-	select {
-	case err := <-done:
-		runErr = err
-	case err := <-sub.Failure():
-		// A peer died or the launcher vanished. Unblock the local
-		// driver and fail fast; do not wait for it (it may be wedged in
-		// user code, and the job is already lost).
-		sub.Stop()
-		runErr = err
-	case <-timeout:
-		sub.Stop()
-		runErr = fmt.Errorf("core: watchdog expired after %v (likely distributed deadlock: %s)",
-			cm.wdog, sub.DescribeBlocked())
+	for drivers > 0 && runErr == nil {
+		select {
+		case err := <-done:
+			drivers--
+			runErr = err
+		case err := <-sub.Failure():
+			// A peer died or the launcher vanished. Unblock the local
+			// drivers and fail fast; do not wait for them (they may be
+			// wedged in user code, and the job is already lost).
+			sub.Stop()
+			runErr = err
+		case <-timeout:
+			sub.Stop()
+			runErr = fmt.Errorf("core: watchdog expired after %v (likely distributed deadlock: %s)",
+				cm.wdog, sub.DescribeBlocked())
+		}
 	}
 	if runErr != nil {
 		sub.Fail(runErr)

@@ -140,14 +140,18 @@ func (s procSource) Probe(timeout time.Duration) (SchedState, bool) {
 }
 
 func (s procSource) Blocked() string {
+	// The network substrates (mnet.Node and its per-PE mnet.NodePE)
+	// describe themselves; the simulated PE exposes raw block state.
 	switch sub := s.p.pe.(type) {
-	case NetSubstrate:
+	case interface{ DescribeBlocked() string }:
 		return sub.DescribeBlocked()
 	case interface{ BlockState() machine.BlockState }:
 		return machine.FormatBlockState(fmt.Sprintf("pe%d", s.p.pe.ID()), sub.BlockState())
 	}
 	return ""
 }
+
+func (s procSource) Node() int { return s.p.pe.Node() }
 
 func (s procSource) InboxLen() int {
 	if il, ok := s.p.pe.(interface{ InboxLen() int }); ok {
@@ -177,7 +181,7 @@ func (cm *Machine) StartMonitor(addr, token string) (*ccs.Monitor, error) {
 		cfg.Sources = append(cfg.Sources, procSource{p: p})
 	}
 	if cm.net != nil {
-		cfg.Rank = cm.net.ID()
+		cfg.Rank = cm.net.Node()
 	}
 	return ccs.NewMonitor(cfg)
 }

@@ -120,6 +120,24 @@ type Proc struct {
 	// forwarder (bcast.go), registered first on every processor.
 	treeBcastHandler int
 
+	// nodeFirst caches each node's first global PE (the topology is
+	// immutable for the life of the machine), so the two-level
+	// collectives pay O(1) per tree edge.
+	nodeFirst []int
+
+	// Collective state (reduce.go): the built-in reduction and barrier
+	// handlers, the combiner registry, in-flight reductions keyed by
+	// sequence number, and the barrier release watermark.
+	reduceHandler  int
+	barRootHandler int
+	barRelHandler  int
+	combiners      []Combiner
+	reds           map[uint64]*reduction
+	redSeq         uint64
+	barCombiner    int
+	barSeq         uint64
+	barDone        uint64
+
 	// peerDownHandler is the built-in peer-death declaration handler
 	// (peerdown.go); deadPEs and peerDownFns are its processor-local
 	// state.
@@ -161,9 +179,39 @@ func newProc(pe Substrate, co CoalesceConfig) *Proc {
 	p.packHandler = p.RegisterHandler(onPack)
 	p.peerDownHandler = p.RegisterHandler(onPeerDown)
 	p.bellHandler = p.RegisterHandler(onDoorbell)
+	p.reduceHandler = p.RegisterHandler(onReduce)
+	p.barRootHandler = p.RegisterHandler(onBarrierRoot)
+	p.barRelHandler = p.RegisterHandler(onBarrierRelease)
+	p.barCombiner = p.RegisterCombiner(func(acc, _ []byte) []byte { return acc })
 	p.bell.done = make(chan struct{}, 1)
+	// Cache the node→first-PE map; the topology is immutable.
+	nn := pe.NumNodes()
+	p.nodeFirst = make([]int, nn)
+	for g := 1; g < nn; g++ {
+		p.nodeFirst[g] = p.nodeFirst[g-1] + pe.NodeSize(g-1)
+	}
 	return p
 }
+
+// MyNode returns the node hosting this processor (CmiMyNode). A node is
+// a group of PEs sharing a process (network substrates) or a configured
+// node map (simulated machine); with no configured topology every PE is
+// its own node.
+func (p *Proc) MyNode() int { return p.pe.Node() }
+
+// NumNodes returns the machine's node count (CmiNumNodes).
+func (p *Proc) NumNodes() int { return p.pe.NumNodes() }
+
+// NodeSize returns the number of PEs hosted by the given node
+// (CmiNodeSize).
+func (p *Proc) NodeSize(node int) int { return p.pe.NodeSize(node) }
+
+// NodeOf returns the node hosting the given PE (CmiNodeOf).
+func (p *Proc) NodeOf(pe int) int { return p.pe.NodeOf(pe) }
+
+// NodeFirstPE returns the lowest-numbered PE of the given node
+// (CmiNodeFirst); nodes host contiguous PE ranges.
+func (p *Proc) NodeFirstPE(node int) int { return p.nodeFirst[node] }
 
 // MyPe returns this processor's logical id (CmiMyPe).
 func (p *Proc) MyPe() int { return p.pe.ID() }

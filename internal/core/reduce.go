@@ -1,0 +1,233 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Reductions and barriers over the same two-level topology-aware
+// spanning tree as the broadcast (bcast.go), with the edge directions
+// reversed: every PE contributes one message, contributions merge
+// upward — intra-node members into their node's representative, then
+// representatives along the binomial inter-node tree — and the fully
+// merged message is dispatched on the root, PE 0. Like handler
+// registration, reductions match by call order: every processor must
+// issue the same sequence of Reduce/Barrier calls with the same
+// combiner (the classic CmiReduce discipline).
+
+// Combiner merges the payloads of two reduction contributions and
+// returns the merged payload (it may be either argument, possibly
+// resliced, or a fresh slice). Contributions merge in arrival order, so
+// the operation must be associative and commutative for the result to
+// be topology-independent. Combiners are registered with
+// RegisterCombiner, in the same order on every processor.
+type Combiner func(a, b []byte) []byte
+
+// redHdr is the contribution envelope carried by the built-in reduction
+// handler: [seq u64][combiner u32][user handler u32], followed by the
+// merged payload so far.
+const redHdr = 16
+
+// reduction is one in-flight reduction on this processor: the partial
+// merge and how many contributions (self, intra-node members if this PE
+// is its node's representative, inter-node child representatives) are
+// still expected.
+type reduction struct {
+	comb    int    // combiner index, -1 until the first contribution
+	handler int    // user handler of the final message
+	acc     []byte // merged payload so far
+	got     int
+	need    int
+}
+
+// RegisterCombiner adds a payload combiner to this processor's table
+// and returns its index (CmiRegisterReduction-style). Like handlers,
+// combiners must be registered in the same order on every processor so
+// indices agree machine-wide.
+func (p *Proc) RegisterCombiner(c Combiner) int {
+	if c == nil {
+		panic("core: RegisterCombiner(nil)")
+	}
+	p.combiners = append(p.combiners, c)
+	return len(p.combiners) - 1
+}
+
+// Reduce contributes msg to a machine-wide reduction (CmiReduce): the
+// payloads of all NumPes contributions are merged pairwise with the
+// registered combiner and the merged message is delivered — dispatched
+// to msg's handler — on PE 0. Every processor must call Reduce in the
+// same collective order with the same combiner and handler; the call
+// does not block (the contribution merges upward as the schedulers
+// run), so a processor that must wait for the result should serve the
+// scheduler until its completion handler fires. Transfer passes buffer
+// ownership as in Send.
+func (p *Proc) Reduce(combiner int, msg []byte, opts ...SendOpt) {
+	var o SendOpt
+	for _, opt := range opts {
+		o |= opt
+	}
+	p.checkSend(0, msg)
+	if combiner < 0 || combiner >= len(p.combiners) {
+		panic(fmt.Sprintf("core: pe %d: Reduce with unregistered combiner %d", p.MyPe(), combiner))
+	}
+	seq := p.redSeq
+	p.redSeq++
+	r := p.redGet(seq)
+	p.redContribute(seq, r, combiner, HandlerOf(msg), Payload(msg))
+	if o&Transfer != 0 {
+		p.recycle(msg)
+	}
+}
+
+// redGet finds or creates the reduction with the given sequence number.
+// Contributions can arrive from below before this processor reaches its
+// own Reduce call for that sequence, so creation is lazy on both paths.
+func (p *Proc) redGet(seq uint64) *reduction {
+	if p.reds == nil {
+		p.reds = make(map[uint64]*reduction)
+	}
+	r := p.reds[seq]
+	if r == nil {
+		r = &reduction{comb: -1, need: p.redExpect()}
+		p.reds[seq] = r
+	}
+	return r
+}
+
+// redExpect counts the contributions this processor merges per
+// reduction: its own, plus — when it is its node's representative —
+// one from each other PE of its node and one from each child
+// representative in the inter-node binomial tree rooted at node 0.
+func (p *Proc) redExpect() int {
+	me := p.MyPe()
+	g := p.pe.NodeOf(me)
+	if me != p.nodeFirst[g] {
+		return 1
+	}
+	need := p.NodeSize(g) // self + intra-node members
+	lo, hi := nodeTreeRange(p.NumNodes(), g)
+	for hi-lo > 1 {
+		mid := (lo + hi + 1) / 2
+		need++
+		hi = mid
+	}
+	return need
+}
+
+// redContribute merges one contribution into the reduction and, when it
+// is the last one expected here, passes the merge upward (or dispatches
+// it, on the root).
+func (p *Proc) redContribute(seq uint64, r *reduction, comb, handler int, payload []byte) {
+	if r.comb >= 0 && r.comb != comb {
+		panic(fmt.Sprintf("core: pe %d: reduction %d sees combiner %d after %d (collective call order must match machine-wide)", p.MyPe(), seq, comb, r.comb))
+	}
+	if r.got > 0 && r.handler != handler {
+		panic(fmt.Sprintf("core: pe %d: reduction %d sees handler %d after %d (collective call order must match machine-wide)", p.MyPe(), seq, handler, r.handler))
+	}
+	r.comb, r.handler = comb, handler
+	if r.got == 0 {
+		r.acc = append([]byte(nil), payload...)
+	} else {
+		r.acc = p.combiners[comb](r.acc, payload)
+	}
+	r.got++
+	if r.got < r.need {
+		return
+	}
+	delete(p.reds, seq)
+	me := p.MyPe()
+	if me == 0 {
+		// Root: the reduction is complete; schedule the merged message.
+		p.Enqueue(MakeMsg(r.handler, r.acc))
+		return
+	}
+	// Interior: ship the partial merge to the parent — a non-
+	// representative's parent is its own representative (an intra-node
+	// handoff), a representative's is the representative of its parent
+	// node in the binomial tree.
+	g := p.pe.NodeOf(me)
+	parent := p.nodeFirst[g]
+	if me == parent {
+		parent = p.nodeFirst[nodeTreeParent(p.NumNodes(), g)]
+	}
+	env := NewMsg(p.reduceHandler, redHdr+len(r.acc))
+	pl := Payload(env)
+	binary.LittleEndian.PutUint64(pl[0:], seq)
+	binary.LittleEndian.PutUint32(pl[8:], uint32(r.comb))
+	binary.LittleEndian.PutUint32(pl[12:], uint32(r.handler))
+	copy(pl[redHdr:], r.acc)
+	p.SyncSendAndFree(parent, env)
+}
+
+// onReduce merges a contribution arriving from below the tree.
+func onReduce(p *Proc, msg []byte) {
+	pl := Payload(msg)
+	seq := binary.LittleEndian.Uint64(pl[0:])
+	comb := int(binary.LittleEndian.Uint32(pl[8:]))
+	handler := int(binary.LittleEndian.Uint32(pl[12:]))
+	r := p.redGet(seq)
+	p.redContribute(seq, r, comb, handler, pl[redHdr:])
+}
+
+// nodeTreeRange replays the binomial tree construction over [0, nn)
+// rooted at node 0 and returns the node range g owned when it acquired
+// ownership; the mids of that range's successive halvings are g's
+// children, and the previous owner is g's parent.
+func nodeTreeRange(nn, g int) (lo, hi int) {
+	lo, hi = 0, nn
+	for lo != g {
+		mid := (lo + hi + 1) / 2
+		if g >= mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, hi
+}
+
+// nodeTreeParent is the parent of node g in the binomial tree rooted at
+// node 0 (g must not be 0).
+func nodeTreeParent(nn, g int) int {
+	lo, hi, parent := 0, nn, -1
+	for lo != g {
+		mid := (lo + hi + 1) / 2
+		if g >= mid {
+			parent, lo = lo, mid
+		} else {
+			hi = mid
+		}
+	}
+	return parent
+}
+
+// Barrier blocks until every processor has called Barrier the same
+// number of times (CmiBarrier): a reduction of empty contributions into
+// PE 0 followed by a broadcast release, both over the two-level tree.
+// The caller's scheduler keeps serving while blocked, so messages —
+// including other PEs' contributions passing through this one — are
+// still handled; like all collectives, every processor must reach the
+// same Barrier calls in the same order.
+func (p *Proc) Barrier() {
+	seq := p.barSeq
+	p.barSeq++
+	msg := NewMsg(p.barRootHandler, 8)
+	binary.LittleEndian.PutUint64(Payload(msg), seq)
+	p.Reduce(p.barCombiner, msg, Transfer)
+	p.ServeUntil(func() bool { return p.barDone > seq })
+}
+
+// onBarrierRoot fires on PE 0 when a barrier's reduction completes:
+// every PE has arrived, so broadcast the release.
+func onBarrierRoot(p *Proc, msg []byte) {
+	rel := MakeMsg(p.barRelHandler, Payload(msg))
+	p.Broadcast(rel, Transfer)
+}
+
+// onBarrierRelease admits this processor past the released barrier.
+func onBarrierRelease(p *Proc, msg []byte) {
+	seq := binary.LittleEndian.Uint64(Payload(msg))
+	if seq+1 > p.barDone {
+		p.barDone = seq + 1
+	}
+}

@@ -31,12 +31,18 @@ const (
 // SendOpt adjusts the behaviour of Send. Options combine with |.
 type SendOpt uint8
 
-// Transfer passes ownership of the message buffer to the runtime: the
-// caller must not touch msg after Send returns, and in exchange the
-// runtime avoids copying it and recycles the buffer into the message
-// pool once transmitted. Without Transfer the caller keeps the buffer
-// and may reuse it immediately.
-const Transfer SendOpt = 1 << iota
+const (
+	// Transfer passes ownership of the message buffer to the runtime: the
+	// caller must not touch msg after Send returns, and in exchange the
+	// runtime avoids copying it and recycles the buffer into the message
+	// pool once transmitted. Without Transfer the caller keeps the buffer
+	// and may reuse it immediately.
+	Transfer SendOpt = 1 << iota
+	// ExcludeSelf makes a collective skip the calling processor:
+	// Broadcast delivers to every PE but this one (CmiSyncBroadcast
+	// rather than CmiSyncBroadcastAll). Point-to-point sends ignore it.
+	ExcludeSelf
+)
 
 // Send transmits a generalized message to dst, the single entry point
 // the classic CMI send family is defined in terms of:
@@ -60,19 +66,10 @@ func (p *Proc) Send(dst int, msg []byte, opts ...SendOpt) {
 	switch {
 	case dst >= 0:
 		p.send(dst, msg, transfer)
-	case dst == bcastOthers, dst == bcastAll:
-		// Broadcasts go through the same validation as the
-		// point-to-point site, up front: a bad header must panic here
-		// identically for every destination form, before any copy is
-		// staged or the buffer is recycled — not only if some per-peer
-		// send happens to run (a 1-PE BroadcastOthers sends nothing).
-		p.checkSend(p.MyPe(), msg)
-		p.broadcastCopies(msg)
-		if dst == bcastAll {
-			p.send(p.MyPe(), msg, transfer)
-		} else if transfer {
-			p.recycle(msg)
-		}
+	case dst == bcastOthers:
+		p.broadcast(msg, o|ExcludeSelf)
+	case dst == bcastAll:
+		p.broadcast(msg, o&^ExcludeSelf)
 	default:
 		panic(fmt.Sprintf("core: pe %d: Send to invalid destination %d", p.MyPe(), dst))
 	}
@@ -113,15 +110,34 @@ func (p *Proc) send(dst int, msg []byte, transfer bool) {
 	p.pe.SendOwned(dst, msg)
 }
 
-// broadcastCopies sends a copy of msg to every processor but this one.
-// The broadcast involves only the sender: it is not a barrier. Every
-// caller (Send's broadcast arms, AsyncBroadcast*) has already run
-// checkSend, and each per-peer send validates again.
-func (p *Proc) broadcastCopies(msg []byte) {
-	for dst := 0; dst < p.NumPes(); dst++ {
-		if dst != p.MyPe() {
-			p.send(dst, msg, false)
-		}
+// Broadcast delivers msg to every processor through the one two-level
+// spanning-tree implementation (bcast.go): binomial inter-node over
+// node representatives, then intra-node fan-out. By default the calling
+// processor is included (its copy goes through the normal loopback
+// path); ExcludeSelf skips it, and Transfer passes buffer ownership as
+// in Send. The Send(Broadcast*) sentinels and the CmiSyncBroadcast
+// family are all defined in terms of this entry point.
+func (p *Proc) Broadcast(msg []byte, opts ...SendOpt) {
+	var o SendOpt
+	for _, opt := range opts {
+		o |= opt
+	}
+	p.broadcast(msg, o)
+}
+
+// broadcast is the single fan-out path behind every broadcast form.
+// Validation runs up front so a bad header panics identically for every
+// destination form, before any copy is staged or the buffer recycled —
+// not only if some per-peer send happens to run (a 1-PE broadcast of
+// others sends nothing). The broadcast involves only the sender: it is
+// not a barrier.
+func (p *Proc) broadcast(msg []byte, o SendOpt) {
+	p.checkSend(p.MyPe(), msg)
+	p.bcastTree(msg)
+	if o&ExcludeSelf == 0 {
+		p.send(p.MyPe(), msg, o&Transfer != 0)
+	} else if o&Transfer != 0 {
+		p.recycle(msg)
 	}
 }
 
@@ -190,10 +206,9 @@ func (p *Proc) Progress() {
 				h.msg = nil
 			}
 		case h.dst == bcastOthers:
-			p.broadcastCopies(h.msg)
+			p.broadcast(h.msg, ExcludeSelf)
 		case h.dst == bcastAll:
-			p.broadcastCopies(h.msg)
-			p.send(p.MyPe(), h.msg, false)
+			p.broadcast(h.msg, 0)
 		}
 		h.sent = true
 	}

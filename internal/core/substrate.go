@@ -18,6 +18,20 @@ type Substrate interface {
 	ID() int
 	// NumPEs is the machine size (CmiNumPe).
 	NumPEs() int
+	// Node is the node hosting this processor (CmiMyNode). A node is a
+	// group of PEs that share a process (network substrates) or a
+	// configured node map (the simulated machine): traffic inside it is
+	// an in-memory handoff, traffic between nodes crosses the wire. PEs
+	// are numbered so each node's PEs are contiguous. With no configured
+	// topology every PE is its own node and Node() == ID().
+	Node() int
+	// NumNodes is the machine's node count (CmiNumNodes).
+	NumNodes() int
+	// NodeSize is the number of PEs hosted by the given node
+	// (CmiNodeSize).
+	NodeSize(node int) int
+	// NodeOf is the node hosting the given PE (CmiNodeOf).
+	NodeOf(pe int) int
 	// Clock returns the current time in microseconds (CmiTimer).
 	Clock() float64
 	// Charge advances the clock by dt microseconds of modeled software

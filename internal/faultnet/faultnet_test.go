@@ -166,6 +166,10 @@ type simPE struct {
 
 func (s *simPE) ID() int           { return s.id }
 func (s *simPE) NumPEs() int       { return 4 }
+func (s *simPE) Node() int         { return s.id }
+func (s *simPE) NumNodes() int     { return 4 }
+func (s *simPE) NodeSize(int) int  { return 1 }
+func (s *simPE) NodeOf(pe int) int { return pe }
 func (s *simPE) Clock() float64    { return 0 }
 func (s *simPE) Charge(float64)    {}
 func (s *simPE) AdvanceTo(float64) {}

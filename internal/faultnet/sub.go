@@ -15,6 +15,10 @@ import (
 type Substrate interface {
 	ID() int
 	NumPEs() int
+	Node() int
+	NumNodes() int
+	NodeSize(node int) int
+	NodeOf(pe int) int
 	Clock() float64
 	Charge(dt float64)
 	AdvanceTo(t float64)

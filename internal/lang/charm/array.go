@@ -55,7 +55,10 @@ func (rt *RT) ArrayOwner(idx int) int { return idx % rt.p.NumPes() }
 // CreateArray creates an n-element array of the given type: a creation
 // broadcast makes every processor construct its owned elements. Like
 // CreateGroup, invocations sent after CreateArray on the same processor
-// are safe (link FIFO ordering delivers the creation first).
+// are safe: the creation broadcast rides the two-level spanning tree,
+// so a direct point-to-point invocation may overtake it, and any
+// invocation arriving for a not-yet-known array is parked and replayed
+// the moment its creation message lands.
 func (rt *RT) CreateArray(typeID, n int, payload []byte) ArrayID {
 	if typeID < 0 || typeID >= len(rt.arrayTypes) {
 		panic(fmt.Sprintf("charm: pe %d: CreateArray of unregistered type %d", rt.p.MyPe(), typeID))
@@ -90,6 +93,14 @@ func (rt *RT) buildElems(aid ArrayID, typeID, n int, payload []byte) {
 			tr.Event(core.TraceEvent{Kind: core.EvObjectCreate, T: rt.p.TimerUs(), PE: rt.p.MyPe(), Aux: idx})
 		}
 		rec.elems[idx] = rt.arrayTypes[typeID].ctor(rt, aid, idx, payload)
+	}
+	// Replay invocations that overtook the creation broadcast, in
+	// arrival order.
+	if pending := rt.arrayPending[aid]; pending != nil {
+		delete(rt.arrayPending, aid)
+		for _, m := range pending {
+			rt.invokeArrElem(rt.p, m)
+		}
 	}
 }
 
@@ -169,14 +180,26 @@ func (rt *RT) onArrInv(p *core.Proc, msg []byte) {
 		rt.enqueueInvoke(buf, prio)
 		return
 	}
+	aid := ArrayID(binary.LittleEndian.Uint32(pl[0:]))
+	if _, ok := rt.arrays[aid]; !ok {
+		// The invocation overtook its creation broadcast (creations ride
+		// the spanning tree through relay processors; invocations go
+		// direct). Park a copy; buildElems replays it when the creation
+		// lands.
+		rt.arrayPending[aid] = append(rt.arrayPending[aid], append([]byte(nil), msg...))
+		return
+	}
+	rt.invokeArrElem(p, msg)
+}
+
+// invokeArrElem delivers a phase-two array invocation to its element.
+func (rt *RT) invokeArrElem(p *core.Proc, msg []byte) {
 	rt.processed++
+	pl := core.Payload(msg)
 	aid := ArrayID(binary.LittleEndian.Uint32(pl[0:]))
 	idx := int(binary.LittleEndian.Uint32(pl[4:]))
 	ep := int(binary.LittleEndian.Uint32(pl[8:]))
-	rec, ok := rt.arrays[aid]
-	if !ok {
-		panic(fmt.Sprintf("charm: pe %d: invocation for unknown array %d", p.MyPe(), aid))
-	}
+	rec := rt.arrays[aid]
 	elem, ok := rec.elems[idx]
 	if !ok {
 		panic(fmt.Sprintf("charm: pe %d: array %d has no local element %d", p.MyPe(), aid, idx))

@@ -179,17 +179,27 @@ func TestElemPriorities(t *testing.T) {
 	}
 }
 
-func TestUnknownArrayPanics(t *testing.T) {
+// An invocation of an array this processor has not seen created parks
+// until the creation lands (the creation broadcast rides the spanning
+// tree and can be overtaken); it must not run, and must not panic.
+func TestUnknownArrayInvocationParks(t *testing.T) {
 	cm := newMachine(1)
 	err := cm.Run(func(p *core.Proc) {
 		rt := Attach(p, ldb.NewSpray())
+		ran := false
 		rt.RegisterArray(func(rt *RT, aid ArrayID, idx int, msg []byte) any { return nil },
-			func(rt *RT, e any, idx int, msg []byte) {})
+			func(rt *RT, e any, idx int, msg []byte) { ran = true })
 		rt.SendElem(ArrayID(777), 0, 0, nil)
 		p.ScheduleUntilIdle()
+		if ran {
+			t.Error("invocation of a never-created array ran")
+		}
+		if len(rt.arrayPending[ArrayID(777)]) != 1 {
+			t.Errorf("parked invocations = %d, want 1", len(rt.arrayPending[ArrayID(777)]))
+		}
 	})
-	if err == nil {
-		t.Fatal("unknown array invocation did not error")
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -96,12 +96,14 @@ type RT struct {
 	// group ("branch office") chares (group.go)
 	groupTypes           []groupType
 	groups               map[GroupID]*groupRec
+	groupPending         map[GroupID][][]byte // invocations that outran the creation broadcast
 	nextGroup            uint32
 	hGroupNew, hGroupInv int
 
 	// chare arrays (array.go)
 	arrayTypes       []arrayType
 	arrays           map[ArrayID]*arrayRec
+	arrayPending     map[ArrayID][][]byte // invocations that outran the creation broadcast
 	nextArray        uint32
 	hArrNew, hArrInv int
 
@@ -129,12 +131,14 @@ func Attach(p *core.Proc, pol ldb.Policy) *RT {
 		return rt
 	}
 	rt := &RT{
-		p:        p,
-		chares:   make(map[uint32]*chareRec),
-		inMove:   make(map[uint32]*moveState),
-		forwards: make(map[uint32]ChareID),
-		groups:   make(map[GroupID]*groupRec),
-		arrays:   make(map[ArrayID]*arrayRec),
+		p:            p,
+		chares:       make(map[uint32]*chareRec),
+		inMove:       make(map[uint32]*moveState),
+		forwards:     make(map[uint32]ChareID),
+		groups:       make(map[GroupID]*groupRec),
+		groupPending: make(map[GroupID][][]byte),
+		arrays:       make(map[ArrayID]*arrayRec),
+		arrayPending: make(map[ArrayID][][]byte),
 	}
 	rt.bal = ldb.New(p, pol)
 	rt.hCreate = p.RegisterHandler(rt.onCreate)

@@ -44,8 +44,10 @@ func (rt *RT) RegisterGroup(ctor GroupCtor, eps ...GroupEntry) int {
 // CreateGroup creates a branch of the given group type on every
 // processor and returns the new group's id. The caller's branch is
 // constructed immediately; remote branches are constructed when the
-// creation message arrives, before any invocation sent after this call
-// on the same links (FIFO ordering makes that safe).
+// creation message arrives. Invocations sent after this call are safe
+// even though the creation broadcast rides the spanning tree (and so
+// may be overtaken by a direct send): an invocation for a not-yet-known
+// group is parked and replayed when its creation lands.
 func (rt *RT) CreateGroup(typeID int, payload []byte) GroupID {
 	if typeID < 0 || typeID >= len(rt.groupTypes) {
 		panic(fmt.Sprintf("charm: pe %d: CreateGroup of unregistered type %d", rt.p.MyPe(), typeID))
@@ -77,6 +79,14 @@ func (rt *RT) buildBranch(gid GroupID, typeID int, payload []byte) {
 	rt.groups[gid] = &groupRec{
 		obj: rt.groupTypes[typeID].ctor(rt, gid, payload),
 		typ: typeID,
+	}
+	// Replay invocations that overtook the creation broadcast, in
+	// arrival order.
+	if pending := rt.groupPending[gid]; pending != nil {
+		delete(rt.groupPending, gid)
+		for _, m := range pending {
+			rt.invokeGroupBranch(rt.p, m)
+		}
 	}
 }
 
@@ -145,13 +155,26 @@ func (rt *RT) onGroupInv(p *core.Proc, msg []byte) {
 		p.Enqueue(buf)
 		return
 	}
+	gid := GroupID(binary.LittleEndian.Uint32(pl[0:]))
+	if _, ok := rt.groups[gid]; !ok {
+		// The invocation overtook its creation broadcast (creations ride
+		// the spanning tree through relay processors; invocations go
+		// direct). Park a copy; buildBranch replays it when the creation
+		// lands.
+		rt.groupPending[gid] = append(rt.groupPending[gid], append([]byte(nil), msg...))
+		return
+	}
+	rt.invokeGroupBranch(p, msg)
+}
+
+// invokeGroupBranch delivers a phase-two group invocation to the local
+// branch.
+func (rt *RT) invokeGroupBranch(p *core.Proc, msg []byte) {
 	rt.processed++
+	pl := core.Payload(msg)
 	gid := GroupID(binary.LittleEndian.Uint32(pl[0:]))
 	ep := int(binary.LittleEndian.Uint32(pl[4:]))
-	rec, ok := rt.groups[gid]
-	if !ok {
-		panic(fmt.Sprintf("charm: pe %d: invocation for unknown group %d", p.MyPe(), gid))
-	}
+	rec := rt.groups[gid]
 	gt := rt.groupTypes[rec.typ]
 	if ep < 0 || ep >= len(gt.eps) {
 		panic(fmt.Sprintf("charm: pe %d: group type %d has no entry %d", p.MyPe(), rec.typ, ep))

@@ -146,17 +146,27 @@ func TestGroupAsService(t *testing.T) {
 	}
 }
 
-func TestUnknownGroupPanics(t *testing.T) {
+// An invocation of a group this processor has not seen created parks
+// until the creation lands (the creation broadcast rides the spanning
+// tree and can be overtaken); it must not run, and must not panic.
+func TestUnknownGroupInvocationParks(t *testing.T) {
 	cm := newMachine(1)
 	err := cm.Run(func(p *core.Proc) {
 		rt := Attach(p, ldb.NewSpray())
+		ran := false
 		rt.RegisterGroup(func(rt *RT, gid GroupID, msg []byte) any { return nil },
-			func(rt *RT, branch any, msg []byte) {})
+			func(rt *RT, branch any, msg []byte) { ran = true })
 		rt.SendBranch(GroupID(999), 0, 0, nil)
 		p.ScheduleUntilIdle()
+		if ran {
+			t.Error("invocation of a never-created group ran")
+		}
+		if len(rt.groupPending[GroupID(999)]) != 1 {
+			t.Errorf("parked invocations = %d, want 1", len(rt.groupPending[GroupID(999)]))
+		}
 	})
-	if err == nil {
-		t.Fatal("unknown group invocation did not error")
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

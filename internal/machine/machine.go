@@ -43,6 +43,13 @@ type CostModel interface {
 type Config struct {
 	// PEs is the number of processing elements; must be >= 1.
 	PEs int
+	// NodeSizes, when non-nil, groups the PEs into nodes: NodeSizes[g]
+	// PEs on node g, numbered contiguously, summing to PEs. Packets
+	// between PEs of the same node pay no wire time (an in-memory
+	// handoff), which is how the simulated machine presents any
+	// nodes×PEs topology for in-process testing. Nil means the classic
+	// flat map — one node per PE — with unchanged timing.
+	NodeSizes []int
 	// Model prices communication in virtual time. Nil means free.
 	Model CostModel
 	// Watchdog, if nonzero, aborts Run after the given wall-clock
@@ -59,6 +66,11 @@ type Machine struct {
 	console  console
 	watchdog time.Duration
 
+	// topo is the node map (never nil); explicitTopo records whether it
+	// was configured, which turns on the intra-node wire-time discount.
+	topo         *Topology
+	explicitTopo bool
+
 	stopMu  sync.Mutex
 	stopped bool
 }
@@ -69,6 +81,16 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: PEs must be >= 1, got %d", cfg.PEs))
 	}
 	m := &Machine{model: cfg.Model}
+	if cfg.NodeSizes != nil {
+		m.topo = NewTopology(cfg.NodeSizes)
+		m.explicitTopo = true
+		if m.topo.NumPEs() != cfg.PEs {
+			panic(fmt.Sprintf("machine: node map %v covers %d PEs, machine has %d",
+				cfg.NodeSizes, m.topo.NumPEs(), cfg.PEs))
+		}
+	} else {
+		m.topo = FlatTopology(cfg.PEs)
+	}
 	m.console.init()
 	m.pes = make([]*PE, cfg.PEs)
 	for i := range m.pes {
@@ -85,6 +107,10 @@ func (m *Machine) NumPEs() int { return len(m.pes) }
 
 // PE returns the processing element with the given id.
 func (m *Machine) PE(id int) *PE { return m.pes[id] }
+
+// Topology returns the machine's node map (never nil; the flat
+// one-node-per-PE map unless Config.NodeSizes set one).
+func (m *Machine) Topology() *Topology { return m.topo }
 
 // Model returns the machine's cost model (possibly nil).
 func (m *Machine) Model() CostModel { return m.model }
@@ -162,9 +188,7 @@ func (m *Machine) Stop() {
 	m.stopped = true
 	m.stopMu.Unlock()
 	for _, pe := range m.pes {
-		pe.mu.Lock()
-		pe.cond.Broadcast()
-		pe.mu.Unlock()
+		pe.inbox.Stop()
 	}
 }
 

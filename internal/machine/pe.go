@@ -1,10 +1,7 @@
 package machine
 
 import (
-	"sync"
 	"sync/atomic"
-
-	"converse/internal/queue"
 )
 
 // Packet is a block of bytes in flight between two PEs, the machine-level
@@ -30,41 +27,16 @@ const ringCapacity = 1024
 // driver goroutine (or a context hand-off chain rooted in it); the send
 // family may be called by any PE targeting this one.
 //
-// The inbound queue is a bounded lock-free MPSC ring (the fast path)
-// with a mutex-protected overflow deque behind it. Senders touch the
-// mutex only when the ring is full or the receiver is blocked asleep;
-// the receiver drains the ring in whole batches into a consumer-local
-// pending queue, preserving per-sender FIFO order across both paths
-// (see refill for the ordering argument).
+// The inbound queue is an Inbox: a bounded lock-free MPSC ring (the
+// fast path) with a mutex-protected overflow deque behind it. Senders
+// touch a mutex only when the ring is full or the receiver is blocked
+// asleep; the receiver drains the ring in whole batches, preserving
+// per-sender FIFO order across both paths (see Inbox).
 type PE struct {
 	id int
 	m  *Machine
 
-	ring *packetRing
-
-	// mu guards overflow and the sleep/wake handshake. cond is
-	// broadcast by senders that observe the receiver asleep and by
-	// Machine.Stop.
-	mu       sync.Mutex
-	cond     *sync.Cond
-	overflow queue.Deque[Packet]
-
-	// overflowN mirrors overflow.Len() atomically. While nonzero, every
-	// sender routes through the overflow queue (not the ring), so a
-	// sender's packets are never split ring-after-overflow — the
-	// property that keeps per-pair FIFO intact across the fallback.
-	overflowN atomic.Int64
-
-	// sleeping is set (under mu) by the receiver before blocking in
-	// Recv; senders check it after publishing and wake the receiver.
-	sleeping atomic.Bool
-
-	// pending is the consumer-local staging queue: refill moves whole
-	// ring batches (then any overflow) into it; receives pop from it
-	// with no synchronization. pendingN mirrors its length for
-	// InboxLen readers on other goroutines.
-	pending  queue.Deque[Packet]
-	pendingN atomic.Int64
+	inbox *Inbox
 
 	clock float64 // virtual time in microseconds; owned by the driver
 
@@ -80,19 +52,16 @@ type PE struct {
 	sentToMe atomic.Uint64 // updated by senders
 
 	// Block-state bookkeeping for deadlock diagnostics (describeBlocked
-	// and the network layer's failure reports). recvWait is set while the
-	// driver sleeps inside Recv; the two counters are maintained by the
-	// thread (cth) and synchronization (csync) layers through the
+	// and the network layer's failure reports). The receive-wait flag
+	// lives in the inbox; the two counters are maintained by the thread
+	// (cth) and synchronization (csync) layers through the
 	// NoteThreadsSuspended/NoteBarrierWaiters hooks.
-	recvWait       atomic.Bool
 	threadsSusp    atomic.Int64
 	barrierWaiters atomic.Int64
 }
 
 func newPE(m *Machine, id int) *PE {
-	pe := &PE{id: id, m: m, ring: newPacketRing(ringCapacity)}
-	pe.cond = sync.NewCond(&pe.mu)
-	return pe
+	return &PE{id: id, m: m, inbox: NewInbox()}
 }
 
 // ID returns the PE's logical processor number (CmiMyPe).
@@ -107,6 +76,20 @@ func (pe *PE) Model() CostModel { return pe.m.model }
 
 // NumPEs reports the machine size (CmiNumPe).
 func (pe *PE) NumPEs() int { return len(pe.m.pes) }
+
+// Node reports the node hosting this PE (CmiMyNode). The machine's
+// node map comes from Config.NodeSizes; by default every PE is its own
+// node.
+func (pe *PE) Node() int { return pe.m.topo.NodeOf(pe.id) }
+
+// NumNodes reports the machine's node count (CmiNumNodes).
+func (pe *PE) NumNodes() int { return pe.m.topo.NumNodes() }
+
+// NodeSize reports how many PEs the given node hosts (CmiNodeSize).
+func (pe *PE) NodeSize(node int) int { return pe.m.topo.NodeSize(node) }
+
+// NodeOf reports the node hosting the given PE (CmiNodeOf).
+func (pe *PE) NodeOf(p int) int { return pe.m.topo.NodeOf(p) }
 
 // Clock returns the PE's current virtual time in microseconds
 // (the substrate behind CmiTimer).
@@ -136,6 +119,12 @@ func (pe *PE) Send(dst int, data []byte) {
 // SendOwned transmits data without copying; ownership of the slice
 // passes to the destination (the CmiSyncSendAndFree pattern: the sender
 // must not touch data afterwards).
+//
+// Under an explicit node map (Config.NodeSizes) a packet between two
+// PEs of the same node pays the send overhead but no wire time: it is
+// a pooled in-memory handoff, not a network transit — the property the
+// two-level collectives exploit. With the default one-PE-per-node map
+// every non-self destination is a wire hop, exactly as before.
 func (pe *PE) SendOwned(dst int, data []byte) {
 	if dst < 0 || dst >= len(pe.m.pes) {
 		panic("machine: send to invalid PE")
@@ -143,7 +132,10 @@ func (pe *PE) SendOwned(dst int, data []byte) {
 	arrive := pe.clock
 	if mod := pe.m.model; mod != nil {
 		pe.clock += mod.SendOverhead()
-		arrive = pe.clock + mod.WireTime(len(data))
+		arrive = pe.clock
+		if !(pe.m.explicitTopo && pe.m.topo.NodeOf(dst) == pe.m.topo.NodeOf(pe.id)) {
+			arrive += mod.WireTime(len(data))
+		}
 	}
 	if pe.lastArrive == nil {
 		pe.lastArrive = make([]float64, len(pe.m.pes))
@@ -167,71 +159,10 @@ func (pe *PE) Inject(data []byte) {
 }
 
 // deliver publishes a packet to this PE's inbound queue and wakes the
-// receiver if it is blocked. The lock-free ring is the fast path; while
-// any packet sits in overflow, all senders take the overflow path so a
-// single sender's packets cannot be consumed out of order.
+// receiver if it is blocked.
 func (pe *PE) deliver(pkt Packet) {
 	pe.sentToMe.Add(1)
-	if pe.overflowN.Load() > 0 || !pe.ring.tryPush(pkt) {
-		pe.mu.Lock()
-		pe.overflow.PushBack(pkt)
-		pe.overflowN.Add(1)
-		pe.cond.Broadcast()
-		pe.mu.Unlock()
-		return
-	}
-	if pe.sleeping.Load() {
-		pe.mu.Lock()
-		pe.cond.Broadcast()
-		pe.mu.Unlock()
-	}
-}
-
-// refill drains the whole ring, then any overflow, into the
-// consumer-local pending queue. Ordering: a sender only uses the ring
-// while the overflow is empty, and overflow is only declared empty
-// (overflowN reset) at the moment its contents move into pending — so
-// for any single sender, everything it put in the ring before
-// overflowing is drained in step 1, its overflow packets follow in
-// step 2, and anything it sends after the reset lands in the ring for a
-// later refill, after the current pending batch. Per-pair FIFO holds.
-func (pe *PE) refill() {
-	for {
-		pkt, ok := pe.ring.tryPop()
-		if !ok {
-			break
-		}
-		pe.pending.PushBack(pkt)
-		pe.pendingN.Add(1)
-	}
-	if pe.overflowN.Load() > 0 {
-		pe.mu.Lock()
-		for {
-			pkt, ok := pe.overflow.PopFront()
-			if !ok {
-				break
-			}
-			pe.pending.PushBack(pkt)
-			pe.pendingN.Add(1)
-		}
-		pe.overflowN.Store(0)
-		pe.mu.Unlock()
-	}
-}
-
-// popPending returns the next inbound packet, refilling the pending
-// batch from the ring and overflow when it runs dry.
-func (pe *PE) popPending() (Packet, bool) {
-	if pkt, ok := pe.pending.PopFront(); ok {
-		pe.pendingN.Add(-1)
-		return pkt, true
-	}
-	pe.refill()
-	pkt, ok := pe.pending.PopFront()
-	if ok {
-		pe.pendingN.Add(-1)
-	}
-	return pkt, ok
+	pe.inbox.Put(pkt)
 }
 
 // TryRecv removes and returns the oldest inbound packet without
@@ -239,7 +170,7 @@ func (pe *PE) popPending() (Packet, bool) {
 // PE's clock advances to the packet's arrival time plus the model's
 // receive overhead.
 func (pe *PE) TryRecv() (Packet, bool) {
-	pkt, ok := pe.popPending()
+	pkt, ok := pe.inbox.TryPop()
 	if !ok {
 		return Packet{}, false
 	}
@@ -254,7 +185,7 @@ func (pe *PE) TryRecv() (Packet, bool) {
 func (pe *PE) TryRecvBatch(out []Packet) int {
 	n := 0
 	for n < len(out) {
-		pkt, ok := pe.popPending()
+		pkt, ok := pe.inbox.TryPop()
 		if !ok {
 			break
 		}
@@ -269,31 +200,12 @@ func (pe *PE) TryRecvBatch(out []Packet) int {
 // ok=false if the machine is stopped while waiting (watchdog or
 // explicit Stop).
 func (pe *PE) Recv() (Packet, bool) {
-	for {
-		if pkt, ok := pe.TryRecv(); ok {
-			return pkt, true
-		}
-		pe.mu.Lock()
-		pe.sleeping.Store(true)
-		// Recheck after announcing sleep: a sender that published
-		// before seeing sleeping=true is visible here (seq-cst
-		// ordering), so the wakeup cannot be lost.
-		if pe.ring.len() > 0 || pe.overflow.Len() > 0 {
-			pe.sleeping.Store(false)
-			pe.mu.Unlock()
-			continue
-		}
-		if pe.m.Stopped() {
-			pe.sleeping.Store(false)
-			pe.mu.Unlock()
-			return Packet{}, false
-		}
-		pe.recvWait.Store(true)
-		pe.cond.Wait()
-		pe.recvWait.Store(false)
-		pe.sleeping.Store(false)
-		pe.mu.Unlock()
+	pkt, ok := pe.inbox.Pop()
+	if !ok {
+		return Packet{}, false
 	}
+	pe.arrived(&pkt)
+	return pkt, true
 }
 
 // arrived performs the receive-side clock accounting for a packet.
@@ -308,9 +220,7 @@ func (pe *PE) arrived(pkt *Packet) {
 // InboxLen reports the number of packets waiting to be received. It is
 // safe to call from any goroutine; under concurrent traffic the count
 // is a point-in-time approximation.
-func (pe *PE) InboxLen() int {
-	return pe.ring.len() + int(pe.overflowN.Load()) + int(pe.pendingN.Load())
-}
+func (pe *PE) InboxLen() int { return pe.inbox.Len() }
 
 // Stats reports the number of packets this PE has sent and received.
 func (pe *PE) Stats() (sent, received uint64) { return pe.sent, pe.received }
@@ -328,7 +238,7 @@ func (pe *PE) NoteBarrierWaiters(delta int) { pe.barrierWaiters.Add(int64(delta)
 // BlockState summarizes why this PE might not be making progress.
 func (pe *PE) BlockState() BlockState {
 	return BlockState{
-		RecvWait:         pe.recvWait.Load(),
+		RecvWait:         pe.inbox.RecvWaiting(),
 		InboxLen:         pe.InboxLen(),
 		ThreadsSuspended: int(pe.threadsSusp.Load()),
 		BarrierWaiters:   int(pe.barrierWaiters.Load()),

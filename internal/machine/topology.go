@@ -1,0 +1,98 @@
+package machine
+
+import "fmt"
+
+// Topology is the node map of a machine: how its PEs are grouped into
+// nodes (the paper's node-level CMI — CmiMyNode/CmiNumNodes — where a
+// Converse "processor" lives inside a node that may host many PEs).
+// PEs are numbered so that each node's PEs are contiguous: node g owns
+// the global PE range [NodeFirst(g), NodeFirst(g)+NodeSize(g)).
+//
+// A Topology is immutable after construction and safe for concurrent
+// readers; all lookups are O(1) slice indexing so topology-aware hot
+// paths (the two-level collectives) pay no more than a flat-PE lookup.
+type Topology struct {
+	sizes  []int // sizes[g] = PEs hosted by node g
+	first  []int // first[g] = first global PE of node g
+	nodeOf []int // nodeOf[pe] = node hosting pe
+}
+
+// NewTopology builds the node map from per-node PE counts. Every size
+// must be >= 1 (empty nodes hold no processors and cannot appear in the
+// map; a launcher models surplus processes outside the Topology).
+func NewTopology(sizes []int) *Topology {
+	if len(sizes) == 0 {
+		panic("machine: topology with no nodes")
+	}
+	t := &Topology{
+		sizes: append([]int(nil), sizes...),
+		first: make([]int, len(sizes)),
+	}
+	total := 0
+	for g, sz := range sizes {
+		if sz < 1 {
+			panic(fmt.Sprintf("machine: node %d of the topology has size %d; every node hosts at least one PE", g, sz))
+		}
+		t.first[g] = total
+		total += sz
+	}
+	t.nodeOf = make([]int, total)
+	for g := range sizes {
+		for pe := t.first[g]; pe < t.first[g]+sizes[g]; pe++ {
+			t.nodeOf[pe] = g
+		}
+	}
+	return t
+}
+
+// FlatTopology is the classic one-PE-per-node map: pes nodes of size 1.
+// It is the default everywhere a node map is not configured, preserving
+// the pre-SMP behaviour where rank and PE coincide.
+func FlatTopology(pes int) *Topology {
+	sizes := make([]int, pes)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return NewTopology(sizes)
+}
+
+// UniformTopology distributes pes PEs over nodes of ppn each (the
+// converserun -nodes/-ppn shape); the last node takes the remainder
+// when ppn does not divide pes.
+func UniformTopology(pes, ppn int) *Topology {
+	if ppn < 1 {
+		panic(fmt.Sprintf("machine: topology with %d PEs per node", ppn))
+	}
+	var sizes []int
+	for off := 0; off < pes; off += ppn {
+		sz := ppn
+		if off+sz > pes {
+			sz = pes - off
+		}
+		sizes = append(sizes, sz)
+	}
+	return NewTopology(sizes)
+}
+
+// NumPEs reports the total PE count of the map.
+func (t *Topology) NumPEs() int { return len(t.nodeOf) }
+
+// NumNodes reports the node count (CmiNumNodes).
+func (t *Topology) NumNodes() int { return len(t.sizes) }
+
+// NodeSize reports how many PEs node g hosts (CmiNodeSize).
+func (t *Topology) NodeSize(g int) int { return t.sizes[g] }
+
+// NodeFirst reports the first global PE of node g (CmiNodeFirst).
+func (t *Topology) NodeFirst(g int) int { return t.first[g] }
+
+// NodeOf reports the node hosting the given PE (CmiNodeOf).
+func (t *Topology) NodeOf(pe int) int { return t.nodeOf[pe] }
+
+// Sizes returns a copy of the per-node PE counts.
+func (t *Topology) Sizes() []int { return append([]int(nil), t.sizes...) }
+
+// String renders the map compactly, e.g. "8 PEs / 3 nodes [1 3 4]".
+func (t *Topology) String() string {
+	return fmt.Sprintf("%d PEs / %d nodes %v", t.NumPEs(), t.NumNodes(), t.sizes)
+}

@@ -1,0 +1,76 @@
+package machine
+
+import "testing"
+
+func TestTopologyAsymmetric(t *testing.T) {
+	topo := NewTopology([]int{1, 3, 4})
+	if got := topo.NumPEs(); got != 8 {
+		t.Fatalf("NumPEs = %d, want 8", got)
+	}
+	if got := topo.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	wantNode := []int{0, 1, 1, 1, 2, 2, 2, 2}
+	for pe, want := range wantNode {
+		if got := topo.NodeOf(pe); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", pe, got, want)
+		}
+	}
+	wantFirst := []int{0, 1, 4}
+	wantSize := []int{1, 3, 4}
+	for g := range wantFirst {
+		if got := topo.NodeFirst(g); got != wantFirst[g] {
+			t.Errorf("NodeFirst(%d) = %d, want %d", g, got, wantFirst[g])
+		}
+		if got := topo.NodeSize(g); got != wantSize[g] {
+			t.Errorf("NodeSize(%d) = %d, want %d", g, got, wantSize[g])
+		}
+	}
+}
+
+func TestFlatTopology(t *testing.T) {
+	topo := FlatTopology(5)
+	if topo.NumNodes() != 5 || topo.NumPEs() != 5 {
+		t.Fatalf("flat: %d nodes / %d PEs, want 5/5", topo.NumNodes(), topo.NumPEs())
+	}
+	for pe := 0; pe < 5; pe++ {
+		if topo.NodeOf(pe) != pe || topo.NodeFirst(pe) != pe || topo.NodeSize(pe) != 1 {
+			t.Errorf("pe %d: NodeOf=%d NodeFirst=%d NodeSize=%d, want all identity/1",
+				pe, topo.NodeOf(pe), topo.NodeFirst(pe), topo.NodeSize(pe))
+		}
+	}
+}
+
+func TestUniformTopologyRemainder(t *testing.T) {
+	// 7 PEs at 3 per node: nodes of 3, 3, 1 — the last node takes the
+	// remainder.
+	topo := UniformTopology(7, 3)
+	if got := topo.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	if got := topo.NodeSize(2); got != 1 {
+		t.Errorf("NodeSize(2) = %d, want 1 (remainder node)", got)
+	}
+	if got := topo.NodeOf(6); got != 2 {
+		t.Errorf("NodeOf(6) = %d, want 2", got)
+	}
+}
+
+func TestMachineTopologyFromConfig(t *testing.T) {
+	m := New(Config{PEs: 4, NodeSizes: []int{2, 2}})
+	defer m.Stop()
+	pe := m.PE(3)
+	if pe.Node() != 1 || pe.NumNodes() != 2 || pe.NodeSize(1) != 2 || pe.NodeOf(0) != 0 {
+		t.Errorf("pe3: Node=%d NumNodes=%d NodeSize(1)=%d NodeOf(0)=%d, want 1/2/2/0",
+			pe.Node(), pe.NumNodes(), pe.NodeSize(1), pe.NodeOf(0))
+	}
+}
+
+func TestMachineRejectsBadNodeSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Config.NodeSizes not covering PEs did not panic")
+		}
+	}()
+	New(Config{PEs: 4, NodeSizes: []int{2, 1}})
+}

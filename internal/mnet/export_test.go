@@ -14,14 +14,20 @@ const TestToken = "mnet-test-token"
 // processes, so tests (including external ones driving internal/core)
 // can host several nodes of one job inside the test process. It returns
 // the control address and a channel delivering the job's first failure.
-func StartTestJob(t *testing.T, np int, hb time.Duration) (addr string, failCh <-chan error) {
+// The optional ppn raises the job's PE-per-node capacity above the
+// default of one.
+func StartTestJob(t *testing.T, np int, hb time.Duration, ppn ...int) (addr string, failCh <-chan error) {
 	t.Helper()
 	ls, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("binding test control port: %v", err)
 	}
+	k := 0
+	if len(ppn) > 0 {
+		k = ppn[0]
+	}
 	s := &jobServer{
-		cfg:    LaunchConfig{NP: np, Heartbeat: hb, Stdout: os.Stdout, Stderr: os.Stderr},
+		cfg:    LaunchConfig{NP: np, PPN: k, Heartbeat: hb, Stdout: os.Stdout, Stderr: os.Stderr},
 		token:  TestToken,
 		rounds: map[int]*round{},
 		failCh: make(chan error, 1),
@@ -33,3 +39,20 @@ func StartTestJob(t *testing.T, np int, hb time.Duration) (addr string, failCh <
 	})
 	return ls.Addr().String(), s.failCh
 }
+
+// CutLinkForTest severs the established mesh connection to the given
+// peer node — a transient network cut below the reliability layer.
+// Under FailRetry the link redials and resumes the session; tests use
+// this to prove in-flight traffic converges through a recovery.
+func (n *Node) CutLinkForTest(peer int) {
+	n.peersMu.Lock()
+	pl := n.peers[peer]
+	n.peersMu.Unlock()
+	if pl != nil {
+		pl.closeConn()
+	}
+}
+
+// LinkRecoveriesForTest reports how many session-resuming reconnects
+// this node's links have completed.
+func (n *Node) LinkRecoveriesForTest() int64 { return int64(n.relRecovered.Load()) }

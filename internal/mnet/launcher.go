@@ -19,8 +19,13 @@ import (
 
 // LaunchConfig parameterizes a converserun job.
 type LaunchConfig struct {
-	// NP is the number of worker processes to start.
+	// NP is the number of worker processes (nodes) to start.
 	NP int
+	// PPN is the PE-per-node capacity advertised to the workers
+	// (converserun -ppn): each worker process may host up to PPN PEs, so
+	// the job accommodates machines of up to NP*PPN PEs. Zero or 1 means
+	// the classic one-PE-per-process mapping.
+	PPN int
 	// Prog and Args name the worker binary and its arguments; every
 	// worker gets the same command line (SPMD), distinguished only by the
 	// rank environment.
@@ -61,6 +66,12 @@ type LaunchConfig struct {
 func Launch(cfg LaunchConfig) error {
 	if cfg.NP < 1 {
 		return fmt.Errorf("mnet: launch needs at least one worker, got -np %d", cfg.NP)
+	}
+	if cfg.PPN < 0 {
+		return fmt.Errorf("mnet: negative -ppn %d", cfg.PPN)
+	}
+	if cfg.PPN == 0 {
+		cfg.PPN = 1
 	}
 	if cfg.Heartbeat != 0 && cfg.Heartbeat < minHeartbeat {
 		return fmt.Errorf("mnet: heartbeat %v below the %v minimum (liveness detection would be pure noise)",
@@ -122,6 +133,9 @@ func Launch(cfg LaunchConfig) error {
 			EnvToken+"="+token,
 			EnvHeartbeat+"="+cfg.Heartbeat.String(),
 		)
+		if cfg.PPN > 1 {
+			cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", EnvPPN, cfg.PPN))
+		}
 		if cfg.FailurePolicy != "" {
 			cmd.Env = append(cmd.Env, EnvFailure+"="+cfg.FailurePolicy)
 		}
@@ -243,6 +257,7 @@ func newToken() string {
 type round struct {
 	num      int
 	pes      int
+	nodes    int // active node processes (ranks < nodes run drivers)
 	addrs    []string
 	conns    []net.Conn
 	hellos   int
@@ -277,6 +292,16 @@ type jobServer struct {
 
 func (s *jobServer) fail(err error) {
 	s.fOnce.Do(func() { s.failCh <- err })
+}
+
+// ppn is the job's PE-per-node capacity with the zero value meaning the
+// classic one PE per process (Launch normalizes its config, but tests
+// build jobServers directly).
+func (s *jobServer) ppn() int {
+	if s.cfg.PPN < 1 {
+		return 1
+	}
+	return s.cfg.PPN
 }
 
 func (s *jobServer) acceptLoop(ls net.Listener) {
@@ -407,25 +432,29 @@ func (s *jobServer) hello(conn net.Conn, h helloMsg) error {
 	if h.Rank < 0 || h.Rank >= s.cfg.NP {
 		return fmt.Errorf("mnet: worker hello with rank %d outside job of %d", h.Rank, s.cfg.NP)
 	}
-	if h.PEs < 1 || h.PEs > s.cfg.NP {
-		return fmt.Errorf("mnet: program builds a %d-PE machine but the job has only %d workers (raise converserun -np)",
-			h.PEs, s.cfg.NP)
+	if h.PEs < 1 || h.PEs > s.cfg.NP*s.ppn() {
+		return fmt.Errorf("mnet: program builds a %d-PE machine but the job holds at most %d (%d workers × %d PEs per node; raise converserun -np/-nodes or -ppn)",
+			h.PEs, s.cfg.NP*s.ppn(), s.cfg.NP, s.ppn())
+	}
+	if h.Nodes < 1 || h.Nodes > s.cfg.NP {
+		return fmt.Errorf("mnet: program needs %d node processes but the job has only %d workers (raise converserun -np/-nodes)",
+			h.Nodes, s.cfg.NP)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rd := s.rounds[h.Round]
 	if rd == nil {
 		rd = &round{
-			num: h.Round, pes: h.PEs,
+			num: h.Round, pes: h.PEs, nodes: h.Nodes,
 			addrs:   make([]string, s.cfg.NP),
 			conns:   make([]net.Conn, s.cfg.NP),
 			doneSet: map[int]bool{},
 		}
 		s.rounds[h.Round] = rd
 	}
-	if h.PEs != rd.pes {
-		return fmt.Errorf("mnet: round %d: rank %d builds a %d-PE machine but rank others build %d (drifted SPMD program?)",
-			h.Round, h.Rank, h.PEs, rd.pes)
+	if h.PEs != rd.pes || h.Nodes != rd.nodes {
+		return fmt.Errorf("mnet: round %d: rank %d builds a %d-PE/%d-node machine but others build %d-PE/%d-node (drifted SPMD program?)",
+			h.Round, h.Rank, h.PEs, h.Nodes, rd.pes, rd.nodes)
 	}
 	if rd.conns[h.Rank] != nil {
 		return fmt.Errorf("mnet: round %d: duplicate hello from rank %d", h.Round, h.Rank)
@@ -462,8 +491,9 @@ func (s *jobServer) meshOK(m meshOKMsg) {
 	}
 }
 
-// workerDone records an active node's completed driver; when all of the
-// round's PEs are done, every worker (surplus included) is released.
+// workerDone records an active node's completed drivers; when all of
+// the round's node processes are done, every worker (surplus included)
+// is released.
 func (s *jobServer) workerDone(d doneMsg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -471,10 +501,10 @@ func (s *jobServer) workerDone(d doneMsg) {
 	if rd == nil || rd.released {
 		return
 	}
-	if d.Rank < rd.pes {
+	if d.Rank < rd.nodes {
 		rd.doneSet[d.Rank] = true
 	}
-	if len(rd.doneSet) == rd.pes {
+	if len(rd.doneSet) == rd.nodes {
 		rd.released = true
 		for _, c := range rd.conns {
 			if c != nil {
@@ -491,11 +521,11 @@ func (s *jobServer) markDead(rank int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, rd := range s.rounds {
-		if rd.released || rank >= rd.pes {
+		if rd.released || rank >= rd.nodes {
 			continue
 		}
 		rd.doneSet[rank] = true
-		if len(rd.doneSet) == rd.pes {
+		if len(rd.doneSet) == rd.nodes {
 			rd.released = true
 			for _, c := range rd.conns {
 				if c != nil {
@@ -518,8 +548,8 @@ func (s *jobServer) describe() string {
 		if out != "" {
 			out += "; "
 		}
-		out += fmt.Sprintf("round %d (%d PEs): %d/%d hellos, %d/%d meshok, %d/%d done",
-			rd.num, rd.pes, rd.hellos, s.cfg.NP, rd.meshoks, s.cfg.NP, len(rd.doneSet), rd.pes)
+		out += fmt.Sprintf("round %d (%d PEs on %d nodes): %d/%d hellos, %d/%d meshok, %d/%d done",
+			rd.num, rd.pes, rd.nodes, rd.hellos, s.cfg.NP, rd.meshoks, s.cfg.NP, len(rd.doneSet), rd.nodes)
 	}
 	return out
 }

@@ -27,8 +27,19 @@ type Config struct {
 	// NP is the worker-process count of the job.
 	NP int
 	// PEs is the processor count of the machine being built this round.
-	// It must not exceed NP; ranks >= PEs become inactive surplus nodes.
+	// The machine's node count (PEs grouped by PPN or NodeSizes) must not
+	// exceed NP; ranks beyond it become inactive surplus nodes.
 	PEs int
+	// PPN is the PE-per-node capacity: this process hosts up to PPN PEs
+	// of the machine (node r hosts PEs [r*PPN, min((r+1)*PPN, PEs))).
+	// Zero or 1 is the classic 1:1 rank↔PE mapping. Normally set from
+	// the launcher environment (converserun -ppn).
+	PPN int
+	// NodeSizes, when non-nil, is an explicit node map — NodeSizes[g]
+	// PEs on node g, contiguous, summing to PEs — overriding PPN. Every
+	// worker of the job must pass the same map. Tests use it to run
+	// asymmetric topologies; converserun jobs use PPN.
+	NodeSizes []int
 	// Round overrides the rendezvous round number. Zero (the norm) takes
 	// the next number from the process-wide counter — correct because a
 	// real worker process holds one node at a time. Tests that run
@@ -62,13 +73,24 @@ type Config struct {
 var roundCounter atomic.Int64
 
 // Node is one Converse node of a multi-process machine: this process's
-// endpoint of the TCP machine layer. It satisfies internal/core's
-// Substrate and NetSubstrate interfaces — the same seam the simulated
-// machine.PE plugs into.
+// endpoint of the TCP machine layer, hosting one or more PEs of the
+// machine (Config.PPN/NodeSizes; one by default). It satisfies
+// internal/core's Substrate and NetSubstrate interfaces — the same seam
+// the simulated machine.PE plugs into — by delegating the per-PE data
+// path to its first local PE; the other local PEs are reached through
+// LocalPE.
 type Node struct {
 	cfg   Config
 	round int
 	epoch time.Time
+
+	// topo is the machine's node map (never nil); routed is set when any
+	// node hosts more than one PE, which turns on the PE-routed data
+	// frame layout ([src u32][dst u32] after the sequence number). lpes
+	// holds this process's PEs, empty on surplus ranks.
+	topo   *machine.Topology
+	routed bool
+	lpes   []*NodePE
 
 	ctrl   net.Conn
 	ctrlMu sync.Mutex // serializes control-frame writes
@@ -86,14 +108,6 @@ type Node struct {
 	peers      []*peerLink // indexed by rank; nil at own rank
 	meshCount  int
 	meshReady  chan struct{}
-
-	// Inbox: packets delivered by link readers, drained by the local
-	// scheduler through TryRecvBatch/Recv.
-	mu      sync.Mutex
-	cond    *sync.Cond
-	inbox   []machine.Packet
-	head    int
-	stopped bool
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -123,12 +137,6 @@ type Node struct {
 	relLinkDown  atomic.Uint64
 	relRecovered atomic.Uint64
 	relWireErr   atomic.Uint64
-
-	// Block-state bookkeeping for DescribeBlocked (shared diagnostic
-	// format with the simulated machine).
-	recvWait       atomic.Bool
-	threadsSusp    atomic.Int64
-	barrierWaiters atomic.Int64
 }
 
 // Join performs the node's half of the rendezvous for one round: bind
@@ -138,8 +146,24 @@ func Join(cfg Config) (*Node, error) {
 	if cfg.Rank < 0 || cfg.Rank >= cfg.NP {
 		return nil, fmt.Errorf("mnet: rank %d outside job of %d workers", cfg.Rank, cfg.NP)
 	}
-	if cfg.PEs < 1 || cfg.PEs > cfg.NP {
-		return nil, fmt.Errorf("mnet: machine of %d PEs does not fit a job of %d workers (converserun -np must be >= PEs)", cfg.PEs, cfg.NP)
+	if cfg.PEs < 1 {
+		return nil, fmt.Errorf("mnet: machine of %d PEs", cfg.PEs)
+	}
+	var topo *machine.Topology
+	switch {
+	case cfg.NodeSizes != nil:
+		topo = machine.NewTopology(cfg.NodeSizes)
+		if topo.NumPEs() != cfg.PEs {
+			return nil, fmt.Errorf("mnet: node map %v covers %d PEs, machine has %d", cfg.NodeSizes, topo.NumPEs(), cfg.PEs)
+		}
+	case cfg.PPN > 1:
+		topo = machine.UniformTopology(cfg.PEs, cfg.PPN)
+	default:
+		topo = machine.FlatTopology(cfg.PEs)
+	}
+	if topo.NumNodes() > cfg.NP {
+		return nil, fmt.Errorf("mnet: machine of %d PEs across %d nodes does not fit a job of %d workers (raise converserun -np/-nodes or -ppn)",
+			cfg.PEs, topo.NumNodes(), cfg.NP)
 	}
 	if cfg.Heartbeat != 0 && cfg.Heartbeat < minHeartbeat {
 		return nil, fmt.Errorf("mnet: heartbeat %v below the %v minimum (liveness detection would be pure noise)",
@@ -178,6 +202,8 @@ func Join(cfg Config) (*Node, error) {
 		cfg:       cfg,
 		round:     rnd,
 		epoch:     time.Now(),
+		topo:      topo,
+		routed:    topo.NumNodes() != topo.NumPEs(),
 		tableCh:   make(chan tableMsg, 1),
 		goCh:      make(chan goMsg, 1),
 		releaseCh: make(chan releaseMsg, 1),
@@ -187,7 +213,12 @@ func Join(cfg Config) (*Node, error) {
 		failCh:    make(chan error, 1),
 		inj:       faultnet.New(plan, cfg.Rank),
 	}
-	n.cond = sync.NewCond(&n.mu)
+	if cfg.Rank < topo.NumNodes() {
+		first := topo.NodeFirst(cfg.Rank)
+		for pe := first; pe < first+topo.NodeSize(cfg.Rank); pe++ {
+			n.lpes = append(n.lpes, &NodePE{n: n, pe: pe, inbox: machine.NewInbox()})
+		}
+	}
 	deadline := time.Now().Add(cfg.Handshake)
 
 	ls, err := net.Listen("tcp", "127.0.0.1:0")
@@ -208,7 +239,8 @@ func Join(cfg Config) (*Node, error) {
 
 	hello := helloMsg{
 		Magic: protoMagic, Version: protoVersion, Token: cfg.Token,
-		Round: n.round, Rank: cfg.Rank, PEs: cfg.PEs, Addr: ls.Addr().String(),
+		Round: n.round, Rank: cfg.Rank, PEs: cfg.PEs, Nodes: topo.NumNodes(),
+		Addr: ls.Addr().String(),
 	}
 	if err := n.writeCtrl(fHello, hello); err != nil {
 		n.teardown()
@@ -242,16 +274,51 @@ func (n *Node) setTable(tbl tableMsg) {
 
 // --- identity and clocks (Substrate) --------------------------------
 
-// ID returns this node's processor number. In the network machine each
-// process holds exactly one PE, so rank and PE coincide.
-func (n *Node) ID() int { return n.cfg.Rank }
+// ID returns this node's first local processor number: with the classic
+// one-PE-per-process mapping, rank and PE coincide; under -ppn it is
+// the first PE of this node's contiguous range. Surplus ranks, which
+// hold no PE, report their rank.
+func (n *Node) ID() int {
+	if len(n.lpes) > 0 {
+		return n.lpes[0].pe
+	}
+	return n.cfg.Rank
+}
 
 // NumPEs returns the machine size of this round.
 func (n *Node) NumPEs() int { return n.cfg.PEs }
 
-// Active reports whether this node is one of the machine's PEs (ranks
-// beyond PEs are surplus: they hold the job together but run no driver).
-func (n *Node) Active() bool { return n.cfg.Rank < n.cfg.PEs }
+// Node returns this process's node number (CmiMyNode): its rank, since
+// active node processes are the machine's nodes.
+func (n *Node) Node() int { return n.cfg.Rank }
+
+// NumNodes returns the machine's node count (CmiNumNodes).
+func (n *Node) NumNodes() int { return n.topo.NumNodes() }
+
+// NodeSize reports how many PEs the given node hosts (CmiNodeSize).
+func (n *Node) NodeSize(node int) int { return n.topo.NodeSize(node) }
+
+// NodeOf reports the node hosting the given PE (CmiNodeOf).
+func (n *Node) NodeOf(pe int) int { return n.topo.NodeOf(pe) }
+
+// Topology returns the machine's node map.
+func (n *Node) Topology() *machine.Topology { return n.topo }
+
+// LocalPEs reports how many of the machine's PEs this process hosts
+// (zero on surplus ranks). internal/core detects this method to build
+// one runtime instance per local PE.
+func (n *Node) LocalPEs() int { return len(n.lpes) }
+
+// LocalPE returns the i-th local PE's substrate. The return type is any
+// for the same structural-typing reason faultnet mirrors core's
+// Substrate: this package cannot name internal/core's interface without
+// an import cycle, and core asserts the concrete value itself.
+func (n *Node) LocalPE(i int) any { return n.lpes[i] }
+
+// Active reports whether this process hosts any of the machine's PEs
+// (ranks beyond the node count are surplus: they hold the job together
+// but run no driver).
+func (n *Node) Active() bool { return len(n.lpes) > 0 }
 
 // Clock returns wall-clock microseconds since this node joined. The
 // network machine runs on real time; cost models and virtual-time
@@ -300,14 +367,20 @@ func (n *Node) SetPeerDownHandler(f func(pe int, reason string)) {
 	n.peerDownMu.Unlock()
 }
 
-// peerDown escalates an unrecovered link: notify the registered
-// handler, or fail the job when nobody is listening.
+// peerDown escalates an unrecovered link: notify the registered handler
+// — once per PE the dead rank hosted, since losing a node process loses
+// all of its PEs — or fail the job when nobody is listening.
 func (n *Node) peerDown(peer int, reason string) {
 	n.peerDownMu.Lock()
 	f := n.peerDownFn
 	n.peerDownMu.Unlock()
 	if f != nil {
-		f(peer, reason)
+		if peer < n.topo.NumNodes() {
+			first := n.topo.NodeFirst(peer)
+			for pe := first; pe < first+n.topo.NodeSize(peer); pe++ {
+				f(pe, reason)
+			}
+		}
 		return
 	}
 	n.Fail(fmt.Errorf("mnet: rank %d: peer %d down: %s", n.cfg.Rank, peer, reason))
@@ -551,40 +624,85 @@ func (n *Node) handleAccept(conn net.Conn) {
 // --- data path (Substrate) ------------------------------------------
 
 // SendOwned transmits data to processor dst, taking ownership of the
-// slice. Local sends loop straight back into the inbox; remote sends
-// enqueue on the peer's link (blocking under backpressure).
+// slice, on behalf of this node's first local PE (the Substrate view of
+// the whole node; per-PE sends go through the NodePE substrates).
 func (n *Node) SendOwned(dst int, data []byte) {
-	if dst == n.cfg.Rank {
-		n.deliver(dst, data)
+	if len(n.lpes) == 0 {
+		n.Fail(fmt.Errorf("mnet: rank %d: send from a surplus node (no local PEs)", n.cfg.Rank))
+		return
+	}
+	n.lpes[0].SendOwned(dst, data)
+}
+
+// sendOwnedFrom routes one outbound message: a destination on this node
+// is an in-memory inbox handoff that never touches the wire (the
+// intra-node path of the two-level collectives); anything else goes out
+// on the destination node's link (blocking under backpressure), with
+// the PE routing header prepended when the job runs multi-PE nodes.
+func (n *Node) sendOwnedFrom(src, dst int, data []byte) {
+	if dst < 0 || dst >= n.cfg.PEs {
+		n.Fail(fmt.Errorf("mnet: rank %d: send to invalid PE %d (machine has %d)", n.cfg.Rank, dst, n.cfg.PEs))
+		return
+	}
+	g := n.topo.NodeOf(dst)
+	if g == n.cfg.Rank {
+		n.deliverLocal(src, dst, data)
 		return
 	}
 	n.peersMu.Lock()
-	pl := n.peers[dst]
+	pl := n.peers[g]
 	n.peersMu.Unlock()
 	if pl == nil {
 		n.Fail(fmt.Errorf("mnet: rank %d: send to rank %d before mesh setup (machine.Run not started?)",
-			n.cfg.Rank, dst))
+			n.cfg.Rank, g))
 		return
+	}
+	if n.routed {
+		buf := make([]byte, routeHdrLen+len(data))
+		putRouteHdr(buf, src, dst)
+		copy(buf[routeHdrLen:], data)
+		data = buf
 	}
 	pl.send(data)
 }
 
-// deliver appends one inbound packet to the inbox and wakes the
-// scheduler if it is blocked in Recv.
-func (n *Node) deliver(src int, data []byte) {
-	pkt := machine.Packet{Src: src, Dst: n.cfg.Rank, Data: data, Arrive: n.Clock()}
-	n.mu.Lock()
-	n.inbox = append(n.inbox, pkt)
-	n.mu.Unlock()
-	n.cond.Signal()
+// deliverLocal publishes one packet into a local PE's inbox (lock-free
+// MPSC fast path; wakes the PE if it is blocked in Recv).
+func (n *Node) deliverLocal(src, dst int, data []byte) {
+	i := dst - n.lpes[0].pe
+	if i < 0 || i >= len(n.lpes) {
+		n.Fail(fmt.Errorf("mnet: rank %d: delivery for PE %d, which lives on node %d", n.cfg.Rank, dst, n.topo.NodeOf(dst)))
+		return
+	}
+	n.lpes[i].inbox.Put(machine.Packet{Src: src, Dst: dst, Data: data, Arrive: n.Clock()})
 }
 
-// Inject publishes a message straight to this node's own inbox. Safe
-// from any goroutine (the inbox is mutex-protected): foreign observers
-// — the monitor doorbell in internal/core — ring the scheduler this
-// way without touching driver-owned state.
+// deliverFromWire accepts one data payload from the link to srcRank:
+// under multi-PE nodes the payload leads with the PE routing header;
+// with the classic flat mapping ranks and PEs coincide.
+func (n *Node) deliverFromWire(srcRank int, data []byte) {
+	if !n.routed {
+		n.deliverLocal(srcRank, n.ID(), data)
+		return
+	}
+	if len(data) < routeHdrLen {
+		n.Fail(fmt.Errorf("mnet: rank %d: %d-byte data frame from rank %d, shorter than the %d-byte PE routing header",
+			n.cfg.Rank, len(data), srcRank, routeHdrLen))
+		return
+	}
+	src, dst := routeHdr(data)
+	n.deliverLocal(src, dst, data[routeHdrLen:])
+}
+
+// Inject publishes a message straight to this node's first local PE's
+// inbox. Safe from any goroutine: foreign observers — the monitor
+// doorbell in internal/core — ring the scheduler this way without
+// touching driver-owned state.
 func (n *Node) Inject(data []byte) {
-	n.deliver(n.cfg.Rank, data)
+	if len(n.lpes) == 0 {
+		return // surplus node: no scheduler to ring
+	}
+	n.lpes[0].Inject(data)
 }
 
 // ReportMonitor tells the launcher where this worker's introspection
@@ -593,51 +711,31 @@ func (n *Node) ReportMonitor(addr string) error {
 	return n.writeCtrl(fMonitorAddr, monitorAddrMsg{Rank: n.cfg.Rank, Addr: addr})
 }
 
-// TryRecvBatch fills out with up to len(out) pending packets without
-// blocking and returns the count.
+// TryRecvBatch fills out with up to len(out) pending packets of the
+// first local PE without blocking and returns the count.
 func (n *Node) TryRecvBatch(out []machine.Packet) int {
-	n.mu.Lock()
-	k := copy(out, n.inbox[n.head:])
-	n.advanceHead(k)
-	n.mu.Unlock()
-	return k
+	if len(n.lpes) == 0 {
+		return 0
+	}
+	return n.lpes[0].TryRecvBatch(out)
 }
 
-// Recv blocks until a packet arrives; ok=false means the node stopped.
+// Recv blocks until a packet arrives for the first local PE; ok=false
+// means the node stopped.
 func (n *Node) Recv() (machine.Packet, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for n.head == len(n.inbox) && !n.stopped {
-		n.recvWait.Store(true)
-		n.cond.Wait()
-		n.recvWait.Store(false)
+	if len(n.lpes) == 0 {
+		<-n.stopCh // surplus node: nothing ever arrives
+		return machine.Packet{}, false
 	}
-	if n.head < len(n.inbox) {
-		pkt := n.inbox[n.head]
-		n.advanceHead(1)
-		return pkt, true
-	}
-	return machine.Packet{}, false
+	return n.lpes[0].Recv()
 }
 
-// advanceHead consumes k packets, compacting the backing slice once the
-// dead prefix dominates. Callers hold n.mu.
-func (n *Node) advanceHead(k int) {
-	n.head += k
-	if n.head == len(n.inbox) {
-		n.inbox = n.inbox[:0]
-		n.head = 0
-	} else if n.head > 64 && n.head > len(n.inbox)/2 {
-		n.inbox = append(n.inbox[:0], n.inbox[n.head:]...)
-		n.head = 0
-	}
-}
-
-// InboxLen reports the number of packets waiting in the inbox.
+// InboxLen reports the number of packets waiting for the first local PE.
 func (n *Node) InboxLen() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.inbox) - n.head
+	if len(n.lpes) == 0 {
+		return 0
+	}
+	return n.lpes[0].InboxLen()
 }
 
 // --- console (Substrate) --------------------------------------------
@@ -799,14 +897,14 @@ func (n *Node) Fail(err error) {
 // Failure delivers at most one asynchronous job failure.
 func (n *Node) Failure() <-chan error { return n.failCh }
 
-// Stop unblocks the scheduler (Recv returns ok=false) and halts link
-// writers. It does not tear down connections; Finish and Fail do.
+// Stop unblocks the schedulers of every local PE (Recv returns
+// ok=false) and halts link writers. It does not tear down connections;
+// Finish and Fail do.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
-		n.mu.Lock()
-		n.stopped = true
-		n.mu.Unlock()
-		n.cond.Broadcast()
+		for _, lpe := range n.lpes {
+			lpe.inbox.Stop()
+		}
 		close(n.stopCh)
 	})
 }
@@ -834,23 +932,38 @@ func (n *Node) teardown() {
 
 // --- diagnostics -----------------------------------------------------
 
-// NoteThreadsSuspended adjusts the count of suspended thread objects
-// (blockStateNoter; called via core.Proc by the thread layer).
-func (n *Node) NoteThreadsSuspended(delta int) { n.threadsSusp.Add(int64(delta)) }
+// NoteThreadsSuspended adjusts the count of suspended thread objects on
+// the first local PE (blockStateNoter; called via core.Proc by the
+// thread layer).
+func (n *Node) NoteThreadsSuspended(delta int) {
+	if len(n.lpes) > 0 {
+		n.lpes[0].NoteThreadsSuspended(delta)
+	}
+}
 
 // NoteBarrierWaiters adjusts the count of threads blocked at a barrier
-// (blockStateNoter; called via core.Proc by csync).
-func (n *Node) NoteBarrierWaiters(delta int) { n.barrierWaiters.Add(int64(delta)) }
-
-// DescribeBlocked reports why this node's PE is blocked, in the machine
-// layer's shared diagnostic format — the same report machine.Machine
-// produces for simulated PEs, reused verbatim in mnet failure output.
-func (n *Node) DescribeBlocked() string {
-	st := machine.BlockState{
-		RecvWait:         n.recvWait.Load(),
-		InboxLen:         n.InboxLen(),
-		ThreadsSuspended: int(n.threadsSusp.Load()),
-		BarrierWaiters:   int(n.barrierWaiters.Load()),
+// on the first local PE (blockStateNoter; called via core.Proc by
+// csync).
+func (n *Node) NoteBarrierWaiters(delta int) {
+	if len(n.lpes) > 0 {
+		n.lpes[0].NoteBarrierWaiters(delta)
 	}
-	return machine.FormatBlockState(fmt.Sprintf("rank%d(pe%d)", n.cfg.Rank, n.cfg.Rank), st)
+}
+
+// DescribeBlocked reports why this node's PEs are blocked, in the
+// machine layer's shared diagnostic format — the same report
+// machine.Machine produces for simulated PEs, reused verbatim in mnet
+// failure output.
+func (n *Node) DescribeBlocked() string {
+	if len(n.lpes) == 0 {
+		return fmt.Sprintf("rank%d(surplus)", n.cfg.Rank)
+	}
+	s := ""
+	for _, lpe := range n.lpes {
+		if s != "" {
+			s += ", "
+		}
+		s += lpe.DescribeBlocked()
+	}
+	return s
 }

@@ -1,0 +1,145 @@
+package mnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"converse/internal/machine"
+)
+
+// routeHdrLen is the PE routing header prepended to wire data payloads
+// on jobs where some node hosts more than one PE: [src u32][dst u32],
+// global PE numbers, immediately after the link's sequence number. Jobs
+// with the classic 1:1 rank↔PE mapping carry no header, keeping the
+// flat wire format byte-identical to single-PE nodes.
+const routeHdrLen = 8
+
+func putRouteHdr(buf []byte, src, dst int) {
+	binary.LittleEndian.PutUint32(buf[0:], uint32(src))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(dst))
+}
+
+func routeHdr(buf []byte) (src, dst int) {
+	return int(binary.LittleEndian.Uint32(buf[0:])),
+		int(binary.LittleEndian.Uint32(buf[4:]))
+}
+
+// NodePE is one of the PEs a worker process hosts: the per-PE view of
+// the node's TCP machine layer, satisfying internal/core's Substrate
+// interface exactly like the simulated machine.PE does. Each NodePE
+// owns a lock-free MPSC inbox (machine.Inbox); messages between two PEs
+// of the same node move by pointer handoff through it — zero copies,
+// never the wire — while messages to other nodes go out on the
+// destination node's link with the PE routing header. The node's
+// lifecycle (rendezvous, failure, teardown) stays on the owning Node.
+type NodePE struct {
+	n     *Node
+	pe    int // global PE number
+	inbox *machine.Inbox
+
+	// Block-state bookkeeping for DescribeBlocked (shared diagnostic
+	// format with the simulated machine).
+	threadsSusp    atomic.Int64
+	barrierWaiters atomic.Int64
+}
+
+// ID returns this processor's logical number (CmiMyPe).
+func (s *NodePE) ID() int { return s.pe }
+
+// NumPEs returns the machine size (CmiNumPe).
+func (s *NodePE) NumPEs() int { return s.n.cfg.PEs }
+
+// Node returns the node hosting this PE (CmiMyNode): the owning
+// process's rank.
+func (s *NodePE) Node() int { return s.n.cfg.Rank }
+
+// NumNodes returns the machine's node count (CmiNumNodes).
+func (s *NodePE) NumNodes() int { return s.n.topo.NumNodes() }
+
+// NodeSize reports how many PEs the given node hosts (CmiNodeSize).
+func (s *NodePE) NodeSize(node int) int { return s.n.topo.NodeSize(node) }
+
+// NodeOf reports the node hosting the given PE (CmiNodeOf).
+func (s *NodePE) NodeOf(pe int) int { return s.n.topo.NodeOf(pe) }
+
+// Clock returns wall-clock microseconds since the node joined; all PEs
+// of a node share its clock.
+func (s *NodePE) Clock() float64 { return s.n.Clock() }
+
+// Charge is a no-op: real time advances itself.
+func (s *NodePE) Charge(dt float64) {}
+
+// AdvanceTo is a no-op: real time advances itself.
+func (s *NodePE) AdvanceTo(t float64) {}
+
+// Model returns nil: communication is priced by the actual network.
+func (s *NodePE) Model() machine.CostModel { return nil }
+
+// SendOwned transmits data to processor dst, taking ownership of the
+// slice: an in-memory inbox handoff when dst lives on this node, a wire
+// send otherwise.
+func (s *NodePE) SendOwned(dst int, data []byte) { s.n.sendOwnedFrom(s.pe, dst, data) }
+
+// Inject publishes a message straight to this PE's own inbox. Safe from
+// any goroutine (the inbox is a concurrent MPSC queue): foreign
+// observers — the monitor doorbell in internal/core — ring the
+// scheduler this way without touching driver-owned state.
+func (s *NodePE) Inject(data []byte) {
+	s.inbox.Put(machine.Packet{Src: s.pe, Dst: s.pe, Data: data, Arrive: 0})
+}
+
+// TryRecvBatch fills out with up to len(out) pending packets without
+// blocking and returns the count.
+func (s *NodePE) TryRecvBatch(out []machine.Packet) int {
+	k := 0
+	for k < len(out) {
+		pkt, ok := s.inbox.TryPop()
+		if !ok {
+			break
+		}
+		out[k] = pkt
+		k++
+	}
+	return k
+}
+
+// Recv blocks until a packet arrives; ok=false means the node stopped.
+func (s *NodePE) Recv() (machine.Packet, bool) { return s.inbox.Pop() }
+
+// InboxLen reports the number of packets waiting in this PE's inbox.
+func (s *NodePE) InboxLen() int { return s.inbox.Len() }
+
+// Printf relays an atomic formatted write to the launcher's standard
+// output.
+func (s *NodePE) Printf(format string, args ...any) { s.n.Printf(format, args...) }
+
+// Errorf relays an atomic formatted write to the launcher's standard
+// error.
+func (s *NodePE) Errorf(format string, args ...any) { s.n.Errorf(format, args...) }
+
+// Scanf is unavailable on the network machine (see Node.Scanf).
+func (s *NodePE) Scanf(format string, args ...any) (int, error) { return s.n.Scanf(format, args...) }
+
+// ReadLine is unavailable on the network machine (see Node.ReadLine).
+func (s *NodePE) ReadLine() (string, error) { return s.n.ReadLine() }
+
+// NoteThreadsSuspended adjusts the count of suspended thread objects
+// (blockStateNoter; called via core.Proc by the thread layer).
+func (s *NodePE) NoteThreadsSuspended(delta int) { s.threadsSusp.Add(int64(delta)) }
+
+// NoteBarrierWaiters adjusts the count of threads blocked at a barrier
+// (blockStateNoter; called via core.Proc by csync).
+func (s *NodePE) NoteBarrierWaiters(delta int) { s.barrierWaiters.Add(int64(delta)) }
+
+// DescribeBlocked reports why this PE is blocked, in the machine
+// layer's shared diagnostic format.
+func (s *NodePE) DescribeBlocked() string {
+	st := machine.BlockState{
+		RecvWait:         s.inbox.RecvWaiting(),
+		InboxLen:         s.inbox.Len(),
+		ThreadsSuspended: int(s.threadsSusp.Load()),
+		BarrierWaiters:   int(s.barrierWaiters.Load()),
+	}
+	return machine.FormatBlockState(fmt.Sprintf("rank%d(pe%d)", s.n.cfg.Rank, s.pe), st)
+}

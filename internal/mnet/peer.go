@@ -629,7 +629,7 @@ func (pl *peerLink) readLoop(conn net.Conn, stop <-chan struct{}, errCh chan<- e
 				pl.n.noteDupDrop(pl.rank)
 			case seq == cur+1:
 				pl.rxDelivered.Store(seq)
-				pl.n.deliver(pl.rank, payload[dataSeqLen:])
+				pl.n.deliverFromWire(pl.rank, payload[dataSeqLen:])
 				if pl.rel && r.Buffered() == 0 {
 					pl.kick(pl.ackKick)
 				}

@@ -14,9 +14,12 @@ import (
 // the job immediately rather than producing wire garbage later.
 const (
 	protoMagic = "CONVERSE-MNET"
-	// protoVersion 2: checksummed frame header (CRC32C), sequenced data
-	// frames, ack/nack kinds, and the session-resume peer hello.
-	protoVersion = 2
+	// protoVersion 3: node-aware hello (each worker reports the machine's
+	// node count) and PE-routed data frames on jobs where any node hosts
+	// more than one PE. Version 2 added the checksummed frame header
+	// (CRC32C), sequenced data frames, ack/nack kinds, and the
+	// session-resume peer hello.
+	protoVersion = 3
 )
 
 // Failure policies (Config.FailurePolicy, converserun -failure).
@@ -40,8 +43,13 @@ const (
 	EnvJob = "CONVERSE_NET_JOB"
 	// EnvRank is this worker's rank in [0, NP).
 	EnvRank = "CONVERSE_NET_RANK"
-	// EnvNP is the worker-process count (converserun -np).
+	// EnvNP is the worker-process count (converserun -nodes, or -np with
+	// one PE per node).
 	EnvNP = "CONVERSE_NET_NP"
+	// EnvPPN is the PE-per-node capacity (converserun -ppn): each worker
+	// process hosts up to this many PEs. Absent or 1 means the classic
+	// 1:1 rank↔PE mapping.
+	EnvPPN = "CONVERSE_NET_PPN"
 	// EnvToken is the job-unique token; connections presenting a
 	// different token are rejected.
 	EnvToken = "CONVERSE_NET_MAGIC"
@@ -90,7 +98,8 @@ type helloMsg struct {
 	Round   int    `json:"round"`
 	Rank    int    `json:"rank"`
 	PEs     int    `json:"pes"`
-	Addr    string `json:"addr"` // this worker's mesh listen address
+	Nodes   int    `json:"nodes"` // node count of the machine (ranks < Nodes are active)
+	Addr    string `json:"addr"`  // this worker's mesh listen address
 }
 
 type tableMsg struct {
@@ -178,6 +187,27 @@ func Rank() int {
 	return r
 }
 
+// JobPEs returns the surrounding job's PE capacity — worker processes
+// times PEs per worker (converserun -np, or -nodes × -ppn) — or 0
+// outside a job. Programs that size their machine to the job
+// (examples/jacobi) read this instead of hard-coding a PE count.
+func JobPEs() int {
+	if !InJob() {
+		return 0
+	}
+	np, err := strconv.Atoi(os.Getenv(EnvNP))
+	if err != nil || np < 1 {
+		return 0
+	}
+	ppn := 1
+	if s := os.Getenv(EnvPPN); s != "" {
+		if k, err := strconv.Atoi(s); err == nil && k > 0 {
+			ppn = k
+		}
+	}
+	return np * ppn
+}
+
 // envConfig builds a node Config from the launcher-provided environment.
 func envConfig(pes int) (Config, error) {
 	job := os.Getenv(EnvJob)
@@ -198,6 +228,13 @@ func envConfig(pes int) (Config, error) {
 		Rank:     rank,
 		NP:       np,
 		PEs:      pes,
+	}
+	if ppn := os.Getenv(EnvPPN); ppn != "" {
+		k, err := strconv.Atoi(ppn)
+		if err != nil || k < 1 {
+			return Config{}, fmt.Errorf("mnet: bad %s %q (want a positive PE-per-node count)", EnvPPN, ppn)
+		}
+		cfg.PPN = k
 	}
 	if hb := os.Getenv(EnvHeartbeat); hb != "" {
 		d, err := time.ParseDuration(hb)

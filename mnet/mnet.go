@@ -28,3 +28,8 @@ func InJob() bool { return mnet.InJob() }
 
 // Rank returns this process's job rank, or 0 outside a job.
 func Rank() int { return mnet.Rank() }
+
+// JobPEs returns the surrounding job's PE capacity (converserun -np,
+// or -nodes × -ppn), or 0 outside a job. Programs use it to size their
+// machine to whatever topology the launcher was given.
+func JobPEs() int { return mnet.JobPEs() }

@@ -22,6 +22,13 @@
 #   make monitor-smoke live-introspection gate: jacobi -np 4 with
 #                      converserun -monitor, scraped with conversetop
 #                      (tables, JSON, and a CPU capture)
+#   make service-smoke elastic-service gate: the 3-daemon/36-job churn
+#                      soak (kill + rejoin a daemon mid-burst, hard
+#                      completion budget, zero leaked goroutines) plus
+#                      a conversed/converserun -daemon/conversetop
+#                      -jobs end-to-end run over real binaries
+#   make bench-jobs    warm-service vs cold-launch job throughput;
+#                      writes BENCH_jobs.json
 #   make profile       the 8..256-PE scale ladder; writes BENCH_scale.json
 #   make lint          converselint (msgownership, handlerreg,
 #                      blockinhandler, noallocinhot) over the whole
@@ -32,9 +39,9 @@
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults bench-collectives commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke profile lint msgcheck-test
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults bench-collectives bench-jobs commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke profile lint msgcheck-test
 
-ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke
+ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke
 
 tier1: vet build test
 
@@ -208,6 +215,44 @@ monitor-smoke:
 		cat $$tmp/job.out; exit 1; \
 	fi; \
 	echo 'monitor-smoke: snapshot + table + cpu capture ok against a live 4-rank mesh'
+
+# Elastic-service gate, two legs. The soak (TestServiceSoak) is the
+# hard one: 3 daemons x 4 slots, 36 concurrent mixed jacobi/pingpong
+# jobs, one daemon killed and a replacement joined mid-burst — every
+# job must finish inside the budget (churned gangs requeue onto the
+# survivors) and teardown must return to the baseline goroutine count.
+# The CLI leg proves the real binaries: a conversed gateway with its
+# local daemon, concurrent converserun -daemon submits (flag and
+# CONVERSED_ADDR forms), and conversetop -jobs reading back the table.
+service-smoke:
+	$(GO) test ./internal/service/ -run 'TestServiceSoak' -count=1 -timeout 180s -v
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"; kill $$gpid 2>/dev/null' EXIT && \
+	{ $(GO) build -o $$tmp/conversed ./cmd/conversed && \
+	  $(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	  $(GO) build -o $$tmp/conversetop ./cmd/conversetop; } || exit 1; \
+	$$tmp/conversed -listen 127.0.0.1:0 -slots 4 -token smoke 2> $$tmp/conversed.log & \
+	gpid=$$!; \
+	addr=; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^conversed: gateway on \(.*\) (.*$$/\1/p' $$tmp/conversed.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo 'FAIL: conversed never printed its gateway address'; \
+		cat $$tmp/conversed.log; exit 1; \
+	fi; \
+	$$tmp/converserun -daemon $$addr -token smoke -np 4 -timeout 60s jacobi '{"n":32,"iters":8}' && \
+	CONVERSED_ADDR=$$addr CONVERSED_TOKEN=smoke \
+		$$tmp/converserun -np 2 -timeout 60s pingpong '{"iters":200,"bytes":128}' && \
+	$$tmp/conversetop -connect $$addr -token smoke -jobs -once > $$tmp/jobs.out && \
+	grep -q 'jacobi.*done' $$tmp/jobs.out && \
+	grep -q 'pingpong.*done' $$tmp/jobs.out && \
+	echo 'service-smoke: churn soak + conversed/converserun/conversetop e2e ok'
+
+# Warm-service vs per-job cold-launch throughput and completion
+# latency; writes BENCH_jobs.json (the table EXPERIMENTS.md quotes).
+bench-jobs:
+	$(GO) run ./cmd/commbench -jobs -o BENCH_jobs.json
 
 # The 8..256-PE scale ladder on the simulated substrate, with CPU and
 # heap captures pulled through a live ccs monitor socket at every

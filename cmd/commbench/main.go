@@ -24,6 +24,11 @@
 // BENCH_collectives.json — the flat-vs-tree table EXPERIMENTS.md
 // quotes.
 //
+// With -jobs it measures the elastic service (conversed): sustained
+// jobs/sec and p50/p99 completion latency of a warm three-daemon
+// cluster against a baseline that cold-starts a cluster around every
+// job, and writes BENCH_jobs.json.
+//
 // With -scale it runs the 8→256-PE ladder on the simulated substrate
 // and writes BENCH_scale.json: ping-pong latency and fan-in throughput
 // per processor count, plus the scheduler-loop CPU share and live heap
@@ -37,6 +42,7 @@
 //	commbench -transport tcp -faults sweep [-o BENCH_faults.json] [-smoke]
 //	commbench -collectives [-o BENCH_collectives.json] [-size 64] [-smoke]
 //	commbench -scale [-o BENCH_scale.json] [-msgs 200] [-size 64] [-smoke]
+//	commbench -jobs [-o BENCH_jobs.json] [-smoke]
 package main
 
 import (
@@ -97,6 +103,7 @@ func main() {
 	faults := flag.String("faults", "", `with -transport tcp: a fault plan run under the retry policy, or "sweep" for the drop-rate sweep (BENCH_faults.json)`)
 	scale := flag.Bool("scale", false, "run the 8..256-PE scale ladder on the sim substrate (BENCH_scale.json)")
 	collectives := flag.Bool("collectives", false, "run the flat-vs-tree broadcast sweep on the sim substrate (BENCH_collectives.json)")
+	jobs := flag.Bool("jobs", false, "measure the elastic service's job throughput vs per-job cold launches (BENCH_jobs.json)")
 	flag.Parse()
 
 	if *pes < 2 {
@@ -104,6 +111,13 @@ func main() {
 	}
 	if *smoke {
 		*msgs, *rounds = 50, 20
+	}
+	if *jobs {
+		if *out == "" {
+			*out = "BENCH_jobs.json"
+		}
+		jobsMain(*out, *smoke)
+		return
 	}
 	if *collectives {
 		if *out == "" {

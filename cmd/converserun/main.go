@@ -15,10 +15,18 @@
 // with intra-node messages moving by in-memory pointer handoff instead
 // of the wire.
 //
+// Under -daemon ADDR (or with CONVERSED_ADDR set) converserun instead
+// submits to a running conversed cluster: the program argument names a
+// registered workload, -np is the gang size, and the optional second
+// argument is a JSON object of workload parameters. The job runs on
+// the cluster's warm PEs; this process streams its console output and
+// exits 0 only if the job completes.
+//
 // Usage:
 //
 //	converserun -np 4 ./jacobi -n 64 -iters 100
 //	converserun -np 8 -ppn 2 ./jacobi -n 64 -iters 100
+//	converserun -daemon 127.0.0.1:7077 -np 4 jacobi '{"n":64,"iters":100}'
 package main
 
 import (
@@ -41,11 +49,25 @@ func main() {
 	recovery := flag.Duration("recovery", 0, "under -failure retry, how long a lost link may take to recover before its peer is declared dead (default 8 heartbeats)")
 	faults := flag.String("faults", "", `fault-injection plan applied by every worker to outbound data frames, e.g. "seed=7,drop=1%,killlink=1-0@120" (see internal/faultnet)`)
 	monitor := flag.String("monitor", "", `serve a mesh-wide live-introspection socket on this address (e.g. "127.0.0.1:0"); poll it with conversetop`)
+	daemon := flag.String("daemon", os.Getenv("CONVERSED_ADDR"), "submit to the conversed gateway at this address instead of launching processes (default $CONVERSED_ADDR)")
+	svcToken := flag.String("token", os.Getenv("CONVERSED_TOKEN"), "service auth token for -daemon (default $CONVERSED_TOKEN)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: converserun [flags] program [args...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *daemon != "" {
+		if flag.NArg() < 1 || flag.NArg() > 2 {
+			fmt.Fprintln(os.Stderr, "converserun: -daemon needs a workload name and optionally one JSON args object")
+			flag.Usage()
+			os.Exit(2)
+		}
+		args := ""
+		if flag.NArg() == 2 {
+			args = flag.Arg(1)
+		}
+		os.Exit(runSubmit(*daemon, *svcToken, flag.Arg(0), args, *np, *timeout))
+	}
 	if *hosts != "" {
 		fmt.Fprintln(os.Stderr, "converserun: -hosts is reserved for multi-host jobs and not implemented yet; run without it for a local job")
 		os.Exit(2)

@@ -1,0 +1,90 @@
+package main
+
+// The -jobs view: instead of polling a mesh monitor, conversetop
+// polls a conversed gateway and renders the cluster's job table —
+// per-job state, gang size, queue wait, runtime, and bytes moved —
+// plus the daemon roster and admission backlog.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"converse/service"
+)
+
+// runJobs renders the conversed job table, refreshing in place unless
+// once is set. Returns the process exit code.
+func runJobs(addr, token string, interval time.Duration, once, asJSON bool) int {
+	c := &service.Client{Addr: addr, Token: token}
+	for {
+		jobs, err := c.Jobs()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conversetop: %v\n", err)
+			return 1
+		}
+		daemons, backlog, backlogCap, err := c.Cluster()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conversetop: %v\n", err)
+			return 1
+		}
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Daemons []service.DaemonInfo `json:"daemons"`
+				Backlog int                  `json:"backlog"`
+				Jobs    []service.JobInfo    `json:"jobs"`
+			}{daemons, backlog, jobs})
+		} else {
+			if !once {
+				fmt.Print("\x1b[H\x1b[2J")
+			}
+			renderJobs(jobs, daemons, backlog, backlogCap)
+		}
+		if once {
+			return 0
+		}
+		time.Sleep(interval)
+	}
+}
+
+// renderJobs prints the daemon roster line and the job table.
+func renderJobs(jobs []service.JobInfo, daemons []service.DaemonInfo, backlog, backlogCap int) {
+	slots, busy := 0, 0
+	names := make([]string, 0, len(daemons))
+	for _, d := range daemons {
+		slots += d.Slots
+		busy += d.Busy
+		names = append(names, fmt.Sprintf("%s %d/%d", d.Name, d.Busy, d.Slots))
+	}
+	fmt.Printf("conversed: %d daemons (%s), %d/%d PEs busy, backlog %d/%d  (%s)\n\n",
+		len(daemons), strings.Join(names, ", "), busy, slots, backlog, backlogCap,
+		time.Now().Format("15:04:05"))
+	fmt.Printf("%-22s %-10s %-9s %4s %9s %9s %9s %3s %s\n",
+		"JOB", "WORKLOAD", "STATE", "GANG", "QWAIT", "RUNTIME", "BYTES", "RQ", "DAEMONS")
+	for _, j := range jobs {
+		line := fmt.Sprintf("%-22s %-10s %-9s %4d %9s %9s %9s %3d %s",
+			j.ID, j.Workload, j.State, j.Gang,
+			fmtMs(j.QueueWaitMS), fmtMs(j.RuntimeMS), fmtBytes(j.BytesMoved),
+			j.Requeues, strings.Join(j.Daemons, ","))
+		if j.Error != "" {
+			line += "  [" + j.Error + "]"
+		}
+		fmt.Println(line)
+	}
+}
+
+func fmtMs(ms float64) string {
+	switch {
+	case ms <= 0:
+		return "-"
+	case ms >= 60_000:
+		return fmt.Sprintf("%.1fm", ms/60_000)
+	case ms >= 1000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	}
+	return fmt.Sprintf("%.0fms", ms)
+}

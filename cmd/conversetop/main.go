@@ -6,12 +6,18 @@
 // -json dumps the raw snapshot for scripts, and -pprof pulls a CPU or
 // heap capture through the same socket and validates it.
 //
+// With -jobs, -connect names a conversed gateway instead of a mesh
+// monitor, and the table is the cluster's job list: per-job state,
+// gang size, queue wait, runtime, and bytes moved, with the daemon
+// roster and admission backlog in the header.
+//
 // Usage:
 //
 //	conversetop -connect 127.0.0.1:40100                 # live tables
 //	conversetop -connect ADDR -once                      # one table, exit
 //	conversetop -connect ADDR -once -json                # one snapshot as JSON
 //	conversetop -connect ADDR -pprof cpu -seconds 3 -rank 1 -o r1.pprof
+//	conversetop -connect GATEWAY -jobs                   # conversed job table
 package main
 
 import (
@@ -36,11 +42,16 @@ func main() {
 	seconds := flag.Float64("seconds", 2, "CPU capture window for -pprof cpu")
 	rank := flag.Int("rank", 0, "rank whose process to profile (through an aggregated monitor)")
 	out := flag.String("o", "", "output file for -pprof (default <kind>.pprof)")
+	jobs := flag.Bool("jobs", false, "-connect is a conversed gateway: render the cluster's job table")
 	flag.Parse()
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "conversetop: -connect ADDR is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jobs {
+		os.Exit(runJobs(*connect, *token, *interval, *once, *asJSON))
 	}
 
 	if *pprofKind != "" {

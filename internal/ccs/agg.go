@@ -141,6 +141,9 @@ func (a *Aggregate) snapshot() *Snapshot {
 		if v.NumPEs > out.NumPEs {
 			out.NumPEs = v.NumPEs
 		}
+		if out.Job == "" {
+			out.Job = v.Job
+		}
 		for _, pe := range v.PEs {
 			pe.Rank = r
 			out.PEs = append(out.PEs, pe)

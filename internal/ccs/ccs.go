@@ -137,6 +137,9 @@ type PEView struct {
 type Snapshot struct {
 	// Schema names the snapshot layout for scripts.
 	Schema string `json:"schema"`
+	// Job names the elastic-service job this snapshot belongs to;
+	// empty for classic batch machines.
+	Job string `json:"job,omitempty"`
 	// NumPEs is the machine size; PEs holds the processors this
 	// endpoint (or aggregate) could reach.
 	NumPEs int      `json:"num_pes"`
@@ -182,6 +185,10 @@ type Config struct {
 	Registry *metrics.Registry
 	// Sources are the processors living in this process.
 	Sources []Source
+	// Job, when non-empty, names the elastic-service job this machine
+	// executes; it is stamped on every snapshot so viewers can
+	// attribute load per job.
+	Job string
 }
 
 // Monitor is a running per-process introspection endpoint.
@@ -283,6 +290,7 @@ func (m *Monitor) serveConn(c net.Conn) {
 func (m *Monitor) snapshot() *Snapshot {
 	snap := &Snapshot{
 		Schema:    SchemaV1,
+		Job:       m.cfg.Job,
 		NumPEs:    m.cfg.NumPEs,
 		PEs:       make([]PEView, len(m.cfg.Sources)),
 		UnixNanos: time.Now().UnixNano(),

@@ -89,6 +89,13 @@ type Config struct {
 	// FailRetry before its peer is declared dead. Zero means the machine
 	// layer's default (a small multiple of the heartbeat).
 	RecoveryWindow time.Duration
+	// Job, when non-empty, tags this machine as belonging to one named
+	// job of the elastic cluster service (internal/service): the tag
+	// flows into every processor (Proc.Job) and into monitor snapshots
+	// (ccs.Snapshot.Job) so introspection tooling can attribute load
+	// per job on a host running many machines. Empty for classic
+	// one-machine batch runs.
+	Job string
 	// Faults is a fault-injection plan in the internal/faultnet grammar
 	// (e.g. "seed=7,drop=1%,killlink=1-0@120"); empty means no
 	// injection. Under the TCP substrate faults hit outbound data frames
@@ -112,6 +119,7 @@ type Machine struct {
 	wdog  time.Duration
 	procs []*Proc           // all PEs under sim; this process's PEs under net
 	met   *metrics.Registry // Config.Metrics, for the monitor endpoint
+	job   string            // Config.Job, for monitor snapshots
 }
 
 // NewMachine creates a Converse machine on the substrate selected by
@@ -141,7 +149,7 @@ func NewMachine(cfg Config) *Machine {
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	m := machine.New(machine.Config{PEs: cfg.PEs, NodeSizes: cfg.NodeSizes, Model: cfg.Model, Watchdog: cfg.Watchdog})
-	cm := &Machine{m: m, npes: cfg.PEs, met: cfg.Metrics}
+	cm := &Machine{m: m, npes: cfg.PEs, met: cfg.Metrics, job: cfg.Job}
 	cm.procs = make([]*Proc, cfg.PEs)
 	for i := range cm.procs {
 		var sub Substrate = m.PE(i)
@@ -149,6 +157,7 @@ func NewMachine(cfg Config) *Machine {
 			sub = faultnet.WrapSim(m.PE(i), in)
 		}
 		cm.procs[i] = newProc(sub, cfg.Coalesce)
+		cm.procs[i].job = cfg.Job
 		if cfg.Tracer != nil {
 			cm.procs[i].SetTracer(cfg.Tracer(i))
 		}
@@ -180,7 +189,7 @@ func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
 		panic(fmt.Sprintf("core: metrics registry built for %d PEs, machine has %d",
 			cfg.Metrics.NumPEs(), cfg.PEs))
 	}
-	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog, met: cfg.Metrics}
+	cm := &Machine{net: sub, npes: cfg.PEs, wdog: cfg.Watchdog, met: cfg.Metrics, job: cfg.Job}
 	// A node substrate exposes one Substrate per local PE; build one
 	// runtime instance on each. Plain single-PE substrates (tests,
 	// surplus ranks with no local PEs) get one instance on sub itself.
@@ -194,6 +203,9 @@ func NewMachineOn(sub NetSubstrate, cfg Config) *Machine {
 		}
 	} else {
 		cm.procs = []*Proc{newProc(sub, cfg.Coalesce)}
+	}
+	for _, p := range cm.procs {
+		p.job = cfg.Job
 	}
 	// A substrate that can declare peers dead (mnet under FailRetry)
 	// reports through the generalized-message path: the notification is

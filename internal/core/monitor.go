@@ -173,6 +173,7 @@ func (cm *Machine) StartMonitor(addr, token string) (*ccs.Monitor, error) {
 		Token:    token,
 		NumPEs:   cm.npes,
 		Registry: cm.met,
+		Job:      cm.job,
 	}
 	for _, p := range cm.procs {
 		if cm.net != nil && (!cm.net.Active() || p.pe.ID() >= cm.npes) {

@@ -116,6 +116,12 @@ type Proc struct {
 	tracer Tracer
 	met    *metrics.PE // nil when no metrics registry is attached
 
+	// job tags the machine this processor belongs to with its elastic
+	// cluster service job name (core.Config.Job); empty for classic
+	// batch machines. Immutable after construction, so handlers may
+	// read it freely.
+	job string
+
 	// treeBcastHandler is the built-in spanning-tree broadcast
 	// forwarder (bcast.go), registered first on every processor.
 	treeBcastHandler int
@@ -267,6 +273,11 @@ func (p *Proc) SetMetrics(m *metrics.PE) { p.met = m }
 // observability is off. Higher layers (cth, ldb, language runtimes)
 // record through it with a nil check, mirroring the tracer discipline.
 func (p *Proc) Metrics() *metrics.PE { return p.met }
+
+// Job returns the name of the elastic-service job this processor's
+// machine executes (core.Config.Job), or "" for classic batch
+// machines. The tag is immutable for the machine's lifetime.
+func (p *Proc) Job() string { return p.job }
 
 // trace emits an event if a tracer is installed.
 func (p *Proc) trace(kind EventKind, src, dst, size, handler, aux int) {

@@ -1,8 +1,10 @@
 package mnet
 
 import (
+	"fmt"
 	"net"
 	"os"
+	"sync"
 	"testing"
 	"time"
 )
@@ -26,18 +28,24 @@ func StartTestJob(t *testing.T, np int, hb time.Duration, ppn ...int) (addr stri
 	if len(ppn) > 0 {
 		k = ppn[0]
 	}
-	s := &jobServer{
-		cfg:    LaunchConfig{NP: np, PPN: k, Heartbeat: hb, Stdout: os.Stdout, Stderr: os.Stderr},
-		token:  TestToken,
-		rounds: map[int]*round{},
-		failCh: make(chan error, 1),
-	}
-	go s.acceptLoop(ls)
+	fc := make(chan error, 1)
+	var once sync.Once
+	cs := NewControlServer(np, k, TestToken, hb, ControlCallbacks{
+		Console: func(rank int, isErr bool, text string) {
+			if isErr {
+				fmt.Fprint(os.Stderr, text)
+			} else {
+				fmt.Fprint(os.Stdout, text)
+			}
+		},
+		Fail: func(err error) { once.Do(func() { fc <- err }) },
+	})
+	go cs.Serve(ls)
 	t.Cleanup(func() {
-		s.done.Store(true)
+		cs.Shutdown()
 		ls.Close()
 	})
-	return ls.Addr().String(), s.failCh
+	return ls.Addr().String(), fc
 }
 
 // CutLinkForTest severs the established mesh connection to the given

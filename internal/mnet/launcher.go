@@ -10,7 +10,6 @@ import (
 	"os"
 	"os/exec"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"converse/internal/ccs"
@@ -101,9 +100,31 @@ func Launch(cfg LaunchConfig) error {
 	}
 	defer ls.Close()
 	token := newToken()
-	s := &jobServer{cfg: cfg, token: token, rounds: map[int]*round{}, failCh: make(chan error, 1),
+	s := &jobServer{cfg: cfg, token: token, failCh: make(chan error, 1),
 		monitors: map[int]string{}}
-	go s.acceptLoop(ls)
+	s.cs = NewControlServer(cfg.NP, cfg.PPN, token, cfg.Heartbeat, ControlCallbacks{
+		Console: func(rank int, isErr bool, text string) {
+			s.outMu.Lock()
+			if isErr {
+				fmt.Fprint(cfg.Stderr, text)
+			} else {
+				fmt.Fprint(cfg.Stdout, text)
+			}
+			s.outMu.Unlock()
+		},
+		MonitorAddr: func(rank int, addr string) {
+			s.mu.Lock()
+			s.monitors[rank] = addr
+			s.mu.Unlock()
+		},
+		Fail: s.fail,
+		RankLost: func(rank int, err error) bool {
+			// Under FailRetry a lost worker degrades the job instead of
+			// killing it; the process-exit path in Launch records it.
+			return cfg.FailurePolicy == FailRetry
+		},
+	})
+	go s.cs.Serve(ls)
 	if cfg.Monitor != "" {
 		agg, err := ccs.ServeAggregate(cfg.Monitor, token, s.monitorMap)
 		if err != nil {
@@ -202,7 +223,7 @@ func Launch(cfg LaunchConfig) error {
 				// job reports the loss only at the end.
 				if cfg.FailurePolicy == FailRetry && remaining > 0 {
 					deadRanks = append(deadRanks, e.rank)
-					s.markDead(e.rank)
+					s.cs.MarkDead(e.rank)
 					fmt.Fprintf(cfg.Stderr, "converserun: worker rank %d died (%v); continuing under retry policy\n",
 						e.rank, e.err)
 					continue
@@ -211,13 +232,13 @@ func Launch(cfg LaunchConfig) error {
 			}
 		case jobErr = <-s.failCh:
 		case <-timeoutCh:
-			jobErr = fmt.Errorf("mnet: job exceeded timeout %v; state: %s", cfg.Timeout, s.describe())
+			jobErr = fmt.Errorf("mnet: job exceeded timeout %v; state: %s", cfg.Timeout, s.cs.Describe())
 		}
 	}
 	if jobErr == nil && len(deadRanks) > 0 {
 		jobErr = fmt.Errorf("mnet: job finished degraded: ranks %v died mid-run", deadRanks)
 	}
-	s.done.Store(true)
+	s.cs.Shutdown()
 	if jobErr != nil {
 		for _, cmd := range cmds {
 			if cmd != nil && cmd.Process != nil {
@@ -235,12 +256,7 @@ func Launch(cfg LaunchConfig) error {
 	// now would truncate the job's output. Bounded, in case a connection
 	// is wedged rather than closed.
 	ls.Close()
-	drained := make(chan struct{})
-	go func() { s.connWg.Wait(); close(drained) }()
-	select {
-	case <-drained:
-	case <-time.After(2 * time.Second):
-	}
+	s.cs.Drain(2 * time.Second)
 	return jobErr
 }
 
@@ -266,292 +282,29 @@ type round struct {
 	released bool
 }
 
-// jobServer is the launcher's control server (the charmrun side of the
-// protocol): it collects hellos, broadcasts node tables, runs the go and
-// release barriers, prints forwarded console output, and turns any
-// protocol irregularity into a job failure.
+// jobServer is the launcher's job supervisor: the rendezvous and
+// console protocol itself lives in ControlServer (shared with the
+// elastic cluster service); this wrapper adds what only converserun
+// needs — worker process management, prefixed output forwarding, the
+// monitor map, and first-failure latching.
 type jobServer struct {
 	cfg    LaunchConfig
 	token  string
 	failCh chan error
 	fOnce  sync.Once
-	done   atomic.Bool
 
-	mu     sync.Mutex
-	rounds map[int]*round
+	cs *ControlServer
+
+	mu sync.Mutex
 	// monitors maps rank -> that worker's local ccs endpoint address
 	// (reported over the control connection when -monitor is set).
 	monitors map[int]string
-
-	// connWg tracks live control-connection readers so Launch can wait
-	// for their final console frames before returning.
-	connWg sync.WaitGroup
 
 	outMu sync.Mutex
 }
 
 func (s *jobServer) fail(err error) {
 	s.fOnce.Do(func() { s.failCh <- err })
-}
-
-// ppn is the job's PE-per-node capacity with the zero value meaning the
-// classic one PE per process (Launch normalizes its config, but tests
-// build jobServers directly).
-func (s *jobServer) ppn() int {
-	if s.cfg.PPN < 1 {
-		return 1
-	}
-	return s.cfg.PPN
-}
-
-func (s *jobServer) acceptLoop(ls net.Listener) {
-	for {
-		conn, err := ls.Accept()
-		if err != nil {
-			return
-		}
-		s.connWg.Add(1)
-		go func() { defer s.connWg.Done(); s.handleConn(conn) }()
-	}
-}
-
-// handleConn serves one worker control connection. The rolling read
-// deadline is the worker-liveness detector: workers ping every heartbeat
-// interval, so heartbeatMissFactor intervals of silence mean the worker
-// is wedged and the job dies. A clean close is expected only after the
-// worker's round was released.
-func (s *jobServer) handleConn(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	allowance := time.Duration(heartbeatMissFactor) * s.cfg.Heartbeat
-	var rd *round
-	rank := -1
-	for {
-		conn.SetReadDeadline(time.Now().Add(allowance))
-		k, payload, err := readFrame(r)
-		if err != nil {
-			if s.done.Load() {
-				return
-			}
-			s.mu.Lock()
-			released := rd != nil && rd.released
-			s.mu.Unlock()
-			if released || rank < 0 {
-				return // normal post-release close, or a stray connection
-			}
-			if isTimeout(err) {
-				err = fmt.Errorf("no ping for %v (worker wedged)", allowance)
-			}
-			if s.cfg.FailurePolicy == FailRetry {
-				// Worker death is degraded completion, not job death; the
-				// process-exit path in Launch records and reports it.
-				s.markDead(rank)
-				return
-			}
-			s.fail(fmt.Errorf("mnet: lost control connection to worker rank %d: %v", rank, err))
-			return
-		}
-		switch k {
-		case fHello:
-			var h helloMsg
-			if err := decodeJSON(k, payload, &h); err != nil {
-				s.fail(err)
-				return
-			}
-			if err := s.hello(conn, h); err != nil {
-				s.fail(err)
-				return
-			}
-			rank = h.Rank
-			s.mu.Lock()
-			rd = s.rounds[h.Round]
-			s.mu.Unlock()
-		case fMeshOK:
-			var m meshOKMsg
-			if err := decodeJSON(k, payload, &m); err != nil {
-				s.fail(err)
-				return
-			}
-			s.meshOK(m)
-		case fDone:
-			var d doneMsg
-			if err := decodeJSON(k, payload, &d); err != nil {
-				s.fail(err)
-				return
-			}
-			s.workerDone(d)
-		case fConsole:
-			var c consoleMsg
-			if err := decodeJSON(k, payload, &c); err != nil {
-				s.fail(err)
-				return
-			}
-			s.outMu.Lock()
-			if c.Err {
-				fmt.Fprint(s.cfg.Stderr, c.Text)
-			} else {
-				fmt.Fprint(s.cfg.Stdout, c.Text)
-			}
-			s.outMu.Unlock()
-		case fFail:
-			var f failMsg
-			if decodeJSON(k, payload, &f) == nil {
-				s.fail(fmt.Errorf("mnet: worker rank %d reports fatal error: %s", f.Rank, f.Text))
-			} else {
-				s.fail(fmt.Errorf("mnet: worker rank %d reports fatal error", rank))
-			}
-			return
-		case fMonitorAddr:
-			var m monitorAddrMsg
-			if err := decodeJSON(k, payload, &m); err != nil {
-				s.fail(err)
-				return
-			}
-			s.mu.Lock()
-			s.monitors[m.Rank] = m.Addr
-			s.mu.Unlock()
-		case fPing:
-			// Receiving it already refreshed the deadline.
-		default:
-			s.fail(fmt.Errorf("mnet: unexpected %v frame from worker rank %d", k, rank))
-			return
-		}
-	}
-}
-
-// hello registers one worker in its rendezvous round; the NP-th hello
-// completes the round's membership and broadcasts the node table.
-func (s *jobServer) hello(conn net.Conn, h helloMsg) error {
-	if h.Magic != protoMagic || h.Version != protoVersion {
-		return fmt.Errorf("mnet: worker hello with magic %q version %d (launcher speaks %q version %d; mixed binaries?)",
-			h.Magic, h.Version, protoMagic, protoVersion)
-	}
-	if h.Token != s.token {
-		return fmt.Errorf("mnet: worker hello with wrong job token (stray connection?)")
-	}
-	if h.Rank < 0 || h.Rank >= s.cfg.NP {
-		return fmt.Errorf("mnet: worker hello with rank %d outside job of %d", h.Rank, s.cfg.NP)
-	}
-	if h.PEs < 1 || h.PEs > s.cfg.NP*s.ppn() {
-		return fmt.Errorf("mnet: program builds a %d-PE machine but the job holds at most %d (%d workers × %d PEs per node; raise converserun -np/-nodes or -ppn)",
-			h.PEs, s.cfg.NP*s.ppn(), s.cfg.NP, s.ppn())
-	}
-	if h.Nodes < 1 || h.Nodes > s.cfg.NP {
-		return fmt.Errorf("mnet: program needs %d node processes but the job has only %d workers (raise converserun -np/-nodes)",
-			h.Nodes, s.cfg.NP)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rd := s.rounds[h.Round]
-	if rd == nil {
-		rd = &round{
-			num: h.Round, pes: h.PEs, nodes: h.Nodes,
-			addrs:   make([]string, s.cfg.NP),
-			conns:   make([]net.Conn, s.cfg.NP),
-			doneSet: map[int]bool{},
-		}
-		s.rounds[h.Round] = rd
-	}
-	if h.PEs != rd.pes || h.Nodes != rd.nodes {
-		return fmt.Errorf("mnet: round %d: rank %d builds a %d-PE/%d-node machine but others build %d-PE/%d-node (drifted SPMD program?)",
-			h.Round, h.Rank, h.PEs, h.Nodes, rd.pes, rd.nodes)
-	}
-	if rd.conns[h.Rank] != nil {
-		return fmt.Errorf("mnet: round %d: duplicate hello from rank %d", h.Round, h.Rank)
-	}
-	rd.conns[h.Rank] = conn
-	rd.addrs[h.Rank] = h.Addr
-	rd.hellos++
-	if rd.hellos == s.cfg.NP {
-		tbl := tableMsg{Round: rd.num, PEs: rd.pes, Addrs: rd.addrs}
-		for _, c := range rd.conns {
-			if err := writeJSONFrame(c, fTable, tbl); err != nil {
-				return fmt.Errorf("mnet: broadcasting node table: %w", err)
-			}
-		}
-	}
-	return nil
-}
-
-// meshOK counts mesh completions; the NP-th releases the go barrier.
-func (s *jobServer) meshOK(m meshOKMsg) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rd := s.rounds[m.Round]
-	if rd == nil {
-		return
-	}
-	rd.meshoks++
-	if rd.meshoks == s.cfg.NP {
-		for _, c := range rd.conns {
-			if c != nil {
-				writeJSONFrame(c, fGo, goMsg{Round: rd.num})
-			}
-		}
-	}
-}
-
-// workerDone records an active node's completed drivers; when all of
-// the round's node processes are done, every worker (surplus included)
-// is released.
-func (s *jobServer) workerDone(d doneMsg) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rd := s.rounds[d.Round]
-	if rd == nil || rd.released {
-		return
-	}
-	if d.Rank < rd.nodes {
-		rd.doneSet[d.Rank] = true
-	}
-	if len(rd.doneSet) == rd.nodes {
-		rd.released = true
-		for _, c := range rd.conns {
-			if c != nil {
-				writeJSONFrame(c, fRelease, releaseMsg{Round: rd.num})
-			}
-		}
-	}
-}
-
-// markDead treats a dead rank as done in every round (retry policy):
-// the release barrier must not wait forever on a rank that can never
-// report, or every survivor would hang in Finish until the timeout.
-func (s *jobServer) markDead(rank int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, rd := range s.rounds {
-		if rd.released || rank >= rd.nodes {
-			continue
-		}
-		rd.doneSet[rank] = true
-		if len(rd.doneSet) == rd.nodes {
-			rd.released = true
-			for _, c := range rd.conns {
-				if c != nil {
-					writeJSONFrame(c, fRelease, releaseMsg{Round: rd.num})
-				}
-			}
-		}
-	}
-}
-
-// describe summarizes the rounds' progress for timeout reports.
-func (s *jobServer) describe() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.rounds) == 0 {
-		return "no worker reached the rendezvous"
-	}
-	out := ""
-	for _, rd := range s.rounds {
-		if out != "" {
-			out += "; "
-		}
-		out += fmt.Sprintf("round %d (%d PEs on %d nodes): %d/%d hellos, %d/%d meshok, %d/%d done",
-			rd.num, rd.pes, rd.nodes, rd.hellos, s.cfg.NP, rd.meshoks, s.cfg.NP, len(rd.doneSet), rd.nodes)
-	}
-	return out
 }
 
 // monitorMap snapshots the rank -> monitor-endpoint map for the

@@ -909,6 +909,14 @@ func (n *Node) Stop() {
 	})
 }
 
+// Close releases the node's network resources — peer links, listener,
+// control connection — without the termination barrier. Fail leaves
+// them open (a converserun worker exits moments later anyway), so a
+// long-lived host that runs many jobs in-process (a conversed daemon)
+// must Close each node once its machine returns, or failed jobs leak
+// their accept loops. Idempotent, and harmless after a clean Finish.
+func (n *Node) Close() { n.teardown() }
+
 // teardown closes every connection and the listener. closing suppresses
 // the link-loss failure reports that the closes would otherwise trigger.
 func (n *Node) teardown() {

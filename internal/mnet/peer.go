@@ -845,7 +845,14 @@ func dialPeer(n *Node, addr string, deadline time.Time) (net.Conn, error) {
 			return nil, fmt.Errorf("mnet: dialing peer %s: handshake deadline exceeded: %w", addr, err)
 		}
 		n.noteReconnect()
-		time.Sleep(withJitter(backoff, rng))
+		// A stopped node will never want this link: its job failed (the
+		// peer may be gone for good, refusing connects until the
+		// deadline), so give up now instead of retrying out the clock.
+		select {
+		case <-n.stopCh:
+			return nil, fmt.Errorf("mnet: dialing peer %s: node stopped: %w", addr, err)
+		case <-time.After(withJitter(backoff, rng)):
+		}
 		if backoff *= 2; backoff > backoffCap {
 			backoff = backoffCap
 		}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"converse/internal/wire"
+)
+
+// Client is a thin gateway client: one TCP connection per request,
+// mirroring how short-lived tools (converserun -daemon, conversetop
+// -jobs) talk to the service.
+type Client struct {
+	// Addr is the gateway address; Token the service auth token.
+	Addr  string
+	Token string
+}
+
+// roundTrip dials, sends one request frame, and decodes one reply.
+func (c *Client) roundTrip(reqKind byte, req any, repKind byte, rep any) error {
+	conn, err := net.DialTimeout("tcp", c.Addr, reqTimeout)
+	if err != nil {
+		return fmt.Errorf("service: dialing gateway %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	deadlineConn(conn, reqTimeout)
+	if err := writeMsg(conn, reqKind, req); err != nil {
+		return err
+	}
+	return readMsg(conn, repKind, rep)
+}
+
+// Submit sends one job for admission; it returns the job ID, or the
+// rejection reason as an error.
+func (c *Client) Submit(name, workload string, args any, gang int) (string, error) {
+	var raw json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return "", fmt.Errorf("service: encoding workload args: %w", err)
+		}
+		raw = b
+	}
+	var rep submitReply
+	err := c.roundTrip(kSubmit, submitMsg{V: protoV, Token: c.Token, Name: name, Workload: workload, Args: raw, Gang: gang}, kSubmit, &rep)
+	if err != nil {
+		return "", err
+	}
+	return rep.ID, nil
+}
+
+// Status fetches one job's current view.
+func (c *Client) Status(id string) (JobInfo, error) {
+	var rep JobInfo
+	err := c.roundTrip(kStatus, statusMsg{V: protoV, Token: c.Token, ID: id}, kStatus, &rep)
+	return rep, err
+}
+
+// Cancel aborts one job. Cancelling a finished job is not an error.
+func (c *Client) Cancel(id string) error {
+	var rep okMsg
+	return c.roundTrip(kCancel, cancelMsg{V: protoV, Token: c.Token, ID: id}, kCancel, &rep)
+}
+
+// Jobs lists every job the gateway knows, in submit order.
+func (c *Client) Jobs() ([]JobInfo, error) {
+	var rep jobListMsg
+	err := c.roundTrip(kJobs, jobsMsg{V: protoV, Token: c.Token}, kJobs, &rep)
+	return rep.Jobs, err
+}
+
+// Cluster describes the registered daemons and the admission queue.
+func (c *Client) Cluster() ([]DaemonInfo, int, int, error) {
+	var rep clusterInfoMsg
+	err := c.roundTrip(kCluster, clusterMsg{V: protoV, Token: c.Token}, kCluster, &rep)
+	return rep.Daemons, rep.Backlog, rep.BacklogCap, err
+}
+
+// Logs streams one job's console output to sink. With follow it runs
+// until the job reaches a terminal state, then returns that state and
+// the job's error text; without, it returns the buffered backlog and
+// whatever the state was at that moment. sink receives text chunks in
+// arrival order (isErr distinguishes the CmiError stream).
+func (c *Client) Logs(id string, follow bool, sink func(text string, isErr bool)) (state string, jobErr string, err error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, reqTimeout)
+	if err != nil {
+		return "", "", fmt.Errorf("service: dialing gateway %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(reqTimeout))
+	if err := writeMsg(conn, kLogs, logsMsg{V: protoV, Token: c.Token, ID: id, Follow: follow}); err != nil {
+		return "", "", err
+	}
+	for {
+		k, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				return "", "", fmt.Errorf("service: log stream ended early")
+			}
+			return "", "", err
+		}
+		switch k {
+		case kLogChunk:
+			var ch logChunk
+			if err := decode(payload, &ch); err != nil {
+				return "", "", err
+			}
+			if sink != nil {
+				sink(ch.Text, ch.Err)
+			}
+		case kLogEnd:
+			var end logEndMsg
+			if err := decode(payload, &end); err != nil {
+				return "", "", err
+			}
+			return end.State, end.Error, nil
+		case kErr:
+			var e errMsg
+			if decode(payload, &e) == nil && e.Error != "" {
+				return "", "", fmt.Errorf("%s", e.Error)
+			}
+			return "", "", fmt.Errorf("service: remote error")
+		default:
+			return "", "", fmt.Errorf("service: unexpected frame kind %d in log stream", k)
+		}
+	}
+}
+
+// WaitJob polls until the job reaches a terminal state or the timeout
+// expires, returning the final view.
+func (c *Client) WaitJob(id string, timeout time.Duration) (JobInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		in, err := c.Status(id)
+		if err != nil {
+			return in, err
+		}
+		if State(in.State).Terminal() {
+			return in, nil
+		}
+		if time.Now().After(deadline) {
+			return in, fmt.Errorf("service: job %s still %s after %v", id, in.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,296 @@
+package service
+
+// The conversed daemon: one per host, registered with the gateway over
+// a persistent session. Assignments arrive as frames; each becomes an
+// in-process mnet node joined to the job's private control server plus
+// a core machine with its own handler tables, metrics registry, and
+// job tag — the per-job isolation boundary. Nothing is exec'd: the
+// daemon process is the warm node, and a job costs one goroutine set
+// and one loopback mesh, not a process spawn.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"converse/internal/core"
+	"converse/internal/metrics"
+	"converse/internal/mnet"
+	"converse/internal/wire"
+)
+
+// DaemonConfig parameterizes one conversed daemon.
+type DaemonConfig struct {
+	// Gateway is the gateway's address.
+	Gateway string
+	// Token is the service auth token (must match the gateway's).
+	Token string
+	// Name labels the daemon; the gateway uniquifies it.
+	Name string
+	// Slots is the number of PEs this daemon offers (default 4).
+	Slots int
+	// Handshake bounds one job's rendezvous (default 10s).
+	Handshake time.Duration
+	// Logf receives daemon diagnostics (default discards).
+	Logf func(format string, args ...any)
+}
+
+// runningJob is one assignment's local execution state.
+type runningJob struct {
+	node      *mnet.Node
+	sentBytes uint64 // written by the runner before its final update
+}
+
+// Daemon is a registered worker host. Start connects and serves until
+// Stop or gateway loss.
+type Daemon struct {
+	cfg  DaemonConfig
+	conn net.Conn
+	name string
+
+	writeMu sync.Mutex
+
+	mu   sync.Mutex
+	jobs map[string]*runningJob // by job ID + attempt (see jobKey)
+	dead bool
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// StartDaemon registers with the gateway and begins serving
+// assignments on background goroutines.
+func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.Handshake <= 0 {
+		cfg.Handshake = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {}
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Gateway, reqTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("service: dialing gateway %s: %w", cfg.Gateway, err)
+	}
+	d := &Daemon{cfg: cfg, conn: conn, jobs: map[string]*runningJob{}, stopCh: make(chan struct{})}
+	if err := d.write(kRegister, registerMsg{V: protoV, Token: cfg.Token, Name: cfg.Name, Slots: cfg.Slots}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(reqTimeout))
+	var rep registerReply
+	if err := readMsg(conn, kRegister, &rep); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("service: registering with gateway: %w", err)
+	}
+	// The register deadline must not outlive the handshake: the session
+	// is long-lived and may sit idle between assignments.
+	conn.SetReadDeadline(time.Time{})
+	d.name = rep.Name
+	d.wg.Add(2)
+	go func() { defer d.wg.Done(); d.readLoop() }()
+	go func() { defer d.wg.Done(); d.pingLoop() }()
+	return d, nil
+}
+
+// Name is the gateway-assigned daemon name.
+func (d *Daemon) Name() string { return d.name }
+
+// Stop leaves the cluster: the session closes (the gateway sees a
+// leave and drains this daemon's gangs), local job machines are
+// aborted, and every goroutine is joined.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return
+	}
+	d.dead = true
+	jobs := make([]*runningJob, 0, len(d.jobs))
+	for _, rj := range d.jobs {
+		jobs = append(jobs, rj)
+	}
+	d.mu.Unlock()
+	close(d.stopCh)
+	d.conn.Close()
+	for _, rj := range jobs {
+		rj.node.Fail(fmt.Errorf("service: daemon stopping"))
+	}
+	d.wg.Wait()
+}
+
+// Wait blocks until the daemon's session ends (Stop or gateway loss)
+// and all local jobs have drained.
+func (d *Daemon) Wait() { d.wg.Wait() }
+
+func (d *Daemon) write(kind byte, msg any) error {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	d.conn.SetWriteDeadline(time.Now().Add(reqTimeout))
+	return writeMsg(d.conn, kind, msg)
+}
+
+func (d *Daemon) pingLoop() {
+	t := time.NewTicker(daemonPing)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-t.C:
+			if d.write(kDPing, dPingMsg{Name: d.name}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// readLoop serves gateway frames until the session dies. Session loss
+// aborts every local job machine: their gangs' other ranks are being
+// drained by the gateway anyway.
+func (d *Daemon) readLoop() {
+	defer func() {
+		d.mu.Lock()
+		d.dead = true
+		jobs := make([]*runningJob, 0, len(d.jobs))
+		for _, rj := range d.jobs {
+			jobs = append(jobs, rj)
+		}
+		d.mu.Unlock()
+		for _, rj := range jobs {
+			rj.node.Fail(fmt.Errorf("service: gateway session lost"))
+		}
+	}()
+	for {
+		k, payload, err := wire.ReadFrame(d.conn)
+		if err != nil {
+			return
+		}
+		switch k {
+		case kAssign:
+			var a assignMsg
+			if err := decode(payload, &a); err != nil {
+				d.cfg.Logf("bad assign frame: %v", err)
+				return
+			}
+			d.startJob(a)
+		case kUnassign:
+			var u unassignMsg
+			if err := decode(payload, &u); err != nil {
+				d.cfg.Logf("bad unassign frame: %v", err)
+				return
+			}
+			d.mu.Lock()
+			rj := d.jobs[jobKey(u.Job, u.Attempt)]
+			d.mu.Unlock()
+			if rj != nil {
+				rj.node.Fail(fmt.Errorf("service: job aborted: %s", u.Reason))
+			}
+		default:
+			d.cfg.Logf("unexpected frame kind %d from gateway", k)
+			return
+		}
+	}
+}
+
+// startJob launches one assigned rank on a fresh in-process mnet node.
+// The join itself runs on the runner goroutine so a slow rendezvous
+// never blocks the session reader.
+func (d *Daemon) startJob(a assignMsg) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		err := d.runJob(a)
+		ok := err == nil
+		text := ""
+		if err != nil {
+			text = err.Error()
+		}
+		sent := d.takeJobBytes(jobKey(a.Job, a.Attempt))
+		d.write(kUpdate, updateMsg{Job: a.Job, Attempt: a.Attempt, Rank: a.Rank, OK: ok, Error: text, SentBytes: sent})
+	}()
+}
+
+// jobKey scopes a local job record to one scheduling attempt, so a
+// requeued attempt's record can never collide with its predecessor's
+// teardown on the same daemon.
+func jobKey(jobID string, attempt int) string {
+	return fmt.Sprintf("%s#%d", jobID, attempt)
+}
+
+// takeJobBytes retires one finished job's local record and returns
+// its rank's traffic count for the final update.
+func (d *Daemon) takeJobBytes(key string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rj := d.jobs[key]
+	delete(d.jobs, key)
+	if rj == nil {
+		return 0
+	}
+	return rj.sentBytes
+}
+
+// runJob joins the job's private rendezvous, builds the isolated
+// machine, and runs the workload to completion.
+func (d *Daemon) runJob(a assignMsg) error {
+	wl, err := LookupWorkload(a.Workload)
+	if err != nil {
+		return err
+	}
+	node, err := mnet.Join(mnet.Config{
+		Launcher:  a.Launcher,
+		Token:     a.JobToken,
+		Rank:      a.Rank,
+		NP:        a.NP,
+		PEs:       a.PEs,
+		NodeSizes: a.NodeSizes,
+		Round:     1, // every rank of the job shares round 1 of its private server
+		Heartbeat: time.Duration(a.HeartbeatMS) * time.Millisecond,
+		Handshake: d.cfg.Handshake,
+	})
+	if err != nil {
+		return fmt.Errorf("service: joining job %s mesh: %w", a.Job, err)
+	}
+	// A failed run leaves the node's sockets open (Fail skips teardown;
+	// worker processes exit instead) — but this process lives on.
+	defer node.Close()
+	rj := &runningJob{node: node}
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		node.Fail(fmt.Errorf("service: daemon stopping"))
+		return fmt.Errorf("service: daemon stopping")
+	}
+	d.jobs[jobKey(a.Job, a.Attempt)] = rj
+	d.mu.Unlock()
+
+	// The isolation boundary: a machine per job per daemon. Its handler
+	// tables, metrics registry, and monitor scope belong to this job
+	// alone, and the job tag flows into ccs snapshots.
+	reg := metrics.New(a.PEs)
+	cm := core.NewMachineOn(node, core.Config{PEs: a.PEs, Metrics: reg, Job: a.Job})
+	if node.Active() {
+		node.SetMetrics(reg.PE(node.ID()))
+	}
+	driver, err := wl(cm, a.Args)
+	if err != nil {
+		node.Fail(err)
+		return err
+	}
+	runErr := cm.Run(driver)
+
+	// The rank's share of the job's traffic, for the gateway's
+	// bytes-moved accounting: only PEs hosted here have nonzero counts
+	// in this process's registry.
+	var sent uint64
+	snap := reg.Snapshot()
+	for _, pe := range snap.PEs {
+		sent += pe.TotalSentBytes()
+	}
+	rj.sentBytes = sent
+	return runErr
+}

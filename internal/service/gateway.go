@@ -1,0 +1,473 @@
+package service
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"converse/internal/mnet"
+	"converse/internal/wire"
+)
+
+// GatewayConfig parameterizes the service gateway.
+type GatewayConfig struct {
+	// Addr is the client/daemon listen address ("127.0.0.1:0" for an
+	// ephemeral port).
+	Addr string
+	// Token, when non-empty, must accompany every client request and
+	// daemon registration (the service's job auth token).
+	Token string
+	// BacklogCap bounds the admission queue; submits beyond it are
+	// rejected with a reason (default 64).
+	BacklogCap int
+	// MaxRequeues bounds how many times one job may be re-queued after
+	// daemon loss before it fails (default 3).
+	MaxRequeues int
+	// Heartbeat is the per-job worker liveness interval handed to each
+	// job's control server and ranks (default 500ms).
+	Heartbeat time.Duration
+	// JobWatchdog bounds one job attempt's wall-clock runtime; a wedged
+	// gang is aborted and counted as failed (default 60s).
+	JobWatchdog time.Duration
+	// Logf receives service diagnostics (default os.Stderr).
+	Logf func(format string, args ...any)
+}
+
+// daemonSession is one registered daemon's persistent control session.
+type daemonSession struct {
+	name  string
+	slots int
+	busy  int
+	live  bool
+
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+// send frames one message to the daemon; write errors surface through
+// the session reader's next read, which owns the loss handling.
+func (d *daemonSession) send(kind byte, msg any) error {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	d.conn.SetWriteDeadline(time.Now().Add(reqTimeout))
+	return writeMsg(d.conn, kind, msg)
+}
+
+// jobAttempt is the gateway-side state of one scheduled gang attempt:
+// the job's private control server plus its rank->daemon placement.
+type jobAttempt struct {
+	job *Job
+	// seq numbers the job's attempts; rank updates must echo it, so a
+	// straggler from a drained attempt can't finalize its requeue.
+	seq     int
+	cs      *mnet.ControlServer
+	ls      net.Listener
+	token   string
+	daemons []*daemonSession // by rank
+	sizes   []int            // PEs per rank
+	wdog    *time.Timer
+}
+
+// Gateway accepts jobs, admits them against a bounded backlog,
+// gang-schedules admitted jobs onto registered daemons, captures their
+// console output, and requeues gangs orphaned by daemon loss.
+type Gateway struct {
+	cfg GatewayConfig
+	ls  net.Listener
+
+	mu       sync.Mutex
+	daemons  map[string]*daemonSession
+	jobs     map[string]*Job
+	order    []string // job IDs in submit order, for listing
+	queue    []*Job   // admission queue, FIFO with backfill
+	attempts map[string]*jobAttempt
+	closed   bool
+
+	schedCh chan struct{} // scheduler doorbell (coalesced)
+	wg      sync.WaitGroup
+}
+
+// NewGateway binds and starts a gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.BacklogCap <= 0 {
+		cfg.BacklogCap = 64
+	}
+	if cfg.MaxRequeues <= 0 {
+		cfg.MaxRequeues = 3
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.JobWatchdog <= 0 {
+		cfg.JobWatchdog = 60 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "conversed: "+format+"\n", args...)
+		}
+	}
+	ls, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: binding gateway %s: %w", cfg.Addr, err)
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ls:       ls,
+		daemons:  map[string]*daemonSession{},
+		jobs:     map[string]*Job{},
+		attempts: map[string]*jobAttempt{},
+		schedCh:  make(chan struct{}, 1),
+	}
+	g.wg.Add(2)
+	go func() { defer g.wg.Done(); g.acceptLoop() }()
+	go func() { defer g.wg.Done(); g.schedLoop() }()
+	return g, nil
+}
+
+// Addr is the gateway's actual listen address.
+func (g *Gateway) Addr() string { return g.ls.Addr().String() }
+
+// Close stops the gateway: no new connections, daemon sessions closed,
+// queued jobs cancelled. Running job machines on daemons are aborted
+// by their daemons when the session drops.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	ds := make([]*daemonSession, 0, len(g.daemons))
+	for _, d := range g.daemons {
+		ds = append(ds, d)
+	}
+	queued := g.queue
+	g.queue = nil
+	atts := make([]*jobAttempt, 0, len(g.attempts))
+	for _, at := range g.attempts {
+		atts = append(atts, at)
+	}
+	g.mu.Unlock()
+	for _, j := range queued {
+		j.setError("gateway shut down")
+		j.transition(Cancelled)
+	}
+	for _, at := range atts {
+		at.job.setError("gateway shut down")
+		at.job.transition(Cancelled)
+		g.releaseAttempt(at)
+	}
+	for _, d := range ds {
+		d.conn.Close()
+	}
+	err := g.ls.Close()
+	g.kick()
+	g.wg.Wait()
+	return err
+}
+
+// kick rings the scheduler doorbell (coalesced).
+func (g *Gateway) kick() {
+	select {
+	case g.schedCh <- struct{}{}:
+	default:
+	}
+}
+
+func (g *Gateway) acceptLoop() {
+	for {
+		conn, err := g.ls.Accept()
+		if err != nil {
+			return
+		}
+		g.wg.Add(1)
+		go func() { defer g.wg.Done(); g.handleConn(conn) }()
+	}
+}
+
+// handleConn serves one inbound connection: a single client request
+// (one frame in, reply out, close), a logs stream, or a daemon session
+// (persistent after kRegister).
+func (g *Gateway) handleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(reqTimeout))
+	k, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	switch k {
+	case kSubmit:
+		g.serveSubmit(conn, payload)
+	case kStatus:
+		g.serveStatus(conn, payload)
+	case kCancel:
+		g.serveCancel(conn, payload)
+	case kJobs:
+		g.serveJobs(conn, payload)
+	case kCluster:
+		g.serveCluster(conn, payload)
+	case kLogs:
+		g.serveLogs(conn, payload)
+	case kRegister:
+		g.serveDaemon(conn, payload)
+	default:
+		writeErr(conn, fmt.Errorf("service: unexpected frame kind %d", k))
+	}
+}
+
+// auth validates version and token for a client request.
+func (g *Gateway) auth(v int, token string) error {
+	if v != protoV {
+		return fmt.Errorf("service: protocol version %d (gateway speaks %d; mixed binaries?)", v, protoV)
+	}
+	if g.cfg.Token != "" && token != g.cfg.Token {
+		return fmt.Errorf("service: bad or missing service token")
+	}
+	return nil
+}
+
+// capacity totals the live daemons' slots. Caller holds mu.
+func (g *Gateway) capacity() int {
+	total := 0
+	for _, d := range g.daemons {
+		if d.live {
+			total += d.slots
+		}
+	}
+	return total
+}
+
+// submit runs admission control and either queues the job or rejects
+// it with a reason. Exported through Client.Submit.
+func (g *Gateway) submit(m submitMsg) (string, error) {
+	if err := g.auth(m.V, m.Token); err != nil {
+		return "", err
+	}
+	if m.Gang < 1 {
+		return "", fmt.Errorf("service: gang must be >= 1, got %d", m.Gang)
+	}
+	if _, err := LookupWorkload(m.Workload); err != nil {
+		return "", err
+	}
+	name := m.Name
+	if name == "" {
+		name = m.Workload
+	}
+	id := newID(name)
+	job := newJob(id, name, m.Workload, m.Args, m.Gang)
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return "", fmt.Errorf("service: gateway is shutting down")
+	}
+	// Admission control: a full backlog and an impossible gang are both
+	// rejected now, with a reason, rather than queued to rot.
+	if len(g.queue) >= g.cfg.BacklogCap {
+		n := len(g.queue)
+		g.mu.Unlock()
+		return "", fmt.Errorf("service: backlog full (%d jobs queued, cap %d); retry later", n, g.cfg.BacklogCap)
+	}
+	if cp := g.capacity(); m.Gang > cp {
+		g.mu.Unlock()
+		return "", fmt.Errorf("service: gang of %d exceeds cluster capacity of %d PEs", m.Gang, cp)
+	}
+	g.jobs[id] = job
+	g.order = append(g.order, id)
+	g.queue = append(g.queue, job)
+	g.mu.Unlock()
+	g.kick()
+	return id, nil
+}
+
+func (g *Gateway) serveSubmit(conn net.Conn, payload []byte) {
+	var m submitMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	id, err := g.submit(m)
+	if err != nil {
+		writeErr(conn, err)
+		return
+	}
+	writeMsg(conn, kSubmit, submitReply{ID: id})
+}
+
+func (g *Gateway) lookupJob(id string) (*Job, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	return j, nil
+}
+
+func (g *Gateway) serveStatus(conn net.Conn, payload []byte) {
+	var m statusMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.auth(m.V, m.Token); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	j, err := g.lookupJob(m.ID)
+	if err != nil {
+		writeErr(conn, err)
+		return
+	}
+	writeMsg(conn, kStatus, j.info())
+}
+
+// cancel aborts one job wherever it is: a queued job leaves the queue,
+// a scheduled one has its ranks aborted on their daemons. Terminal
+// states win races silently (cancel-after-done is not an error).
+func (g *Gateway) cancel(id string) error {
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("service: unknown job %q", id)
+	}
+	// Drop it from the queue if still there.
+	for i, q := range g.queue {
+		if q == j {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	at := g.attempts[id]
+	g.mu.Unlock()
+
+	if !j.transition(Cancelled) {
+		// Already terminal, or mid-edge; a Requeued job cancels on its
+		// way back through the queue.
+		if st := j.State(); !st.Terminal() && st == Requeued {
+			j.transition(Cancelled)
+		}
+		return nil
+	}
+	j.setError("cancelled by client")
+	if at != nil {
+		g.abortAttempt(at, "cancelled by client")
+	}
+	return nil
+}
+
+func (g *Gateway) serveCancel(conn net.Conn, payload []byte) {
+	var m cancelMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.auth(m.V, m.Token); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.cancel(m.ID); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	writeMsg(conn, kCancel, okMsg{OK: true})
+}
+
+func (g *Gateway) serveJobs(conn net.Conn, payload []byte) {
+	var m jobsMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.auth(m.V, m.Token); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	g.mu.Lock()
+	jobs := make([]*Job, 0, len(g.order))
+	for _, id := range g.order {
+		jobs = append(jobs, g.jobs[id])
+	}
+	g.mu.Unlock()
+	out := jobListMsg{Jobs: make([]JobInfo, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.info())
+	}
+	writeMsg(conn, kJobs, out)
+}
+
+func (g *Gateway) serveCluster(conn net.Conn, payload []byte) {
+	var m clusterMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.auth(m.V, m.Token); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	g.mu.Lock()
+	out := clusterInfoMsg{Backlog: len(g.queue), BacklogCap: g.cfg.BacklogCap}
+	names := make([]string, 0, len(g.daemons))
+	for n := range g.daemons {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := g.daemons[n]
+		out.Daemons = append(out.Daemons, DaemonInfo{Name: d.name, Slots: d.slots, Busy: d.busy, Live: d.live})
+	}
+	g.mu.Unlock()
+	writeMsg(conn, kCluster, out)
+}
+
+// serveLogs streams a job's console output: the backlog first, then —
+// under Follow — new chunks until the job is terminal.
+func (g *Gateway) serveLogs(conn net.Conn, payload []byte) {
+	var m logsMsg
+	if err := decode(payload, &m); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	if err := g.auth(m.V, m.Token); err != nil {
+		writeErr(conn, err)
+		return
+	}
+	j, err := g.lookupJob(m.ID)
+	if err != nil {
+		writeErr(conn, err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	var ch chan struct{}
+	if m.Follow {
+		ch = j.follow()
+		defer j.unfollow(ch)
+	}
+	from := 0
+	for {
+		chunks, next, st, errText := j.logsFrom(from)
+		from = next
+		for _, c := range chunks {
+			conn.SetWriteDeadline(time.Now().Add(reqTimeout))
+			if err := writeMsg(conn, kLogChunk, c); err != nil {
+				return
+			}
+		}
+		if !m.Follow || st.Terminal() {
+			conn.SetWriteDeadline(time.Now().Add(reqTimeout))
+			writeMsg(conn, kLogEnd, logEndMsg{State: string(st), Error: errText})
+			return
+		}
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			// Periodic re-check so a follower of a job cancelled while
+			// idle still terminates promptly.
+		}
+	}
+}

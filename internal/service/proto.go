@@ -1,0 +1,289 @@
+// Package service is the elastic long-running cluster service: a
+// conversed daemon per host pre-warms a node of PEs, a gateway rank
+// accepts a stream of jobs over the shared internal/wire framing, and
+// gangs are scheduled onto PE subsets with admission control. It
+// promotes the batch runtime (`converserun -np N`, run, exit) into the
+// deployment shape of long-lived message-driven device graphs: the
+// mesh machinery stays warm across jobs, daemons join and leave live,
+// and a lost daemon requeues its gangs instead of failing the service.
+//
+// Topology: one Gateway process (which normally also hosts a local
+// Daemon) plus any number of Daemons, each holding a persistent
+// control session to the gateway. Per admitted job the gateway runs
+// one mnet.ControlServer — the same rendezvous protocol converserun
+// speaks — on its own ephemeral listener with a job-unique token; each
+// participating daemon joins it with an in-process mnet node and runs
+// the job's machine with isolated handler tables, metrics registry,
+// and monitor scope (core.Config.Job).
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"converse/internal/wire"
+)
+
+// Service frame kinds ride the shared internal/wire framing. The mnet
+// control protocol owns kinds 1..16 and the ccs introspection plane
+// owns 64..68; the service plane starts at 96 so a frame misdirected
+// across planes fails loudly instead of parsing.
+const (
+	// Client plane (client <-> gateway).
+	kSubmit   = 96  // submitMsg -> submitReply
+	kStatus   = 97  // statusMsg -> jobInfoMsg
+	kCancel   = 98  // cancelMsg -> okMsg
+	kJobs     = 99  // jobsMsg -> jobListMsg
+	kCluster  = 100 // clusterMsg -> clusterInfoMsg
+	kLogs     = 101 // logsMsg -> stream of kLogChunk, closed by kLogEnd
+	kLogChunk = 102
+	kLogEnd   = 103 // logEndMsg: terminal job state rides along
+	kOK       = 104
+	kErr      = 105
+
+	// Daemon plane (daemon <-> gateway, one persistent session).
+	kRegister = 110 // registerMsg -> registerReply
+	kAssign   = 111 // assignMsg (gateway -> daemon)
+	kUnassign = 112 // unassignMsg (gateway -> daemon): abort a job's ranks
+	kUpdate   = 113 // updateMsg (daemon -> gateway): one rank's progress
+	kDPing    = 114 // daemon liveness (daemon -> gateway)
+)
+
+// protoV is the service protocol version, checked on every request and
+// registration so drifted binaries fail with a message instead of a
+// decode error.
+const protoV = 1
+
+// Liveness and I/O budgets for the daemon session and client requests.
+const (
+	daemonPing       = 500 * time.Millisecond
+	daemonMissFactor = 6
+	reqTimeout       = 10 * time.Second
+)
+
+type submitMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+	// Name labels the job for humans; the gateway makes it unique.
+	Name string `json:"name,omitempty"`
+	// Workload names a registered workload (see workload.go).
+	Workload string `json:"workload"`
+	// Args is the workload's parameter object, passed through verbatim.
+	Args json.RawMessage `json:"args,omitempty"`
+	// Gang is the PE count the job needs, scheduled all-or-nothing.
+	Gang int `json:"gang"`
+}
+
+type submitReply struct {
+	ID string `json:"id"`
+}
+
+type statusMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+	ID    string `json:"id"`
+}
+
+type cancelMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+	ID    string `json:"id"`
+}
+
+type jobsMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+}
+
+type clusterMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+}
+
+type logsMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+	ID    string `json:"id"`
+	// Follow streams new output until the job reaches a terminal state;
+	// false returns the buffered backlog and ends immediately.
+	Follow bool `json:"follow,omitempty"`
+}
+
+type logChunk struct {
+	Text string `json:"text"`
+	Err  bool   `json:"err,omitempty"`
+}
+
+type logEndMsg struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type okMsg struct {
+	OK bool `json:"ok"`
+}
+
+type errMsg struct {
+	Error string `json:"error"`
+}
+
+// JobInfo is the client-visible record of one job, served by status
+// and jobs and rendered by conversetop -jobs.
+type JobInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	State    string `json:"state"`
+	Gang     int    `json:"gang"`
+	// Daemons lists the participating daemons (empty until admitted).
+	Daemons []string `json:"daemons,omitempty"`
+	// QueueWaitMS is submit -> admission; RuntimeMS is admission ->
+	// terminal (or now, for a running job).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	RuntimeMS   float64 `json:"runtime_ms"`
+	// BytesMoved sums the job machine's sent bytes across all ranks
+	// (final metrics snapshots; 0 until ranks finish).
+	BytesMoved uint64 `json:"bytes_moved"`
+	// Requeues counts gang re-queues caused by daemon loss.
+	Requeues int    `json:"requeues"`
+	Error    string `json:"error,omitempty"`
+}
+
+type jobListMsg struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// DaemonInfo is the client-visible record of one registered daemon.
+type DaemonInfo struct {
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+	// Busy is the number of slots held by admitted/running gangs.
+	Busy int  `json:"busy"`
+	Live bool `json:"live"`
+}
+
+type clusterInfoMsg struct {
+	Daemons []DaemonInfo `json:"daemons"`
+	// Backlog and BacklogCap describe the admission queue.
+	Backlog    int `json:"backlog"`
+	BacklogCap int `json:"backlog_cap"`
+}
+
+type registerMsg struct {
+	V     int    `json:"v"`
+	Token string `json:"token,omitempty"`
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+}
+
+type registerReply struct {
+	Name string `json:"name"` // gateway-uniquified daemon name
+}
+
+// assignMsg carries one rank of a gang to a daemon: everything an
+// in-process mnet.Join + core machine needs.
+type assignMsg struct {
+	Job string `json:"job"`
+	// Attempt numbers the job's scheduling attempts; updates echo it so
+	// stragglers from a drained attempt can't corrupt its requeue.
+	Attempt  int             `json:"attempt"`
+	Workload string          `json:"workload"`
+	Args     json.RawMessage `json:"args,omitempty"`
+	// Launcher/JobToken address the job's private ControlServer.
+	Launcher string `json:"launcher"`
+	JobToken string `json:"job_token"`
+	Rank     int    `json:"rank"`
+	NP       int    `json:"np"`
+	PEs      int    `json:"pes"`
+	NodeSizes []int `json:"node_sizes"`
+	// HeartbeatMS is the job mesh's liveness interval; the rank must
+	// ping at the control server's expected rate or be declared dead.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+type unassignMsg struct {
+	Job     string `json:"job"`
+	Attempt int    `json:"attempt"`
+	Reason  string `json:"reason"`
+}
+
+// updateMsg reports one rank's terminal result to the gateway.
+type updateMsg struct {
+	Job     string `json:"job"`
+	Attempt int    `json:"attempt"`
+	Rank    int    `json:"rank"`
+	// OK means the machine ran to completion; otherwise Error explains.
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// SentBytes is the rank's share of the job machine's traffic.
+	SentBytes uint64 `json:"sent_bytes"`
+}
+
+type dPingMsg struct {
+	Name string `json:"name"`
+}
+
+// writeMsg frames one JSON message.
+func writeMsg(w io.Writer, kind byte, msg any) error {
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("service: encoding %d frame: %w", kind, err)
+	}
+	return wire.WriteFrame(w, kind, b)
+}
+
+// readMsg reads one frame and decodes it into msg, enforcing the
+// expected kind. An kErr frame decodes into the remote error instead.
+func readMsg(r io.Reader, want byte, msg any) error {
+	k, payload, err := wire.ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if k == kErr {
+		var e errMsg
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s", e.Error)
+		}
+		return fmt.Errorf("service: remote error")
+	}
+	if k != want {
+		return fmt.Errorf("service: unexpected frame kind %d (want %d)", k, want)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("service: decoding frame kind %d: %w", k, err)
+	}
+	return nil
+}
+
+// decode unmarshals one frame payload with error context.
+func decode(payload []byte, msg any) error {
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("service: decoding request: %w", err)
+	}
+	return nil
+}
+
+// writeErr frames a client-visible error.
+func writeErr(w io.Writer, err error) {
+	writeMsg(w, kErr, errMsg{Error: err.Error()})
+}
+
+// newID produces a short unique job identifier.
+func newID(prefix string) string {
+	var b [4]byte
+	rand.Read(b[:])
+	return prefix + "-" + hex.EncodeToString(b[:])
+}
+
+// deadlineConn applies an absolute deadline for one request/response
+// exchange on a client connection.
+func deadlineConn(c net.Conn, d time.Duration) {
+	if d > 0 {
+		c.SetDeadline(time.Now().Add(d))
+	}
+}

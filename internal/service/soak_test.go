@@ -1,0 +1,147 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestServiceSoak is the service-smoke gate: a three-daemon cluster
+// takes a burst of concurrent mixed jobs while one daemon is killed
+// mid-soak and a replacement joins. Every job must complete within a
+// hard budget — daemon churn may requeue gangs but must not lose them
+// — and tearing the cluster down must leak no goroutines.
+func TestServiceSoak(t *testing.T) {
+	const (
+		nJobs     = 36
+		soakLimit = 90 * time.Second // hard completion budget for the whole burst
+	)
+	baseline := runtime.NumGoroutine()
+
+	g, err := NewGateway(GatewayConfig{
+		Addr:        "127.0.0.1:0",
+		Token:       "soak",
+		BacklogCap:  nJobs + 4,
+		Heartbeat:   100 * time.Millisecond,
+		JobWatchdog: 30 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("starting gateway: %v", err)
+	}
+	var daemons []*Daemon
+	for i := 0; i < 3; i++ {
+		d, err := StartDaemon(DaemonConfig{
+			Gateway: g.Addr(), Token: "soak",
+			Name: fmt.Sprintf("soak%d", i), Slots: 4,
+		})
+		if err != nil {
+			t.Fatalf("starting daemon %d: %v", i, err)
+		}
+		daemons = append(daemons, d)
+	}
+
+	c := &Client{Addr: g.Addr(), Token: "soak"}
+	start := time.Now()
+	ids := make([]string, nJobs)
+	for i := range ids {
+		var err error
+		// Sizing is per build flavor (soak_tuning_test.go): long enough
+		// that each gang holds its slots while the kill below lands,
+		// short enough that the whole burst clears the budget with
+		// slack.
+		if i%2 == 0 {
+			ids[i], err = c.Submit(fmt.Sprintf("pp%d", i), "pingpong",
+				map[string]int{"iters": soakPPIters + soakPPItersStep*(i%5), "bytes": 128}, 1+i%4)
+		} else {
+			ids[i], err = c.Submit(fmt.Sprintf("jb%d", i), "jacobi",
+				map[string]int{"n": soakJacobiN, "iters": soakJacobiIters + soakJacobiStep*(i%8)}, 1+i%4)
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	// Mid-soak churn: kill one daemon while it holds running gangs,
+	// then join a replacement. The in-flight gangs requeue; the
+	// replacement must become schedulable for the rest. Poll the
+	// cluster view so the kill is guaranteed to land on live work, not
+	// in a scheduling gap.
+	victim := daemons[1]
+	for busyDeadline := time.Now().Add(10 * time.Second); ; {
+		ds, _, _, err := c.Cluster()
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		busy := 0
+		for _, d := range ds {
+			if d.Name == victim.Name() {
+				busy = d.Busy
+			}
+		}
+		if busy > 0 {
+			break
+		}
+		if time.Now().After(busyDeadline) {
+			t.Fatalf("victim daemon %s never got a gang", victim.Name())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim.Stop()
+	t.Logf("killed daemon %s mid-soak", victim.Name())
+	time.Sleep(100 * time.Millisecond)
+	replacement, err := StartDaemon(DaemonConfig{
+		Gateway: g.Addr(), Token: "soak", Name: "soak-replacement", Slots: 4,
+	})
+	if err != nil {
+		t.Fatalf("starting replacement daemon: %v", err)
+	}
+	daemons = append(daemons, replacement)
+	t.Logf("replacement daemon %s joined", replacement.Name())
+
+	deadline := start.Add(soakLimit)
+	requeued := 0
+	for i, id := range ids {
+		left := time.Until(deadline)
+		if left <= 0 {
+			t.Fatalf("soak exceeded the %v budget with job %d still pending", soakLimit, i)
+		}
+		t0 := time.Now()
+		in, err := c.WaitJob(id, left)
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", i, id, err)
+		}
+		if d := time.Since(t0); d > 2*time.Second {
+			t.Logf("SLOWJOB %d (%s): waited %v, info %+v", i, id, d.Round(time.Millisecond), in)
+		}
+		if in.State != string(Done) {
+			t.Fatalf("job %d (%s) ended %s: %s", i, id, in.State, in.Error)
+		}
+		requeued += in.Requeues
+	}
+	t.Logf("%d jobs completed in %v (%d gang requeues from churn)", nJobs, time.Since(start).Round(time.Millisecond), requeued)
+	if requeued == 0 {
+		t.Errorf("no gang requeued: the mid-soak kill never hit a running gang (victim idle?)")
+	}
+
+	// Teardown, then the leak gate: goroutine count must return to the
+	// baseline (small grace for runtime background threads).
+	for _, d := range daemons {
+		d.Stop()
+	}
+	g.Close()
+	var n int
+	for wait := time.Now().Add(10 * time.Second); ; {
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			break
+		}
+		if time.Now().After(wait) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,16 @@
+//go:build msgcheck
+
+package service
+
+// Soak workload sizing under the msgcheck runtime checker, which
+// makes every message touch ~20x slower: the same proportions as the
+// normal build, scaled down so the burst still clears the per-job
+// watchdog while each gang runs long enough for the kill to land on
+// live work.
+const (
+	soakPPIters     = 800
+	soakPPItersStep = 100
+	soakJacobiN     = 32
+	soakJacobiIters = 20
+	soakJacobiStep  = 2
+)

@@ -1,0 +1,15 @@
+//go:build !msgcheck
+
+package service
+
+// Soak workload sizing for the normal build. Each gang must hold its
+// slots for tens of milliseconds so the mid-soak kill reliably lands
+// on live work (the test polls for the victim getting busy, then
+// stops it — a too-short job can finish inside that window).
+const (
+	soakPPIters     = 15000
+	soakPPItersStep = 2500
+	soakJacobiN     = 64
+	soakJacobiIters = 150
+	soakJacobiStep  = 5
+)

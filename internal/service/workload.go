@@ -1,0 +1,289 @@
+package service
+
+// Workloads are the programs the service runs: named, registered
+// message-driven kernels, the moral equivalent of FairMQ's device
+// registry. A submit names a workload; every participating daemon
+// instantiates it on the job's private machine. Two built-ins cover
+// the service's own soak and bench needs: "pingpong" (latency-shaped
+// traffic) and "jacobi" (neighbor-exchange compute-shaped traffic).
+//
+// Handler discipline: workload handlers run inside the per-job
+// machine's schedulers, so the usual rules apply — no blocking, no
+// GetSpecificMsg, handler indices only from Register* (converselint
+// enforces both).
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"converse/internal/core"
+)
+
+// A Workload prepares one job machine: register handlers/combiners on
+// cm (every rank registers in the same order, keeping indices aligned)
+// and return the per-PE driver. args is the submit's parameter object.
+type Workload func(cm *core.Machine, args json.RawMessage) (func(p *core.Proc), error)
+
+var (
+	wlMu  sync.Mutex
+	wlReg = map[string]Workload{}
+)
+
+// RegisterWorkload adds a named workload. Built-ins register in init;
+// embedding programs may add their own before starting a Daemon.
+func RegisterWorkload(name string, w Workload) {
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	if _, dup := wlReg[name]; dup {
+		panic(fmt.Sprintf("service: duplicate workload %q", name))
+	}
+	wlReg[name] = w
+}
+
+// LookupWorkload resolves a registered workload.
+func LookupWorkload(name string) (Workload, error) {
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	w, ok := wlReg[name]
+	if !ok {
+		names := make([]string, 0, len(wlReg))
+		for n := range wlReg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("service: unknown workload %q (registered: %v)", name, names)
+	}
+	return w, nil
+}
+
+// Workloads lists the registered workload names, sorted.
+func Workloads() []string {
+	wlMu.Lock()
+	defer wlMu.Unlock()
+	names := make([]string, 0, len(wlReg))
+	for n := range wlReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterWorkload("pingpong", pingpongWorkload)
+	RegisterWorkload("jacobi", jacobiWorkload)
+}
+
+// --- pingpong --------------------------------------------------------
+
+type pingpongArgs struct {
+	// Iters is the number of round trips (default 20).
+	Iters int `json:"iters"`
+	// Bytes is the payload size per message (default 64).
+	Bytes int `json:"bytes"`
+}
+
+// pingpongWorkload bounces a payload between PE 0 and the last PE,
+// then broadcasts a stop. With a one-PE gang it degenerates to
+// self-sends, which still exercises the job plumbing.
+func pingpongWorkload(cm *core.Machine, args json.RawMessage) (func(p *core.Proc), error) {
+	a := pingpongArgs{Iters: 20, Bytes: 64}
+	if len(args) > 0 {
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("service: pingpong args: %w", err)
+		}
+	}
+	if a.Iters < 1 || a.Bytes < 1 {
+		return nil, fmt.Errorf("service: pingpong needs iters >= 1 and bytes >= 1, got %d/%d", a.Iters, a.Bytes)
+	}
+	var hPing, hPong, hStop int
+	// rounds is touched only by PE 0's handler, so it needs no lock
+	// even when PE 0 shares the process with other PEs.
+	rounds := 0
+	hPing = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		reply := core.MakeMsg(hPong, core.Payload(msg))
+		p.Send(0, reply)
+	})
+	hPong = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		rounds++
+		if rounds < a.Iters {
+			p.Send(p.NumPes()-1, core.MakeMsg(hPing, core.Payload(msg)))
+			return
+		}
+		p.Broadcast(core.MakeMsg(hStop, nil))
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		p.ExitScheduler()
+	})
+	return func(p *core.Proc) {
+		if p.MyPe() == 0 {
+			p.Send(p.NumPes()-1, core.NewMsg(hPing, a.Bytes))
+		}
+		p.Scheduler(-1) // run until the stop broadcast's ExitScheduler
+	}, nil
+}
+
+// --- jacobi ----------------------------------------------------------
+
+type jacobiArgs struct {
+	// N is the number of points per PE (default 64).
+	N int `json:"n"`
+	// Iters is the number of relaxation sweeps (default 10).
+	Iters int `json:"iters"`
+}
+
+// jacState is one PE's strip of the 1-D domain. Each PE touches only
+// its own entry of the shared slice, so the per-PE state needs no
+// locking even under PPN > 1.
+type jacState struct {
+	cur, next    []float64
+	round        int
+	left, right  float64 // received halos for the current round
+	haveL, haveR bool
+	// pendL/pendR stash a halo that arrived one round early (a
+	// neighbor can run at most one round ahead, since advancing past
+	// r+1 needs our round-r+1 halo).
+	pendL, pendR         float64
+	havePendL, havePendR bool
+}
+
+// jacobiWorkload runs a message-driven 1-D Jacobi relaxation: each PE
+// owns a strip, exchanges boundary halos with its neighbors each
+// sweep, and after the last sweep reduces the global residual to PE 0,
+// which broadcasts the stop. Edge PEs use fixed boundary conditions.
+func jacobiWorkload(cm *core.Machine, args json.RawMessage) (func(p *core.Proc), error) {
+	a := jacobiArgs{N: 64, Iters: 10}
+	if len(args) > 0 {
+		if err := json.Unmarshal(args, &a); err != nil {
+			return nil, fmt.Errorf("service: jacobi args: %w", err)
+		}
+	}
+	if a.N < 2 || a.Iters < 1 {
+		return nil, fmt.Errorf("service: jacobi needs n >= 2 and iters >= 1, got %d/%d", a.N, a.Iters)
+	}
+	states := make([]*jacState, cm.NumPes())
+	sumComb := cm.RegisterCombiner(func(x, y []byte) []byte {
+		binary.LittleEndian.PutUint64(x, math.Float64bits(
+			math.Float64frombits(binary.LittleEndian.Uint64(x))+
+				math.Float64frombits(binary.LittleEndian.Uint64(y))))
+		return x
+	})
+	var hHalo, hDone, hStop int
+
+	// sendHalos emits this PE's boundary values for its current round.
+	sendHalos := func(p *core.Proc, st *jacState) {
+		me := p.MyPe()
+		emit := func(dst int, fromRight bool, v float64) {
+			msg := core.NewMsg(hHalo, 13)
+			pl := core.Payload(msg)
+			binary.LittleEndian.PutUint32(pl, uint32(st.round))
+			if fromRight {
+				pl[4] = 1
+			} else {
+				pl[4] = 0
+			}
+			binary.LittleEndian.PutUint64(pl[5:], math.Float64bits(v))
+			p.Send(dst, msg)
+		}
+		// A halo sent to me-1 is, for the receiver, from its right
+		// neighbor, and vice versa.
+		if me > 0 {
+			emit(me-1, true, st.cur[0])
+		}
+		if me < p.NumPes()-1 {
+			emit(me+1, false, st.cur[len(st.cur)-1])
+		}
+	}
+
+	// sweep advances the PE while it holds the halos its round needs;
+	// after the final sweep it contributes to the residual reduction.
+	sweep := func(p *core.Proc, st *jacState) {
+		me, np := p.MyPe(), p.NumPes()
+		for {
+			needL := me > 0 && !st.haveL
+			needR := me < np-1 && !st.haveR
+			if needL || needR || st.round >= a.Iters {
+				return
+			}
+			left, right := 1.0, 0.0 // fixed boundary conditions at the edges
+			if me > 0 {
+				left = st.left
+			}
+			if me < np-1 {
+				right = st.right
+			}
+			n := len(st.cur)
+			var res float64
+			for i := 0; i < n; i++ {
+				l, r := left, right
+				if i > 0 {
+					l = st.cur[i-1]
+				}
+				if i < n-1 {
+					r = st.cur[i+1]
+				}
+				st.next[i] = 0.5 * (l + r)
+				d := st.next[i] - st.cur[i]
+				res += d * d
+			}
+			st.cur, st.next = st.next, st.cur
+			st.round++
+			st.haveL, st.haveR = false, false
+			if st.havePendL {
+				st.left, st.haveL, st.havePendL = st.pendL, true, false
+			}
+			if st.havePendR {
+				st.right, st.haveR, st.havePendR = st.pendR, true, false
+			}
+			if st.round >= a.Iters {
+				msg := core.NewMsg(hDone, 8)
+				binary.LittleEndian.PutUint64(core.Payload(msg), math.Float64bits(res))
+				p.Reduce(sumComb, msg)
+				return
+			}
+			sendHalos(p, st)
+		}
+	}
+
+	hHalo = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		st := states[p.MyPe()]
+		pl := core.Payload(msg)
+		round := int(binary.LittleEndian.Uint32(pl))
+		fromRight := pl[4] == 1
+		v := math.Float64frombits(binary.LittleEndian.Uint64(pl[5:]))
+		switch {
+		case round == st.round && fromRight:
+			st.right, st.haveR = v, true
+		case round == st.round:
+			st.left, st.haveL = v, true
+		case fromRight:
+			st.pendR, st.havePendR = v, true
+		default:
+			st.pendL, st.havePendL = v, true
+		}
+		sweep(p, st)
+	})
+	hDone = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		// The reduced residual lands on PE 0; its value only matters to
+		// a workload embedding this as a correctness probe, so the
+		// service keeps the stop broadcast and drops the number.
+		p.Broadcast(core.MakeMsg(hStop, nil))
+	})
+	hStop = cm.RegisterHandler(func(p *core.Proc, msg []byte) {
+		p.ExitScheduler()
+	})
+	return func(p *core.Proc) {
+		n := a.N
+		st := &jacState{cur: make([]float64, n), next: make([]float64, n)}
+		for i := range st.cur {
+			st.cur[i] = float64(p.MyPe())
+		}
+		states[p.MyPe()] = st
+		sendHalos(p, st)
+		sweep(p, st)
+		p.Scheduler(-1) // run until the stop broadcast's ExitScheduler
+	}, nil
+}

@@ -39,9 +39,9 @@
 
 GO ?= go
 
-.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults bench-collectives bench-jobs commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke profile lint msgcheck-test
+.PHONY: ci tier1 vet build test race machine-race overhead bench bench-faults bench-collectives bench-jobs commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke chaos-service-smoke profile lint msgcheck-test
 
-ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke
+ci: tier1 race machine-race overhead lint msgcheck-test commbench-smoke net-smoke chaos-smoke collectives-smoke monitor-smoke service-smoke chaos-service-smoke
 
 tier1: vet build test
 
@@ -248,6 +248,66 @@ service-smoke:
 	grep -q 'jacobi.*done' $$tmp/jobs.out && \
 	grep -q 'pingpong.*done' $$tmp/jobs.out && \
 	echo 'service-smoke: churn soak + conversed/converserun/conversetop e2e ok'
+
+# Crash-tolerance gate, two legs. TestServiceChaos is the PR-8 soak
+# with the control plane itself under attack: 24 mixed jobs on
+# 3 daemons x 4 slots while one daemon is SIGKILLed and replaced, the
+# gateway is hard-stopped mid-burst (no clean shutdown, sockets cut)
+# and restarted from its journal, and a second daemon is drained
+# gracefully — every job must reach exactly one terminal state, no
+# job may run twice past its requeue budget, and teardown must return
+# to the baseline goroutine count. The CLI leg proves the same story
+# with the real binaries: a -state gateway takes a job to done and a
+# second job past its -deadline (distinct terminal reason), then is
+# killed with SIGKILL and restarted on the same address — the journal
+# must replay both terminal jobs (epoch 2 in conversetop), and the
+# recovered gateway must still schedule fresh work.
+chaos-service-smoke:
+	$(GO) test ./internal/service/ -run 'TestServiceChaos' -count=1 -timeout 300s -v
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"; kill $$gpid 2>/dev/null' EXIT && \
+	{ $(GO) build -o $$tmp/conversed ./cmd/conversed && \
+	  $(GO) build -o $$tmp/converserun ./cmd/converserun && \
+	  $(GO) build -o $$tmp/conversetop ./cmd/conversetop; } || exit 1; \
+	$$tmp/conversed -listen 127.0.0.1:0 -slots 4 -token smoke -state $$tmp/state 2> $$tmp/conversed.log & \
+	gpid=$$!; \
+	addr=; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's/^conversed: gateway on \(.*\) (.*$$/\1/p' $$tmp/conversed.log); \
+		[ -n "$$addr" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo 'FAIL: conversed never printed its gateway address'; \
+		cat $$tmp/conversed.log; exit 1; \
+	fi; \
+	$$tmp/converserun -daemon $$addr -token smoke -np 4 -timeout 60s jacobi '{"n":32,"iters":8}' || \
+		{ echo 'FAIL: pre-crash jacobi job failed'; exit 1; }; \
+	if $$tmp/converserun -daemon $$addr -token smoke -np 2 -timeout 60s -deadline 300ms \
+			pingpong '{"iters":500000,"bytes":64}'; then \
+		echo 'FAIL: over-deadline job was not killed'; exit 1; \
+	fi; \
+	kill -9 $$gpid; wait $$gpid 2>/dev/null; \
+	$$tmp/conversed -listen $$addr -slots 4 -token smoke -state $$tmp/state -recovery 1s 2> $$tmp/conversed2.log & \
+	gpid=$$!; \
+	up=; \
+	for i in $$(seq 1 100); do \
+		up=$$(sed -n 's/^conversed: gateway on \(.*\) (.*$$/\1/p' $$tmp/conversed2.log); \
+		[ -n "$$up" ] && break; sleep 0.1; \
+	done; \
+	if [ -z "$$up" ]; then \
+		echo 'FAIL: restarted conversed never came up'; \
+		cat $$tmp/conversed2.log; exit 1; \
+	fi; \
+	grep -q 'recovered journal' $$tmp/conversed2.log || \
+		{ echo 'FAIL: restart did not replay the journal'; cat $$tmp/conversed2.log; exit 1; }; \
+	$$tmp/converserun -daemon $$addr -token smoke -np 2 -timeout 60s pingpong '{"iters":200,"bytes":128}' || \
+		{ echo 'FAIL: post-recovery submit failed'; cat $$tmp/conversed2.log; exit 1; }; \
+	$$tmp/conversetop -connect $$addr -token smoke -jobs -once > $$tmp/jobs.out || exit 1; \
+	grep -q 'epoch 2' $$tmp/jobs.out && \
+	grep -q 'jacobi.*done' $$tmp/jobs.out && \
+	grep -q 'deadline-killed' $$tmp/jobs.out && \
+	grep -q 'pingpong.*done' $$tmp/jobs.out || \
+		{ echo 'FAIL: recovered job table missing expected rows'; cat $$tmp/jobs.out; exit 1; }; \
+	echo 'chaos-service-smoke: chaos soak + journal kill/restart/deadline e2e ok'
 
 # Warm-service vs per-job cold-launch throughput and completion
 # latency; writes BENCH_jobs.json (the table EXPERIMENTS.md quotes).

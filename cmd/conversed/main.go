@@ -41,6 +41,10 @@ func main() {
 	requeues := flag.Int("requeues", 3, "gateway per-job requeue budget after daemon loss")
 	watchdog := flag.Duration("watchdog", 60*time.Second, "gateway bound on one job attempt's runtime")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "job mesh liveness interval")
+	stateDir := flag.String("state", "", "gateway journal directory; restarting with the same dir recovers jobs")
+	recovery := flag.Duration("recovery", 5*time.Second, "post-restart window for daemons to re-register before lost gangs requeue")
+	advertise := flag.String("advertise", "", "host other machines dial to reach this process's meshes (default loopback-only)")
+	drainTO := flag.Duration("drain", 10*time.Second, "SIGTERM drain bound: how long running gangs get to finish")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: conversed -listen ADDR [flags]   (gateway)\n")
 		fmt.Fprintf(os.Stderr, "       conversed -join ADDR [flags]     (worker)\n")
@@ -67,13 +71,17 @@ func main() {
 
 	if *listen != "" {
 		g, err := service.NewGateway(service.GatewayConfig{
-			Addr:        *listen,
-			Token:       *token,
-			BacklogCap:  *backlog,
-			MaxRequeues: *requeues,
-			Heartbeat:   *heartbeat,
-			JobWatchdog: *watchdog,
-			Logf:        logf,
+			Addr:           *listen,
+			Token:          *token,
+			BacklogCap:     *backlog,
+			MaxRequeues:    *requeues,
+			Heartbeat:      *heartbeat,
+			JobWatchdog:    *watchdog,
+			StateDir:       *stateDir,
+			RecoveryWindow: *recovery,
+			DrainTimeout:   *drainTO,
+			Advertise:      *advertise,
+			Logf:           logf,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conversed: %v\n", err)
@@ -82,7 +90,8 @@ func main() {
 		logf("gateway on %s (backlog %d, watchdog %v)", g.Addr(), *backlog, *watchdog)
 		if *slots > 0 {
 			d, err := service.StartDaemon(service.DaemonConfig{
-				Gateway: g.Addr(), Token: *token, Name: *name, Slots: *slots, Logf: logf,
+				Gateway: g.Addr(), Token: *token, Name: *name, Slots: *slots,
+				Advertise: *advertise, Logf: logf,
 			})
 			if err != nil {
 				g.Close()
@@ -92,14 +101,22 @@ func main() {
 			logf("local daemon %s offering %d PEs", d.Name(), *slots)
 			defer d.Stop()
 		}
-		<-sig
+		s := <-sig
+		if s == syscall.SIGTERM {
+			// Graceful: stop admitting, let gangs finish (bounded), journal
+			// a clean-shutdown record so the next -state run starts warm.
+			logf("SIGTERM: draining")
+			g.Drain()
+			return
+		}
 		logf("shutting down")
 		g.Close()
 		return
 	}
 
 	d, err := service.StartDaemon(service.DaemonConfig{
-		Gateway: *join, Token: *token, Name: *name, Slots: *slots, Logf: logf,
+		Gateway: *join, Token: *token, Name: *name, Slots: *slots,
+		Advertise: *advertise, Logf: logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "conversed: %v\n", err)
@@ -109,11 +126,19 @@ func main() {
 	done := make(chan struct{})
 	go func() { d.Wait(); close(done) }()
 	select {
-	case <-sig:
+	case s := <-sig:
+		if s == syscall.SIGTERM {
+			// Graceful: tell the gateway to stop placing gangs here, finish
+			// the local ones (bounded), then leave.
+			logf("SIGTERM: draining local gangs")
+			d.Drain()
+			return
+		}
 		logf("leaving the cluster")
 		d.Stop()
 	case <-done:
-		// Gateway loss ends the session; local gangs were drained.
+		// Unrecoverable gateway loss ends the session; local gangs were
+		// drained after the reconnect window expired.
 		logf("gateway session ended")
 	}
 }

@@ -51,6 +51,8 @@ func main() {
 	monitor := flag.String("monitor", "", `serve a mesh-wide live-introspection socket on this address (e.g. "127.0.0.1:0"); poll it with conversetop`)
 	daemon := flag.String("daemon", os.Getenv("CONVERSED_ADDR"), "submit to the conversed gateway at this address instead of launching processes (default $CONVERSED_ADDR)")
 	svcToken := flag.String("token", os.Getenv("CONVERSED_TOKEN"), "service auth token for -daemon (default $CONVERSED_TOKEN)")
+	deadline := flag.Duration("deadline", 0, "under -daemon: kill the job if it runs longer than this (0 = no limit)")
+	maxmem := flag.Int("maxmem", 0, "under -daemon: kill the job if a rank's heap grows more than this many MiB (0 = no limit)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: converserun [flags] program [args...]\n")
 		flag.PrintDefaults()
@@ -66,7 +68,7 @@ func main() {
 		if flag.NArg() == 2 {
 			args = flag.Arg(1)
 		}
-		os.Exit(runSubmit(*daemon, *svcToken, flag.Arg(0), args, *np, *timeout))
+		os.Exit(runSubmit(*daemon, *svcToken, flag.Arg(0), args, *np, *timeout, *deadline, *maxmem))
 	}
 	if *hosts != "" {
 		fmt.Fprintln(os.Stderr, "converserun: -hosts is reserved for multi-host jobs and not implemented yet; run without it for a local job")

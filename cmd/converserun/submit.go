@@ -16,16 +16,23 @@ import (
 
 // runSubmit submits one named workload to a conversed gateway and
 // follows it to a terminal state. gang is the PE count (-np); args is
-// an optional JSON object with workload parameters. Returns the
-// process exit code.
-func runSubmit(addr, token, workload, args string, gang int, timeout time.Duration) int {
+// an optional JSON object with workload parameters; deadline and
+// maxMemMB are the job's resource limits (0 = unlimited). Transient
+// connect failures retry with jittered backoff for a few seconds — a
+// gateway mid-restart refuses connections briefly, and a submit
+// should outwait that rather than fail. Returns the process exit code.
+func runSubmit(addr, token, workload, args string, gang int, timeout, deadline time.Duration, maxMemMB int) int {
 	c := &service.Client{Addr: addr, Token: token}
 	var rawArgs any
 	if args != "" {
 		rawArgs = jsonRaw(args)
 	}
 	start := time.Now()
-	id, err := c.Submit("", workload, rawArgs, gang)
+	id, err := c.SubmitJob(service.SubmitSpec{
+		Workload: workload, Args: rawArgs, Gang: gang,
+		Deadline: deadline, MaxMemMB: maxMemMB,
+		RetryWindow: 5 * time.Second,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converserun: submit rejected: %v\n", err)
 		return 1

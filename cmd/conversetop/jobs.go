@@ -25,7 +25,7 @@ func runJobs(addr, token string, interval time.Duration, once, asJSON bool) int 
 			fmt.Fprintf(os.Stderr, "conversetop: %v\n", err)
 			return 1
 		}
-		daemons, backlog, backlogCap, err := c.Cluster()
+		cl, err := c.ClusterInfo()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "conversetop: %v\n", err)
 			return 1
@@ -34,15 +34,14 @@ func runJobs(addr, token string, interval time.Duration, once, asJSON bool) int 
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
 			enc.Encode(struct {
-				Daemons []service.DaemonInfo `json:"daemons"`
-				Backlog int                  `json:"backlog"`
-				Jobs    []service.JobInfo    `json:"jobs"`
-			}{daemons, backlog, jobs})
+				service.ClusterView
+				Jobs []service.JobInfo `json:"jobs"`
+			}{cl, jobs})
 		} else {
 			if !once {
 				fmt.Print("\x1b[H\x1b[2J")
 			}
-			renderJobs(jobs, daemons, backlog, backlogCap)
+			renderJobs(jobs, cl)
 		}
 		if once {
 			return 0
@@ -52,29 +51,61 @@ func runJobs(addr, token string, interval time.Duration, once, asJSON bool) int 
 }
 
 // renderJobs prints the daemon roster line and the job table.
-func renderJobs(jobs []service.JobInfo, daemons []service.DaemonInfo, backlog, backlogCap int) {
+func renderJobs(jobs []service.JobInfo, cl service.ClusterView) {
 	slots, busy := 0, 0
-	names := make([]string, 0, len(daemons))
-	for _, d := range daemons {
+	names := make([]string, 0, len(cl.Daemons))
+	for _, d := range cl.Daemons {
 		slots += d.Slots
 		busy += d.Busy
-		names = append(names, fmt.Sprintf("%s %d/%d", d.Name, d.Busy, d.Slots))
+		tag := ""
+		if d.Draining {
+			tag = " draining"
+		}
+		names = append(names, fmt.Sprintf("%s %d/%d%s", d.Name, d.Busy, d.Slots, tag))
 	}
-	fmt.Printf("conversed: %d daemons (%s), %d/%d PEs busy, backlog %d/%d  (%s)\n\n",
-		len(daemons), strings.Join(names, ", "), busy, slots, backlog, backlogCap,
-		time.Now().Format("15:04:05"))
-	fmt.Printf("%-22s %-10s %-9s %4s %9s %9s %9s %3s %s\n",
-		"JOB", "WORKLOAD", "STATE", "GANG", "QWAIT", "RUNTIME", "BYTES", "RQ", "DAEMONS")
+	mode := ""
+	if cl.Recovering {
+		mode = ", RECOVERING"
+	}
+	fmt.Printf("conversed: epoch %d%s, %d daemons (%s), %d/%d PEs busy, backlog %d/%d  (%s)\n\n",
+		cl.Epoch, mode, len(cl.Daemons), strings.Join(names, ", "), busy, slots,
+		cl.Backlog, cl.BacklogCap, time.Now().Format("15:04:05"))
+	fmt.Printf("%-22s %-10s %-10s %4s %9s %9s %9s %3s %-18s %-9s %s\n",
+		"JOB", "WORKLOAD", "STATE", "GANG", "QWAIT", "RUNTIME", "BYTES", "RQ", "REASON", "LIMITS", "DAEMONS")
 	for _, j := range jobs {
-		line := fmt.Sprintf("%-22s %-10s %-9s %4d %9s %9s %9s %3d %s",
+		line := fmt.Sprintf("%-22s %-10s %-10s %4d %9s %9s %9s %3d %-18s %-9s %s",
 			j.ID, j.Workload, j.State, j.Gang,
 			fmtMs(j.QueueWaitMS), fmtMs(j.RuntimeMS), fmtBytes(j.BytesMoved),
-			j.Requeues, strings.Join(j.Daemons, ","))
+			j.Requeues, dash(j.Reason), fmtLimits(j), strings.Join(j.Daemons, ","))
 		if j.Error != "" {
 			line += "  [" + j.Error + "]"
 		}
 		fmt.Println(line)
 	}
+}
+
+// dash renders an empty field as "-" so the table stays scannable.
+func dash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// fmtLimits compacts a job's resource limits into one cell, e.g.
+// "2s/64M" for a 2-second deadline with a 64 MiB heap ceiling.
+func fmtLimits(j service.JobInfo) string {
+	dl, mm := "-", "-"
+	if j.DeadlineMS > 0 {
+		dl = fmtMs(j.DeadlineMS)
+	}
+	if j.MaxMemMB > 0 {
+		mm = fmt.Sprintf("%dM", j.MaxMemMB)
+	}
+	if dl == "-" && mm == "-" {
+		return "-"
+	}
+	return dl + "/" + mm
 }
 
 func fmtMs(ms float64) string {

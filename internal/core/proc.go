@@ -75,6 +75,13 @@ type Proc struct {
 	pe    Substrate
 	costs ConverseCosts // nil when the model prices no Converse costs
 
+	// stopq is the substrate's optional stop query (machine.PE, mnet's
+	// NodePE and Node all provide one). Scheduler loops poll it so a PE
+	// busy with purely local messages — which never blocks in Recv —
+	// still notices that the machine was stopped (watchdog, Fail, or an
+	// external kill) instead of spinning forever.
+	stopq interface{ Stopped() bool }
+
 	handlers []Handler
 
 	q        queue.Sched[[]byte] // the scheduler's queue (pluggable strategies)
@@ -173,6 +180,9 @@ type ownedBuf struct {
 
 func newProc(pe Substrate, co CoalesceConfig) *Proc {
 	p := &Proc{pe: pe, co: co.normalized(), ext: make(map[string]any)}
+	if sq, ok := pe.(interface{ Stopped() bool }); ok {
+		p.stopq = sq
+	}
 	if cc, ok := pe.Model().(ConverseCosts); ok {
 		p.costs = cc
 	}

@@ -28,10 +28,21 @@ import (
 // queue are empty; this is the ScheduleFor(n) form that lets a
 // single-process module grant a bounded amount of execution to
 // concurrent modules while it waits for its own data.
+// halted reports whether the underlying machine has been stopped out
+// from under this processor. The scheduler loops poll it each
+// iteration (one atomic load) so that a PE churning through local
+// messages — which never reaches the blocking receive where a stop
+// normally surfaces — still winds down promptly on watchdog expiry,
+// job abort, or machine teardown.
+func (p *Proc) halted() bool { return p.stopq != nil && p.stopq.Stopped() }
+
 func (p *Proc) Scheduler(nMsgs int) {
 	defer func() { p.exit = false }() // re-arming: scheduler may be re-entered
 	remaining := nMsgs
 	for !p.exit && remaining != 0 {
+		if p.halted() {
+			return
+		}
 		delivered := p.deliverFromNetwork(&remaining)
 		if p.exit || remaining == 0 {
 			return
@@ -70,6 +81,9 @@ func (p *Proc) Scheduler(nMsgs int) {
 func (p *Proc) ScheduleUntilIdle() {
 	defer func() { p.exit = false }()
 	for !p.exit {
+		if p.halted() {
+			return
+		}
 		n := -1 // sentinel: unbounded within this sweep
 		delivered := p.deliverFromNetwork(&n)
 		if p.exit {
@@ -101,6 +115,9 @@ func (p *Proc) ExitScheduler() { p.exit = true }
 // messages; the call returns as soon as it holds.
 func (p *Proc) ServeUntil(pred func() bool) {
 	for !pred() {
+		if p.halted() {
+			return
+		}
 		one := 1
 		if p.deliverFromNetwork(&one) > 0 {
 			continue
@@ -204,7 +221,7 @@ func (p *Proc) DeliverMsgs(maxMsgs int) int {
 func (p *Proc) deliverFromNetwork(budget *int) int {
 	p.Progress()
 	n := 0
-	for *budget != 0 && !p.exit {
+	for *budget != 0 && !p.exit && !p.halted() {
 		if msg, ok := p.deferred.PopFront(); ok {
 			p.dispatch(msg) // already charged receive costs at pickup
 			n++

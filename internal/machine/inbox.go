@@ -176,6 +176,11 @@ func (ib *Inbox) Stop() {
 	ib.mu.Unlock()
 }
 
+// Stopped reports whether Stop has been called. Safe from any
+// goroutine; one atomic load, cheap enough for a scheduler loop to
+// poll every iteration.
+func (ib *Inbox) Stopped() bool { return ib.stopped.Load() }
+
 // RecvWaiting reports whether the consumer is asleep inside Pop, for
 // block-state diagnostics.
 func (ib *Inbox) RecvWaiting() bool { return ib.recvWait.Load() }

@@ -222,6 +222,11 @@ func (pe *PE) arrived(pkt *Packet) {
 // is a point-in-time approximation.
 func (pe *PE) InboxLen() int { return pe.inbox.Len() }
 
+// Stopped reports whether the machine has been stopped. Scheduler
+// loops poll it so a PE busy with purely local work still notices an
+// abort (a blocked Recv learns the same thing from ok=false).
+func (pe *PE) Stopped() bool { return pe.inbox.Stopped() }
+
 // Stats reports the number of packets this PE has sent and received.
 func (pe *PE) Stats() (sent, received uint64) { return pe.sent, pe.received }
 

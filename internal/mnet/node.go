@@ -64,6 +64,23 @@ type Config struct {
 	// Faults, when non-empty, is a fault-injection plan (internal/
 	// faultnet grammar) applied to this node's outbound data frames.
 	Faults string
+	// Advertise, when non-empty, is the host other ranks should dial to
+	// reach this node's mesh listener. The listener then binds all
+	// interfaces and the node table carries Advertise:port instead of a
+	// loopback address — the first step toward cross-host fleets. Empty
+	// keeps the loopback-only default.
+	Advertise string
+	// TolerateCtrlLoss keeps the node alive when the launcher control
+	// connection dies after rendezvous. Converse jobs under converserun
+	// die with their launcher (the process tree is doomed anyway), but a
+	// conversed daemon's in-process jobs must survive a gateway restart:
+	// with this set, a mid-run control loss is recorded instead of
+	// failing the job, console output falls back to the local streams,
+	// and Finish — whose done/release barrier needs the launcher —
+	// degrades to a short linger (so peers' final frames flush) followed
+	// by teardown. Control loss during rendezvous still fails Join/Start:
+	// a mesh that never formed has nothing to keep running.
+	TolerateCtrlLoss bool
 }
 
 // roundCounter numbers this process's rendezvous rounds. Each
@@ -115,6 +132,12 @@ type Node struct {
 	torn     atomic.Bool // teardown done: control-connection loss too
 	failCh   chan error
 	failOnce sync.Once
+
+	// Control-loss tracking under Config.TolerateCtrlLoss: closed (once)
+	// when the launcher connection dies mid-run instead of failing the
+	// job. Finish consults it to pick the detached teardown path.
+	ctrlLost     chan struct{}
+	ctrlLostOnce sync.Once
 
 	met atomic.Pointer[metrics.PE]
 
@@ -211,6 +234,7 @@ func Join(cfg Config) (*Node, error) {
 		meshReady: make(chan struct{}),
 		stopCh:    make(chan struct{}),
 		failCh:    make(chan error, 1),
+		ctrlLost:  make(chan struct{}),
 		inj:       faultnet.New(plan, cfg.Rank),
 	}
 	if cfg.Rank < topo.NumNodes() {
@@ -221,11 +245,27 @@ func Join(cfg Config) (*Node, error) {
 	}
 	deadline := time.Now().Add(cfg.Handshake)
 
-	ls, err := net.Listen("tcp", "127.0.0.1:0")
+	// Loopback-only by default; with Advertise the listener accepts from
+	// any interface and the node table carries the advertised host, so
+	// peers on other machines can dial it.
+	bind := "127.0.0.1:0"
+	if cfg.Advertise != "" {
+		bind = ":0"
+	}
+	ls, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("mnet: binding mesh listener: %w", err)
 	}
 	n.ls = ls
+	meshAddr := ls.Addr().String()
+	if cfg.Advertise != "" {
+		_, port, perr := net.SplitHostPort(meshAddr)
+		if perr != nil {
+			ls.Close()
+			return nil, fmt.Errorf("mnet: mesh listener address %q: %w", meshAddr, perr)
+		}
+		meshAddr = net.JoinHostPort(cfg.Advertise, port)
+	}
 
 	ctrl, err := dialPeer(n, cfg.Launcher, deadline)
 	if err != nil {
@@ -240,7 +280,7 @@ func Join(cfg Config) (*Node, error) {
 	hello := helloMsg{
 		Magic: protoMagic, Version: protoVersion, Token: cfg.Token,
 		Round: n.round, Rank: cfg.Rank, PEs: cfg.PEs, Nodes: topo.NumNodes(),
-		Addr: ls.Addr().String(),
+		Addr: meshAddr,
 	}
 	if err := n.writeCtrl(fHello, hello); err != nil {
 		n.teardown()
@@ -257,6 +297,11 @@ func Join(cfg Config) (*Node, error) {
 	case err := <-n.failCh:
 		n.teardown()
 		return nil, err
+	case <-n.ctrlLost:
+		// TolerateCtrlLoss only shields a formed mesh; a launcher that
+		// dies mid-rendezvous leaves nothing worth keeping alive.
+		n.teardown()
+		return nil, fmt.Errorf("mnet: rank %d: launcher connection lost during rendezvous", cfg.Rank)
 	case <-time.After(time.Until(deadline)):
 		n.teardown()
 		return nil, fmt.Errorf("mnet: rank %d: no node table within %v (are all %d workers up?)",
@@ -504,6 +549,10 @@ func (n *Node) Start() error {
 	case <-n.meshReady:
 	case err := <-n.failCh:
 		return err
+	case <-n.ctrlLost:
+		err := fmt.Errorf("mnet: rank %d: launcher connection lost during mesh setup", n.cfg.Rank)
+		n.Fail(err)
+		return err
 	case <-time.After(time.Until(deadline)):
 		err := fmt.Errorf("mnet: rank %d: mesh incomplete after %v (%d/%d links)",
 			n.cfg.Rank, n.cfg.Handshake, n.linkCount(), n.cfg.NP-1)
@@ -521,6 +570,10 @@ func (n *Node) Start() error {
 		}
 		return nil
 	case err := <-n.failCh:
+		return err
+	case <-n.ctrlLost:
+		err := fmt.Errorf("mnet: rank %d: launcher connection lost before go", n.cfg.Rank)
+		n.Fail(err)
 		return err
 	case <-time.After(time.Until(deadline)):
 		err := fmt.Errorf("mnet: rank %d: no go from launcher within %v", n.cfg.Rank, n.cfg.Handshake)
@@ -738,6 +791,17 @@ func (n *Node) InboxLen() int {
 	return n.lpes[0].InboxLen()
 }
 
+// Stopped reports whether the node has been stopped. Scheduler loops
+// poll it so a PE spinning on local work still notices an abort.
+func (n *Node) Stopped() bool {
+	select {
+	case <-n.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
 // --- console (Substrate) --------------------------------------------
 
 // Printf relays an atomic formatted write to the launcher's standard
@@ -782,14 +846,21 @@ func (n *Node) writeCtrl(k kind, msg any) error {
 
 // ctrlReadLoop dispatches launcher frames to the rendezvous channels.
 // Losing the control connection while the job runs means the launcher
-// died; the only sane response is to fail with it.
+// died; the only sane response is to fail with it — unless the node
+// was configured to tolerate it (conversed daemons keep jobs running
+// across a gateway restart), in which case the loss is recorded for
+// Finish and the job carries on over the mesh alone.
 func (n *Node) ctrlReadLoop() {
 	r := bufio.NewReader(n.ctrl)
 	for {
 		k, payload, err := readFrame(r)
 		if err != nil {
 			if !n.torn.Load() {
-				n.Fail(fmt.Errorf("mnet: rank %d: launcher connection lost: %v", n.cfg.Rank, err))
+				if n.cfg.TolerateCtrlLoss {
+					n.markCtrlLost()
+				} else {
+					n.Fail(fmt.Errorf("mnet: rank %d: launcher connection lost: %v", n.cfg.Rank, err))
+				}
 			}
 			return
 		}
@@ -852,6 +923,10 @@ func (n *Node) Finish() error {
 	// caught — by the launcher, which watches the processes themselves.
 	n.closing.Store(true)
 	if err := n.writeCtrl(fDone, doneMsg{Round: n.round, Rank: n.cfg.Rank}); err != nil {
+		if n.cfg.TolerateCtrlLoss {
+			n.markCtrlLost()
+			return n.detachedFinish()
+		}
 		err = fmt.Errorf("mnet: rank %d: reporting done: %w", n.cfg.Rank, err)
 		n.Fail(err)
 		return err
@@ -876,6 +951,45 @@ func (n *Node) Finish() error {
 	case err := <-n.failCh:
 		n.teardown()
 		return err
+	case <-n.ctrlLost:
+		return n.detachedFinish()
+	}
+}
+
+// detachedFinish terminates a node whose launcher is gone but whose
+// mesh is intact (TolerateCtrlLoss). The done/release barrier cannot
+// run without the launcher, so approximate it: linger long enough for
+// peers' final frames to flush and their own detached finishes to
+// overlap, then tear down. The linger is bounded — a restarted gateway
+// learns the outcome from the daemon's re-register, not from this
+// barrier — and a clean return keeps the workload's result authoritative.
+func (n *Node) detachedFinish() error {
+	linger := 2 * n.cfg.Heartbeat
+	select {
+	case <-time.After(linger):
+	case err := <-n.failCh:
+		n.teardown()
+		return err
+	}
+	n.teardown()
+	return nil
+}
+
+// markCtrlLost records (once) that the launcher connection died under
+// TolerateCtrlLoss; waiters in Join/Start/Finish observe the closed
+// channel.
+func (n *Node) markCtrlLost() {
+	n.ctrlLostOnce.Do(func() { close(n.ctrlLost) })
+}
+
+// CtrlLost reports whether the launcher connection has been lost under
+// TolerateCtrlLoss (always false otherwise — losing it fails the job).
+func (n *Node) CtrlLost() bool {
+	select {
+	case <-n.ctrlLost:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -110,6 +110,11 @@ func (s *NodePE) Recv() (machine.Packet, bool) { return s.inbox.Pop() }
 // InboxLen reports the number of packets waiting in this PE's inbox.
 func (s *NodePE) InboxLen() int { return s.inbox.Len() }
 
+// Stopped reports whether the node has been stopped (Fail, fence, or
+// teardown). Scheduler loops poll it so a PE spinning on local
+// self-sends still notices an abort that never touches the wire.
+func (s *NodePE) Stopped() bool { return s.inbox.Stopped() }
+
 // Printf relays an atomic formatted write to the launcher's standard
 // output.
 func (s *NodePE) Printf(format string, args ...any) { s.n.Printf(format, args...) }

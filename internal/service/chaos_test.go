@@ -1,0 +1,224 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServiceChaos is the chaos-service-smoke gate: the PR-8 soak
+// (daemon kill + replacement under a mixed burst) plus the two control
+// plane failures this plane must now survive — a gateway SIGKILL
+// mid-soak with a journal restart, and a daemon SIGTERM drain. The
+// assertions are the crash-tolerance contract: no submitted job is
+// lost or double-finished, every job reaches exactly one terminal
+// state, requeues stay inside the per-job budget, and teardown leaks
+// no goroutines.
+func TestServiceChaos(t *testing.T) {
+	const (
+		nJobs      = 24
+		maxRq      = 3
+		chaosLimit = 120 * time.Second
+	)
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	cfg := GatewayConfig{
+		Addr: "127.0.0.1:0", Token: "chaos", StateDir: dir,
+		BacklogCap: nJobs + 4, MaxRequeues: maxRq,
+		Heartbeat: 100 * time.Millisecond, JobWatchdog: 45 * time.Second,
+		RecoveryWindow: 3 * time.Second, Logf: t.Logf,
+	}
+	g, err := NewGateway(cfg)
+	if err != nil {
+		t.Fatalf("starting gateway: %v", err)
+	}
+	addr := g.Addr()
+	var daemons []*Daemon
+	for i := 0; i < 3; i++ {
+		d, err := StartDaemon(DaemonConfig{
+			Gateway: addr, Token: "chaos", Name: fmt.Sprintf("ch%d", i), Slots: 4,
+		})
+		if err != nil {
+			t.Fatalf("starting daemon %d: %v", i, err)
+		}
+		daemons = append(daemons, d)
+	}
+
+	c := &Client{Addr: addr, Token: "chaos"}
+	start := time.Now()
+	ids := make([]string, nJobs)
+	for i := range ids {
+		var err error
+		// Long enough that the burst is still in flight when every piece
+		// of chaos below lands, short enough to clear the budget.
+		if i%2 == 0 {
+			ids[i], err = c.Submit(fmt.Sprintf("pp%d", i), "pingpong",
+				map[string]int{"iters": chaosPPIters + chaosPPItersStep*(i%5), "bytes": 128}, 1+i%4)
+		} else {
+			ids[i], err = c.Submit(fmt.Sprintf("jb%d", i), "jacobi",
+				map[string]int{"n": chaosJacobiN, "iters": chaosJacobiIters + chaosJacobiStep*(i%6)}, 1+i%4)
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	// Chaos 1 (the PR-8 soak's churn): kill a busy daemon, join a
+	// replacement.
+	victim := daemons[1]
+	waitDaemonBusy(t, c, victim.Name())
+	victim.Stop()
+	t.Logf("CHAOS: killed daemon %s", victim.Name())
+	time.Sleep(100 * time.Millisecond)
+	replacement, err := StartDaemon(DaemonConfig{
+		Gateway: addr, Token: "chaos", Name: "ch-replacement", Slots: 4,
+	})
+	if err != nil {
+		t.Fatalf("starting replacement: %v", err)
+	}
+	daemons = append(daemons, replacement)
+
+	// Chaos 2: SIGKILL the gateway mid-burst and restart it from the
+	// journal on the same address. The surviving daemons keep their
+	// gangs alive, redial, and hand them back.
+	time.Sleep(300 * time.Millisecond)
+	hardStop(g)
+	t.Logf("CHAOS: gateway killed at %v; restarting from journal", time.Since(start).Round(time.Millisecond))
+	cfg.Addr = addr
+	g, err = NewGateway(cfg)
+	if err != nil {
+		t.Fatalf("restarting gateway: %v", err)
+	}
+	if cl, err := c.ClusterInfo(); err != nil || cl.Epoch != 2 {
+		t.Fatalf("post-restart epoch = %d (%v), want 2", cl.Epoch, err)
+	}
+
+	// No job may be lost across the crash: the journal must know every
+	// submitted ID.
+	known := map[string]bool{}
+	if jobs, err := c.Jobs(); err == nil {
+		for _, in := range jobs {
+			known[in.ID] = true
+		}
+	} else {
+		t.Fatalf("listing after restart: %v", err)
+	}
+	for i, id := range ids {
+		if !known[id] {
+			t.Fatalf("job %d (%s) lost across the gateway restart", i, id)
+		}
+	}
+
+	// Chaos 3: SIGTERM-drain one surviving daemon — it finishes its
+	// local gangs, reports them, and leaves without costing a requeue.
+	drained := daemons[2]
+	go drained.Drain()
+	t.Logf("CHAOS: draining daemon %s", drained.Name())
+
+	// Every job must reach exactly one terminal state within the
+	// budget. Status polls tolerate the moments the control plane is
+	// between lives.
+	deadline := start.Add(chaosLimit)
+	requeued := 0
+	finals := make([]JobInfo, nJobs)
+	for i, id := range ids {
+		in, err := waitTerminalTolerant(c, id, deadline)
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", i, id, err)
+		}
+		finals[i] = in
+		if in.State != string(Done) {
+			t.Errorf("job %d (%s) ended %s (reason %q): %s", i, id, in.State, in.Reason, in.Error)
+		}
+		if in.Requeues > maxRq {
+			t.Errorf("job %d (%s): %d requeues, budget %d", i, id, in.Requeues, maxRq)
+		}
+		requeued += in.Requeues
+	}
+	// Exactly one terminal state: a settled job must never move again
+	// (a double-run would flip Done to something else or bump
+	// accounting).
+	for i, id := range ids {
+		in, err := c.Status(id)
+		if err != nil {
+			t.Fatalf("re-status %s: %v", id, err)
+		}
+		if in.State != finals[i].State || in.Requeues != finals[i].Requeues {
+			t.Errorf("job %d (%s) moved after terminal: %s/%d -> %s/%d",
+				i, id, finals[i].State, finals[i].Requeues, in.State, in.Requeues)
+		}
+	}
+	t.Logf("%d jobs settled in %v (%d requeues, epoch 2)", nJobs, time.Since(start).Round(time.Millisecond), requeued)
+	if requeued == 0 {
+		t.Errorf("no gang requeued: the daemon kill never hit a running gang")
+	}
+
+	// Teardown and the leak gate.
+	for _, d := range daemons {
+		d.Stop()
+	}
+	g.Close()
+	var n int
+	for wait := time.Now().Add(10 * time.Second); ; {
+		n = runtime.NumGoroutine()
+		if n <= baseline+2 {
+			break
+		}
+		if time.Now().After(wait) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// waitDaemonBusy polls the cluster view until the named daemon holds
+// running work.
+func waitDaemonBusy(t *testing.T, c *Client, name string) {
+	t.Helper()
+	for deadline := time.Now().Add(15 * time.Second); ; {
+		ds, _, _, err := c.Cluster()
+		if err != nil {
+			t.Fatalf("cluster: %v", err)
+		}
+		for _, d := range ds {
+			if d.Name == name && d.Busy > 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon %s never got a gang", name)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitTerminalTolerant polls a job to a terminal state, riding out
+// transient connect failures (a gateway between incarnations).
+func waitTerminalTolerant(c *Client, id string, deadline time.Time) (JobInfo, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		in, err := c.Status(id)
+		if err != nil {
+			var ce *connectError
+			if errors.As(err, &ce) || strings.Contains(err.Error(), "unknown job") {
+				// Unknown-job can only be a not-yet-replayed journal mid
+				// recovery; both clear up or the deadline catches them.
+				lastErr = err
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			return in, err
+		}
+		lastErr = nil
+		if State(in.State).Terminal() {
+			return in, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return JobInfo{}, fmt.Errorf("job %s not terminal at the chaos budget (last err %v)", id, lastErr)
+}

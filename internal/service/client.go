@@ -2,8 +2,11 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
@@ -19,11 +22,19 @@ type Client struct {
 	Token string
 }
 
+// connectError marks a failure to reach the gateway at all, as
+// opposed to a reply the gateway chose to send (rejection, bad token):
+// only the former is worth retrying — the gateway may be mid-restart.
+type connectError struct{ err error }
+
+func (e *connectError) Error() string { return e.err.Error() }
+func (e *connectError) Unwrap() error { return e.err }
+
 // roundTrip dials, sends one request frame, and decodes one reply.
 func (c *Client) roundTrip(reqKind byte, req any, repKind byte, rep any) error {
 	conn, err := net.DialTimeout("tcp", c.Addr, reqTimeout)
 	if err != nil {
-		return fmt.Errorf("service: dialing gateway %s: %w", c.Addr, err)
+		return &connectError{fmt.Errorf("service: dialing gateway %s: %w", c.Addr, err)}
 	}
 	defer conn.Close()
 	deadlineConn(conn, reqTimeout)
@@ -33,19 +44,67 @@ func (c *Client) roundTrip(reqKind byte, req any, repKind byte, rep any) error {
 	return readMsg(conn, repKind, rep)
 }
 
+// SubmitSpec is one job submission with its resource limits and the
+// client-side retry policy.
+type SubmitSpec struct {
+	// Name labels the job; Workload and Args pick and parameterize the
+	// registered workload; Gang is the PE count.
+	Name     string
+	Workload string
+	Args     any
+	Gang     int
+	// Deadline bounds the job's wall-clock runtime (0: unlimited). The
+	// daemon kills over-deadline jobs with reason "deadline-killed".
+	Deadline time.Duration
+	// MaxMemMB bounds the job's heap growth per rank in MiB (0:
+	// unlimited); over-limit jobs die with reason "mem-killed".
+	MaxMemMB int
+	// RetryWindow bounds retries of transient connect failures with
+	// seeded-jitter backoff (0: fail on the first). A gateway
+	// mid-restart refuses connections for a moment; a submitter that
+	// can wait should.
+	RetryWindow time.Duration
+}
+
 // Submit sends one job for admission; it returns the job ID, or the
 // rejection reason as an error.
 func (c *Client) Submit(name, workload string, args any, gang int) (string, error) {
+	return c.SubmitJob(SubmitSpec{Name: name, Workload: workload, Args: args, Gang: gang})
+}
+
+// SubmitJob sends one job for admission under sp's limits and retry
+// policy; it returns the job ID, or the rejection reason as an error.
+func (c *Client) SubmitJob(sp SubmitSpec) (string, error) {
 	var raw json.RawMessage
-	if args != nil {
-		b, err := json.Marshal(args)
+	if sp.Args != nil {
+		b, err := json.Marshal(sp.Args)
 		if err != nil {
 			return "", fmt.Errorf("service: encoding workload args: %w", err)
 		}
 		raw = b
 	}
+	msg := submitMsg{
+		V: protoV, Token: c.Token, Name: sp.Name, Workload: sp.Workload,
+		Args: raw, Gang: sp.Gang,
+		DeadlineMS: sp.Deadline.Milliseconds(), MaxMemMB: sp.MaxMemMB,
+	}
 	var rep submitReply
-	err := c.roundTrip(kSubmit, submitMsg{V: protoV, Token: c.Token, Name: name, Workload: workload, Args: raw, Gang: gang}, kSubmit, &rep)
+	err := c.roundTrip(kSubmit, msg, kSubmit, &rep)
+	if sp.RetryWindow > 0 && err != nil {
+		h := fnv.New64a()
+		h.Write([]byte(sp.Name))
+		jitter := rand.New(rand.NewSource(int64(h.Sum64())))
+		deadline := time.Now().Add(sp.RetryWindow)
+		backoff := 50 * time.Millisecond
+		var ce *connectError
+		for err != nil && errors.As(err, &ce) && time.Now().Before(deadline) {
+			time.Sleep(time.Duration(float64(backoff) * (0.5 + jitter.Float64())))
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			err = c.roundTrip(kSubmit, msg, kSubmit, &rep)
+		}
+	}
 	if err != nil {
 		return "", err
 	}
@@ -74,9 +133,31 @@ func (c *Client) Jobs() ([]JobInfo, error) {
 
 // Cluster describes the registered daemons and the admission queue.
 func (c *Client) Cluster() ([]DaemonInfo, int, int, error) {
+	v, err := c.ClusterInfo()
+	return v.Daemons, v.Backlog, v.BacklogCap, err
+}
+
+// ClusterView is the full cluster snapshot: the daemon roster, the
+// admission queue, and the gateway's incarnation state.
+type ClusterView struct {
+	Daemons    []DaemonInfo `json:"daemons"`
+	Backlog    int          `json:"backlog"`
+	BacklogCap int          `json:"backlog_cap"`
+	// Epoch counts gateway incarnations against one state dir; it bumps
+	// on every journal recovery.
+	Epoch int64 `json:"epoch"`
+	// Recovering is true inside the post-restart reconciliation window.
+	Recovering bool `json:"recovering"`
+}
+
+// ClusterInfo fetches the full cluster snapshot.
+func (c *Client) ClusterInfo() (ClusterView, error) {
 	var rep clusterInfoMsg
 	err := c.roundTrip(kCluster, clusterMsg{V: protoV, Token: c.Token}, kCluster, &rep)
-	return rep.Daemons, rep.Backlog, rep.BacklogCap, err
+	return ClusterView{
+		Daemons: rep.Daemons, Backlog: rep.Backlog, BacklogCap: rep.BacklogCap,
+		Epoch: rep.Epoch, Recovering: rep.Recovering,
+	}, err
 }
 
 // Logs streams one job's console output to sink. With follow it runs

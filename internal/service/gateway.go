@@ -32,6 +32,21 @@ type GatewayConfig struct {
 	// JobWatchdog bounds one job attempt's wall-clock runtime; a wedged
 	// gang is aborted and counted as failed (default 60s).
 	JobWatchdog time.Duration
+	// StateDir, when non-empty, makes the gateway durable: job lifecycle
+	// records append to a journal there, and a restart replays it and
+	// reconciles with re-registering daemons instead of starting empty.
+	StateDir string
+	// RecoveryWindow bounds how long a restarted gateway waits for the
+	// daemons of formerly in-flight jobs to re-register before requeueing
+	// those gangs as lost (default 5s).
+	RecoveryWindow time.Duration
+	// DrainTimeout bounds how long Drain waits for running gangs before
+	// shutting down anyway (default 10s).
+	DrainTimeout time.Duration
+	// Advertise, when non-empty, is the host daemons on other machines
+	// should dial for per-job control servers; those listeners then bind
+	// all interfaces instead of loopback.
+	Advertise string
 	// Logf receives service diagnostics (default os.Stderr).
 	Logf func(format string, args ...any)
 }
@@ -42,6 +57,12 @@ type daemonSession struct {
 	slots int
 	busy  int
 	live  bool
+	// advertise is the daemon's cross-host-reachable mesh address (empty
+	// for loopback-only clusters); echoed into its assignments.
+	advertise string
+	// draining means the daemon asked to leave: it keeps its gangs but
+	// gets no new placements.
+	draining bool
 
 	conn    net.Conn
 	writeMu sync.Mutex
@@ -66,9 +87,22 @@ type jobAttempt struct {
 	cs      *mnet.ControlServer
 	ls      net.Listener
 	token   string
-	daemons []*daemonSession // by rank
+	daemons []*daemonSession // by rank; nil slots on a recovered stand-in
 	sizes   []int            // PEs per rank
 	wdog    *time.Timer
+	// ranks is the gang's rank count: len(daemons) for a live placement,
+	// but recorded separately because a recovered stand-in starts with
+	// nil daemon slots.
+	ranks int
+	// reported dedups rank updates: synthesized loss reports (daemon
+	// death, recovery expiry) and real resumed updates may race for the
+	// same rank, and each rank must count exactly once. Guarded by g.mu.
+	reported []bool
+	// recovered marks a stand-in attempt rebuilt from the journal after
+	// a restart: no control server, daemons filled in (adopted) as they
+	// re-register. adopted is guarded by g.mu.
+	recovered bool
+	adopted   []bool
 }
 
 // Gateway accepts jobs, admits them against a bounded backlog,
@@ -78,6 +112,13 @@ type Gateway struct {
 	cfg GatewayConfig
 	ls  net.Listener
 
+	// jn is the lifecycle journal (nil without StateDir); epoch is this
+	// gateway incarnation's number, fixed at start — updates stamped
+	// with another epoch are fenced off as stragglers of a previous
+	// life.
+	jn    *journal
+	epoch int64
+
 	mu       sync.Mutex
 	daemons  map[string]*daemonSession
 	jobs     map[string]*Job
@@ -85,6 +126,13 @@ type Gateway struct {
 	queue    []*Job   // admission queue, FIFO with backfill
 	attempts map[string]*jobAttempt
 	closed   bool
+	// recovering is the post-restart reconciliation window: daemons may
+	// still re-register and hand running gangs back, so capacity checks
+	// are suspended and recovered attempts wait before requeueing.
+	recovering   bool
+	recoverTimer *time.Timer
+	// draining refuses new admissions while running gangs finish.
+	draining bool
 
 	schedCh chan struct{} // scheduler doorbell (coalesced)
 	wg      sync.WaitGroup
@@ -104,22 +152,46 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.JobWatchdog <= 0 {
 		cfg.JobWatchdog = 60 * time.Second
 	}
+	if cfg.RecoveryWindow <= 0 {
+		cfg.RecoveryWindow = 5 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "conversed: "+format+"\n", args...)
 		}
 	}
+	var jn *journal
+	var st *replayed
+	if cfg.StateDir != "" {
+		var err error
+		jn, st, err = openJournal(cfg.StateDir, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ls, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if jn != nil {
+			jn.close()
+		}
 		return nil, fmt.Errorf("service: binding gateway %s: %w", cfg.Addr, err)
 	}
 	g := &Gateway{
 		cfg:      cfg,
 		ls:       ls,
+		jn:       jn,
 		daemons:  map[string]*daemonSession{},
 		jobs:     map[string]*Job{},
 		attempts: map[string]*jobAttempt{},
 		schedCh:  make(chan struct{}, 1),
+	}
+	if jn != nil {
+		g.epoch = st.epoch + 1
+		jn.epochStart(g.epoch)
+		g.restore(st)
 	}
 	g.wg.Add(2)
 	go func() { defer g.wg.Done(); g.acceptLoop() }()
@@ -166,6 +238,10 @@ func (g *Gateway) Close() error {
 	err := g.ls.Close()
 	g.kick()
 	g.wg.Wait()
+	if g.recoverTimer != nil {
+		g.recoverTimer.Stop()
+	}
+	g.jn.close()
 	return err
 }
 
@@ -229,11 +305,12 @@ func (g *Gateway) auth(v int, token string) error {
 	return nil
 }
 
-// capacity totals the live daemons' slots. Caller holds mu.
+// capacity totals the live, non-draining daemons' slots. Caller holds
+// mu.
 func (g *Gateway) capacity() int {
 	total := 0
 	for _, d := range g.daemons {
-		if d.live {
+		if d.live && !d.draining {
 			total += d.slots
 		}
 	}
@@ -249,6 +326,9 @@ func (g *Gateway) submit(m submitMsg) (string, error) {
 	if m.Gang < 1 {
 		return "", fmt.Errorf("service: gang must be >= 1, got %d", m.Gang)
 	}
+	if m.DeadlineMS < 0 || m.MaxMemMB < 0 {
+		return "", fmt.Errorf("service: negative job limits (deadline %dms, maxmem %dMB)", m.DeadlineMS, m.MaxMemMB)
+	}
 	if _, err := LookupWorkload(m.Workload); err != nil {
 		return "", err
 	}
@@ -258,11 +338,18 @@ func (g *Gateway) submit(m submitMsg) (string, error) {
 	}
 	id := newID(name)
 	job := newJob(id, name, m.Workload, m.Args, m.Gang)
+	job.deadline = time.Duration(m.DeadlineMS) * time.Millisecond
+	job.maxMemMB = m.MaxMemMB
+	job.jn = g.jn
 
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
 		return "", fmt.Errorf("service: gateway is shutting down")
+	}
+	if g.draining {
+		g.mu.Unlock()
+		return "", fmt.Errorf("service: gateway is draining; resubmit to its successor")
 	}
 	// Admission control: a full backlog and an impossible gang are both
 	// rejected now, with a reason, rather than queued to rot.
@@ -271,13 +358,18 @@ func (g *Gateway) submit(m submitMsg) (string, error) {
 		g.mu.Unlock()
 		return "", fmt.Errorf("service: backlog full (%d jobs queued, cap %d); retry later", n, g.cfg.BacklogCap)
 	}
-	if cp := g.capacity(); m.Gang > cp {
+	// The capacity check is suspended during recovery: right after a
+	// restart no daemon has re-registered yet, and rejecting every
+	// submit for a few seconds would turn a survived crash into an
+	// outage anyway.
+	if cp := g.capacity(); !g.recovering && m.Gang > cp {
 		g.mu.Unlock()
 		return "", fmt.Errorf("service: gang of %d exceeds cluster capacity of %d PEs", m.Gang, cp)
 	}
 	g.jobs[id] = job
 	g.order = append(g.order, id)
 	g.queue = append(g.queue, job)
+	g.jn.submit(id, name, m.Workload, m.Args, m.Gang, job.deadline, m.MaxMemMB)
 	g.mu.Unlock()
 	g.kick()
 	return id, nil
@@ -411,7 +503,10 @@ func (g *Gateway) serveCluster(conn net.Conn, payload []byte) {
 		return
 	}
 	g.mu.Lock()
-	out := clusterInfoMsg{Backlog: len(g.queue), BacklogCap: g.cfg.BacklogCap}
+	out := clusterInfoMsg{
+		Backlog: len(g.queue), BacklogCap: g.cfg.BacklogCap,
+		Epoch: g.epoch, Recovering: g.recovering,
+	}
 	names := make([]string, 0, len(g.daemons))
 	for n := range g.daemons {
 		names = append(names, n)
@@ -419,7 +514,10 @@ func (g *Gateway) serveCluster(conn net.Conn, payload []byte) {
 	sort.Strings(names)
 	for _, n := range names {
 		d := g.daemons[n]
-		out.Daemons = append(out.Daemons, DaemonInfo{Name: d.name, Slots: d.slots, Busy: d.busy, Live: d.live})
+		out.Daemons = append(out.Daemons, DaemonInfo{
+			Name: d.name, Slots: d.slots, Busy: d.busy, Live: d.live,
+			Advertise: d.advertise, Draining: d.draining,
+		})
 	}
 	g.mu.Unlock()
 	writeMsg(conn, kCluster, out)

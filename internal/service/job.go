@@ -17,17 +17,24 @@ type State string
 // reported in / the gang dispatched). Daemon loss mid-flight moves it
 // to Requeued and then back to Queued with the gang's slots returned —
 // availability under churn instead of whole-job failure — until the
-// requeue budget runs out. Done, Cancelled, and Failed are terminal
-// and sticky: a cancel racing a completion resolves to whichever
-// transition lands first, and the loser is a no-op.
+// requeue budget runs out. A gateway restarted from its journal puts
+// every formerly in-flight job in Recovering: the gang may still be
+// running on daemons that outlived the crash, so the job is neither
+// running (nobody is watching it yet) nor lost (its daemons may
+// re-register and hand it back). Re-adoption moves it back to Running;
+// the recovery window expiring moves it through Requeued like a daemon
+// death would. Done, Cancelled, and Failed are terminal and sticky: a
+// cancel racing a completion resolves to whichever transition lands
+// first, and the loser is a no-op.
 const (
-	Queued    State = "queued"
-	Admitted  State = "admitted"
-	Running   State = "running"
-	Requeued  State = "requeued"
-	Done      State = "done"
-	Cancelled State = "cancelled"
-	Failed    State = "failed"
+	Queued     State = "queued"
+	Admitted   State = "admitted"
+	Running    State = "running"
+	Requeued   State = "requeued"
+	Recovering State = "recovering"
+	Done       State = "done"
+	Cancelled  State = "cancelled"
+	Failed     State = "failed"
 )
 
 // Terminal reports whether s is a final state.
@@ -38,10 +45,11 @@ func (s State) Terminal() bool {
 // validNext enumerates the legal transitions. The zero-value absence
 // of a state maps to "no transitions", which terminal states rely on.
 var validNext = map[State][]State{
-	Queued:   {Admitted, Cancelled, Failed},
-	Admitted: {Running, Requeued, Done, Cancelled, Failed},
-	Running:  {Done, Requeued, Cancelled, Failed},
-	Requeued: {Queued, Cancelled, Failed},
+	Queued:     {Admitted, Cancelled, Failed},
+	Admitted:   {Running, Requeued, Recovering, Done, Cancelled, Failed},
+	Running:    {Done, Requeued, Recovering, Cancelled, Failed},
+	Requeued:   {Queued, Cancelled, Failed},
+	Recovering: {Running, Requeued, Done, Cancelled, Failed},
 }
 
 // canTransition reports whether from -> to is a legal edge.
@@ -68,6 +76,16 @@ type Job struct {
 
 	state State
 	err   string
+	// reason is the short machine-readable tag for how the job reached
+	// (or will reach) its terminal state: deadline-killed, mem-killed,
+	// requeue-exhausted, recovered. First writer wins, like err; cleared
+	// on requeue with the rest of the attempt.
+	reason string
+
+	// Per-job resource limits, enforced by the daemon-side watchdog.
+	// Zero means unlimited.
+	deadline time.Duration
+	maxMemMB int
 
 	// Gang placement, valid while Admitted/Running: the participating
 	// daemons in rank order and the per-daemon PE counts (the job
@@ -88,6 +106,13 @@ type Job struct {
 	submitted time.Time
 	admitted  time.Time
 	finished  time.Time
+
+	// jn, when the gateway runs with a state dir, receives every applied
+	// transition — journaling lives inside the FSM so the record stream
+	// and the in-memory machine cannot diverge, and replay is the same
+	// table-driven canTransition walk in reverse. Nil without a journal
+	// and during replay itself.
+	jn *journal
 
 	// log is the job's captured console output; followers are notified
 	// on every append and on terminal transition.
@@ -110,6 +135,7 @@ func newJob(id, name, workload string, args json.RawMessage, gang int) *Job {
 // Terminal states stamp the finish time and wake log followers.
 func (j *Job) transition(to State) bool {
 	j.mu.Lock()
+	from := j.state
 	ok := canTransition(j.state, to)
 	if ok {
 		j.state = to
@@ -118,6 +144,9 @@ func (j *Job) transition(to State) bool {
 			j.admitted = time.Now()
 		case Done, Cancelled, Failed:
 			j.finished = time.Now()
+		}
+		if j.jn != nil {
+			j.jn.transition(j.id, from, to, j.err, j.reason, j.requeues)
 		}
 	}
 	var wake []chan struct{}
@@ -141,6 +170,15 @@ func (j *Job) setError(msg string) {
 	j.mu.Lock()
 	if j.err == "" {
 		j.err = msg
+	}
+	j.mu.Unlock()
+}
+
+// setReason records the job's terminal-reason tag (first writer wins).
+func (j *Job) setReason(r string) {
+	j.mu.Lock()
+	if j.reason == "" {
+		j.reason = r
 	}
 	j.mu.Unlock()
 }
@@ -214,6 +252,9 @@ func (j *Job) info() JobInfo {
 		BytesMoved: j.bytes,
 		Requeues:   j.requeues,
 		Error:      j.err,
+		Reason:     j.reason,
+		DeadlineMS: float64(j.deadline) / 1e6,
+		MaxMemMB:   j.maxMemMB,
 	}
 	if !j.admitted.IsZero() {
 		in.QueueWaitMS = float64(j.admitted.Sub(j.submitted)) / 1e6
@@ -240,6 +281,7 @@ func (j *Job) resetAttempt() {
 	j.rankErr = ""
 	j.daemonLost = false
 	j.err = ""
+	j.reason = ""
 	j.mu.Unlock()
 }
 

@@ -8,12 +8,13 @@ import (
 // TestStateMachineEdges is the table-driven check of the job state
 // machine: every legal edge transitions, every other pair refuses.
 func TestStateMachineEdges(t *testing.T) {
-	all := []State{Queued, Admitted, Running, Requeued, Done, Cancelled, Failed}
+	all := []State{Queued, Admitted, Running, Requeued, Recovering, Done, Cancelled, Failed}
 	legal := map[State]map[State]bool{
-		Queued:   {Admitted: true, Cancelled: true, Failed: true},
-		Admitted: {Running: true, Requeued: true, Done: true, Cancelled: true, Failed: true},
-		Running:  {Done: true, Requeued: true, Cancelled: true, Failed: true},
-		Requeued: {Queued: true, Cancelled: true, Failed: true},
+		Queued:     {Admitted: true, Cancelled: true, Failed: true},
+		Admitted:   {Running: true, Requeued: true, Recovering: true, Done: true, Cancelled: true, Failed: true},
+		Running:    {Done: true, Requeued: true, Recovering: true, Cancelled: true, Failed: true},
+		Requeued:   {Queued: true, Cancelled: true, Failed: true},
+		Recovering: {Running: true, Requeued: true, Done: true, Cancelled: true, Failed: true},
 		// Done, Cancelled, Failed: terminal, no exits.
 	}
 	for _, from := range all {
@@ -44,7 +45,8 @@ func TestStateMachineEdges(t *testing.T) {
 func TestTerminalStates(t *testing.T) {
 	for st, want := range map[State]bool{
 		Queued: false, Admitted: false, Running: false, Requeued: false,
-		Done: true, Cancelled: true, Failed: true,
+		Recovering: false,
+		Done:       true, Cancelled: true, Failed: true,
 	} {
 		if st.Terminal() != want {
 			t.Errorf("%s.Terminal() = %v, want %v", st, st.Terminal(), want)
@@ -61,6 +63,9 @@ func TestLifecyclePaths(t *testing.T) {
 		{Cancelled},
 		{Admitted, Running, Requeued, Queued, Admitted, Running, Done},
 		{Admitted, Requeued, Queued, Admitted, Running, Cancelled},
+		{Admitted, Running, Recovering, Running, Done},
+		{Admitted, Recovering, Requeued, Queued, Admitted, Running, Done},
+		{Admitted, Running, Recovering, Failed},
 	}
 	for _, path := range paths {
 		j := newJob("t", "t", "pingpong", nil, 1)

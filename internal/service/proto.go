@@ -52,12 +52,14 @@ const (
 	kUnassign = 112 // unassignMsg (gateway -> daemon): abort a job's ranks
 	kUpdate   = 113 // updateMsg (daemon -> gateway): one rank's progress
 	kDPing    = 114 // daemon liveness (daemon -> gateway)
+	kDrain    = 115 // drainMsg (daemon -> gateway): stop placing, finish & leave
 )
 
 // protoV is the service protocol version, checked on every request and
 // registration so drifted binaries fail with a message instead of a
-// decode error.
-const protoV = 1
+// decode error. v2 added the crash-tolerance fields: register resume
+// state and epochs, per-job limits, advertise addresses, drain.
+const protoV = 2
 
 // Liveness and I/O budgets for the daemon session and client requests.
 const (
@@ -77,6 +79,12 @@ type submitMsg struct {
 	Args json.RawMessage `json:"args,omitempty"`
 	// Gang is the PE count the job needs, scheduled all-or-nothing.
 	Gang int `json:"gang"`
+	// DeadlineMS, when positive, bounds the job's wall-clock runtime;
+	// the owning daemons kill an overdue gang (reason deadline-killed).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxMemMB, when positive, bounds the job's heap growth per daemon;
+	// the watchdog kills an over-limit gang (reason mem-killed).
+	MaxMemMB int `json:"max_mem_mb,omitempty"`
 }
 
 type submitReply struct {
@@ -152,6 +160,12 @@ type JobInfo struct {
 	// Requeues counts gang re-queues caused by daemon loss.
 	Requeues int    `json:"requeues"`
 	Error    string `json:"error,omitempty"`
+	// Reason tags how the job reached (or survived) its fate:
+	// deadline-killed, mem-killed, requeue-exhausted, recovered.
+	Reason string `json:"reason,omitempty"`
+	// DeadlineMS/MaxMemMB echo the submit-time limits (0 = unlimited).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	MaxMemMB   int     `json:"max_mem_mb,omitempty"`
 }
 
 type jobListMsg struct {
@@ -165,6 +179,12 @@ type DaemonInfo struct {
 	// Busy is the number of slots held by admitted/running gangs.
 	Busy int  `json:"busy"`
 	Live bool `json:"live"`
+	// Advertise is the host other machines should use to reach this
+	// daemon's job meshes (empty: loopback-only).
+	Advertise string `json:"advertise,omitempty"`
+	// Draining means the daemon asked to leave: it finishes its gangs
+	// but receives no new ones.
+	Draining bool `json:"draining,omitempty"`
 }
 
 type clusterInfoMsg struct {
@@ -172,6 +192,37 @@ type clusterInfoMsg struct {
 	// Backlog and BacklogCap describe the admission queue.
 	Backlog    int `json:"backlog"`
 	BacklogCap int `json:"backlog_cap"`
+	// Epoch is the gateway's incarnation number (bumped every start
+	// when journaling; 0 without a state dir). Recovering means the
+	// post-restart reconciliation window is still open.
+	Epoch      int64 `json:"epoch,omitempty"`
+	Recovering bool  `json:"recovering,omitempty"`
+}
+
+// resumeEntry is one job rank a re-registering daemon reports: still
+// running (the gateway re-adopts it) or finished during the outage
+// (the gateway applies the result it missed). The daemon keeps a small
+// ring of finished entries precisely because a terminal update written
+// into a dying gateway's socket is otherwise lost forever.
+type resumeEntry struct {
+	Job     string `json:"job"`
+	Attempt int    `json:"attempt"`
+	Rank    int    `json:"rank"`
+	// Running distinguishes a live rank from a buffered finished result.
+	Running   bool   `json:"running"`
+	OK        bool   `json:"ok,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+	SentBytes uint64 `json:"sent_bytes,omitempty"`
+}
+
+// fenceEntry names a resumed rank the gateway refuses to re-adopt
+// (unknown job, stale attempt, job already terminal): the daemon must
+// kill it locally.
+type fenceEntry struct {
+	Job     string `json:"job"`
+	Attempt int    `json:"attempt"`
+	Reason  string `json:"reason"`
 }
 
 type registerMsg struct {
@@ -179,10 +230,26 @@ type registerMsg struct {
 	Token string `json:"token,omitempty"`
 	Name  string `json:"name"`
 	Slots int    `json:"slots"`
+	// Advertise is the daemon's reachable host for cross-host meshes.
+	Advertise string `json:"advertise,omitempty"`
+	// Epoch is the last gateway epoch this daemon saw (0 on first
+	// contact). A re-register against a restarted gateway carries the
+	// old epoch plus the daemon's per-job attempt state.
+	Epoch  int64         `json:"epoch,omitempty"`
+	Resume []resumeEntry `json:"resume,omitempty"`
 }
 
 type registerReply struct {
-	Name string `json:"name"` // gateway-uniquified daemon name
+	Name  string `json:"name"` // gateway-uniquified daemon name
+	Epoch int64  `json:"epoch,omitempty"`
+	// Kill lists resumed ranks the gateway fenced off.
+	Kill []fenceEntry `json:"kill,omitempty"`
+}
+
+// drainMsg asks the gateway to stop placing gangs on this daemon; the
+// daemon finishes what it holds and deregisters.
+type drainMsg struct {
+	Name string `json:"name"`
 }
 
 // assignMsg carries one rank of a gang to a daemon: everything an
@@ -204,6 +271,13 @@ type assignMsg struct {
 	// HeartbeatMS is the job mesh's liveness interval; the rank must
 	// ping at the control server's expected rate or be declared dead.
 	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// Advertise echoes the daemon's registered advertise host so the
+	// rank's mesh listener announces a cross-host-reachable address.
+	Advertise string `json:"advertise,omitempty"`
+	// DeadlineMS/MaxMemMB are the job's resource limits, enforced by
+	// the daemon-side watchdog (0 = unlimited).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	MaxMemMB   int   `json:"max_mem_mb,omitempty"`
 }
 
 type unassignMsg struct {
@@ -220,8 +294,13 @@ type updateMsg struct {
 	// OK means the machine ran to completion; otherwise Error explains.
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Reason tags watchdog kills (deadline-killed / mem-killed).
+	Reason string `json:"reason,omitempty"`
 	// SentBytes is the rank's share of the job machine's traffic.
 	SentBytes uint64 `json:"sent_bytes"`
+	// Epoch is the gateway incarnation the daemon believes it is talking
+	// to; a recovered gateway drops updates from a stale epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 type dPingMsg struct {

@@ -1,0 +1,19 @@
+//go:build msgcheck
+
+package service
+
+// Crash-tolerance test sizing under the msgcheck runtime checker,
+// which makes every message touch ~20x slower: same proportions as
+// the normal build, scaled so a requeued gang can re-run its full
+// iteration count inside the wait budgets while the "long" jobs still
+// outlast the restart/re-register reconciliation they must survive.
+const (
+	recLongIters = 20000
+	recHeldIters = 250000
+
+	chaosPPIters     = 3000
+	chaosPPItersStep = 800
+	chaosJacobiN     = 32
+	chaosJacobiIters = 10
+	chaosJacobiStep  = 4
+)

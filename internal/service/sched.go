@@ -28,22 +28,30 @@ func (g *Gateway) schedLoop() {
 			return
 		}
 		var launches []*jobAttempt
-		remaining := g.queue[:0]
-		for _, j := range g.queue {
-			if j.State() != Queued {
-				continue // cancelled while queued
+		if !g.draining {
+			remaining := g.queue[:0]
+			for _, j := range g.queue {
+				if j.State() != Queued {
+					continue // cancelled while queued
+				}
+				at := g.place(j)
+				if at == nil {
+					remaining = append(remaining, j)
+					continue
+				}
+				launches = append(launches, at)
 			}
-			at := g.place(j)
-			if at == nil {
-				remaining = append(remaining, j)
-				continue
-			}
-			launches = append(launches, at)
+			g.queue = remaining
 		}
-		g.queue = remaining
 		g.mu.Unlock()
 		for _, at := range launches {
 			g.launch(at)
+		}
+		// Compaction rides the scheduler loop — never the append path,
+		// whose callers hold job locks the state snapshot needs.
+		if g.jn.needsCompact() {
+			epoch, jobs := g.snapshotJobs()
+			g.jn.compact(epoch, jobs)
 		}
 	}
 }
@@ -59,7 +67,7 @@ func (g *Gateway) place(j *Job) *jobAttempt {
 	}
 	var cands []cand
 	for _, d := range g.daemons {
-		if d.live && d.slots > d.busy {
+		if d.live && !d.draining && d.slots > d.busy {
 			cands = append(cands, cand{d, d.slots - d.busy})
 		}
 	}
@@ -90,16 +98,21 @@ func (g *Gateway) place(j *Job) *jobAttempt {
 	for i, d := range picked {
 		d.busy += sizes[i]
 	}
-	at := &jobAttempt{job: j, daemons: picked, sizes: sizes}
+	at := &jobAttempt{
+		job: j, daemons: picked, sizes: sizes,
+		ranks: len(picked), reported: make([]bool, len(picked)),
+	}
 	g.attempts[j.id] = at
+	names := make([]string, 0, len(picked))
+	for _, d := range picked {
+		names = append(names, d.name)
+	}
 	j.mu.Lock()
 	at.seq = j.requeues + 1 // attempt 1 is the first placement
-	j.daemons = j.daemons[:0]
-	for _, d := range picked {
-		j.daemons = append(j.daemons, d.name)
-	}
+	j.daemons = append(j.daemons[:0], names...)
 	j.nodeSizes = append([]int(nil), sizes...)
 	j.mu.Unlock()
+	g.jn.assign(j.id, at.seq, names, sizes)
 	return at
 }
 
@@ -112,7 +125,11 @@ func (g *Gateway) launch(at *jobAttempt) {
 		g.releaseAttempt(at)
 		return
 	}
-	ls, err := net.Listen("tcp", "127.0.0.1:0")
+	bind := "127.0.0.1:0"
+	if g.cfg.Advertise != "" {
+		bind = ":0"
+	}
+	ls, err := net.Listen("tcp", bind)
 	if err != nil {
 		j.setError(fmt.Sprintf("binding job control port: %v", err))
 		j.transition(Failed)
@@ -120,6 +137,12 @@ func (g *Gateway) launch(at *jobAttempt) {
 		return
 	}
 	at.ls = ls
+	launcher := ls.Addr().String()
+	if g.cfg.Advertise != "" {
+		if _, port, perr := net.SplitHostPort(launcher); perr == nil {
+			launcher = net.JoinHostPort(g.cfg.Advertise, port)
+		}
+	}
 	at.token = newID("tok")
 	maxPPN := 0
 	for _, s := range at.sizes {
@@ -159,21 +182,28 @@ func (g *Gateway) launch(at *jobAttempt) {
 		g.abortAttempt(at, "watchdog expired")
 	})
 
+	j.mu.Lock()
+	deadlineMS := int64(j.deadline / time.Millisecond)
+	maxMemMB := j.maxMemMB
+	j.mu.Unlock()
 	asn := assignMsg{
 		Job:       j.id,
 		Attempt:   at.seq,
 		Workload:  j.workload,
 		Args:      j.args,
-		Launcher:  ls.Addr().String(),
+		Launcher:  launcher,
 		JobToken:  at.token,
 		NP:        len(at.daemons),
 		PEs:       pes,
 		NodeSizes: append([]int(nil), at.sizes...),
 		HeartbeatMS: g.cfg.Heartbeat.Milliseconds(),
+		DeadlineMS:  deadlineMS,
+		MaxMemMB:    maxMemMB,
 	}
 	g.cfg.Logf("launching %s attempt %d: %d PEs over %d daemons", j.id, at.seq, pes, len(at.daemons))
 	for rank, d := range at.daemons {
 		asn.Rank = rank
+		asn.Advertise = d.advertise
 		if err := d.send(kAssign, asn); err != nil {
 			// The session reader will notice the dead daemon; the rank
 			// can never start, so count it lost now.
@@ -194,6 +224,9 @@ func (g *Gateway) releaseAttempt(at *jobAttempt) {
 	}
 	delete(g.attempts, at.job.id)
 	for i, d := range at.daemons {
+		if d == nil {
+			continue // never-adopted rank of a recovered stand-in
+		}
 		d.busy -= at.sizes[i]
 		if d.busy < 0 {
 			d.busy = 0
@@ -217,6 +250,9 @@ func (g *Gateway) releaseAttempt(at *jobAttempt) {
 // complete the accounting.
 func (g *Gateway) abortAttempt(at *jobAttempt, reason string) {
 	for _, d := range at.daemons {
+		if d == nil {
+			continue
+		}
 		d.send(kUnassign, unassignMsg{Job: at.job.id, Attempt: at.seq, Reason: reason})
 	}
 	// A rank still blocked in the job's rendezvous can't see the
@@ -236,14 +272,23 @@ func (g *Gateway) abortAttempt(at *jobAttempt, reason string) {
 
 // rankUpdate folds one rank's terminal report into its job; the last
 // rank's update finalizes the attempt. daemonLost marks the rank as a
-// churn casualty rather than a workload failure.
+// churn casualty rather than a workload failure. Each rank counts
+// exactly once per attempt: recovery can race a synthesized loss
+// report (daemon death, window expiry) against the real resumed
+// update, and whichever lands second is dropped here.
 func (g *Gateway) rankUpdate(m updateMsg, daemonLost bool) {
 	g.mu.Lock()
 	at := g.attempts[m.Job]
-	g.mu.Unlock()
 	if at == nil || m.Attempt != at.seq {
+		g.mu.Unlock()
 		return // late update for a finished/cancelled/requeued attempt
 	}
+	if m.Rank < 0 || m.Rank >= at.ranks || at.reported[m.Rank] {
+		g.mu.Unlock()
+		return // out of range, or this rank already counted
+	}
+	at.reported[m.Rank] = true
+	g.mu.Unlock()
 	j := at.job
 	j.mu.Lock()
 	j.ranksDone++
@@ -253,7 +298,7 @@ func (g *Gateway) rankUpdate(m updateMsg, daemonLost bool) {
 	} else if !m.OK && j.rankErr == "" {
 		j.rankErr = m.Error
 	}
-	complete := j.ranksDone >= len(at.daemons)
+	complete := j.ranksDone >= at.ranks
 	j.mu.Unlock()
 	if complete {
 		g.finalizeAttempt(at)
@@ -304,6 +349,7 @@ func (g *Gateway) finalizeAttempt(at *jobAttempt) {
 		g.kick()
 	case lost:
 		j.setError(fmt.Sprintf("requeue budget exhausted (%d attempts lost to daemon churn)", requeues+1))
+		j.setReason("requeue-exhausted")
 		j.transition(Failed)
 		g.cfg.Logf("job %s failed: requeue budget exhausted after %d attempts", j.id, requeues+1)
 	case rankErr != "":
@@ -334,7 +380,7 @@ func (g *Gateway) serveDaemon(conn net.Conn, payload []byte) {
 		writeErr(conn, fmt.Errorf("service: daemon %q registered with %d slots", m.Name, m.Slots))
 		return
 	}
-	d := &daemonSession{name: m.Name, slots: m.Slots, live: true, conn: conn}
+	d := &daemonSession{name: m.Name, slots: m.Slots, live: true, conn: conn, advertise: m.Advertise}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -349,11 +395,20 @@ func (g *Gateway) serveDaemon(conn net.Conn, payload []byte) {
 	}
 	g.daemons[d.name] = d
 	g.mu.Unlock()
-	if err := d.send(kRegister, registerReply{Name: d.name}); err != nil {
+	// Reconcile the daemon's carried job state before replying: running
+	// ranks of recovering jobs are re-adopted, missed results applied,
+	// and anything stale goes back in the reply's kill list.
+	kills := g.adoptResume(d, m.Resume)
+	if err := d.send(kRegister, registerReply{Name: d.name, Epoch: g.epoch, Kill: kills}); err != nil {
 		g.dropDaemon(d, err)
 		return
 	}
-	g.cfg.Logf("daemon %s joined with %d slots", d.name, d.slots)
+	if m.Epoch != 0 || len(m.Resume) > 0 {
+		g.cfg.Logf("daemon %s re-joined with %d slots (last epoch %d, %d resumed ranks, %d fenced)",
+			d.name, d.slots, m.Epoch, len(m.Resume), len(kills))
+	} else {
+		g.cfg.Logf("daemon %s joined with %d slots", d.name, d.slots)
+	}
 	g.kick()
 
 	allowance := time.Duration(daemonMissFactor) * daemonPing
@@ -373,7 +428,24 @@ func (g *Gateway) serveDaemon(conn net.Conn, payload []byte) {
 				g.dropDaemon(d, err)
 				return
 			}
+			if u.Epoch != g.epoch {
+				// A straggler stamped by a previous gateway incarnation:
+				// fence it off rather than let it corrupt the recovered
+				// attempt accounting.
+				g.cfg.Logf("fencing stale update for %s (epoch %d, current %d)", u.Job, u.Epoch, g.epoch)
+				continue
+			}
+			if u.Reason != "" {
+				if j, jerr := g.lookupJob(u.Job); jerr == nil {
+					j.setReason(u.Reason)
+				}
+			}
 			g.rankUpdate(u, false)
+		case kDrain:
+			g.mu.Lock()
+			d.draining = true
+			g.mu.Unlock()
+			g.cfg.Logf("daemon %s draining: no new placements", d.name)
 		default:
 			g.dropDaemon(d, fmt.Errorf("service: unexpected frame kind %d from daemon", k))
 			return
@@ -406,7 +478,10 @@ func (g *Gateway) dropDaemon(d *daemonSession, cause error) {
 	var doomed []*Job
 	remaining := g.queue[:0]
 	for _, j := range g.queue {
-		if j.gang > cp {
+		// During the recovery window capacity is a moving target (most
+		// daemons have not re-registered yet); the post-window sweep in
+		// endRecovery re-runs this check with real numbers.
+		if j.gang > cp && !g.recovering {
 			doomed = append(doomed, j)
 		} else {
 			remaining = append(remaining, j)

@@ -31,6 +31,14 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) { return service.StartDaemon
 // Client is the thin per-request gateway client.
 type Client = service.Client
 
+// SubmitSpec is one job submission with its resource limits
+// (deadline, heap ceiling) and client-side connect-retry policy.
+type SubmitSpec = service.SubmitSpec
+
+// ClusterView is the full cluster snapshot (daemon roster, queue,
+// gateway epoch and recovery state).
+type ClusterView = service.ClusterView
+
 // JobInfo is the client-visible record of one job.
 type JobInfo = service.JobInfo
 
@@ -42,13 +50,14 @@ type State = service.State
 
 // The job states. Done, Cancelled, and Failed are terminal.
 const (
-	Queued    = service.Queued
-	Admitted  = service.Admitted
-	Running   = service.Running
-	Requeued  = service.Requeued
-	Done      = service.Done
-	Cancelled = service.Cancelled
-	Failed    = service.Failed
+	Queued     = service.Queued
+	Admitted   = service.Admitted
+	Running    = service.Running
+	Requeued   = service.Requeued
+	Recovering = service.Recovering
+	Done       = service.Done
+	Cancelled  = service.Cancelled
+	Failed     = service.Failed
 )
 
 // Workload prepares one job machine; see internal/service.Workload.

@@ -31,8 +31,10 @@
 #                      writes BENCH_jobs.json
 #   make profile       the 8..256-PE scale ladder; writes BENCH_scale.json
 #   make lint          converselint (msgownership, handlerreg,
-#                      blockinhandler, noallocinhot) over the whole
-#                      repo, via go vet -vettool
+#                      blockinhandler, noallocinhot, wirekinds,
+#                      atomicmix, lockdiscipline) over the whole repo,
+#                      via go vet -vettool — run twice, so the second
+#                      pass also proves the .vetx fact cache replays
 #   make msgcheck-test full test suite with the dynamic ownership
 #                      checker compiled in (-tags msgcheck)
 #   make ci            tier1 + race gates + overhead + lint + msgcheck + smokes
@@ -57,15 +59,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Static ownership/handler checks: build converselint and run it the
-# way editors and CI caches like best — as a go vet tool. Findings exit
-# nonzero. `go run ./cmd/converselint ./...` is the cache-free
-# standalone equivalent.
+# Static ownership/protocol/concurrency checks: build converselint and
+# run it the way editors and CI caches like best — as a go vet tool.
+# Findings exit nonzero. The second vet pass is the fact-cache sanity
+# leg: it must succeed replaying the .vetx fact files the first pass
+# wrote (a fact that gob-decodes differently, or a nondeterministic
+# analyzer, fails exactly here). `go run ./cmd/converselint ./...` is
+# the cache-free standalone equivalent.
 lint:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) build -o $$tmp/converselint ./cmd/converselint && \
 	$(GO) vet -vettool=$$tmp/converselint ./... && \
-	echo 'lint: msgownership handlerreg blockinhandler noallocinhot clean'
+	$(GO) vet -vettool=$$tmp/converselint ./... && \
+	echo 'lint: msgownership handlerreg blockinhandler noallocinhot wirekinds atomicmix lockdiscipline clean (facts cached + replayed)'
 
 # Dynamic ownership checks: the whole suite with the msgcheck runtime
 # checker compiled in (poisoned pools, generation stamps, checked

@@ -1,19 +1,28 @@
 // Converselint checks Converse programs for violations of the
-// runtime's message-ownership and handler invariants. It bundles four
-// analyzers:
+// runtime's message-ownership, protocol, and concurrency invariants.
+// It bundles seven analyzers:
 //
 //	msgownership    no use of a message buffer after a Transfer send or free
 //	handlerreg      handler indices come from Register*, not integer literals
 //	blockinhandler  no blocking operations inside message handlers
 //	noallocinhot    //converse:hotpath functions stay allocation-free
+//	wirekinds       frame-kind planes stay disjoint; no raw kind literals
+//	atomicmix       fields touched via sync/atomic are atomic everywhere
+//	lockdiscipline  mutex-guarded fields stay guarded; no lock-order cycles
+//
+// The last three are modular: they export per-package facts (declared
+// kind ranges, atomic fields, guarded fields) that flow to importing
+// packages, so cross-package violations are caught no matter which
+// side of the import edge they sit on.
 //
 // Run it standalone over package patterns:
 //
 //	converselint ./...
 //	converselint -c msgownership,handlerreg ./examples/...
+//	converselint -json ./...
 //
 // or as a go vet tool, which applies it package-by-package with go
-// vet's caching and test-variant handling:
+// vet's caching and fact propagation through .vetx files:
 //
 //	go vet -vettool=$(command -v converselint) ./...
 //
@@ -26,7 +35,6 @@ package main
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +45,12 @@ import (
 	"converse/internal/lint"
 	"converse/internal/lint/load"
 )
+
+// modulePath gates which vet units are analyzed: go vet hands the tool
+// every dependency unit down to the standard library, and typechecking
+// all of those would multiply lint cost for zero findings. Out-of-module
+// units only relay facts.
+const modulePath = "converse"
 
 func main() {
 	// The go vet protocol probes the tool before use: -V=full must
@@ -76,16 +90,29 @@ func selfID() string {
 	return fmt.Sprintf("%x", sum[:16])
 }
 
+// jsonDiag is the machine-readable diagnostic shape for -json mode.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 // standalone loads whole package patterns through the go tool and
-// lints them all.
+// lints them all. When any requested analyzer is modular, in-module
+// dependencies of the matched packages are loaded too (facts-only) and
+// analyzed first, dependency order, so facts flow exactly as they do
+// under go vet.
 func standalone() int {
 	var (
-		checks  = flag.String("c", "", "comma-separated analyzers to run (default: all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		dirFlag = flag.String("C", ".", "change to this directory before loading packages")
+		checks   = flag.String("c", "", "comma-separated analyzers to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		dirFlag  = flag.String("C", ".", "change to this directory before loading packages")
+		jsonFlag = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: converselint [-c analyzers] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: converselint [-c analyzers] [-json] [packages...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
 		}
@@ -112,26 +139,53 @@ func standalone() int {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := load.Packages(*dirFlag, patterns...)
+	loadFn := load.Packages
+	if lint.HasFacts(analyzers) {
+		loadFn = load.PackagesAndDeps
+	}
+	pkgs, err := loadFn(*dirFlag, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
 		return 1
 	}
+	facts := lint.NewFactStore()
 	found := 0
+	var all []jsonDiag
 	for _, pkg := range pkgs {
-		for _, e := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", pkg.ImportPath, e)
-			found++
+		if !pkg.FactsOnly {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", pkg.ImportPath, e)
+				found++
+			}
 		}
-		diags, err := lint.Run(pkg, analyzers)
+		facts.NoteImports(pkg.ImportPath, pkg.Imports)
+		diags, err := lint.RunWithFacts(pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Printf("%s\n", d)
+			if *jsonFlag {
+				all = append(all, jsonDiag{
+					Analyzer: d.Analyzer,
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Printf("%s\n", d)
+			}
 			found++
 		}
+	}
+	if *jsonFlag {
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(all)
 	}
 	if found > 0 {
 		return 1
@@ -158,7 +212,21 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// inModule reports whether an import path belongs to this module (test
+// variants like "p [p.test]" included).
+func inModule(importPath string) bool {
+	path, _, _ := strings.Cut(importPath, " [")
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
 // vetUnit lints one package unit described by a go vet .cfg file.
+//
+// Fact flow: the facts of every direct dependency are read from its
+// .vetx file (PackageVetx), the unit's own modular analyzers add their
+// facts, and the union is written to VetxOutput — so each vetx file
+// carries the transitive closure and one level of PackageVetx suffices.
+// Units outside this module (go vet visits the whole dependency graph,
+// standard library included) are not analyzed, only relayed.
 func vetUnit(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -171,19 +239,26 @@ func vetUnit(cfgPath string) int {
 		return 1
 	}
 
-	// The go command requires the facts output file to exist even
-	// though converselint exports no facts.
-	if cfg.VetxOutput != "" {
-		f, err := os.Create(cfg.VetxOutput)
-		if err != nil {
+	facts := lint.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := facts.ReadVetx(vetx); err != nil && !os.IsNotExist(err) {
 			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
 			return 1
 		}
-		gob.NewEncoder(f).Encode([]string(nil))
-		f.Close()
 	}
-	if cfg.VetxOnly {
+	writeFacts := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		if err := facts.WriteVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
+			return 1
+		}
 		return 0
+	}
+
+	if !inModule(cfg.ImportPath) {
+		return writeFacts()
 	}
 
 	exports := map[string]string{}
@@ -199,17 +274,21 @@ func vetUnit(cfgPath string) int {
 	}
 	if len(pkg.TypeErrors) > 0 {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeFacts()
 		}
 		for _, e := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "converselint: %s: %v\n", cfg.ImportPath, e)
 		}
 		return 1
 	}
-	diags, err := lint.Run(pkg, lint.Analyzers())
+	pkg.FactsOnly = cfg.VetxOnly
+	diags, err := lint.RunWithFacts(pkg, lint.Analyzers(), facts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "converselint: %v\n", err)
 		return 1
+	}
+	if rc := writeFacts(); rc != 0 {
+		return rc
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s\n", d)

@@ -29,6 +29,30 @@ type Analyzer struct {
 	// diagnostics through pass.Report. The returned value is ignored by
 	// the converselint driver (kept for x/tools signature parity).
 	Run func(pass *Pass) (any, error)
+
+	// FactTypes lists the fact types the analyzer exports and imports,
+	// one zero value per concrete type (all must be pointers to
+	// gob-serializable structs). A non-empty list makes the analyzer
+	// modular: the driver runs it over dependency packages first and
+	// carries its facts across package (and, under go vet, process)
+	// boundaries.
+	FactTypes []Fact
+}
+
+// A Fact is a serializable unit of knowledge one package's analysis
+// exports for the analyses of the packages that import it — the
+// mechanism that lets a per-package analyzer prove whole-program
+// properties (mirrors golang.org/x/tools/go/analysis.Fact). Concrete
+// fact types must be pointers, gob-encodable, and marked with AFact.
+type Fact interface {
+	AFact() // dummy marker method
+}
+
+// PackageFact pairs a fact with the import path of the package it
+// describes.
+type PackageFact struct {
+	Path string
+	Fact Fact
 }
 
 // Pass provides one analyzer run with a single type-checked package and
@@ -44,6 +68,22 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver installs it; analyzers
 	// should use Reportf for convenience.
 	Report func(Diagnostic)
+
+	// ExportPackageFact records a fact about the package under
+	// analysis. The fact is gob-serialized immediately, so a
+	// non-serializable fact fails the exporting package's run rather
+	// than a later importer's.
+	ExportPackageFact func(fact Fact)
+
+	// ImportPackageFact copies the fact of the given type recorded for
+	// the package with the given import path into fact (a pointer),
+	// reporting whether one was found. Only facts of dependencies
+	// analyzed before this pass are visible.
+	ImportPackageFact func(path string, fact Fact) bool
+
+	// AllPackageFacts returns every visible package fact of the types
+	// in Analyzer.FactTypes, excluding the package under analysis.
+	AllPackageFacts func() []PackageFact
 }
 
 // Diagnostic is one finding at a source position.

@@ -30,40 +30,66 @@ var wantRe = regexp.MustCompile("`([^`]*)`")
 // Run loads the package in dir and applies the analyzers, failing t on
 // any mismatch between reported and expected diagnostics. It returns
 // the diagnostics for further inspection.
+//
+// When any analyzer is modular (exports facts), dir is loaded as a
+// package tree ("./...") with in-module dependencies, analyzed
+// dependencies-first with a shared fact store — so a corpus can split
+// declaring and consuming packages across subdirectories and exercise
+// the cross-package fact flow for real.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) []lint.Diagnostic {
 	t.Helper()
-	pkg, err := load.Dir(dir)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	var units []*load.Package
+	if lint.HasFacts(analyzers) {
+		var err error
+		units, err = load.PackagesAndDeps(dir, "./...")
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+	} else {
+		pkg, err := load.Dir(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		units = []*load.Package{pkg}
 	}
-	if len(pkg.TypeErrors) > 0 {
-		t.Fatalf("type errors in %s: %v", dir, pkg.TypeErrors)
-	}
-	diags, err := lint.Run(pkg, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", dir, err)
-	}
+
+	facts := lint.NewFactStore()
+	var diags []lint.Diagnostic
 
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				i := strings.Index(c.Text, "// want ")
-				if i < 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text[i:], -1) {
-					re, err := regexp.Compile(m[1])
-					if err != nil {
-						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+	for _, pkg := range units {
+		if !pkg.FactsOnly && len(pkg.TypeErrors) > 0 {
+			t.Fatalf("type errors in %s: %v", pkg.ImportPath, pkg.TypeErrors)
+		}
+		facts.NoteImports(pkg.ImportPath, pkg.Imports)
+		ds, err := lint.RunWithFacts(pkg, analyzers, facts)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+		if pkg.FactsOnly {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, "// want ")
+					if i < 0 {
+						continue
 					}
-					k := key{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], re)
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[i:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+						}
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], re)
+					}
 				}
 			}
 		}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"converse/internal/lint/analysis"
+)
+
+// AtomicFact is the per-package fact atomicmix exports: the fully
+// qualified struct fields ("pkgpath.Type.field") this package accesses
+// through sync/atomic functions. Importers must treat those fields as
+// atomic too — one plain read anywhere in the repo is a silent race.
+type AtomicFact struct {
+	Fields []string
+}
+
+// AFact marks AtomicFact as a serializable analysis fact.
+func (*AtomicFact) AFact() {}
+
+// AtomicMix enforces atomic-everywhere: a struct field accessed through
+// a sync/atomic function in any package must be accessed atomically in
+// every package. The repo's own state words use the typed atomics
+// (atomic.Int64 and friends), which make plain access impossible by
+// construction; this analyzer holds the line for the function-style
+// atomics (atomic.LoadUint64(&s.f)...), where one forgotten Load is a
+// data race the race detector only catches under load. Plain access is
+// permitted in constructor scope — a function that just allocated the
+// struct — and under //lint:ignore atomicmix with a justification.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "report plain accesses to fields accessed via sync/atomic elsewhere\n\n" +
+		"Any struct field that is the target of a sync/atomic call (in this\n" +
+		"package or, through facts, in any dependency) must be accessed\n" +
+		"atomically everywhere: plain reads and writes and escaping &f\n" +
+		"aliases are reported. Freshly allocated structs (constructor\n" +
+		"scope) are exempt, as are _test.go files.",
+	Run:       runAtomicMix,
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+}
+
+func runAtomicMix(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	// Fields already known atomic, with the package that proves it.
+	atomicFields := map[string]string{}
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(*AtomicFact); ok {
+			for _, id := range f.Fields {
+				atomicFields[id] = pf.Path
+			}
+		}
+	}
+
+	prodFiles := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+
+	// Pass 1: collect this package's atomic call targets, remembering
+	// the exact &x.f operands so pass 2 can tell sanctioned accesses
+	// from plain ones.
+	ownAtomic := map[string]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	for _, f := range prodFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFnCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id := fieldIDOf(info, sel); id != "" {
+				ownAtomic[id] = true
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	for id := range ownAtomic {
+		if _, dup := atomicFields[id]; !dup {
+			atomicFields[id] = ""
+		}
+	}
+
+	// Pass 2: every other access to an atomic field is a finding.
+	for _, f := range prodFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshLocals(info, fd)
+			handled := map[ast.Node]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// An escaping &x.f alias defeats the analysis: flag the
+				// whole unary once and skip the selector inside it.
+				if ue, ok := n.(*ast.UnaryExpr); ok {
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok || sanctioned[sel] {
+						return true
+					}
+					id := fieldIDOf(info, sel)
+					src, isAtomic := atomicFields[id]
+					if !isAtomic || isFreshBase(info, sel, fresh) {
+						return true
+					}
+					handled[sel] = true
+					pass.Reportf(ue.Pos(),
+						"address of field %s escapes outside sync/atomic; the field is atomically accessed%s and aliases hide plain access",
+						id, atWhere(src))
+					return true
+				}
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] || handled[sel] {
+					return true
+				}
+				id := fieldIDOf(info, sel)
+				src, isAtomic := atomicFields[id]
+				if !isAtomic || isFreshBase(info, sel, fresh) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic%s: mixed access is a data race",
+					id, atWhere(src))
+				return true
+			})
+		}
+	}
+
+	if len(ownAtomic) > 0 {
+		fact := &AtomicFact{}
+		for id := range ownAtomic {
+			fact.Fields = append(fact.Fields, id)
+		}
+		sort.Strings(fact.Fields)
+		pass.ExportPackageFact(fact)
+	}
+	return nil, nil
+}
+
+// atWhere renders the provenance suffix for a diagnostic.
+func atWhere(src string) string {
+	if src == "" {
+		return " in this package"
+	}
+	return " in " + src
+}
+
+// isAtomicFnCall reports whether call invokes a package-level
+// sync/atomic function whose first parameter is the target pointer
+// (Load/Store/Add/Swap/CompareAndSwap/And/Or across all widths).
+func isAtomicFnCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil || sig.Params().Len() == 0 {
+		return false
+	}
+	_, ok := sig.Params().At(0).Type().(*types.Pointer)
+	return ok
+}
+
+// fieldIDOf resolves a selector to "pkgpath.Type.field" when it names a
+// field of a named struct type, or "" otherwise (locals, methods,
+// fields of anonymous structs).
+func fieldIDOf(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	owner, field := fieldOwner(s)
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return ""
+	}
+	return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name()
+}
+
+// fieldOwner walks a selection's index chain to the named struct that
+// declares the selected field (through embedding and pointers).
+func fieldOwner(s *types.Selection) (*types.Named, *types.Var) {
+	t := s.Recv()
+	idx := s.Index()
+	for step, i := range idx {
+		for {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		named, _ := t.(*types.Named)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return nil, nil
+		}
+		f := st.Field(i)
+		if step == len(idx)-1 {
+			return named, f
+		}
+		t = f.Type()
+	}
+	return nil, nil
+}
+
+// freshLocals returns the local variables fd visibly allocates itself —
+// x := S{...}, x := &S{...}, x := new(S), x := newS(...), var x S —
+// whose fields are in constructor scope: no other goroutine can see
+// them yet, so plain initialization is fine. Plain `=` assignment of a
+// fresh allocation to a local also qualifies: the variable now points
+// at an unpublished object.
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok || !isFreshAlloc(info, rhs) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if v, ok := obj.(*types.Var); ok && !v.IsField() && !isPackageLevel(v) {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 0 {
+				for _, id := range st.Names {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+				return true
+			}
+			if len(st.Values) != len(st.Names) {
+				return true
+			}
+			for i, id := range st.Names {
+				if isFreshAlloc(info, st.Values[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshAlloc reports whether an expression visibly allocates a new
+// value: a composite literal, its address, new(T), or a call to a
+// constructor by naming convention (new*/New* returns an object no one
+// else has seen yet).
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "new" {
+				if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			return strings.HasPrefix(fun.Name, "new") || strings.HasPrefix(fun.Name, "New")
+		case *ast.SelectorExpr:
+			return strings.HasPrefix(fun.Sel.Name, "New")
+		}
+	}
+	return false
+}
+
+// isPackageLevel reports whether a variable is declared at package
+// scope (shared: never constructor-fresh).
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isFreshBase reports whether a selector's base is one of the
+// function's freshly allocated locals.
+func isFreshBase(info *types.Info, sel *ast.SelectorExpr, fresh map[types.Object]bool) bool {
+	base := ast.Unparen(sel.X)
+	for {
+		if inner, ok := base.(*ast.SelectorExpr); ok {
+			base = ast.Unparen(inner.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && fresh[obj]
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+
+	"converse/internal/lint/analysis"
+)
+
+// FactStore carries serialized package facts between analyzer passes.
+// Facts are gob bytes keyed by (analyzer, package path, fact type), so
+// the same store backs both drivers: the standalone runner fills it in
+// dependency order within one process, and the go vet -vettool path
+// round-trips it through vet's .vetx fact files, one per package unit.
+// Facts are encoded at export time and decoded at import time even
+// in-process — an unserializable fact fails loudly at its source.
+type FactStore struct {
+	m map[factKey][]byte
+
+	// deps records each analyzed package's direct imports. The
+	// standalone driver analyzes a whole module in one process, so its
+	// store holds every package's facts — but a pass may only see facts
+	// of packages it (transitively) imports, exactly as under go vet,
+	// where .vetx files carry only the dependency closure. An empty deps
+	// map means the store was built from vetx files and is pre-scoped.
+	deps map[string][]string
+}
+
+type factKey struct {
+	analyzer string
+	pkg      string
+	typ      string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[factKey][]byte{}, deps: map[string][]string{}}
+}
+
+// NoteImports records a package's direct imports for visibility
+// scoping; the driver calls it for every unit it analyzes.
+func (s *FactStore) NoteImports(path string, imports []string) {
+	s.deps[path] = imports
+}
+
+// visibleFrom returns the set of package paths whose facts a unit with
+// the given direct imports may see: the transitive closure over the
+// recorded import edges. A nil return means the store is pre-scoped
+// (vet mode: no imports were ever noted) and everything is visible.
+func (s *FactStore) visibleFrom(imports []string) map[string]bool {
+	if len(s.deps) == 0 {
+		return nil
+	}
+	visible := map[string]bool{}
+	stack := append([]string{}, imports...)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visible[p] {
+			continue
+		}
+		visible[p] = true
+		stack = append(stack, s.deps[p]...)
+	}
+	return visible
+}
+
+// factTypeName keys a fact by its concrete type.
+func factTypeName(f analysis.Fact) string {
+	return reflect.TypeOf(f).String()
+}
+
+// add encodes one fact exported by analyzer for package pkg.
+func (s *FactStore) add(analyzer, pkg string, f analysis.Fact) error {
+	if reflect.TypeOf(f).Kind() != reflect.Pointer {
+		return fmt.Errorf("fact %T is not a pointer", f)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("encoding fact %T for %s: %v", f, pkg, err)
+	}
+	s.m[factKey{analyzer, pkg, factTypeName(f)}] = buf.Bytes()
+	return nil
+}
+
+// get decodes the fact of f's type recorded for (analyzer, pkg) into f.
+func (s *FactStore) get(analyzer, pkg string, f analysis.Fact) bool {
+	data, ok := s.m[factKey{analyzer, pkg, factTypeName(f)}]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(f) == nil
+}
+
+// all decodes every stored fact for analyzer whose type appears in
+// factTypes, except those describing package self, sorted by package
+// path for deterministic diagnostics.
+func (s *FactStore) all(analyzer, self string, factTypes []analysis.Fact) []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for k, data := range s.m {
+		if k.analyzer != analyzer || k.pkg == self {
+			continue
+		}
+		for _, ft := range factTypes {
+			if factTypeName(ft) != k.typ {
+				continue
+			}
+			f := reflect.New(reflect.TypeOf(ft).Elem()).Interface().(analysis.Fact)
+			if gob.NewDecoder(bytes.NewReader(data)).Decode(f) == nil {
+				out = append(out, analysis.PackageFact{Path: k.pkg, Fact: f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// factRec is the on-disk form of one fact, the unit of the vetx files
+// the go vet driver persists between package units.
+type factRec struct {
+	Analyzer string
+	Pkg      string
+	Type     string
+	Data     []byte
+}
+
+// WriteVetx serializes the whole store to path (go vet's VetxOutput for
+// the current unit). The store already contains the facts imported from
+// dependency units, so fact flow is transitive: a unit only ever needs
+// the vetx files of its direct dependencies.
+func (s *FactStore) WriteVetx(path string) error {
+	recs := make([]factRec, 0, len(s.m))
+	for k, data := range s.m {
+		recs = append(recs, factRec{Analyzer: k.analyzer, Pkg: k.pkg, Type: k.typ, Data: data})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return fmt.Errorf("encoding fact file: %v", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// ReadVetx merges the facts serialized in path into the store. An empty
+// file is a valid empty store (go vet pre-creates outputs).
+func (s *FactStore) ReadVetx(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding fact file %s: %v", path, err)
+	}
+	for _, r := range recs {
+		s.m[factKey{r.Analyzer, r.Pkg, r.Type}] = r.Data
+	}
+	return nil
+}
+
+// Len reports the number of stored facts (used by the registry tests).
+func (s *FactStore) Len() int { return len(s.m) }

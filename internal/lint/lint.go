@@ -37,6 +37,9 @@ func Analyzers() []*analysis.Analyzer {
 		HandlerReg,
 		BlockInHandler,
 		NoAllocInHot,
+		WireKinds,
+		AtomicMix,
+		LockDiscipline,
 	}
 }
 
@@ -69,13 +72,41 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Run applies the analyzers to one loaded package, honoring
-// //lint:ignore directives, and returns the surviving diagnostics
-// sorted by position.
+// Run applies the analyzers to one loaded package with a fresh, empty
+// fact store — the right call for self-contained analyzers. Modular
+// (fact-exporting) analyzers need RunWithFacts over a dependency-sorted
+// unit list instead.
 func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	return RunWithFacts(pkg, analyzers, NewFactStore())
+}
+
+// HasFacts reports whether any of the analyzers is modular (exports or
+// imports facts), which decides whether dependency units must be loaded
+// and analyzed first.
+func HasFacts(analyzers []*analysis.Analyzer) bool {
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunWithFacts applies the analyzers to one loaded package, honoring
+// //lint:ignore directives, and returns the surviving diagnostics
+// sorted by position. Facts exported by earlier passes are visible
+// through the shared store, and facts this package exports are added to
+// it; for a facts-only dependency unit only the modular analyzers run
+// and all diagnostics are discarded.
+func RunWithFacts(pkg *load.Package, analyzers []*analysis.Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	ignores := collectIgnores(pkg)
+	visible := facts.visibleFrom(pkg.Imports)
+	canSee := func(path string) bool { return visible == nil || visible[path] }
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if pkg.FactsOnly && len(a.FactTypes) == 0 {
+			continue
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -84,15 +115,40 @@ func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error
 			TypesInfo: pkg.Info,
 		}
 		name := a.Name
+		var factErr error
 		pass.Report = func(d analysis.Diagnostic) {
+			if pkg.FactsOnly {
+				return
+			}
 			pos := pkg.Fset.Position(d.Pos)
 			if ignores.match(name, pos) {
 				return
 			}
 			out = append(out, Diagnostic{Analyzer: name, Pos: pos, Message: d.Message})
 		}
+		pass.ExportPackageFact = func(f analysis.Fact) {
+			if err := facts.add(name, pkg.ImportPath, f); err != nil && factErr == nil {
+				factErr = err
+			}
+		}
+		pass.ImportPackageFact = func(path string, f analysis.Fact) bool {
+			return canSee(path) && facts.get(name, path, f)
+		}
+		pass.AllPackageFacts = func() []analysis.PackageFact {
+			all := facts.all(name, pkg.ImportPath, a.FactTypes)
+			out := all[:0]
+			for _, pf := range all {
+				if canSee(pf.Path) {
+					out = append(out, pf)
+				}
+			}
+			return out
+		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+		}
+		if factErr != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, factErr)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

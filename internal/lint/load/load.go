@@ -34,21 +34,34 @@ type Package struct {
 	Pkg        *types.Package
 	Info       *types.Info
 	TypeErrors []error
+
+	// Imports are the unit's direct imports (test imports included for
+	// units that carry test files) — the edges the fact-aware driver
+	// topologically sorts by.
+	Imports []string
+
+	// FactsOnly marks a dependency unit loaded solely so modular
+	// analyzers can derive facts from it; its diagnostics are discarded
+	// (it was not named by the requested patterns).
+	FactsOnly bool
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	Dir         string
-	ImportPath  string
-	Name        string
-	Export      string
-	GoFiles     []string
-	TestGoFiles []string
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
 	XTestGoFiles []string
-	Standard    bool
-	DepOnly     bool
-	ForTest     string
-	Incomplete  bool
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	Incomplete   bool
 }
 
 // Packages loads every unit matching the given go-list patterns,
@@ -56,6 +69,20 @@ type listPkg struct {
 // in-package unit (GoFiles + TestGoFiles) and, when present, an
 // external test unit (XTestGoFiles as package foo_test).
 func Packages(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, false, patterns...)
+}
+
+// PackagesAndDeps is Packages plus facts-only units for every
+// non-standard dependency of the matched packages, the whole set
+// topologically sorted dependencies-first. This is the loading mode for
+// modular analyzers: by the time a target unit runs, every in-module
+// package it imports (directly or not) has been analyzed and its facts
+// recorded — the in-process mirror of go vet's .vetx fact flow.
+func PackagesAndDeps(dir string, patterns ...string) ([]*Package, error) {
+	return load(dir, true, patterns...)
+}
+
+func load(dir string, withDeps bool, patterns ...string) ([]*Package, error) {
 	raw, err := golist(dir, true, patterns...)
 	if err != nil {
 		return nil, err
@@ -68,7 +95,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	// it everywhere keeps type identity consistent).
 	exports := map[string]string{}
 	variant := map[string]string{}
-	var targets []listPkg
+	var targets, deps []listPkg
 	for _, p := range raw {
 		path, isVariant := splitVariant(p.ImportPath)
 		if p.Export != "" {
@@ -78,7 +105,13 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 				exports[path] = p.Export
 			}
 		}
-		if p.DepOnly || p.Standard || isVariant || strings.HasSuffix(p.ImportPath, ".test") {
+		if isVariant || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.DepOnly || p.Standard {
+			if withDeps && !p.Standard && len(p.GoFiles) > 0 {
+				deps = append(deps, p)
+			}
 			continue
 		}
 		targets = append(targets, p)
@@ -97,17 +130,85 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		unit.Imports = union(t.Imports, t.TestImports)
 		out = append(out, unit)
 		if len(t.XTestGoFiles) > 0 {
 			xunit, err := check(fset, imp, t.ImportPath+"_test", t.Dir, t.XTestGoFiles)
 			if err != nil {
 				return nil, err
 			}
+			xunit.Imports = append([]string{t.ImportPath}, t.XTestImports...)
 			out = append(out, xunit)
 		}
 	}
+	for _, d := range deps {
+		unit, err := check(fset, imp, d.ImportPath, d.Dir, d.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		unit.Imports = append([]string{}, d.Imports...)
+		unit.FactsOnly = true
+		out = append(out, unit)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
-	return out, nil
+	return topoSort(out), nil
+}
+
+// union merges two import lists, deduplicated, order-preserving.
+func union(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// topoSort orders units dependencies-first (Kahn's algorithm over the
+// direct-import edges restricted to the unit set; edges to packages
+// outside the set — the standard library — are ignored). Input order
+// breaks ties, so the result is deterministic. Go forbids import
+// cycles, but a defensive tail append keeps even a malformed input from
+// losing units.
+func topoSort(units []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, u := range units {
+		// A facts-only dep never shadows a target unit for the same path.
+		if prev, ok := byPath[u.ImportPath]; !ok || prev.FactsOnly {
+			byPath[u.ImportPath] = u
+		}
+	}
+	done := map[*Package]bool{}
+	var out []*Package
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if done[u] {
+				continue
+			}
+			ready := true
+			for _, imp := range u.Imports {
+				if dep, ok := byPath[imp]; ok && dep != u && !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				done[u] = true
+				out = append(out, u)
+				changed = true
+			}
+		}
+	}
+	for _, u := range units {
+		if !done[u] {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // Dir loads the single package in dir (all its .go files, tests
@@ -140,7 +241,7 @@ func golist(dir string, withTests bool, patterns ...string) ([]listPkg, error) {
 	if withTests {
 		args = append(args, "-test")
 	}
-	args = append(args, "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly,ForTest,Incomplete")
+	args = append(args, "-json=Dir,ImportPath,Name,Export,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Standard,DepOnly,ForTest,Incomplete")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

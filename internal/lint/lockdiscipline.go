@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"converse/internal/lint/analysis"
+)
+
+// LockFact is the per-package fact lockdiscipline exports: the fields
+// ("pkgpath.Type.field") whose every access in their home package holds
+// the named receiver mutex. Downstream packages touching such a field
+// must hold the same lock.
+type LockFact struct {
+	Guarded map[string]string // fieldID -> mutex field name
+}
+
+// AFact marks LockFact as a serializable analysis fact.
+func (*LockFact) AFact() {}
+
+// LockDiscipline infers guarded-by relationships and enforces them: a
+// struct field consistently touched only while a sync.Mutex/RWMutex
+// field of the same struct is held is inferred guarded, and the
+// minority of accesses that skip the lock are reported (RacerD-style
+// inference — the analyzer never needs an annotation, the code's own
+// majority behavior is the spec). It also builds a lock-order graph —
+// which locks are acquired while which others are held, one level of
+// calls deep — and reports cycles: the gateway/daemon/job mutex web in
+// internal/service is exactly where an inversion becomes a rare,
+// load-dependent deadlock.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "report unguarded accesses to mutex-guarded fields and lock-order cycles\n\n" +
+		"A field of a mutex-bearing struct whose accesses hold the mutex at\n" +
+		"least twice and at least twice as often as not is inferred\n" +
+		"guarded-by; the unguarded accesses are reported. Fields guarded on\n" +
+		"every home-package access are exported as facts and enforced in\n" +
+		"importers. Acquiring lock B while holding lock A adds edge A->B to\n" +
+		"a per-package lock-order graph; cycles are reported at one edge\n" +
+		"with the position of the counter-edge. Constructor scope (freshly\n" +
+		"allocated structs), _test.go files, and functions whose name ends\n" +
+		"in \"Locked\" (callee of a lock-holding caller, by convention) are\n" +
+		"exempt.",
+	Run:       runLockDiscipline,
+	FactTypes: []analysis.Fact{(*LockFact)(nil)},
+}
+
+// heldLock is one lock the walker believes is held at a program point.
+type heldLock struct {
+	base  types.Object // leading identifier's object (receiver, local, package var)
+	owner *types.Named // struct owning the mutex field (nil for package-level mutexes)
+	field string       // mutex field name ("" for package-level)
+	node  string       // canonical lock node id ("pkg.Type.field" or "pkg.var")
+}
+
+// fieldStats accumulates the evidence for one field's guarded-by
+// inference.
+type fieldStats struct {
+	locked      int
+	unlocked    []token.Pos
+	guardCounts map[string]int // mutex field name -> times held during a locked access
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+type lockState struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	stats     map[string]*fieldStats
+	edges     map[[2]string]token.Pos
+	funcLocks map[*types.Func]map[string]bool
+	imported  map[string]importedGuard // fieldID -> guard from dependency facts
+}
+
+type importedGuard struct {
+	mutex string
+	from  string
+}
+
+func runLockDiscipline(pass *analysis.Pass) (any, error) {
+	st := &lockState{
+		pass:      pass,
+		info:      pass.TypesInfo,
+		stats:     map[string]*fieldStats{},
+		edges:     map[[2]string]token.Pos{},
+		funcLocks: map[*types.Func]map[string]bool{},
+		imported:  map[string]importedGuard{},
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(*LockFact); ok {
+			for id, mu := range f.Guarded {
+				st.imported[id] = importedGuard{mutex: mu, from: pf.Path}
+			}
+		}
+	}
+
+	prodFiles := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+
+	// Pre-pass: which lock nodes does each function acquire anywhere in
+	// its body, propagated transitively through same-package calls so
+	// the order graph sees "holds A, calls helper that locks B".
+	for _, f := range prodFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := st.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			locks := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if hl, op := st.lockOp(call); hl != nil && (op == "Lock" || op == "RLock") {
+						locks[hl.node] = true
+					}
+				}
+				return true
+			})
+			st.funcLocks[fn] = locks
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prodFiles {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := st.info.Defs[fd.Name].(*types.Func)
+				locks := st.funcLocks[fn]
+				if locks == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for node := range st.funcLocks[calleeOf(st.info, call)] {
+						if !locks[node] {
+							locks[node] = true
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Main walk: simulate held locks through each function body,
+	// classifying field accesses and recording order edges.
+	for _, f := range prodFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]heldLock{}
+			// By convention a fooLocked function runs with its
+			// receiver's locks already held by the caller.
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				if recv, ok := st.info.Defs[fd.Recv.List[0].Names[0]].(*types.Var); ok {
+					if named := namedOf(recv.Type()); named != nil {
+						for _, mf := range mutexFieldsOf(named) {
+							hl := heldLock{base: recv, owner: named, field: mf, node: lockNodeID(named, mf)}
+							held[heldKey(hl)] = hl
+						}
+					}
+				}
+			}
+			fresh := freshLocals(st.info, fd)
+			st.walkStmts(fd.Body.List, held, fresh)
+		}
+	}
+
+	// Guarded-by findings. A field is inferred guarded when the lock is
+	// held on at least two accesses and at least twice as often as not;
+	// the unguarded accesses are then the anomaly worth reporting.
+	ids := make([]string, 0, len(st.stats))
+	for id := range st.stats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	guarded := map[string]string{}
+	for _, id := range ids {
+		s := st.stats[id]
+		mu := dominantGuard(s.guardCounts)
+		if s.locked >= 2 && len(s.unlocked) == 0 {
+			guarded[id] = mu
+			continue
+		}
+		if ig, ok := st.imported[id]; ok {
+			for _, pos := range s.unlocked {
+				pass.Reportf(pos,
+					"field %s is guarded by %s in %s; this access does not hold it",
+					id, ig.mutex, ig.from)
+			}
+			continue
+		}
+		if s.locked >= 2 && len(s.unlocked) > 0 && s.locked >= 2*len(s.unlocked) {
+			for _, pos := range s.unlocked {
+				pass.Reportf(pos,
+					"field %s is guarded by %s on %d of %d accesses; this access does not hold it",
+					id, mu, s.locked, s.locked+len(s.unlocked))
+			}
+		}
+	}
+
+	// Lock-order cycles: report edge A->B when B also reaches A.
+	st.reportCycles()
+
+	if len(guarded) > 0 {
+		pass.ExportPackageFact(&LockFact{Guarded: guarded})
+	}
+	return nil, nil
+}
+
+// walkStmts simulates a statement list with the given held-lock set.
+// Branch bodies run on copies: a lock taken or released inside a branch
+// does not leak past it (release-before-early-return, the common shape,
+// is inside the branch with its return).
+func (st *lockState) walkStmts(stmts []ast.Stmt, held map[string]heldLock, fresh map[types.Object]bool) {
+	for _, s := range stmts {
+		st.walkStmt(s, held, fresh)
+	}
+}
+
+func (st *lockState) walkStmt(s ast.Stmt, held map[string]heldLock, fresh map[types.Object]bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if hl, op := st.lockOp(call); hl != nil {
+				switch op {
+				case "Lock", "RLock":
+					st.acquire(*hl, call.Pos(), held)
+				case "Unlock", "RUnlock":
+					delete(held, heldKey(*hl))
+				}
+				return
+			}
+		}
+		st.visitExpr(x.X, held, fresh)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to the end of the
+		// function; other deferred calls run in an unknown lock state,
+		// but their arguments are evaluated here and now.
+		if hl, op := st.lockOp(x.Call); hl != nil && (op == "Unlock" || op == "RUnlock") {
+			return
+		}
+		for _, a := range x.Call.Args {
+			st.visitExpr(a, held, fresh)
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			st.walkStmts(fl.Body.List, map[string]heldLock{}, fresh)
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			st.visitExpr(a, held, fresh)
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			st.walkStmts(fl.Body.List, map[string]heldLock{}, fresh)
+		}
+	case *ast.BlockStmt:
+		st.walkStmts(x.List, held, fresh)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init, held, fresh)
+		}
+		st.visitExpr(x.Cond, held, fresh)
+		st.walkStmts(x.Body.List, copyHeld(held), fresh)
+		if x.Else != nil {
+			st.walkStmt(x.Else, copyHeld(held), fresh)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init, held, fresh)
+		}
+		if x.Cond != nil {
+			st.visitExpr(x.Cond, held, fresh)
+		}
+		body := copyHeld(held)
+		st.walkStmts(x.Body.List, body, fresh)
+		if x.Post != nil {
+			st.walkStmt(x.Post, body, fresh)
+		}
+	case *ast.RangeStmt:
+		st.visitExpr(x.X, held, fresh)
+		st.walkStmts(x.Body.List, copyHeld(held), fresh)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init, held, fresh)
+		}
+		if x.Tag != nil {
+			st.visitExpr(x.Tag, held, fresh)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					st.visitExpr(e, held, fresh)
+				}
+				st.walkStmts(cc.Body, copyHeld(held), fresh)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st.walkStmt(x.Init, held, fresh)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.walkStmts(cc.Body, copyHeld(held), fresh)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					st.walkStmt(cc.Comm, copyHeld(held), fresh)
+				}
+				st.walkStmts(cc.Body, copyHeld(held), fresh)
+			}
+		}
+	case *ast.LabeledStmt:
+		st.walkStmt(x.Stmt, held, fresh)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			st.visitExpr(e, held, fresh)
+		}
+		for _, e := range x.Lhs {
+			st.visitExpr(e, held, fresh)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			st.visitExpr(e, held, fresh)
+		}
+	case *ast.IncDecStmt:
+		st.visitExpr(x.X, held, fresh)
+	case *ast.SendStmt:
+		st.visitExpr(x.Chan, held, fresh)
+		st.visitExpr(x.Value, held, fresh)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st.visitExpr(v, held, fresh)
+					}
+				}
+			}
+		}
+	}
+}
+
+// visitExpr classifies every field access in an expression against the
+// current held set and records lock-order edges for calls into
+// lock-acquiring functions. Function literals run with an empty held
+// set (they execute later, on whatever goroutine calls them).
+func (st *lockState) visitExpr(e ast.Expr, held map[string]heldLock, fresh map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			st.walkStmts(x.Body.List, map[string]heldLock{}, fresh)
+			return false
+		case *ast.CallExpr:
+			// An immediately-invoked closure runs synchronously on this
+			// goroutine: it inherits the held set.
+			if fl, ok := x.Fun.(*ast.FuncLit); ok {
+				for _, a := range x.Args {
+					st.visitExpr(a, held, fresh)
+				}
+				st.walkStmts(fl.Body.List, copyHeld(held), fresh)
+				return false
+			}
+			if len(held) > 0 {
+				for node := range st.funcLocks[calleeOf(st.info, x)] {
+					for _, h := range held {
+						if h.node != node {
+							st.addEdge(h.node, node, x.Pos())
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			st.classifyAccess(x, held, fresh)
+		}
+		return true
+	})
+}
+
+// classifyAccess records one field access as locked or unlocked.
+func (st *lockState) classifyAccess(sel *ast.SelectorExpr, held map[string]heldLock, fresh map[types.Object]bool) {
+	s, ok := st.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	owner, field := fieldOwner(s)
+	if owner == nil || owner.Obj().Pkg() == nil {
+		return
+	}
+	// Self-synchronizing field types need no external guard, and the
+	// mutexes themselves are operated on, not guarded.
+	if isSyncType(field.Type()) || isChanType(field.Type()) {
+		return
+	}
+	id := owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name()
+	_, imported := st.imported[id]
+	if len(mutexFieldsOf(owner)) == 0 && !imported {
+		return
+	}
+	if isFreshBase(st.info, sel, fresh) {
+		return
+	}
+	base := baseObjOf(st.info, sel)
+	var heldMutex string
+	for _, h := range held {
+		if h.base != nil && h.base == base && h.owner == owner {
+			heldMutex = h.field
+			break
+		}
+	}
+	stats := st.stats[id]
+	if stats == nil {
+		stats = &fieldStats{guardCounts: map[string]int{}}
+		st.stats[id] = stats
+	}
+	if heldMutex != "" {
+		stats.locked++
+		stats.guardCounts[heldMutex]++
+	} else {
+		stats.unlocked = append(stats.unlocked, sel.Pos())
+	}
+}
+
+// acquire adds a lock to the held set, first recording order edges from
+// everything already held.
+func (st *lockState) acquire(hl heldLock, pos token.Pos, held map[string]heldLock) {
+	for _, h := range held {
+		if h.node != hl.node {
+			st.addEdge(h.node, hl.node, pos)
+		}
+	}
+	held[heldKey(hl)] = hl
+}
+
+func (st *lockState) addEdge(from, to string, pos token.Pos) {
+	k := [2]string{from, to}
+	if _, ok := st.edges[k]; !ok {
+		st.edges[k] = pos
+	}
+}
+
+// reportCycles finds lock-order cycles and reports each once, at the
+// lexically first edge, naming where the counter-path starts.
+func (st *lockState) reportCycles() {
+	adj := map[string][]string{}
+	for k := range st.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for a := range adj {
+		sort.Strings(adj[a])
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		var stack []string
+		stack = append(stack, from)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	keys := make([][2]string, 0, len(st.edges))
+	for k := range st.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		a, b := k[0], k[1]
+		if a >= b || !reaches(b, a) {
+			continue
+		}
+		// Find one concrete counter-edge position to cite.
+		counter := token.NoPos
+		for k2, pos := range st.edges {
+			if k2[0] == b && reaches(k2[1], a) || (k2[0] == b && k2[1] == a) {
+				counter = pos
+				break
+			}
+		}
+		pass := st.pass
+		pass.Reportf(st.edges[k],
+			"lock order inversion: %s acquired while holding %s, but the opposite order is taken at %s",
+			b, a, pass.Fset.Position(counter))
+	}
+}
+
+// lockOp recognizes x.mu.Lock()/Unlock()/RLock()/RUnlock() on a
+// sync.Mutex or sync.RWMutex (field, embedded, or package-level
+// variable), returning the lock identity and the operation name.
+func (st *lockState) lockOp(call *ast.CallExpr) (*heldLock, string) {
+	fn := calleeOf(st.info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	if recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex" {
+		return nil, ""
+	}
+	selFun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	mutexExpr := ast.Unparen(selFun.X)
+	switch m := mutexExpr.(type) {
+	case *ast.SelectorExpr:
+		// x.mu.Lock(): the mutex is field m.Sel of x's type.
+		owner := namedOf(exprType(st.info, m.X))
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return nil, ""
+		}
+		return &heldLock{
+			base:  baseObjOf(st.info, m),
+			owner: owner,
+			field: m.Sel.Name,
+			node:  lockNodeID(owner, m.Sel.Name),
+		}, fn.Name()
+	case *ast.Ident:
+		obj := st.info.Uses[m]
+		if obj == nil {
+			return nil, ""
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			if named := namedOf(v.Type()); named == nil || named.Obj().Pkg().Path() == "sync" {
+				// Package-level or local mutex variable.
+				node := m.Name
+				if v.Pkg() != nil {
+					node = v.Pkg().Path() + "." + m.Name
+				}
+				return &heldLock{base: obj, node: node}, fn.Name()
+			}
+			// Embedded mutex promoted through a named type: r.Lock().
+			named := namedOf(v.Type())
+			return &heldLock{base: obj, owner: named, field: "Mutex", node: lockNodeID(named, "Mutex")}, fn.Name()
+		}
+		return nil, ""
+	}
+	return nil, ""
+}
+
+func heldKey(hl heldLock) string {
+	return fmt.Sprintf("%p/%s", hl.base, hl.node)
+}
+
+func copyHeld(held map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockNodeID names a lock for the order graph.
+func lockNodeID(owner *types.Named, field string) string {
+	path := ""
+	if owner.Obj().Pkg() != nil {
+		path = owner.Obj().Pkg().Path() + "."
+	}
+	return path + owner.Obj().Name() + "." + field
+}
+
+// dominantGuard returns the most frequently held mutex field name.
+func dominantGuard(counts map[string]int) string {
+	best, bestN := "mu", -1
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if counts[n] > bestN {
+			best, bestN = n, counts[n]
+		}
+	}
+	return best
+}
+
+// mutexFieldsOf lists the sync.Mutex/RWMutex fields (named or embedded)
+// of a named struct type.
+func mutexFieldsOf(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if n := namedOf(f.Type()); n != nil && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "sync" &&
+			(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex") {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// namedOf unwraps pointers and aliases to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// exprType returns the static type of an expression, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isSyncType reports whether t is declared in sync or sync/atomic.
+func isSyncType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	p := n.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// isChanType reports whether t is (or aliases) a channel: channel
+// operations synchronize themselves.
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// baseObjOf returns the object of the leading identifier of a selector
+// chain (s in s.a.b), or nil for anything else (calls, indexes).
+func baseObjOf(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	e := ast.Unparen(sel.X)
+	for {
+		if inner, ok := e.(*ast.SelectorExpr); ok {
+			e = ast.Unparen(inner.X)
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,47 @@
+// Package a owns a counter struct whose hot field is accessed through
+// sync/atomic, plus every in-package way to get that wrong.
+package a
+
+import "sync/atomic"
+
+// Counter's N field is atomic: the Bump path below proves it, the fact
+// export makes every importer honor it.
+type Counter struct {
+	N    uint64
+	Name string
+}
+
+// Bump is the sanctioned access.
+func Bump(c *Counter) uint64 {
+	atomic.AddUint64(&c.N, 1)
+	return atomic.LoadUint64(&c.N)
+}
+
+func plainRead(c *Counter) uint64 {
+	return c.N // want `plain access to field .*/atomicmix/a\.Counter\.N, which is accessed with sync/atomic`
+}
+
+func plainWrite(c *Counter) {
+	c.N = 0 // want `plain access to field .*/atomicmix/a\.Counter\.N`
+}
+
+func escape(c *Counter) *uint64 {
+	return &c.N // want `address of field .*/atomicmix/a\.Counter\.N escapes outside sync/atomic`
+}
+
+// NewCounter initializes in constructor scope: the struct is fresh,
+// no other goroutine can see it, plain writes are fine.
+func NewCounter(start uint64) *Counter {
+	c := &Counter{Name: "fresh"}
+	c.N = start
+	return c
+}
+
+func ignored(c *Counter) uint64 {
+	//lint:ignore atomicmix corpus exercises the justification-bearing escape hatch
+	return c.N
+}
+
+func otherFieldIsFine(c *Counter) string {
+	return c.Name
+}

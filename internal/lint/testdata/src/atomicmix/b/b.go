@@ -1,0 +1,23 @@
+// Package b imports the counter: the atomic-everywhere obligation
+// crosses the package boundary through the exported fact.
+package b
+
+import (
+	"sync/atomic"
+
+	"converse/internal/lint/testdata/src/atomicmix/a"
+)
+
+func atomicUse(c *a.Counter) uint64 {
+	return atomic.LoadUint64(&c.N)
+}
+
+func plainUse(c *a.Counter) uint64 {
+	return c.N // want `plain access to field .*/atomicmix/a\.Counter\.N, which is accessed with sync/atomic in .*/atomicmix/a`
+}
+
+func freshUse() uint64 {
+	c := a.NewCounter(3)
+	c.N = 4 // constructor-call freshness extends to the caller's local
+	return atomic.LoadUint64(&c.N)
+}

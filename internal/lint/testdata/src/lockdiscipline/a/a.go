@@ -1,0 +1,91 @@
+// Package a exercises guarded-by inference: a field mostly accessed
+// under its struct's mutex is inferred guarded, and the stragglers are
+// the findings.
+package a
+
+import "sync"
+
+type G struct {
+	mu sync.Mutex
+	n  int
+}
+
+// NewG initializes in constructor scope; nothing counts yet.
+func NewG() *G {
+	g := &G{}
+	g.n = 5
+	return g
+}
+
+func (g *G) inc() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func (g *G) get() int {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	return v
+}
+
+// bumpLocked runs with g.mu held by the caller — the *Locked naming
+// convention the analyzer honors.
+func (g *G) bumpLocked() {
+	g.n++
+}
+
+// iife: an immediately-invoked closure inherits the held set.
+func (g *G) iife() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return func() int { return g.n }()
+}
+
+func (g *G) bad() int {
+	return g.n // want `field .*/lockdiscipline/a\.G\.n is guarded by mu on 4 of 6 accesses; this access does not hold it`
+}
+
+func (g *G) ignored() int {
+	//lint:ignore lockdiscipline corpus exercises the justification-bearing escape hatch
+	return g.n
+}
+
+// P's exported field is guarded on every home access, so the guard is
+// exported as a fact and enforced in importers.
+type P struct {
+	Mu sync.RWMutex
+	V  int
+}
+
+func (p *P) SetV(v int) {
+	p.Mu.Lock()
+	p.V = v
+	p.Mu.Unlock()
+}
+
+func (p *P) GetV() int {
+	p.Mu.RLock()
+	defer p.Mu.RUnlock()
+	return p.V
+}
+
+// Lock-order inversion: lockAB takes LA.mu then LB.mu, lockBA the
+// reverse — the cycle that becomes a load-dependent deadlock.
+type LA struct{ mu sync.Mutex }
+type LB struct{ mu sync.Mutex }
+
+func lockAB(x *LA, y *LB) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock order inversion: .*/lockdiscipline/a\.LB\.mu acquired while holding .*/lockdiscipline/a\.LA\.mu, but the opposite order is taken at`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func lockBA(x *LA, y *LB) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

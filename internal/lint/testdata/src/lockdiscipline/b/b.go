@@ -1,0 +1,15 @@
+// Package b imports the guarded struct: the guarded-by obligation
+// crosses the package boundary through the exported fact.
+package b
+
+import "converse/internal/lint/testdata/src/lockdiscipline/a"
+
+func lockedUse(p *a.P) int {
+	p.Mu.RLock()
+	defer p.Mu.RUnlock()
+	return p.V
+}
+
+func plainUse(p *a.P) int {
+	return p.V // want `field .*/lockdiscipline/a\.P\.V is guarded by Mu in .*/lockdiscipline/a; this access does not hold it`
+}

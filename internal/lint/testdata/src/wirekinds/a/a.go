@@ -1,0 +1,57 @@
+// Package a declares one frame-kind plane and exercises the wirekinds
+// in-package rules: raw literals, dispatch exhaustiveness, and the
+// ignore escape hatch.
+package a
+
+import (
+	"io"
+
+	"converse/internal/wire"
+)
+
+const (
+	AK1 byte = 1 + iota
+	AK2
+	AK3
+)
+
+// Forward relays a caller-chosen kind into the shared framing; the
+// analyzer discovers the forwarding and exports it as a fact, so
+// literal-kind detection works through it from importing packages.
+func Forward(w io.Writer, k byte, payload []byte) error {
+	return wire.WriteFrame(w, k, payload)
+}
+
+func sendAll(w io.Writer) {
+	wire.WriteFrame(w, AK1, nil)
+	wire.WriteFrame(w, byte(AK2), nil)
+	Forward(w, AK3, nil)
+}
+
+func sendRaw(w io.Writer) {
+	wire.WriteFrame(w, 9, nil) // want `raw integer literal 9 as frame kind`
+}
+
+func sendIgnored(w io.Writer) {
+	//lint:ignore wirekinds corpus exercises the justification-bearing escape hatch
+	wire.WriteFrame(w, 10, nil)
+}
+
+func dispatchIncomplete(k byte) string {
+	switch k { // want `kind-dispatch switch has no default clause and misses declared kinds: AK3`
+	case AK1:
+		return "one"
+	case AK2:
+		return "two"
+	}
+	return ""
+}
+
+func dispatchWithDefault(k byte) string {
+	switch k {
+	case AK1:
+		return "one"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,28 @@
+// Package b imports both declared planes: its own kinds are checked
+// against every imported plane, the imported planes are checked
+// against each other (neither a nor c can see the other), and the
+// forwarder fact from a keeps literal detection working one package
+// removed from wire.WriteFrame.
+package b
+
+import (
+	"io"
+
+	"converse/internal/lint/testdata/src/wirekinds/a"
+	"converse/internal/lint/testdata/src/wirekinds/c" // want `imported frame-kind planes overlap: .*/wirekinds/a\.AK3 = .*/wirekinds/c\.CK1 = 3`
+)
+
+const (
+	BK1 byte = 2 + iota // want `frame kind BK1 = 2 collides with .*/wirekinds/a\.AK2`
+	BK2 byte = 40
+)
+
+func send(w io.Writer) {
+	a.Forward(w, BK1, nil)
+	a.Forward(w, BK2, nil)
+	c.CKSend(w)
+}
+
+func sendRawThroughForwarder(w io.Writer) {
+	a.Forward(w, 7, nil) // want `raw integer literal 7 as frame kind`
+}

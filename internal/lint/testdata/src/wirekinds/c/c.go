@@ -1,0 +1,21 @@
+// Package c declares a second frame-kind plane. On its own it is
+// clean; its value 3 collides with package a's AK3, which only a
+// package importing both planes can see (package b).
+package c
+
+import (
+	"io"
+
+	"converse/internal/wire"
+)
+
+const (
+	CK1 byte = 3 + iota
+	CK2
+)
+
+// CKSend writes one frame of each kind (and justifies b's import).
+func CKSend(w io.Writer) {
+	wire.WriteFrame(w, CK1, nil)
+	wire.WriteFrame(w, CK2, nil)
+}

@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"converse/internal/lint/analysis"
+)
+
+// wirePath is the shared framing package: the root of every frame-kind
+// flow the analyzer tracks.
+const wirePath = "converse/internal/wire"
+
+// WireKindsFact is the per-package fact wirekinds exports: the
+// frame-kind constants the package declares (its "plane" of the shared
+// wire framing) and the exported functions that forward a parameter
+// into wire.WriteFrame's kind slot. Downstream packages use the kinds
+// to prove plane disjointness repo-wide and the forwarders to keep
+// literal-kind detection working through wrappers.
+type WireKindsFact struct {
+	Kinds      []KindConst
+	Forwarders map[string]int // exported package-level func name -> kind param index
+}
+
+// KindConst is one declared frame-kind constant.
+type KindConst struct {
+	Name  string
+	Value int64
+}
+
+// AFact marks WireKindsFact as a serializable analysis fact.
+func (*WireKindsFact) AFact() {}
+
+func (f *WireKindsFact) String() string {
+	var parts []string
+	for _, k := range f.Kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k.Name, k.Value))
+	}
+	return "kinds(" + strings.Join(parts, " ") + ")"
+}
+
+// WireKinds proves the frame-kind planes of the shared wire framing
+// stay pairwise disjoint across the whole repository. Every package
+// that writes frames keeps its own kind enum (mnet's control/data
+// protocol, ccs introspection, the service control plane, the gateway
+// journal) over ranges that must never overlap — a frame misdirected
+// across planes has to fail on its kind byte, not half-parse. Before
+// this analyzer that disjointness was a comment; the fact mechanism
+// makes it a check.
+var WireKinds = &analysis.Analyzer{
+	Name: "wirekinds",
+	Doc: "prove frame-kind planes disjoint and kind dispatch complete\n\n" +
+		"Collects every frame-kind constant in packages that call\n" +
+		"wire.WriteFrame (directly or through wrappers), exports them as\n" +
+		"package facts, and checks: no two kinds share a value within a\n" +
+		"package or across any two packages visible through the import\n" +
+		"graph; no integer literal is passed as a kind (name it in the\n" +
+		"plane's const block); and every kind-dispatch switch without a\n" +
+		"default clause handles every kind its plane declares.",
+	Run:       runWireKinds,
+	FactTypes: []analysis.Fact{(*WireKindsFact)(nil)},
+}
+
+func runWireKinds(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+
+	facts := map[string]*WireKindsFact{}
+	var factPaths []string
+	for _, pf := range pass.AllPackageFacts() {
+		if f, ok := pf.Fact.(*WireKindsFact); ok {
+			facts[pf.Path] = f
+			factPaths = append(factPaths, pf.Path)
+		}
+	}
+	sort.Strings(factPaths)
+
+	// kindFns maps functions of this package to the index of the
+	// parameter they forward into wire.WriteFrame's kind slot,
+	// discovered to a fixed point so wrappers of wrappers still count
+	// (mnet: writeFrame -> writeFrameParts -> wire.WriteFrame).
+	kindFns := map[*types.Func]int{}
+	kindParamOf := func(fn *types.Func) (int, bool) {
+		if fn == nil {
+			return 0, false
+		}
+		if fn.Name() == "WriteFrame" && pkgPathOf(fn) == wirePath {
+			return 1, true
+		}
+		if idx, ok := kindFns[fn]; ok {
+			return idx, true
+		}
+		if f, ok := facts[pkgPathOf(fn)]; ok && fn.Type().(*types.Signature).Recv() == nil {
+			if idx, ok := f.Forwarders[fn.Name()]; ok {
+				return idx, true
+			}
+		}
+		return 0, false
+	}
+
+	prodFiles := make([]*ast.File, 0, len(pass.Files))
+	for _, f := range pass.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prodFiles {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnObj, ok := info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				params := fnObj.Type().(*types.Signature).Params()
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					idx, ok := kindParamOf(calleeOf(info, call))
+					if !ok || idx >= len(call.Args) {
+						return true
+					}
+					v := localVar(info, unwrapConv(info, call.Args[idx]))
+					if v == nil {
+						return true
+					}
+					for i := 0; i < params.Len(); i++ {
+						if params.At(i) == v {
+							if _, seen := kindFns[fnObj]; !seen {
+								kindFns[fnObj] = i
+								changed = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Map each const of this package to its declaring const block: one
+	// kind used as a frame kind marks the whole block as a kind plane
+	// (the enum's other members are kinds too, even if this package
+	// only reads them back).
+	constBlock := map[*types.Const]*ast.GenDecl{}
+	for _, f := range prodFiles {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if c, ok := info.Defs[name].(*types.Const); ok {
+						constBlock[c] = gd
+					}
+				}
+			}
+		}
+	}
+
+	// Walk every kind-call site: named constants mark their block as a
+	// kind plane, constant expressions that are not named constants are
+	// flagged (a raw 97 on the wire is how two planes silently collide).
+	usedBlocks := map[*ast.GenDecl]bool{}
+	for _, f := range prodFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := kindParamOf(calleeOf(info, call))
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := unwrapConv(info, call.Args[idx])
+			if c := constObjOf(info, arg); c != nil {
+				if c.Pkg() == pass.Pkg {
+					if blk := constBlock[c]; blk != nil {
+						usedBlocks[blk] = true
+					}
+				}
+				return true
+			}
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+				pass.Reportf(arg.Pos(),
+					"raw integer literal %s as frame kind: declare it in the plane's const block so wirekinds can prove the planes disjoint",
+					tv.Value.ExactString())
+			}
+			return true
+		})
+	}
+
+	// The declared kind set of this package: every byte-valued constant
+	// of every block used as a kind plane.
+	type ownKind struct {
+		name  string
+		value int64
+		pos   token.Pos
+		block *ast.GenDecl
+	}
+	var own []ownKind
+	ownByObj := map[*types.Const]*ast.GenDecl{}
+	for blk := range usedBlocks {
+		for _, spec := range blk.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				c, ok := info.Defs[name].(*types.Const)
+				if !ok {
+					continue
+				}
+				v, exact := constant.Int64Val(c.Val())
+				if !exact || v < 0 || v > 255 {
+					continue
+				}
+				own = append(own, ownKind{name: c.Name(), value: v, pos: name.Pos(), block: blk})
+				ownByObj[c] = blk
+			}
+		}
+	}
+	sort.Slice(own, func(i, j int) bool {
+		if own[i].value != own[j].value {
+			return own[i].value < own[j].value
+		}
+		return own[i].name < own[j].name
+	})
+
+	// In-package collisions (this also covers two planes hosted by one
+	// package, like the service control plane and the gateway journal).
+	for i := 1; i < len(own); i++ {
+		if own[i].value == own[i-1].value {
+			pass.Reportf(own[i].pos,
+				"frame kind %s = %d collides with %s in the same package: kinds on the shared wire framing must be unique",
+				own[i].name, own[i].value, own[i-1].name)
+		}
+	}
+
+	// This package's kinds against every plane visible through facts.
+	for _, path := range factPaths {
+		byValue := map[int64]string{}
+		for _, k := range facts[path].Kinds {
+			byValue[k.Value] = k.Name
+		}
+		for _, k := range own {
+			if name, ok := byValue[k.value]; ok {
+				pass.Reportf(k.pos,
+					"frame kind %s = %d collides with %s.%s: kind planes must stay pairwise disjoint across packages",
+					k.name, k.value, path, name)
+			}
+		}
+	}
+
+	// Planes of two dependencies against each other, for packages that
+	// see both sides of an overlap neither side can see alone (ccs and
+	// mnet import only the wire package; their disjointness is proved in
+	// the packages that import both).
+	for i, pa := range factPaths {
+		for _, pb := range factPaths[i+1:] {
+			byValue := map[int64]string{}
+			for _, k := range facts[pa].Kinds {
+				byValue[k.Value] = k.Name
+			}
+			for _, k := range facts[pb].Kinds {
+				if name, ok := byValue[k.Value]; ok {
+					pass.Reportf(importPos(pass.Files, pb),
+						"imported frame-kind planes overlap: %s.%s = %s.%s = %d",
+						pa, name, pb, k.Name, k.Value)
+				}
+			}
+		}
+	}
+
+	// Kind-dispatch switches: without a default clause, a switch over a
+	// plane must handle every kind the plane declares — the check that
+	// catches "added a kind, forgot the dispatcher".
+	for _, f := range prodFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			covered := map[string]bool{}
+			var block *ast.GenDecl
+			mixed, hasDefault := false, false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					c := constObjOf(info, unwrapConv(info, e))
+					if c == nil {
+						continue
+					}
+					blk, ok := ownByObj[c]
+					if !ok {
+						continue
+					}
+					if block == nil {
+						block = blk
+					} else if block != blk {
+						mixed = true
+					}
+					covered[c.Name()] = true
+				}
+			}
+			if hasDefault || mixed || block == nil || len(covered) < 2 {
+				return true
+			}
+			var missing []string
+			for _, k := range own {
+				if k.block == block && !covered[k.name] {
+					missing = append(missing, k.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"kind-dispatch switch has no default clause and misses declared kinds: %s",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+
+	if len(own) > 0 || len(kindFns) > 0 {
+		fact := &WireKindsFact{Forwarders: map[string]int{}}
+		for _, k := range own {
+			fact.Kinds = append(fact.Kinds, KindConst{Name: k.name, Value: k.value})
+		}
+		for fn, idx := range kindFns {
+			if fn.Exported() && fn.Type().(*types.Signature).Recv() == nil {
+				fact.Forwarders[fn.Name()] = idx
+			}
+		}
+		pass.ExportPackageFact(fact)
+	}
+	return nil, nil
+}
+
+// unwrapConv strips parentheses and type conversions (byte(k), kind(x))
+// from an expression.
+func unwrapConv(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				e = call.Args[0]
+				continue
+			}
+		}
+		return e
+	}
+}
+
+// constObjOf resolves an identifier or selector to the named constant
+// it uses, or nil.
+func constObjOf(info *types.Info, e ast.Expr) *types.Const {
+	switch x := e.(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[x].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[x.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// importPos returns the position of the import declaration for path, or
+// the first file's package clause when the import is transitive.
+func importPos(files []*ast.File, path string) token.Pos {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+				return imp.Pos()
+			}
+		}
+	}
+	if len(files) > 0 {
+		return files[0].Name.Pos()
+	}
+	return token.NoPos
+}

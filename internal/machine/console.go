@@ -21,6 +21,8 @@ type console struct {
 }
 
 func (c *console) init() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.out = os.Stdout
 	c.err = os.Stderr
 	c.in = bufio.NewReader(os.Stdin)

@@ -305,9 +305,9 @@ func (g *Gateway) auth(v int, token string) error {
 	return nil
 }
 
-// capacity totals the live, non-draining daemons' slots. Caller holds
+// capacityLocked totals the live, non-draining daemons' slots. Caller holds
 // mu.
-func (g *Gateway) capacity() int {
+func (g *Gateway) capacityLocked() int {
 	total := 0
 	for _, d := range g.daemons {
 		if d.live && !d.draining {
@@ -362,7 +362,7 @@ func (g *Gateway) submit(m submitMsg) (string, error) {
 	// restart no daemon has re-registered yet, and rejecting every
 	// submit for a few seconds would turn a survived crash into an
 	// outage anyway.
-	if cp := g.capacity(); !g.recovering && m.Gang > cp {
+	if cp := g.capacityLocked(); !g.recovering && m.Gang > cp {
 		g.mu.Unlock()
 		return "", fmt.Errorf("service: gang of %d exceeds cluster capacity of %d PEs", m.Gang, cp)
 	}

@@ -287,6 +287,7 @@ func (jn *journal) append(k byte, rec any) {
 	}
 	b, err := json.Marshal(rec)
 	if err != nil {
+		//lint:ignore lockdiscipline logf is set once in newJournal and immutable after
 		jn.logf("service: journal: encoding record %d: %v", k, err)
 		return
 	}

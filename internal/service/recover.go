@@ -10,12 +10,18 @@ import (
 )
 
 // restore rebuilds the gateway's job table from a replayed journal.
-// Runs from NewGateway before the accept/sched loops start, so the
-// structures are still single-threaded. Formerly in-flight jobs enter
-// Recovering with a stand-in attempt (the real control server died
-// with the previous incarnation); the recovery window decides between
-// re-adoption and requeue.
+// Runs from NewGateway before the accept/sched loops start, so it is
+// effectively single-threaded — but it holds mu anyway: the invariant
+// "gateway tables are touched under mu" is then machine-checkable
+// instead of resting on a comment, and the watchdog closures armed
+// here can fire against a consistent table even if the window is
+// misconfigured short. Formerly in-flight jobs enter Recovering with a
+// stand-in attempt (the real control server died with the previous
+// incarnation); the recovery window decides between re-adoption and
+// requeue.
 func (g *Gateway) restore(st *replayed) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	recovering := 0
 	for _, pj := range st.jobs {
 		j := newJob(pj.ID, pj.Name, pj.Workload, pj.Args, pj.Gang)
@@ -44,14 +50,14 @@ func (g *Gateway) restore(st *replayed) {
 			// Crash landed between Requeued and Queued: finish the
 			// requeue the previous incarnation started (including the
 			// budget spend it had not journaled yet).
-			g.requeueJob(j, true)
+			g.requeueJobLocked(j, true)
 		case Admitted, Running:
 			if len(pj.Daemons) == 0 {
 				// Placed but never journaled an assignment (impossible in
 				// order — jAssign precedes Admitted — unless the tail was
 				// torn exactly there). No daemon can be running it.
 				j.transition(Recovering)
-				g.requeueJob(j, true)
+				g.requeueJobLocked(j, true)
 				break
 			}
 			seq := pj.Attempt
@@ -106,11 +112,11 @@ func (g *Gateway) restore(st *replayed) {
 		g.epoch, how, len(st.jobs), len(g.queue), recovering)
 }
 
-// requeueJob pushes one job through the Requeued->Queued leg outside
+// requeueJobLocked pushes one job through the Requeued->Queued leg outside
 // the normal finalize path: restore (crash mid-requeue, or a placement
 // that never reached any daemon). The requeue budget still applies.
-// Runs single-threaded from restore; countBudget spends one requeue.
-func (g *Gateway) requeueJob(j *Job, countBudget bool) {
+// Caller holds mu; countBudget spends one requeue.
+func (g *Gateway) requeueJobLocked(j *Job, countBudget bool) {
 	j.mu.Lock()
 	over := countBudget && j.requeues >= g.cfg.MaxRequeues
 	j.mu.Unlock()
@@ -227,7 +233,7 @@ func (g *Gateway) endRecovery() {
 	}
 	// With real capacity known again, fail queued jobs the cluster can
 	// never place (the same sweep daemon loss runs).
-	cp := g.capacity()
+	cp := g.capacityLocked()
 	var doomed []*Job
 	remaining := g.queue[:0]
 	for _, j := range g.queue {

@@ -34,7 +34,7 @@ func (g *Gateway) schedLoop() {
 				if j.State() != Queued {
 					continue // cancelled while queued
 				}
-				at := g.place(j)
+				at := g.placeLocked(j)
 				if at == nil {
 					remaining = append(remaining, j)
 					continue
@@ -56,11 +56,11 @@ func (g *Gateway) schedLoop() {
 	}
 }
 
-// place tries to carve a gang's PEs out of the live daemons' free
+// placeLocked tries to carve a gang's PEs out of the live daemons' free
 // slots, preferring the emptiest daemons (spreads load, keeps node
 // counts small). On success the slots are held and the attempt is
 // registered. Caller holds mu.
-func (g *Gateway) place(j *Job) *jobAttempt {
+func (g *Gateway) placeLocked(j *Job) *jobAttempt {
 	type cand struct {
 		d    *daemonSession
 		free int
@@ -185,12 +185,13 @@ func (g *Gateway) launch(at *jobAttempt) {
 	j.mu.Lock()
 	deadlineMS := int64(j.deadline / time.Millisecond)
 	maxMemMB := j.maxMemMB
+	workload, args := j.workload, j.args
 	j.mu.Unlock()
 	asn := assignMsg{
 		Job:       j.id,
 		Attempt:   at.seq,
-		Workload:  j.workload,
-		Args:      j.args,
+		Workload:  workload,
+		Args:      args,
 		Launcher:  launcher,
 		JobToken:  at.token,
 		NP:        len(at.daemons),
@@ -474,7 +475,7 @@ func (g *Gateway) dropDaemon(d *daemonSession, cause error) {
 			}
 		}
 	}
-	cp := g.capacity()
+	cp := g.capacityLocked()
 	var doomed []*Job
 	remaining := g.queue[:0]
 	for _, j := range g.queue {
